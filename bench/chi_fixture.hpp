@@ -1,0 +1,171 @@
+// Shared experiment harness for the Protocol chi evaluation benches
+// (dissertation §6.4 emulation and §6.5 RED experiments, Figs. 6.5-6.16).
+//
+// Topology is Fig. 6.4's: source routers feed router r whose output queue
+// toward rd is the monitored bottleneck. Traffic is a mix of long-lived
+// TCP flows (congestion-controlled, bursty loss) and on-off UDP
+// background; the victim is a dedicated flow, plus a TCP connection
+// attempt for the SYN-drop attacks.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "attacks/attacks.hpp"
+#include "detection/chi.hpp"
+#include "routing/install.hpp"
+#include "traffic/sources.hpp"
+#include "traffic/tcp.hpp"
+
+namespace fatih::bench {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+struct ChiExperiment {
+  sim::Network net;
+  crypto::KeyRegistry keys{98765};
+  std::shared_ptr<routing::RoutingTables> tables;
+  std::unique_ptr<detection::PathCache> paths;
+  std::unique_ptr<detection::QueueValidator> validator;
+  std::vector<std::unique_ptr<traffic::CbrSource>> cbr;
+  std::vector<std::unique_ptr<traffic::OnOffSource>> onoff;
+  std::vector<std::unique_ptr<traffic::TcpFlow>> tcp;
+  NodeId s1, s2, r, rd;
+  double duration_s;
+
+  /// `red`: bottleneck queue discipline. `rounds` of 1 s each.
+  explicit ChiExperiment(bool red, std::int64_t rounds, std::uint64_t seed = 607,
+                         std::int64_t learning_rounds = 3)
+      : net(seed), duration_s(static_cast<double>(rounds)) {
+    s1 = net.add_router("s1").id();
+    s2 = net.add_router("s2").id();
+    r = net.add_router("r").id();
+    rd = net.add_router("rd").id();
+    sim::LinkConfig edge;
+    edge.bandwidth_bps = 1e8;
+    edge.delay = Duration::millis(1);
+    sim::LinkConfig core;
+    core.bandwidth_bps = 1e7;
+    core.delay = Duration::millis(2);
+    core.queue_limit_bytes = 50000;
+    if (red) {
+      core.queue = sim::QueueKind::kRed;
+      core.red.weight = 0.002;
+      core.red.min_threshold = 15000;
+      core.red.max_threshold = 45000;
+      core.red.max_probability = 0.1;
+      core.red.gentle = true;
+      core.red.byte_limit = 90000;
+      core.red.mean_packet_size = 1000;
+      core.red.drain_rate = 1e7 / 8;
+    }
+    net.connect(s1, r, edge);
+    net.connect(s2, r, edge);
+    net.connect(r, rd, core);
+    tables = std::make_shared<routing::RoutingTables>(routing::Topology::from_network(net));
+    routing::install_static_routes(net, *tables);
+    paths = std::make_unique<detection::PathCache>(tables);
+    for (NodeId n : {s1, s2, r, rd}) {
+      net.router(n).set_processing_delay(Duration::micros(20), Duration::micros(50));
+    }
+
+    detection::ChiConfig cfg;
+    cfg.clock = detection::RoundClock{SimTime::origin(), Duration::seconds(1)};
+    cfg.settle = Duration::millis(400);
+    cfg.grace = Duration::millis(200);
+    cfg.learning_rounds = learning_rounds;
+    cfg.rounds = rounds;
+    validator = std::make_unique<detection::QueueValidator>(net, keys, *paths, r, rd, cfg);
+  }
+
+  /// Standard traffic mix: one victim CBR flow (flow 1 from s1), two
+  /// long-lived TCP flows and an on-off burst source to drive congestion.
+  void standard_traffic(bool heavy_congestion) {
+    add_cbr(s1, 1, 300);
+    traffic::TcpConfig tc;
+    tc.mss_bytes = 960;
+    tcp.push_back(std::make_unique<traffic::TcpFlow>(net, s1, rd, 10, tc));
+    tcp.back()->start(SimTime::from_seconds(0.2));
+    tcp.push_back(std::make_unique<traffic::TcpFlow>(net, s2, rd, 11, tc));
+    tcp.back()->start(SimTime::from_seconds(0.4));
+    if (heavy_congestion) {
+      traffic::OnOffSource::Config o;
+      o.src = s2;
+      o.dst = rd;
+      o.flow_id = 2;
+      o.on_rate_pps = 1100;
+      o.mean_on = Duration::millis(200);
+      o.mean_off = Duration::millis(200);
+      o.start = SimTime::from_seconds(0.05);
+      o.stop = SimTime::from_seconds(duration_s - 0.5);
+      onoff.push_back(std::make_unique<traffic::OnOffSource>(net, o));
+    }
+  }
+
+  void add_cbr(NodeId src, std::uint32_t flow, double pps) {
+    traffic::CbrSource::Config c;
+    c.src = src;
+    c.dst = rd;
+    c.flow_id = flow;
+    c.rate_pps = pps;
+    c.start = SimTime::from_seconds(0.05);
+    c.stop = SimTime::from_seconds(duration_s - 0.5);
+    cbr.push_back(std::make_unique<traffic::CbrSource>(net, c));
+  }
+
+  void run() {
+    validator->start();
+    net.sim().run_until(SimTime::from_seconds(duration_s + 2.0));
+  }
+
+  /// Prints the per-round table in the style of the Fig. 6.5-6.16 plots:
+  /// losses seen, how many the queue model explains, the residual, the
+  /// test confidences, and whether the round alarmed.
+  void print_rounds(bool red) const {
+    std::printf("%-6s %8s %8s %7s %7s %7s %9s %9s %7s\n", "round", "entries", "exits",
+                "drops", "cong", "susp", red ? "E[drops]" : "c_single",
+                red ? "maxflowZ" : "c_comb", "alarm");
+    for (const auto& rs : validator->rounds()) {
+      std::printf("%-6lld %8llu %8llu %7llu %7llu %7llu %9.3f %9.3f %7s%s\n",
+                  static_cast<long long>(rs.round),
+                  static_cast<unsigned long long>(rs.entries),
+                  static_cast<unsigned long long>(rs.exits),
+                  static_cast<unsigned long long>(rs.drops),
+                  static_cast<unsigned long long>(rs.congestive),
+                  static_cast<unsigned long long>(rs.suspicious),
+                  red ? rs.red_expected_drops : rs.max_single_confidence,
+                  red ? rs.red_max_flow_z : rs.combined_confidence,
+                  rs.alarmed ? "ALARM" : "-",
+                  rs.round < 3 ? "  (learning)" : "");
+    }
+  }
+
+  void print_verdict(bool attack_present, double attack_start_s) {
+    std::size_t false_alarms = 0;
+    std::size_t hits = 0;
+    for (const auto& rs : validator->rounds()) {
+      if (!rs.alarmed) continue;
+      const double t = static_cast<double>(rs.round);
+      if (attack_present && t >= attack_start_s - 1) {
+        ++hits;
+      } else {
+        ++false_alarms;
+      }
+    }
+    std::printf("\ncalibration: mu=%.1fB sigma=%.1fB; ground truth: %llu malicious drops\n",
+                validator->mu(), validator->sigma(),
+                static_cast<unsigned long long>(net.router(r).malicious_drops()));
+    if (attack_present) {
+      std::printf("verdict: %zu alarmed rounds during attack, %zu false alarms%s\n", hits,
+                  false_alarms, hits > 0 && false_alarms == 0 ? "  [DETECTED]" : "");
+    } else {
+      std::printf("verdict: %zu false alarms%s\n", false_alarms,
+                  false_alarms == 0 ? "  [CLEAN]" : "");
+    }
+  }
+};
+
+}  // namespace fatih::bench

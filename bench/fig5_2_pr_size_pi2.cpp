@@ -1,0 +1,40 @@
+// Figure 5.2 reproduction: size of Pr (path-segments monitored per router)
+// for Protocol Pi2 as a function of the AdjacentFault(k) bound, on
+// Rocketfuel-statistics-matched Sprintlink-like and EBONE-like topologies.
+//
+// Paper shape to match: |Pr| grows steeply with k (the theoretical bound
+// is O(k * R^(k+1))) but stays far below it; e.g. for Sprintlink at k=2
+// the average is a few hundred, the max a few thousand.
+#include <cstdio>
+
+#include "bench/pr_stats.hpp"
+
+using namespace fatih;
+using namespace fatih::bench;
+
+namespace {
+
+void run(const routing::IspProfile& profile, std::uint64_t seed) {
+  const routing::Topology topo = routing::synthetic_isp(profile, seed);
+  double mean_degree = static_cast<double>(topo.edge_count()) /
+                       static_cast<double>(topo.node_count());
+  std::printf("# %s: %zu routers, %zu links, mean degree %.2f\n", profile.name.c_str(),
+              topo.node_count(), topo.edge_count() / 2, mean_degree);
+  const auto paths = all_used_paths(topo);
+  std::printf("%-4s %10s %10s %10s\n", "k", "max|Pr|", "avg|Pr|", "med|Pr|");
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const auto counts = count_pr(paths, topo.node_count(), k);
+    const auto stats = summarize(counts.pi2);
+    std::printf("%-4zu %10zu %10.1f %10.1f\n", k, stats.max, stats.average, stats.median);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 5.2: |Pr| per router under Protocol Pi2 ==\n\n");
+  run(routing::sprintlink_profile(), 42);
+  run(routing::ebone_profile(), 42);
+  return 0;
+}

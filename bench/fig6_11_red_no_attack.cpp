@@ -1,0 +1,15 @@
+// Figure 6.11 reproduction: RED bottleneck, no attack. RED's random early
+// drops are legitimate; the validator's replayed per-packet drop
+// probabilities must account for them without alarms.
+#include "bench/chi_fixture.hpp"
+
+int main() {
+  std::printf("== Figure 6.11: RED bottleneck, no attack ==\n\n");
+  fatih::bench::ChiExperiment exp(/*red=*/true, /*rounds=*/100);
+  exp.standard_traffic(/*heavy_congestion=*/true);
+  exp.add_cbr(exp.s1, 3, 400);  // keep the RED average in the active band
+  exp.run();
+  exp.print_rounds(true);
+  exp.print_verdict(/*attack_present=*/false, 0);
+  return 0;
+}

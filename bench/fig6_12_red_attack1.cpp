@@ -1,0 +1,20 @@
+// Figure 6.12 reproduction: RED attack 1 — drop the selected flow
+// whenever the RED average queue size exceeds 45,000 bytes (= max_th, the
+// regime where RED drops legitimately).
+#include "bench/chi_fixture.hpp"
+
+int main() {
+  std::printf("== Figure 6.12: RED attack 1 - drop victims when avg queue > 45000B ==\n\n");
+  fatih::bench::ChiExperiment exp(/*red=*/true, /*rounds=*/26);
+  exp.standard_traffic(/*heavy_congestion=*/true);
+  exp.add_cbr(exp.s1, 3, 400);
+  fatih::attacks::FlowMatch match;
+  match.flow_ids = {1};
+  exp.net.router(exp.r).set_forward_filter(
+      std::make_shared<fatih::attacks::RedAvgThresholdDropAttack>(
+          match, 45000.0, 1.0, fatih::util::SimTime::from_seconds(8), 13));
+  exp.run();
+  exp.print_rounds(true);
+  exp.print_verdict(/*attack_present=*/true, 8);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 6.13 reproduction: RED attack 2 — threshold raised to 54,000
+// bytes: the attacker only strikes when RED is already dropping
+// aggressively (gentle region).
+#include "bench/chi_fixture.hpp"
+
+int main() {
+  std::printf("== Figure 6.13: RED attack 2 - drop victims when avg queue > 54000B ==\n\n");
+  fatih::bench::ChiExperiment exp(/*red=*/true, /*rounds=*/26);
+  exp.standard_traffic(/*heavy_congestion=*/true);
+  exp.add_cbr(exp.s1, 3, 500);
+  fatih::attacks::FlowMatch match;
+  match.flow_ids = {1};
+  exp.net.router(exp.r).set_forward_filter(
+      std::make_shared<fatih::attacks::RedAvgThresholdDropAttack>(
+          match, 54000.0, 1.0, fatih::util::SimTime::from_seconds(8), 13));
+  exp.run();
+  exp.print_rounds(true);
+  exp.print_verdict(/*attack_present=*/true, 8);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 6.15 reproduction: RED attack 4 — only 5% of the victim flow,
+// the finest-grained attack in the chapter.
+#include "bench/chi_fixture.hpp"
+
+int main() {
+  std::printf("== Figure 6.15: RED attack 4 - drop 5%% of victims when avg > 45000B ==\n\n");
+  fatih::bench::ChiExperiment exp(/*red=*/true, /*rounds=*/160);
+  exp.standard_traffic(/*heavy_congestion=*/true);
+  exp.add_cbr(exp.s1, 3, 400);
+  fatih::attacks::FlowMatch match;
+  match.flow_ids = {1};
+  exp.net.router(exp.r).set_forward_filter(
+      std::make_shared<fatih::attacks::RedAvgThresholdDropAttack>(
+          match, 45000.0, 0.05, fatih::util::SimTime::from_seconds(8), 13));
+  exp.run();
+  exp.print_rounds(true);
+  exp.print_verdict(/*attack_present=*/true, 8);
+  return 0;
+}

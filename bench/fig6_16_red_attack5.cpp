@@ -1,0 +1,23 @@
+// Figure 6.16 reproduction: RED attack 5 — SYN-targeting under RED. With
+// the average below min_th the legitimate drop probability is exactly
+// zero, so each dropped SYN is individually damning.
+#include "bench/chi_fixture.hpp"
+
+int main() {
+  std::printf("== Figure 6.16: RED attack 5 - drop the victim's SYN packets ==\n\n");
+  fatih::bench::ChiExperiment exp(/*red=*/true, /*rounds=*/20);
+  exp.standard_traffic(/*heavy_congestion=*/false);
+  fatih::attacks::FlowMatch match;
+  match.syn_only = true;
+  exp.net.router(exp.r).set_forward_filter(
+      std::make_shared<fatih::attacks::RateDropAttack>(
+          match, 1.0, fatih::util::SimTime::from_seconds(8), 13));
+  fatih::traffic::TcpFlow victim(exp.net, exp.s2, exp.rd, 50, {});
+  victim.start(fatih::util::SimTime::from_seconds(9));
+  exp.run();
+  exp.print_rounds(true);
+  exp.print_verdict(/*attack_present=*/true, 9);
+  std::printf("victim connected: %s after %u SYN retransmissions\n",
+              victim.connected() ? "yes" : "NO", victim.syn_retransmits());
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 6.5 reproduction: no attack. TCP + bursty UDP drive the
+// drop-tail bottleneck into genuine congestive loss; Protocol chi must
+// explain every drop and raise no alarms.
+#include "bench/chi_fixture.hpp"
+
+int main() {
+  std::printf("== Figure 6.5: drop-tail bottleneck, no attack ==\n\n");
+  fatih::bench::ChiExperiment exp(/*red=*/false, /*rounds=*/60);
+  exp.standard_traffic(/*heavy_congestion=*/true);
+  exp.run();
+  exp.print_rounds(false);
+  exp.print_verdict(/*attack_present=*/false, 0);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 6.6 reproduction: Attack 1 — the compromised router drops 20% of
+// the selected (victim) flow from t=8s. Expected: alarms in attack rounds,
+// none before.
+#include "bench/chi_fixture.hpp"
+
+int main() {
+  std::printf("== Figure 6.6: attack 1 - drop 20%% of the selected flow ==\n\n");
+  fatih::bench::ChiExperiment exp(/*red=*/false, /*rounds=*/20);
+  exp.standard_traffic(/*heavy_congestion=*/true);
+  fatih::attacks::FlowMatch match;
+  match.flow_ids = {1};
+  exp.net.router(exp.r).set_forward_filter(
+      std::make_shared<fatih::attacks::RateDropAttack>(
+          match, 0.20, fatih::util::SimTime::from_seconds(8), 13));
+  exp.run();
+  exp.print_rounds(false);
+  exp.print_verdict(/*attack_present=*/true, 8);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 6.7 reproduction: Attack 2 — drop the selected flow only when
+// the queue is 90% full, hiding inside plausible congestion. chi's
+// per-packet occupancy prediction still sees ~10% headroom.
+#include "bench/chi_fixture.hpp"
+
+int main() {
+  std::printf("== Figure 6.7: attack 2 - drop victims when queue >= 90%% full ==\n\n");
+  fatih::bench::ChiExperiment exp(/*red=*/false, /*rounds=*/24);
+  exp.standard_traffic(/*heavy_congestion=*/true);
+  fatih::attacks::FlowMatch match;
+  match.flow_ids = {1};
+  exp.net.router(exp.r).set_forward_filter(
+      std::make_shared<fatih::attacks::QueueThresholdDropAttack>(
+          match, 0.90, 1.0, fatih::util::SimTime::from_seconds(8), 13));
+  exp.run();
+  exp.print_rounds(false);
+  exp.print_verdict(/*attack_present=*/true, 8);
+  return 0;
+}

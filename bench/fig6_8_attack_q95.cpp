@@ -1,0 +1,18 @@
+// Figure 6.8 reproduction: Attack 3 — as attack 2 but triggered at 95%
+// queue occupancy: an even finer margin between malice and congestion.
+#include "bench/chi_fixture.hpp"
+
+int main() {
+  std::printf("== Figure 6.8: attack 3 - drop victims when queue >= 95%% full ==\n\n");
+  fatih::bench::ChiExperiment exp(/*red=*/false, /*rounds=*/24);
+  exp.standard_traffic(/*heavy_congestion=*/true);
+  fatih::attacks::FlowMatch match;
+  match.flow_ids = {1};
+  exp.net.router(exp.r).set_forward_filter(
+      std::make_shared<fatih::attacks::QueueThresholdDropAttack>(
+          match, 0.95, 1.0, fatih::util::SimTime::from_seconds(8), 13));
+  exp.run();
+  exp.print_rounds(false);
+  exp.print_verdict(/*attack_present=*/true, 8);
+  return 0;
+}

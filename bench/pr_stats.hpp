@@ -1,0 +1,74 @@
+// Shared |Pr| accounting for the Fig. 5.2 / 5.4 and Table 5.1 benches.
+//
+// Counts, for every router, how many distinct path-segments it must
+// monitor under Protocol Pi2 (member of segment) and Protocol Pi(k+2)
+// (end of segment), over the in-use shortest paths of a topology.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "routing/segments.hpp"
+#include "routing/spf.hpp"
+#include "routing/topologies.hpp"
+#include "util/stats.hpp"
+
+namespace fatih::bench {
+
+struct PrStats {
+  std::size_t max = 0;
+  double average = 0;
+  double median = 0;
+};
+
+struct PrCounts {
+  std::vector<std::size_t> pi2;   // per router
+  std::vector<std::size_t> pik2;  // per router
+};
+
+/// All-pairs in-use paths of a topology (computed once per topology).
+inline std::vector<routing::Path> all_used_paths(const routing::Topology& topo) {
+  const routing::RoutingTables tables(topo);
+  std::vector<util::NodeId> terminals;
+  for (util::NodeId n = 0; n < topo.node_count(); ++n) terminals.push_back(n);
+  return tables.all_paths(terminals);
+}
+
+/// Enumerates segments once and attributes them to the routers that
+/// monitor them (linear in total segment length, unlike calling
+/// SegmentIndex::pr_* per router).
+inline PrCounts count_pr(const std::vector<routing::Path>& paths, std::size_t node_count,
+                         std::size_t k) {
+  const routing::SegmentIndex index(paths, k);
+
+  PrCounts counts;
+  counts.pi2.assign(node_count, 0);
+  counts.pik2.assign(node_count, 0);
+  for (const auto& seg : index.all_pi2_segments()) {
+    for (util::NodeId r : seg.nodes()) ++counts.pi2[r];
+  }
+  for (const auto& seg : index.all_pik2_segments()) {
+    ++counts.pik2[seg.front()];
+    if (seg.back() != seg.front()) ++counts.pik2[seg.back()];
+  }
+  return counts;
+}
+
+inline PrStats summarize(const std::vector<std::size_t>& per_router) {
+  PrStats out;
+  std::vector<double> xs;
+  xs.reserve(per_router.size());
+  double sum = 0;
+  for (std::size_t c : per_router) {
+    out.max = std::max(out.max, c);
+    sum += static_cast<double>(c);
+    xs.push_back(static_cast<double>(c));
+  }
+  out.average = xs.empty() ? 0 : sum / static_cast<double>(xs.size());
+  out.median = util::median(xs).value_or(0);
+  return out;
+}
+
+}  // namespace fatih::bench

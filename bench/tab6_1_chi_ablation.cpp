@@ -1,0 +1,73 @@
+// Ablation of Protocol chi's design choices (the knobs DESIGN.md calls
+// out): length of the trusted calibration period and the magnitude of the
+// router's processing jitter. For each cell: the calibrated sigma, false
+// alarms on a clean congested run, and whether the queue-90%-gated attack
+// is still caught.
+//
+// Expected shape: more calibration tightens sigma estimates; more jitter
+// widens sigma (costing single-packet sensitivity) but never costs
+// correctness — detection degrades gracefully, false alarms stay at zero.
+#include "bench/chi_fixture.hpp"
+
+using namespace fatih;
+using namespace fatih::bench;
+
+namespace {
+
+struct Cell {
+  double sigma = 0;
+  std::size_t false_alarms = 0;
+  bool detects = false;
+};
+
+Cell run_cell(std::int64_t learning_rounds, Duration jitter) {
+  Cell cell;
+  {  // clean congested run
+    ChiExperiment exp(false, 16, 607, learning_rounds);
+    for (NodeId n : {exp.s1, exp.s2, exp.r, exp.rd}) {
+      exp.net.router(n).set_processing_delay(Duration::micros(20), jitter);
+    }
+    exp.standard_traffic(true);
+    exp.run();
+    cell.sigma = exp.validator->sigma();
+    for (const auto& rs : exp.validator->rounds()) {
+      if (rs.alarmed) ++cell.false_alarms;
+    }
+  }
+  {  // attacked run
+    ChiExperiment exp(false, 16, 607, learning_rounds);
+    for (NodeId n : {exp.s1, exp.s2, exp.r, exp.rd}) {
+      exp.net.router(n).set_processing_delay(Duration::micros(20), jitter);
+    }
+    exp.standard_traffic(true);
+    fatih::attacks::FlowMatch match;
+    match.flow_ids = {1};
+    exp.net.router(exp.r).set_forward_filter(
+        std::make_shared<fatih::attacks::QueueThresholdDropAttack>(
+            match, 0.9, 1.0, SimTime::from_seconds(learning_rounds + 3.0), 13));
+    exp.run();
+    for (const auto& rs : exp.validator->rounds()) {
+      if (rs.alarmed && rs.round >= learning_rounds + 2) cell.detects = true;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Protocol chi ablation: calibration length x processing jitter ==\n\n");
+  std::printf("%-10s %-12s | %10s %12s %10s\n", "learnRnds", "jitter(us)", "sigma(B)",
+              "falseAlarms", "catchesQ90");
+  for (std::int64_t learning : {2L, 3L, 6L}) {
+    for (std::int64_t jitter_us : {0L, 50L, 200L}) {
+      const Cell cell = run_cell(learning, Duration::micros(jitter_us));
+      std::printf("%-10lld %-12lld | %10.1f %12zu %10s\n",
+                  static_cast<long long>(learning), static_cast<long long>(jitter_us),
+                  cell.sigma, cell.false_alarms, cell.detects ? "yes" : "NO");
+    }
+  }
+  std::printf("\nExpected: zero false alarms everywhere; sigma grows with jitter;\n"
+              "the queue-gated attack stays detected across the sweep.\n");
+  return 0;
+}

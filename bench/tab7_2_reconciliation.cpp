@@ -1,0 +1,62 @@
+// §7.2 / Appendix A reproduction: state size and bandwidth of the summary
+// exchange mechanisms — shipping raw fingerprints vs Bloom-filter digests
+// vs characteristic-polynomial set reconciliation — as a function of the
+// per-round traffic volume and the difference size.
+//
+// Paper claim to match: set reconciliation is bandwidth-optimal (O(d)
+// field elements for difference d, independent of set size); Bloom
+// filters are cheap but inexact; raw fingerprints cost 8 bytes per packet.
+#include <cstdio>
+#include <set>
+
+#include "util/rng.hpp"
+#include "validation/bloom.hpp"
+#include "validation/reconcile.hpp"
+
+using namespace fatih;
+using namespace fatih::validation;
+
+int main() {
+  std::printf("== §7.2 / Appendix A: summary exchange bandwidth ==\n\n");
+  std::printf("%-10s %-6s | %12s %12s %14s | %8s %10s\n", "packets", "diff", "raw(B)",
+              "bloom(B)", "reconcile(B)", "bloomErr", "reconExact");
+
+  util::Rng rng(7);
+  for (std::size_t n : {1000UL, 10000UL, 50000UL}) {
+    for (std::size_t d : {2UL, 10UL, 50UL}) {
+      // Build A (sender) and B = A minus d dropped packets.
+      std::vector<std::uint64_t> a;
+      a.reserve(n);
+      std::set<std::uint64_t> uniq;
+      while (uniq.size() < n) uniq.insert(to_field(rng.next_u64()));
+      a.assign(uniq.begin(), uniq.end());
+      std::vector<std::uint64_t> b(a.begin(), a.end() - static_cast<std::ptrdiff_t>(d));
+
+      // Raw fingerprints: 8 B per packet.
+      const std::size_t raw_bytes = 8 * n;
+
+      // Bloom: sized at ~10 bits/element, 4 hashes.
+      BloomFilter fa(n * 10, 4);
+      BloomFilter fb(n * 10, 4);
+      for (auto v : a) fa.insert(v);
+      for (auto v : b) fb.insert(v);
+      const auto est = BloomFilter::estimate_symmetric_difference(fa, fb);
+      const double bloom_err =
+          est ? std::abs(*est - static_cast<double>(d)) : static_cast<double>(d);
+
+      // Reconciliation: d + 4 evaluation points of 8 B each.
+      const auto points = evaluation_points(d + 4);
+      const auto evals = char_poly_evaluations(a, points);
+      const auto result = reconcile(b, evals, a.size(), points, d + 2);
+      const bool exact = result.has_value() && result->only_remote.size() == d &&
+                         result->only_local.empty();
+      const std::size_t recon_bytes = 8 * points.size() + 8;  // evals + count
+
+      std::printf("%-10zu %-6zu | %12zu %12zu %14zu | %8.1f %10s\n", n, d, raw_bytes,
+                  fa.byte_size(), recon_bytes, bloom_err, exact ? "yes" : "NO");
+    }
+  }
+  std::printf("\nExpected shape: reconciliation bytes depend only on d; Bloom is\n"
+              "~1.25 B/packet with estimation error; raw grows 8 B/packet.\n");
+  return 0;
+}

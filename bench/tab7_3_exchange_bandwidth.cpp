@@ -1,0 +1,97 @@
+// Ablation: Pi(k+2) summary-exchange bandwidth under the three mechanisms
+// the dissertation discusses — full fingerprint lists (§2.4.1
+// conservation of content), subsampling (§5.2.1), and Appendix-A set
+// reconciliation — at increasing traffic rates, with a 10%-dropper to
+// confirm detection power is preserved.
+#include <cstdio>
+#include <memory>
+
+#include "attacks/attacks.hpp"
+#include "detection/pik2.hpp"
+#include "tests/detection/test_net.hpp"
+
+using namespace fatih;
+using namespace fatih::detection;
+using util::Duration;
+using util::SimTime;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t bytes = 0;
+  bool detected = false;
+  bool clean_false_positive = false;
+};
+
+Outcome run(double pps, SummaryCompression compression, std::uint32_t sample_keep,
+            bool attack) {
+  testing::LineNet line(6, testing::fast_link(), attack ? 2 : 3);
+  Pik2Config cfg;
+  cfg.clock = RoundClock{SimTime::origin(), Duration::seconds(1)};
+  cfg.k = 1;
+  cfg.collect_settle = Duration::millis(150);
+  cfg.exchange_timeout = Duration::millis(300);
+  cfg.policy = TvPolicy::kContent;
+  cfg.compression = compression;
+  cfg.reconcile_bound = 48;
+  cfg.sample_keep_per_256 = sample_keep;
+  cfg.thresholds.max_lost_packets = 2;
+  cfg.rounds = 6;
+  Pik2Engine engine(line.net, line.keys, *line.paths, line.terminals(), cfg);
+  line.add_cbr(0, 5, 1, pps, SimTime::from_seconds(0.05), SimTime::from_seconds(5.9));
+  engine.start();
+  if (attack) {
+    attacks::FlowMatch match;
+    match.flow_ids = {1};
+    line.net.router(3).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+        match, 0.10, SimTime::from_seconds(2), 13));
+  }
+  line.net.sim().run_until(SimTime::from_seconds(8));
+  Outcome out;
+  out.bytes = engine.exchange_bytes();
+  if (attack) {
+    for (const auto& s : engine.suspicions()) {
+      if (s.segment.contains(3)) out.detected = true;
+    }
+  } else {
+    out.clean_false_positive = !engine.suspicions().empty();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Pi(k+2) exchange bandwidth: full vs sampled vs Bloom vs reconciled ==\n\n");
+  std::printf("%-8s | %-22s | %-22s | %-22s | %-22s\n", "pps", "full fingerprints",
+              "sampled 1/4 (§5.2.1)", "Bloom digest (§2.4.1)", "reconciled (App. A)");
+  std::printf("%-8s | %10s %11s | %10s %11s | %10s %11s | %10s %11s\n", "", "bytes/6rnd",
+              "detects10%", "bytes/6rnd", "detects10%", "bytes/6rnd", "detects10%",
+              "bytes/6rnd", "detects10%");
+  for (double pps : {100.0, 400.0, 1000.0}) {
+    const Outcome full = run(pps, SummaryCompression::kFull, 256, true);
+    const Outcome samp = run(pps, SummaryCompression::kFull, 64, true);
+    const Outcome bloom = run(pps, SummaryCompression::kBloom, 256, true);
+    const Outcome recon = run(pps, SummaryCompression::kReconcile, 256, true);
+    std::printf("%-8.0f | %10llu %11s | %10llu %11s | %10llu %11s | %10llu %11s\n", pps,
+                static_cast<unsigned long long>(full.bytes), full.detected ? "yes" : "NO",
+                static_cast<unsigned long long>(samp.bytes), samp.detected ? "yes" : "NO",
+                static_cast<unsigned long long>(bloom.bytes), bloom.detected ? "yes" : "NO",
+                static_cast<unsigned long long>(recon.bytes), recon.detected ? "yes" : "NO");
+  }
+  // Clean-run sanity: no mechanism may false-positive.
+  bool any_fp = false;
+  for (double pps : {100.0, 1000.0}) {
+    any_fp |= run(pps, SummaryCompression::kFull, 256, false).clean_false_positive;
+    any_fp |= run(pps, SummaryCompression::kFull, 64, false).clean_false_positive;
+    any_fp |= run(pps, SummaryCompression::kBloom, 256, false).clean_false_positive;
+    any_fp |= run(pps, SummaryCompression::kReconcile, 256, false).clean_false_positive;
+  }
+  std::printf("\nclean-run false positives across all mechanisms: %s\n",
+              any_fp ? "SOME (unexpected)" : "none");
+  std::printf("Expected shape: full summaries grow linearly with the rate;\n"
+              "sampling divides by the sampling factor; Bloom costs ~1.25 B per\n"
+              "packet (approximate diff); reconciliation is flat (O(d) per segment\n"
+              "per round) — Appendix A's bandwidth optimality inside the protocol.\n");
+  return 0;
+}

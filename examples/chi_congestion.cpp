@@ -1,0 +1,100 @@
+// Protocol chi in one sitting: congestion is not malice.
+//
+// A bottleneck queue is pushed into genuine congestive loss by bursty
+// traffic while chi validates it. Then a compromised router starts
+// dropping a victim's packets only when the queue is 90% full — the kind
+// of attack a static loss threshold cannot separate from congestion — and
+// chi flags it within a couple of rounds.
+#include <cstdio>
+
+#include "attacks/attacks.hpp"
+#include "detection/chi.hpp"
+#include "routing/install.hpp"
+#include "traffic/sources.hpp"
+
+using namespace fatih;
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+int main() {
+  std::printf("-- Protocol chi: telling malice from congestion --\n\n");
+
+  sim::Network net(17);
+  crypto::KeyRegistry keys(5);
+  const NodeId s1 = net.add_router("s1").id();
+  const NodeId s2 = net.add_router("s2").id();
+  const NodeId r = net.add_router("r").id();
+  const NodeId rd = net.add_router("rd").id();
+  sim::LinkConfig edge;
+  edge.bandwidth_bps = 1e8;
+  edge.delay = Duration::millis(1);
+  sim::LinkConfig core;
+  core.bandwidth_bps = 1e7;  // the bottleneck
+  core.delay = Duration::millis(2);
+  core.queue_limit_bytes = 50000;
+  net.connect(s1, r, edge);
+  net.connect(s2, r, edge);
+  net.connect(r, rd, core);
+  auto tables = std::make_shared<routing::RoutingTables>(routing::Topology::from_network(net));
+  routing::install_static_routes(net, *tables);
+  detection::PathCache paths(tables);
+  for (NodeId n : {s1, s2, r, rd}) {
+    net.router(n).set_processing_delay(Duration::micros(20), Duration::micros(50));
+  }
+
+  // Victim flow + bursty background that overflows the bottleneck.
+  traffic::CbrSource::Config c;
+  c.src = s1;
+  c.dst = rd;
+  c.flow_id = 1;
+  c.rate_pps = 500;
+  c.start = SimTime::from_seconds(0.05);
+  c.stop = SimTime::from_seconds(19.5);
+  traffic::CbrSource victim(net, c);
+  traffic::OnOffSource::Config o;
+  o.src = s2;
+  o.dst = rd;
+  o.flow_id = 2;
+  o.on_rate_pps = 1300;
+  o.mean_on = Duration::millis(150);
+  o.mean_off = Duration::millis(250);
+  o.start = SimTime::from_seconds(0.05);
+  o.stop = SimTime::from_seconds(19.5);
+  traffic::OnOffSource bursts(net, o);
+
+  detection::ChiConfig cfg;
+  cfg.clock = detection::RoundClock{SimTime::origin(), Duration::seconds(1)};
+  cfg.learning_rounds = 3;
+  cfg.rounds = 20;
+  detection::QueueValidator validator(net, keys, paths, r, rd, cfg);
+  validator.set_suspicion_handler([](const detection::Suspicion& s) {
+    std::printf("  !! %s\n", s.to_string().c_str());
+  });
+  validator.start();
+
+  // The attack begins at t=10s: drop the victim only when queue >= 90%.
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  net.router(r).set_forward_filter(std::make_shared<attacks::QueueThresholdDropAttack>(
+      match, 0.9, 1.0, SimTime::from_seconds(10), 3));
+  std::printf("rounds 0-2: calibration; rounds 3-9: clean congestion;\n");
+  std::printf("round 10+: r drops victim packets whenever its queue is 90%% full\n\n");
+
+  net.sim().run_until(SimTime::from_seconds(22));
+
+  std::printf("\nround-by-round: drops seen / explained as congestive / suspicious\n");
+  for (const auto& rs : validator.rounds()) {
+    std::printf("  round %2lld: %4llu / %4llu / %4llu %s\n",
+                static_cast<long long>(rs.round),
+                static_cast<unsigned long long>(rs.drops),
+                static_cast<unsigned long long>(rs.congestive),
+                static_cast<unsigned long long>(rs.suspicious),
+                rs.alarmed ? "<- ALARM" : "");
+  }
+  std::printf("\ncalibrated noise: mu=%.0fB sigma=%.0fB; a static threshold would\n",
+              validator.mu(), validator.sigma());
+  std::printf("have to tolerate the hundreds of congestive drops above — and would\n");
+  std::printf("then miss this attack entirely (see bench/fig6_10_chi_vs_threshold).\n");
+  return 0;
+}

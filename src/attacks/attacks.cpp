@@ -1,0 +1,160 @@
+#include "attacks/attacks.hpp"
+
+#include <algorithm>
+
+namespace fatih::attacks {
+
+bool FlowMatch::matches(const sim::Packet& p) const {
+  if (!include_control && p.is_control()) return false;
+  if (src && p.hdr.src != *src) return false;
+  if (dst && p.hdr.dst != *dst) return false;
+  if (syn_only) {
+    if (p.hdr.proto != sim::Protocol::kTcp) return false;
+    if ((p.hdr.flags & sim::kFlagSyn) == 0 || (p.hdr.flags & sim::kFlagAck) != 0) return false;
+  }
+  if (!flow_ids.empty() &&
+      std::find(flow_ids.begin(), flow_ids.end(), p.hdr.flow_id) == flow_ids.end()) {
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ RateDrop
+
+RateDropAttack::RateDropAttack(FlowMatch match, double fraction, util::SimTime active_from,
+                               std::uint64_t seed)
+    : match_(std::move(match)), fraction_(fraction), active_from_(active_from), rng_(seed) {}
+
+sim::ForwardDecision RateDropAttack::on_forward(const sim::Packet& p, util::NodeId /*prev*/,
+                                                const sim::Interface& /*out*/,
+                                                sim::Router& router) {
+  if (router.sim().now() < active_from_) return sim::ForwardDecision::forward();
+  if (match_.matches(p) && rng_.bernoulli(fraction_)) return sim::ForwardDecision::drop();
+  return sim::ForwardDecision::forward();
+}
+
+// --------------------------------------------------- QueueThresholdDrop
+
+QueueThresholdDropAttack::QueueThresholdDropAttack(FlowMatch match, double fill_threshold,
+                                                   double fraction, util::SimTime active_from,
+                                                   std::uint64_t seed)
+    : match_(std::move(match)),
+      fill_threshold_(fill_threshold),
+      fraction_(fraction),
+      active_from_(active_from),
+      rng_(seed) {}
+
+sim::ForwardDecision QueueThresholdDropAttack::on_forward(const sim::Packet& p,
+                                                          util::NodeId /*prev*/,
+                                                          const sim::Interface& out,
+                                                          sim::Router& router) {
+  if (router.sim().now() < active_from_) return sim::ForwardDecision::forward();
+  if (out.fill_fraction() < fill_threshold_) return sim::ForwardDecision::forward();
+  if (match_.matches(p) && rng_.bernoulli(fraction_)) return sim::ForwardDecision::drop();
+  return sim::ForwardDecision::forward();
+}
+
+// ------------------------------------------------ RedAvgThresholdDrop
+
+RedAvgThresholdDropAttack::RedAvgThresholdDropAttack(FlowMatch match, double avg_threshold_bytes,
+                                                     double fraction, util::SimTime active_from,
+                                                     std::uint64_t seed)
+    : match_(std::move(match)),
+      avg_threshold_bytes_(avg_threshold_bytes),
+      fraction_(fraction),
+      active_from_(active_from),
+      rng_(seed) {}
+
+sim::ForwardDecision RedAvgThresholdDropAttack::on_forward(const sim::Packet& p,
+                                                           util::NodeId /*prev*/,
+                                                           const sim::Interface& out,
+                                                           sim::Router& router) {
+  if (router.sim().now() < active_from_) return sim::ForwardDecision::forward();
+  const auto* red = dynamic_cast<const sim::RedQueue*>(&out.queue());
+  if (red == nullptr || red->average_queue() < avg_threshold_bytes_) {
+    return sim::ForwardDecision::forward();
+  }
+  if (match_.matches(p) && rng_.bernoulli(fraction_)) return sim::ForwardDecision::drop();
+  return sim::ForwardDecision::forward();
+}
+
+// --------------------------------------------------------- Modification
+
+ModificationAttack::ModificationAttack(FlowMatch match, double fraction,
+                                       util::SimTime active_from, std::uint64_t seed)
+    : match_(std::move(match)), fraction_(fraction), active_from_(active_from), rng_(seed) {}
+
+sim::ForwardDecision ModificationAttack::on_forward(const sim::Packet& p, util::NodeId /*prev*/,
+                                                    const sim::Interface& /*out*/,
+                                                    sim::Router& router) {
+  if (router.sim().now() < active_from_) return sim::ForwardDecision::forward();
+  if (!match_.matches(p) || !rng_.bernoulli(fraction_)) return sim::ForwardDecision::forward();
+  sim::ForwardDecision d;
+  sim::Packet tampered = p;
+  tampered.payload_tag = rng_.next_u64();  // different bytes on the wire
+  d.replacement = tampered;
+  return d;
+}
+
+// -------------------------------------------------------------- Reorder
+
+ReorderAttack::ReorderAttack(FlowMatch match, double fraction, util::Duration delay,
+                             util::SimTime active_from, std::uint64_t seed)
+    : match_(std::move(match)),
+      fraction_(fraction),
+      delay_(delay),
+      active_from_(active_from),
+      rng_(seed) {}
+
+sim::ForwardDecision ReorderAttack::on_forward(const sim::Packet& p, util::NodeId /*prev*/,
+                                               const sim::Interface& /*out*/,
+                                               sim::Router& router) {
+  if (router.sim().now() < active_from_) return sim::ForwardDecision::forward();
+  if (!match_.matches(p) || !rng_.bernoulli(fraction_)) return sim::ForwardDecision::forward();
+  sim::ForwardDecision d;
+  d.extra_delay = delay_;
+  return d;
+}
+
+// ------------------------------------------------------------- Misroute
+
+MisrouteAttack::MisrouteAttack(FlowMatch match, double fraction, std::size_t wrong_iface,
+                               util::SimTime active_from, std::uint64_t seed)
+    : match_(std::move(match)),
+      fraction_(fraction),
+      wrong_iface_(wrong_iface),
+      active_from_(active_from),
+      rng_(seed) {}
+
+sim::ForwardDecision MisrouteAttack::on_forward(const sim::Packet& p, util::NodeId /*prev*/,
+                                                const sim::Interface& out, sim::Router& router) {
+  if (router.sim().now() < active_from_) return sim::ForwardDecision::forward();
+  if (!match_.matches(p) || !rng_.bernoulli(fraction_)) return sim::ForwardDecision::forward();
+  if (out.index() == wrong_iface_) return sim::ForwardDecision::forward();
+  sim::ForwardDecision d;
+  d.iface_override = wrong_iface_;
+  return d;
+}
+
+// ---------------------------------------------------------- Fabrication
+
+FabricationAttack::FabricationAttack(sim::Network& net, Config config)
+    : net_(net), config_(config) {
+  net_.sim().schedule_at(config_.start, [this] { tick(); });
+}
+
+void FabricationAttack::tick() {
+  if (net_.sim().now() >= config_.stop) return;
+  sim::PacketHeader hdr;
+  hdr.src = config_.forged_src;
+  hdr.dst = config_.dst;
+  hdr.flow_id = config_.flow_id;
+  hdr.seq = seq_++;
+  hdr.proto = sim::Protocol::kUdp;
+  sim::Packet p = net_.make_packet(hdr, config_.payload_bytes);
+  net_.router(config_.at).originate(p);
+  net_.sim().schedule_in(util::Duration::from_seconds(1.0 / config_.rate_pps),
+                         [this] { tick(); });
+}
+
+}  // namespace fatih::attacks

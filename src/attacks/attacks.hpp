@@ -1,0 +1,167 @@
+// Adversary library (dissertation §2.2.1 threat model).
+//
+// Attacks install as ForwardFilters on compromised routers and implement
+// the five data-plane threat classes — packet loss, fabrication,
+// modification, reordering, delay — plus misrouting, in the flavors the
+// evaluation chapters use:
+//   * unconditional / probabilistic drops of selected flows (Fig. 6.6),
+//   * drops gated on instantaneous queue occupancy (Figs. 6.7/6.8),
+//   * drops gated on the RED average queue size (Figs. 6.12-6.15),
+//   * SYN-targeted connection-killing drops (Figs. 6.9/6.16),
+//   * payload modification, reordering-by-delay, misrouting, and
+//     fabrication (Pi2/Pi(k+2) threat coverage).
+// All attacks are inert before `active_from`, so experiments can establish
+// clean baselines and calibration periods first.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/red.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace fatih::attacks {
+
+/// Which packets an attack targets.
+struct FlowMatch {
+  /// Empty = any flow id.
+  std::vector<std::uint32_t> flow_ids;
+  std::optional<util::NodeId> src;
+  std::optional<util::NodeId> dst;
+  bool syn_only = false;       ///< TCP SYN packets only
+  bool include_control = false;  ///< also target protocol control traffic
+
+  [[nodiscard]] bool matches(const sim::Packet& p) const;
+};
+
+/// Drops a fraction of matching packets (Fig. 6.6: "drop 20% of the
+/// selected flows"; fraction 1.0 = drop all).
+class RateDropAttack final : public sim::ForwardFilter {
+ public:
+  RateDropAttack(FlowMatch match, double fraction, util::SimTime active_from,
+                 std::uint64_t seed);
+  sim::ForwardDecision on_forward(const sim::Packet& p, util::NodeId prev,
+                                  const sim::Interface& out, sim::Router& router) override;
+
+ private:
+  FlowMatch match_;
+  double fraction_;
+  util::SimTime active_from_;
+  util::Rng rng_;
+};
+
+/// Drops matching packets only while the output queue is at least
+/// `fill_threshold` full (Figs. 6.7/6.8: blend malicious drops into
+/// moments when congestion is plausible).
+class QueueThresholdDropAttack final : public sim::ForwardFilter {
+ public:
+  QueueThresholdDropAttack(FlowMatch match, double fill_threshold, double fraction,
+                           util::SimTime active_from, std::uint64_t seed);
+  sim::ForwardDecision on_forward(const sim::Packet& p, util::NodeId prev,
+                                  const sim::Interface& out, sim::Router& router) override;
+
+ private:
+  FlowMatch match_;
+  double fill_threshold_;
+  double fraction_;
+  util::SimTime active_from_;
+  util::Rng rng_;
+};
+
+/// Drops matching packets while the RED average queue size exceeds
+/// `avg_threshold_bytes` (Figs. 6.12-6.15). Requires the output queue to
+/// be a RedQueue.
+class RedAvgThresholdDropAttack final : public sim::ForwardFilter {
+ public:
+  RedAvgThresholdDropAttack(FlowMatch match, double avg_threshold_bytes, double fraction,
+                            util::SimTime active_from, std::uint64_t seed);
+  sim::ForwardDecision on_forward(const sim::Packet& p, util::NodeId prev,
+                                  const sim::Interface& out, sim::Router& router) override;
+
+ private:
+  FlowMatch match_;
+  double avg_threshold_bytes_;
+  double fraction_;
+  util::SimTime active_from_;
+  util::Rng rng_;
+};
+
+/// Replaces the payload of a fraction of matching packets (content
+/// modification; detected by conservation-of-content TV).
+class ModificationAttack final : public sim::ForwardFilter {
+ public:
+  ModificationAttack(FlowMatch match, double fraction, util::SimTime active_from,
+                     std::uint64_t seed);
+  sim::ForwardDecision on_forward(const sim::Packet& p, util::NodeId prev,
+                                  const sim::Interface& out, sim::Router& router) override;
+
+ private:
+  FlowMatch match_;
+  double fraction_;
+  util::SimTime active_from_;
+  util::Rng rng_;
+};
+
+/// Holds back a fraction of matching packets by `delay`, reordering them
+/// past later traffic (conservation-of-order threat).
+class ReorderAttack final : public sim::ForwardFilter {
+ public:
+  ReorderAttack(FlowMatch match, double fraction, util::Duration delay,
+                util::SimTime active_from, std::uint64_t seed);
+  sim::ForwardDecision on_forward(const sim::Packet& p, util::NodeId prev,
+                                  const sim::Interface& out, sim::Router& router) override;
+
+ private:
+  FlowMatch match_;
+  double fraction_;
+  util::Duration delay_;
+  util::SimTime active_from_;
+  util::Rng rng_;
+};
+
+/// Diverts a fraction of matching packets out a wrong interface.
+class MisrouteAttack final : public sim::ForwardFilter {
+ public:
+  MisrouteAttack(FlowMatch match, double fraction, std::size_t wrong_iface,
+                 util::SimTime active_from, std::uint64_t seed);
+  sim::ForwardDecision on_forward(const sim::Packet& p, util::NodeId prev,
+                                  const sim::Interface& out, sim::Router& router) override;
+
+ private:
+  FlowMatch match_;
+  double fraction_;
+  std::size_t wrong_iface_;
+  util::SimTime active_from_;
+  util::Rng rng_;
+};
+
+/// Active injector: fabricates packets claiming a forged source so they
+/// masquerade as transit traffic (packet-fabrication threat).
+class FabricationAttack {
+ public:
+  struct Config {
+    util::NodeId at = util::kInvalidNode;       ///< compromised router
+    util::NodeId forged_src = util::kInvalidNode;
+    util::NodeId dst = util::kInvalidNode;
+    std::uint32_t flow_id = 9999;
+    std::uint32_t payload_bytes = 960;
+    double rate_pps = 50.0;
+    util::SimTime start;
+    util::SimTime stop = util::SimTime::infinity();
+  };
+
+  FabricationAttack(sim::Network& net, Config config);
+
+ private:
+  void tick();
+
+  sim::Network& net_;
+  Config config_;
+  std::uint32_t seq_ = 1'000'000;  ///< clearly out-of-band sequence space
+};
+
+}  // namespace fatih::attacks

@@ -1,0 +1,27 @@
+#include "crypto/hash_chain.hpp"
+
+namespace fatih::crypto {
+
+namespace {
+constexpr SipKey kChainKey{0x4841534843484149ULL, 0x4F4E455741594648ULL};
+}  // namespace
+
+HashChain::HashChain(std::uint64_t seed, std::size_t length) {
+  values_.resize(length + 1);
+  values_[length] = seed;
+  for (std::size_t i = length; i > 0; --i) {
+    values_[i - 1] = step(values_[i]);
+  }
+}
+
+std::uint64_t HashChain::step(std::uint64_t value) {
+  return siphash24(kChainKey, &value, sizeof(value));
+}
+
+bool HashChain::verify(std::uint64_t anchor, std::uint64_t value, std::size_t position) {
+  std::uint64_t v = value;
+  for (std::size_t i = 0; i < position; ++i) v = step(v);
+  return v == anchor;
+}
+
+}  // namespace fatih::crypto

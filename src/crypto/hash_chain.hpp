@@ -1,0 +1,46 @@
+// One-way hash chains (Lamport), as referenced in dissertation §2.1.5 as a
+// cryptographic tool (e.g. TESLA-style delayed key disclosure).
+//
+// A chain is built backwards from a random tail: h_n = seed,
+// h_{i} = H(h_{i+1}). The anchor h_0 is published; revealing h_i later
+// proves knowledge of the chain up to position i, because any verifier can
+// iterate H and compare with the anchor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/siphash.hpp"
+
+namespace fatih::crypto {
+
+/// Pre-computed one-way hash chain of fixed length.
+class HashChain {
+ public:
+  /// Builds a chain of `length + 1` values (positions 0..length) from a
+  /// secret seed. Position 0 is the public anchor.
+  HashChain(std::uint64_t seed, std::size_t length);
+
+  [[nodiscard]] std::size_t length() const { return values_.size() - 1; }
+
+  /// The public anchor h_0.
+  [[nodiscard]] std::uint64_t anchor() const { return values_.front(); }
+
+  /// Reveals the value at `position` (1-based release order; position 0 is
+  /// the anchor itself). Precondition: position <= length().
+  [[nodiscard]] std::uint64_t value_at(std::size_t position) const { return values_.at(position); }
+
+  /// One application of the chain's one-way function.
+  [[nodiscard]] static std::uint64_t step(std::uint64_t value);
+
+  /// Verifies that `value` is the chain element at `position` for a chain
+  /// anchored at `anchor`: iterates `step` `position` times.
+  [[nodiscard]] static bool verify(std::uint64_t anchor, std::uint64_t value,
+                                   std::size_t position);
+
+ private:
+  std::vector<std::uint64_t> values_;  // values_[i] = h_i
+};
+
+}  // namespace fatih::crypto

@@ -1,0 +1,42 @@
+#include "crypto/keys.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace fatih::crypto {
+
+namespace {
+
+// Domain-separation tags for the different key families.
+constexpr std::uint64_t kPairwiseTag = 0x5041495257495345ULL;     // "PAIRWISE"
+constexpr std::uint64_t kSigningTag = 0x5349474E4B455931ULL;      // "SIGNKEY1"
+constexpr std::uint64_t kFingerprintTag = 0x4650224B45593221ULL;  // fp key tag
+
+SipKey derive(std::uint64_t master, std::uint64_t tag, std::uint64_t a, std::uint64_t b) {
+  const SipKey root{master, tag};
+  const std::array<std::uint64_t, 2> material{a, b};
+  const std::uint64_t k0 = siphash24(root, material.data(), sizeof(material));
+  const SipKey root2{master ^ 0x9E3779B97F4A7C15ULL, tag};
+  const std::uint64_t k1 = siphash24(root2, material.data(), sizeof(material));
+  return SipKey{k0, k1};
+}
+
+}  // namespace
+
+SipKey KeyRegistry::pairwise_key(util::NodeId a, util::NodeId b) const {
+  const auto lo = std::min(a, b);
+  const auto hi = std::max(a, b);
+  return derive(master_seed_, kPairwiseTag, lo, hi);
+}
+
+SipKey KeyRegistry::signing_key(util::NodeId r) const {
+  return derive(master_seed_, kSigningTag, r, 0);
+}
+
+SipKey KeyRegistry::fingerprint_key(util::NodeId r, util::NodeId peer) const {
+  const auto lo = std::min(r, peer);
+  const auto hi = std::max(r, peer);
+  return derive(master_seed_, kFingerprintTag, lo, hi);
+}
+
+}  // namespace fatih::crypto

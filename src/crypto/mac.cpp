@@ -1,0 +1,36 @@
+#include "crypto/mac.hpp"
+
+namespace fatih::crypto {
+
+MacTag compute_mac(SipKey key, std::span<const std::byte> data) {
+  // Two-pass keyed hash (HMAC-style inner/outer) to harden against
+  // extension-style mischief; SipHash itself is already a PRF, so this is
+  // belt-and-braces.
+  const std::uint64_t inner = siphash24(key, data);
+  const SipKey outer_key{key.k0 ^ 0x5C5C5C5C5C5C5C5CULL, key.k1 ^ 0x3636363636363636ULL};
+  return siphash24(outer_key, &inner, sizeof(inner));
+}
+
+SignedEnvelope sign(const KeyRegistry& reg, util::NodeId signer, std::vector<std::byte> payload) {
+  SignedEnvelope env;
+  env.signer = signer;
+  env.payload = std::move(payload);
+  // Bind the signer identity into the tag so an envelope cannot be re-attributed.
+  std::vector<std::byte> bound;
+  bound.reserve(env.payload.size() + sizeof(signer));
+  append_bytes(bound, signer);
+  bound.insert(bound.end(), env.payload.begin(), env.payload.end());
+  env.tag = compute_mac(reg.signing_key(signer), bound);
+  return env;
+}
+
+bool verify(const KeyRegistry& reg, const SignedEnvelope& env) {
+  if (env.signer == util::kInvalidNode) return false;
+  std::vector<std::byte> bound;
+  bound.reserve(env.payload.size() + sizeof(env.signer));
+  append_bytes(bound, env.signer);
+  bound.insert(bound.end(), env.payload.begin(), env.payload.end());
+  return compute_mac(reg.signing_key(env.signer), bound) == env.tag;
+}
+
+}  // namespace fatih::crypto

@@ -1,0 +1,31 @@
+// SipHash-2-4: keyed 64-bit pseudo-random function (Aumasson & Bernstein),
+// implemented from scratch.
+//
+// The detection protocols fingerprint every forwarded packet with a keyed
+// one-way function (dissertation §2.1.5 uses UHASH; any keyed PRF with the
+// same interface works). SipHash gives us a compact, fast, well-studied
+// keyed hash without external dependencies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fatih::crypto {
+
+/// A 128-bit SipHash key.
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  constexpr bool operator==(const SipKey&) const = default;
+};
+
+/// Computes SipHash-2-4 of `data` under `key`.
+[[nodiscard]] std::uint64_t siphash24(SipKey key, std::span<const std::byte> data);
+
+/// Convenience overload for raw buffers.
+[[nodiscard]] std::uint64_t siphash24(SipKey key, const void* data, std::size_t len);
+
+}  // namespace fatih::crypto

@@ -1,0 +1,60 @@
+// Robust flooding of detection payloads (Perlman-style, §3.7; the
+// dissertation's Pi2 relies on consensus over signed values, which with a
+// signature infrastructure and the good-path condition reduces to robust
+// flooding of signed messages: every correct router receives every correct
+// router's signed summary, and equivocation by a faulty router is
+// detectable because two conflicting signed values for the same key both
+// circulate).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/types.hpp"
+
+namespace fatih::detection {
+
+/// Floods control payloads to every router; delivery callbacks fire at
+/// each correct router as copies arrive. A compromised router can be told
+/// to suppress re-flooding (protocol-faulty behavior); the good-path
+/// condition keeps dissemination alive regardless.
+class FloodService {
+ public:
+  /// `kind` selects which control payloads this service owns.
+  FloodService(sim::Network& net, std::uint16_t kind);
+
+  /// Deduplication key: payloads with equal keys are flooded once.
+  using KeyFn = std::function<std::uint64_t(const sim::ControlPayload&)>;
+  void set_key_fn(KeyFn fn) { key_fn_ = std::move(fn); }
+
+  /// Called at router `at` whenever a new (non-duplicate) payload arrives.
+  using DeliveryFn =
+      std::function<void(util::NodeId at, const sim::ControlPayload&, util::SimTime)>;
+  void set_delivery_fn(DeliveryFn fn) { delivery_fn_ = std::move(fn); }
+
+  /// Originates a flood at `from`.
+  void originate(util::NodeId from, std::shared_ptr<const sim::ControlPayload> payload,
+                 std::uint32_t wire_bytes);
+
+  /// Makes `r` stop re-flooding (protocol-faulty suppression). It still
+  /// receives payloads addressed to it.
+  void suppress_at(util::NodeId r) { suppressed_.insert(r); }
+
+ private:
+  void on_control(util::NodeId at, const sim::Packet& p, util::NodeId prev);
+  void forward_copies(util::NodeId at, std::shared_ptr<const sim::ControlPayload> payload,
+                      std::uint32_t bytes, util::NodeId except_peer);
+
+  sim::Network& net_;
+  std::uint16_t kind_;
+  KeyFn key_fn_;
+  DeliveryFn delivery_fn_;
+  std::set<util::NodeId> suppressed_;
+  std::vector<std::set<std::uint64_t>> seen_;  // per node
+};
+
+}  // namespace fatih::detection

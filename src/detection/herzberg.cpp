@@ -1,0 +1,278 @@
+#include "detection/herzberg.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace fatih::detection {
+
+namespace {
+
+struct HerzbergAckPayload final : sim::ControlPayload {
+  std::uint64_t path_tag = 0;
+  validation::Fingerprint fp = 0;
+  std::uint32_t from_position = 0;
+  [[nodiscard]] std::uint16_t kind() const override { return kKindHerzbergAck; }
+};
+
+struct HerzbergFaultPayload final : sim::ControlPayload {
+  std::uint64_t path_tag = 0;
+  validation::Fingerprint fp = 0;
+  [[nodiscard]] std::uint16_t kind() const override { return kKindHerzbergFault; }
+};
+
+std::uint64_t tag_of(const routing::Path& path, std::uint32_t flow) {
+  constexpr crypto::SipKey kTagKey{0x4845525A42455247ULL, 0x5041544854414721ULL};
+  std::vector<std::uint32_t> material(path.begin(), path.end());
+  material.push_back(flow);
+  return crypto::siphash24(kTagKey, material.data(), material.size() * sizeof(std::uint32_t));
+}
+
+constexpr std::uint32_t kAckBytes = 24;
+
+}  // namespace
+
+HerzbergDetector::HerzbergDetector(sim::Network& net, const crypto::KeyRegistry& keys,
+                                   routing::Path path, HerzbergConfig config)
+    : net_(net),
+      keys_(keys),
+      path_(std::move(path)),
+      config_(config),
+      fp_key_(keys.fingerprint_key(path_.front(), path_.back())),
+      path_tag_(tag_of(path_, config.flow_id)),
+      watches_(path_.size()) {
+  const std::size_t last = path_.size() - 1;
+
+  for (std::size_t i = 0; i < path_.size(); ++i) {
+    auto& router = net_.router(path_[i]);
+    const std::size_t pos = i;
+
+    if (i < last) {
+      // Forwarding observer: data packet of the monitored flow heading to
+      // the next router on the path.
+      router.add_forward_tap([this, pos](const sim::Packet& p, util::NodeId,
+                                         std::size_t out_iface, util::SimTime) {
+        if (p.is_control() || p.hdr.flow_id != config_.flow_id) return;
+        if (net_.router(path_[pos]).interface(out_iface).peer() != path_[pos + 1]) return;
+        on_forward(pos, p);
+      });
+    } else {
+      router.add_receive_tap([this](const sim::Packet& p, util::NodeId prev, util::SimTime) {
+        if (p.is_control() || p.hdr.flow_id != config_.flow_id) return;
+        if (prev != path_[path_.size() - 2]) return;
+        on_sink_receive(p);
+      });
+    }
+    if (config_.mode == HerzbergConfig::Mode::kCheckpoint && i > 0 && i < last &&
+        is_checkpoint(i)) {
+      // Interior checkpoints ack to the previous checkpoint when they
+      // FORWARD the packet (an ack means "it moved on", so a checkpoint
+      // that drops traffic cannot clear its own segment by acking receipt).
+      router.add_forward_tap([this, pos](const sim::Packet& p, util::NodeId,
+                                         std::size_t out_iface, util::SimTime) {
+        if (p.is_control() || p.hdr.flow_id != config_.flow_id) return;
+        if (net_.router(path_[pos]).interface(out_iface).peer() != path_[pos + 1]) return;
+        const auto fp = validation::packet_fingerprint(fp_key_, p);
+        send_ack(pos, fp, previous_checkpoint(pos));
+      });
+    }
+
+    // Control visibility: every path router inspects acks and fault
+    // announcements passing through or terminating at it.
+    router.add_receive_tap([this, pos](const sim::Packet& p, util::NodeId, util::SimTime) {
+      if (p.control == nullptr) return;
+      if (p.control->kind() == kKindHerzbergAck) {
+        const auto& ack = static_cast<const HerzbergAckPayload&>(*p.control);
+        if (ack.path_tag == path_tag_) on_ack_seen(pos, ack.fp, ack.from_position);
+      } else if (p.control->kind() == kKindHerzbergFault) {
+        const auto& fault = static_cast<const HerzbergFaultPayload&>(*p.control);
+        if (fault.path_tag != path_tag_) return;
+        // A downstream router already announced; stand down.
+        auto& table = watches_[pos];
+        if (auto it = table.find(fault.fp); it != table.end()) {
+          if (it->second.armed) net_.sim().cancel(it->second.timer);
+          table.erase(it);
+        }
+      }
+    });
+  }
+}
+
+bool HerzbergDetector::is_checkpoint(std::size_t position) const {
+  if (position == 0 || position + 1 == path_.size()) return true;
+  return position % config_.checkpoint_spacing == 0;
+}
+
+std::size_t HerzbergDetector::previous_checkpoint(std::size_t position) const {
+  for (std::size_t i = position; i-- > 0;) {
+    if (is_checkpoint(i)) return i;
+  }
+  return 0;
+}
+
+std::size_t HerzbergDetector::next_checkpoint(std::size_t position) const {
+  const std::size_t last = path_.size() - 1;
+  for (std::size_t j = position + 1; j < last; ++j) {
+    if (is_checkpoint(j)) return j;
+  }
+  return last;
+}
+
+void HerzbergDetector::on_forward(std::size_t position, const sim::Packet& p) {
+  const auto fp = validation::packet_fingerprint(fp_key_, p);
+  if (position == 0) ++data_seen_;
+
+  const std::size_t last = path_.size() - 1;
+  bool arm = false;
+  util::Duration timeout;
+  switch (config_.mode) {
+    case HerzbergConfig::Mode::kEndToEnd:
+      // The ack must travel to the sink and back past this router.
+      arm = true;
+      timeout = config_.per_hop_bound * static_cast<std::int64_t>(2 * (last - position) + 1);
+      break;
+    case HerzbergConfig::Mode::kHopByHop:
+      // Only the source arms a timer; everyone else just acks.
+      if (position != 0) {
+        send_ack(position, fp, 0);
+        return;
+      }
+      arm = true;
+      timeout = config_.per_hop_bound * static_cast<std::int64_t>(2 * last + 1);
+      break;
+    case HerzbergConfig::Mode::kCheckpoint:
+      if (!is_checkpoint(position)) return;
+      arm = true;
+      timeout = config_.per_hop_bound *
+                static_cast<std::int64_t>(2 * (next_checkpoint(position) - position) + 1);
+      break;
+  }
+  if (!arm) return;
+
+  Watch watch;
+  watch.armed = true;
+  watch.timer =
+      net_.sim().schedule_in(timeout, [this, position, fp] { on_timeout(position, fp); });
+  watches_[position][fp] = watch;
+}
+
+void HerzbergDetector::on_sink_receive(const sim::Packet& p) {
+  const auto fp = validation::packet_fingerprint(fp_key_, p);
+  const std::size_t last = path_.size() - 1;
+  if (config_.mode == HerzbergConfig::Mode::kCheckpoint) {
+    send_ack(last, fp, previous_checkpoint(last));
+  } else {
+    send_ack(last, fp, 0);
+  }
+}
+
+void HerzbergDetector::send_back(std::size_t from, std::size_t to,
+                                 std::shared_ptr<const sim::ControlPayload> payload) {
+  sim::PacketHeader hdr;
+  hdr.src = path_[from];
+  hdr.dst = path_[to];
+  hdr.proto = sim::Protocol::kControl;
+  sim::Packet p = net_.make_packet(hdr, kAckBytes);
+  p.control = std::move(payload);
+  // Travel back along the monitored path itself: acks share fate with the
+  // path, like the data.
+  std::vector<util::NodeId> hops;
+  for (std::size_t i = from + 1; i-- > to;) hops.push_back(path_[i]);
+  p.source_route = std::make_shared<const std::vector<util::NodeId>>(std::move(hops));
+  net_.router(path_[from]).originate(p);
+}
+
+void HerzbergDetector::send_ack(std::size_t from_position, validation::Fingerprint fp,
+                                std::size_t to_position) {
+  ++acks_sent_;
+  auto payload = std::make_shared<HerzbergAckPayload>();
+  payload->path_tag = path_tag_;
+  payload->fp = fp;
+  payload->from_position = static_cast<std::uint32_t>(from_position);
+  send_back(from_position, to_position, std::move(payload));
+}
+
+void HerzbergDetector::send_fault_announcement(std::size_t position,
+                                               validation::Fingerprint fp) {
+  auto payload = std::make_shared<HerzbergFaultPayload>();
+  payload->path_tag = path_tag_;
+  payload->fp = fp;
+  send_back(position, 0, std::move(payload));
+}
+
+void HerzbergDetector::on_ack_seen(std::size_t position, validation::Fingerprint fp,
+                                   std::size_t from_position) {
+  if (config_.mode == HerzbergConfig::Mode::kHopByHop) {
+    if (position == 0) {
+      hop_acked_[fp].insert(from_position);
+      // The sink's ack completes the packet: disarm and forget.
+      if (from_position + 1 == path_.size()) {
+        auto& table = watches_[0];
+        if (auto it = table.find(fp); it != table.end()) {
+          if (it->second.armed) net_.sim().cancel(it->second.timer);
+          table.erase(it);
+        }
+        hop_acked_.erase(fp);
+      }
+    }
+    return;
+  }
+  // End-to-end / checkpoint: an ack from downstream clears the watch at
+  // every router it passes.
+  auto& table = watches_[position];
+  if (auto it = table.find(fp); it != table.end()) {
+    if (it->second.armed) net_.sim().cancel(it->second.timer);
+    table.erase(it);
+  }
+}
+
+void HerzbergDetector::on_timeout(std::size_t position, validation::Fingerprint fp) {
+  auto& table = watches_[position];
+  auto it = table.find(fp);
+  if (it == table.end()) return;
+  table.erase(it);
+
+  std::size_t boundary = position;
+  const char* cause = "herzberg-e2e-timeout";
+  if (config_.mode == HerzbergConfig::Mode::kHopByHop) {
+    // Deepest contiguous acked prefix locates the loss.
+    std::size_t deepest = 0;
+    if (auto ha = hop_acked_.find(fp); ha != hop_acked_.end()) {
+      while (ha->second.contains(deepest + 1)) ++deepest;
+      hop_acked_.erase(ha);
+    }
+    boundary = deepest;
+    cause = "herzberg-hop-timeout";
+  } else if (config_.mode == HerzbergConfig::Mode::kCheckpoint) {
+    cause = "herzberg-checkpoint-timeout";
+  }
+  suspect_from(boundary, cause);
+  if (config_.mode == HerzbergConfig::Mode::kEndToEnd && position > 0) {
+    send_fault_announcement(position, fp);
+  }
+}
+
+void HerzbergDetector::suspect_from(std::size_t boundary, const char* cause) {
+  const std::size_t last = path_.size() - 1;
+  std::size_t hi = std::min(boundary + 1, last);
+  if (config_.mode == HerzbergConfig::Mode::kCheckpoint) {
+    hi = next_checkpoint(boundary);  // the whole inter-checkpoint segment
+  }
+  if (first_detection_ == util::SimTime::infinity()) first_detection_ = net_.sim().now();
+  // One suspicion per (boundary, second): per-packet alarms would flood.
+  const auto key = std::make_pair(boundary, net_.sim().now().nanos() / 1'000'000'000);
+  if (!suspected_.insert(key).second) return;
+
+  Suspicion s;
+  s.reporter = path_[boundary];
+  s.segment = routing::PathSegment(std::vector<util::NodeId>(
+      path_.begin() + static_cast<std::ptrdiff_t>(boundary),
+      path_.begin() + static_cast<std::ptrdiff_t>(hi) + 1));
+  s.interval = {net_.sim().now() - config_.per_hop_bound * 16, net_.sim().now()};
+  s.cause = cause;
+  util::log(util::LogLevel::kInfo, "herzberg", "%s", s.to_string().c_str());
+  suspicions_.push_back(s);
+  if (handler_) handler_(s);
+}
+
+}  // namespace fatih::detection

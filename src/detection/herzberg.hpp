@@ -1,0 +1,105 @@
+// HERZBERG: early detection of message-forwarding faults (dissertation
+// §3.3; Herzberg & Kutten). Per-packet acknowledgement protocols on a
+// fixed path, in the three variants whose time/message trade-off the
+// dissertation analyzes:
+//
+//   * end-to-end:  the destination acks each packet back along the path;
+//     every router times the ack out against its worst-case round trip to
+//     the destination. One ack message per packet, but detection latency
+//     grows with the remaining path length.
+//   * hop-by-hop:  every router acks every packet straight back to the
+//     source, which locates the fault at the deepest acked hop. Optimal
+//     detection precision and locality, O(path length) messages per packet.
+//   * checkpoint:  only every c-th router (and the sink) acks, to the
+//     previous checkpoint — HERZBERG_optimal's interpolation between the
+//     two extremes.
+//
+// All variants detect packet loss on the monitored flow (the protocol's
+// stated threat model, §2.2.1) with precision 2 for end-to-end and
+// hop-by-hop and precision c+1 for checkpoints, and are weak-complete.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "detection/types.hpp"
+#include "sim/network.hpp"
+#include "validation/fingerprint.hpp"
+
+namespace fatih::detection {
+
+/// Control payload kinds in the 0x21xx range (ack-protocol baselines).
+inline constexpr std::uint16_t kKindHerzbergAck = 0x2101;
+inline constexpr std::uint16_t kKindHerzbergFault = 0x2102;
+
+struct HerzbergConfig {
+  enum class Mode { kEndToEnd, kHopByHop, kCheckpoint };
+  Mode mode = Mode::kEndToEnd;
+  /// Worst-case one-hop latency bound (propagation + transmission +
+  /// processing); timeouts are multiples of it.
+  util::Duration per_hop_bound = util::Duration::millis(5);
+  /// Checkpoint spacing c (kCheckpoint only).
+  std::size_t checkpoint_spacing = 2;
+  /// The flow this instance monitors.
+  std::uint32_t flow_id = 0;
+};
+
+/// One HERZBERG instance: monitors one flow along one fixed path.
+class HerzbergDetector {
+ public:
+  HerzbergDetector(sim::Network& net, const crypto::KeyRegistry& keys, routing::Path path,
+                   HerzbergConfig config);
+  HerzbergDetector(const HerzbergDetector&) = delete;
+  HerzbergDetector& operator=(const HerzbergDetector&) = delete;
+
+  [[nodiscard]] const std::vector<Suspicion>& suspicions() const { return suspicions_; }
+  void set_suspicion_handler(SuspicionHandler h) { handler_ = std::move(h); }
+
+  /// Protocol overhead accounting (for the §3.3 trade-off bench).
+  [[nodiscard]] std::uint64_t data_packets_seen() const { return data_seen_; }
+  [[nodiscard]] std::uint64_t ack_messages_sent() const { return acks_sent_; }
+  /// Time of the first suspicion; SimTime::infinity() if none yet.
+  [[nodiscard]] util::SimTime first_detection_time() const { return first_detection_; }
+
+ private:
+  struct Watch {
+    sim::EventId timer = 0;
+    bool armed = false;
+  };
+
+  void on_forward(std::size_t position, const sim::Packet& p);
+  void on_sink_receive(const sim::Packet& p);
+  void on_ack_seen(std::size_t position, validation::Fingerprint fp, std::size_t from_position);
+  void on_timeout(std::size_t position, validation::Fingerprint fp);
+  void send_ack(std::size_t from_position, validation::Fingerprint fp, std::size_t to_position);
+  void send_fault_announcement(std::size_t position, validation::Fingerprint fp);
+  void suspect_from(std::size_t boundary, const char* cause);
+  [[nodiscard]] bool is_checkpoint(std::size_t position) const;
+  [[nodiscard]] std::size_t previous_checkpoint(std::size_t position) const;
+  [[nodiscard]] std::size_t next_checkpoint(std::size_t position) const;
+  /// Source-routed control packet from path_[from] to path_[to] (to < from).
+  void send_back(std::size_t from, std::size_t to, std::shared_ptr<const sim::ControlPayload> pl);
+
+  sim::Network& net_;
+  const crypto::KeyRegistry& keys_;
+  routing::Path path_;
+  HerzbergConfig config_;
+  crypto::SipKey fp_key_;
+  std::uint64_t path_tag_;
+  // watches_[position][fp] — armed timers per router position.
+  std::vector<std::map<validation::Fingerprint, Watch>> watches_;
+  // Source-side ack bookkeeping for hop-by-hop mode: fp -> acked positions.
+  std::map<validation::Fingerprint, std::set<std::size_t>> hop_acked_;
+  std::uint64_t data_seen_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  util::SimTime first_detection_ = util::SimTime::infinity();
+  std::vector<Suspicion> suspicions_;
+  std::set<std::pair<std::size_t, std::int64_t>> suspected_;  // (boundary, second)
+  SuspicionHandler handler_;
+};
+
+}  // namespace fatih::detection

@@ -1,0 +1,228 @@
+#include "detection/hser.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace fatih::detection {
+
+namespace {
+
+struct HserAckPayload final : sim::ControlPayload {
+  std::uint64_t path_tag = 0;
+  validation::Fingerprint fp = 0;
+  [[nodiscard]] std::uint16_t kind() const override { return kKindHserAck; }
+};
+
+struct HserFaultPayload final : sim::ControlPayload {
+  std::uint64_t path_tag = 0;
+  validation::Fingerprint fp = 0;  ///< the affected packet (cancels timers)
+  std::uint32_t boundary = 0;      ///< announces <boundary, boundary+1>
+  std::uint8_t is_auth = 0;        ///< 1 = MAC failure, 0 = ack timeout
+  [[nodiscard]] std::uint16_t kind() const override { return kKindHserFault; }
+};
+
+std::uint64_t tag_of(const routing::Path& path, std::uint32_t flow) {
+  constexpr crypto::SipKey kTagKey{0x4853455221212121ULL, 0x5041544854414721ULL};
+  std::vector<std::uint32_t> material(path.begin(), path.end());
+  material.push_back(flow);
+  return crypto::siphash24(kTagKey, material.data(), material.size() * sizeof(std::uint32_t));
+}
+
+constexpr std::uint32_t kAckBytes = 24;
+
+}  // namespace
+
+HserDetector::HserDetector(sim::Network& net, const crypto::KeyRegistry& keys,
+                           routing::Path path, HserConfig config)
+    : net_(net),
+      keys_(keys),
+      path_(std::move(path)),
+      config_(config),
+      auth_key_(keys.fingerprint_key(path_.front(), path_.back())),
+      path_tag_(tag_of(path_, config.flow_id)),
+      timers_(path_.size()) {
+  for (std::size_t i = 1; i < path_.size(); ++i) {
+    const std::size_t pos = i;
+    auto& router = net_.router(path_[i]);
+    router.add_receive_tap([this, pos](const sim::Packet& p, util::NodeId prev, util::SimTime) {
+      if (p.is_control()) {
+        // Acks and fault announcements passing back cancel local timers:
+        // whatever they settle is settled for everyone upstream too.
+        if (p.control == nullptr) return;
+        validation::Fingerprint fp = 0;
+        if (p.control->kind() == kKindHserAck) {
+          const auto& ack = static_cast<const HserAckPayload&>(*p.control);
+          if (ack.path_tag != path_tag_) return;
+          fp = ack.fp;
+        } else if (p.control->kind() == kKindHserFault) {
+          const auto& fault = static_cast<const HserFaultPayload&>(*p.control);
+          if (fault.path_tag != path_tag_) return;
+          fp = fault.fp;
+        } else {
+          return;
+        }
+        if (auto it = timers_[pos].find(fp); it != timers_[pos].end()) {
+          net_.sim().cancel(it->second);
+          timers_[pos].erase(it);
+        }
+        return;
+      }
+      if (p.hdr.flow_id != config_.flow_id) return;
+      if (prev != path_[pos - 1]) return;
+      on_receive(pos, p);
+    });
+  }
+  // The source consumes acks and fault announcements.
+  net_.router(path_[0]).add_control_sink(
+      [this](const sim::Packet& p, util::NodeId, util::SimTime) {
+        if (p.control == nullptr) return;
+        if (p.control->kind() == kKindHserAck) {
+          const auto& ack = static_cast<const HserAckPayload&>(*p.control);
+          if (ack.path_tag != path_tag_) return;
+          ++delivered_;
+          for (auto& table : timers_) {
+            if (auto it = table.find(ack.fp); it != table.end()) {
+              net_.sim().cancel(it->second);
+              table.erase(it);
+            }
+          }
+          wire_macs_.erase(ack.fp);
+        } else if (p.control->kind() == kKindHserFault) {
+          const auto& fault = static_cast<const HserFaultPayload&>(*p.control);
+          if (fault.path_tag != path_tag_) return;
+          // The hop's announcement supersedes the source's own e2e timer,
+          // and only the FIRST announcement per packet counts: the nearest
+          // detecting hop reports first, and downstream echoes of the same
+          // tampered packet would mis-attribute the fault.
+          if (!announced_fps_.insert(fault.fp).second) return;
+          if (auto it = timers_[0].find(fault.fp); it != timers_[0].end()) {
+            net_.sim().cancel(it->second);
+            timers_[0].erase(it);
+          }
+          wire_macs_.erase(fault.fp);
+          announce(fault.boundary, fault.is_auth != 0 ? "hser-auth-failure"
+                                                      : "hser-ack-timeout");
+        }
+      });
+}
+
+crypto::MacTag HserDetector::mac_of(const sim::Packet& p) const {
+  const auto fp = validation::packet_fingerprint(auth_key_, p);
+  return crypto::compute_mac(auth_key_, {reinterpret_cast<const std::byte*>(&fp), sizeof(fp)});
+}
+
+void HserDetector::send(std::uint32_t seq, std::uint32_t payload_bytes) {
+  sim::PacketHeader hdr;
+  hdr.src = path_[0];
+  hdr.dst = path_.back();
+  hdr.flow_id = config_.flow_id;
+  hdr.seq = seq;
+  hdr.proto = sim::Protocol::kUdp;
+  sim::Packet p = net_.make_packet(hdr, payload_bytes);
+  p.source_route = std::make_shared<const std::vector<util::NodeId>>(path_);
+
+  const auto fp = validation::packet_fingerprint(auth_key_, p);
+  wire_macs_[fp] = mac_of(p);  // the MAC the packet carries on the wire
+
+  // The source arms an end-to-end timer; hops arm theirs on receipt.
+  const auto timeout =
+      config_.per_hop_bound * static_cast<std::int64_t>(2 * (path_.size() - 1) + 1);
+  timers_[0][fp] = net_.sim().schedule_in(timeout, [this, fp] { on_timeout(0, fp); });
+  net_.router(path_[0]).originate(p);
+}
+
+void HserDetector::on_receive(std::size_t position, const sim::Packet& p) {
+  // Hop-by-hop authentication: recompute the MAC over what ACTUALLY
+  // arrived and compare with the MAC the packet carries. A tamperer
+  // changes the bytes but cannot forge the source's MAC.
+  const auto arrived_fp = validation::packet_fingerprint(auth_key_, p);
+  const auto carried = wire_macs_.find(arrived_fp);
+  const bool authentic =
+      carried != wire_macs_.end() && carried->second == mac_of(p);
+  if (!authentic) {
+    ++auth_failures_;
+    auto payload = std::make_shared<HserFaultPayload>();
+    payload->path_tag = path_tag_;
+    payload->fp = arrived_fp;
+    payload->boundary = static_cast<std::uint32_t>(position - 1);
+    payload->is_auth = 1;
+    send_back(position, std::move(payload));
+    return;  // tampered packets are not forwarded (source will retransmit)
+  }
+
+  const std::size_t last = path_.size() - 1;
+  if (position == last) {
+    // Destination: signed end-to-end ack back to the source.
+    auto payload = std::make_shared<HserAckPayload>();
+    payload->path_tag = path_tag_;
+    payload->fp = arrived_fp;
+    send_back(position, std::move(payload));
+    return;
+  }
+  // Interior hop: arm a timeout for the ack passing back through us.
+  const auto timeout =
+      config_.per_hop_bound * static_cast<std::int64_t>(2 * (last - position) + 1);
+  timers_[position][arrived_fp] =
+      net_.sim().schedule_in(timeout, [this, position, fp = arrived_fp] {
+        on_timeout(position, fp);
+      });
+}
+
+void HserDetector::on_timeout(std::size_t position, validation::Fingerprint fp) {
+  auto& table = timers_[position];
+  if (table.erase(fp) == 0) return;
+  if (position == 0) {
+    // The source's own timer fired with no hop announcement at all: it can
+    // only report the path as unresponsive (every hop or the return
+    // channel failed), with path-length precision.
+    const auto key = std::make_pair(std::size_t{9999},
+                                    net_.sim().now().nanos() / 1'000'000'000);
+    if (suspected_.insert(key).second) {
+      Suspicion s;
+      s.reporter = path_[0];
+      s.segment = routing::PathSegment(path_);
+      s.interval = {net_.sim().now() - config_.per_hop_bound * 16, net_.sim().now()};
+      s.cause = "hser-path-unresponsive";
+      suspicions_.push_back(s);
+    }
+    wire_macs_.erase(fp);
+  } else {
+    auto payload = std::make_shared<HserFaultPayload>();
+    payload->path_tag = path_tag_;
+    payload->fp = fp;
+    payload->boundary = static_cast<std::uint32_t>(position);
+    payload->is_auth = 0;
+    send_back(position, std::move(payload));
+  }
+}
+
+void HserDetector::send_back(std::size_t from,
+                             std::shared_ptr<const sim::ControlPayload> payload) {
+  if (from == 0) return;
+  sim::PacketHeader hdr;
+  hdr.src = path_[from];
+  hdr.dst = path_[0];
+  hdr.proto = sim::Protocol::kControl;
+  sim::Packet p = net_.make_packet(hdr, kAckBytes);
+  p.control = std::move(payload);
+  std::vector<util::NodeId> hops;
+  for (std::size_t i = from + 1; i-- > 0;) hops.push_back(path_[i]);
+  p.source_route = std::make_shared<const std::vector<util::NodeId>>(std::move(hops));
+  net_.router(path_[from]).originate(p);
+}
+
+void HserDetector::announce(std::size_t boundary_lo, const char* cause) {
+  const std::size_t hi = std::min(boundary_lo + 1, path_.size() - 1);
+  const auto key = std::make_pair(boundary_lo, net_.sim().now().nanos() / 1'000'000'000);
+  if (!suspected_.insert(key).second) return;
+  Suspicion s;
+  s.reporter = path_[0];
+  s.segment = routing::PathSegment{path_[boundary_lo], path_[hi]};
+  s.interval = {net_.sim().now() - config_.per_hop_bound * 16, net_.sim().now()};
+  s.cause = cause;
+  util::log(util::LogLevel::kInfo, "hser", "%s", s.to_string().c_str());
+  suspicions_.push_back(s);
+}
+
+}  // namespace fatih::detection

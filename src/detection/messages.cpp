@@ -1,0 +1,53 @@
+#include "detection/messages.hpp"
+
+namespace fatih::detection {
+
+std::vector<std::byte> SegmentSummary::to_bytes() const {
+  std::vector<std::byte> out;
+  crypto::append_bytes(out, reporter);
+  crypto::append_bytes(out, static_cast<std::uint32_t>(segment.length()));
+  for (util::NodeId n : segment.nodes()) crypto::append_bytes(out, n);
+  crypto::append_bytes(out, round);
+  crypto::append_bytes(out, counters.packets);
+  crypto::append_bytes(out, counters.bytes);
+  crypto::append_bytes(out, static_cast<std::uint64_t>(content.size()));
+  for (validation::Fingerprint fp : content) crypto::append_bytes(out, fp);
+  crypto::append_bytes(out, static_cast<std::uint64_t>(recon_evals.size()));
+  for (std::uint64_t ev : recon_evals) crypto::append_bytes(out, ev);
+  crypto::append_bytes(out, static_cast<std::uint64_t>(bloom_words.size()));
+  for (std::uint64_t w : bloom_words) crypto::append_bytes(out, w);
+  crypto::append_bytes(out, bloom_hashes);
+  return out;
+}
+
+std::uint32_t SegmentSummary::wire_bytes() const {
+  return 64 + 8 * static_cast<std::uint32_t>(content.size()) +
+         8 * static_cast<std::uint32_t>(recon_evals.size()) +
+         8 * static_cast<std::uint32_t>(bloom_words.size()) +
+         4 * static_cast<std::uint32_t>(segment.length());
+}
+
+std::vector<std::byte> ChiReport::to_bytes() const {
+  std::vector<std::byte> out;
+  crypto::append_bytes(out, reporter);
+  crypto::append_bytes(out, queue_owner);
+  crypto::append_bytes(out, queue_peer);
+  crypto::append_bytes(out, round);
+  crypto::append_bytes(out, part);
+  crypto::append_bytes(out, parts);
+  crypto::append_bytes(out, static_cast<std::uint64_t>(records.size()));
+  for (const ChiRecord& rec : records) {
+    crypto::append_bytes(out, rec.fp);
+    crypto::append_bytes(out, rec.size_bytes);
+    crypto::append_bytes(out, rec.flow_id);
+    crypto::append_bytes(out, rec.control);
+    crypto::append_bytes(out, rec.ts.nanos());
+  }
+  return out;
+}
+
+std::uint32_t ChiReport::wire_bytes() const {
+  return 64 + 24 * static_cast<std::uint32_t>(records.size());
+}
+
+}  // namespace fatih::detection

@@ -1,0 +1,100 @@
+// Control-plane messages of the detection protocols.
+//
+// Summaries travel through the simulated network as signed control
+// payloads, so protocol-faulty routers can drop or withhold them — the
+// behaviours the distributed-detection layer must tolerate (dissertation
+// §2.2.1 "protocol faulty").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/mac.hpp"
+#include "routing/segments.hpp"
+#include "sim/packet.hpp"
+#include "util/time.hpp"
+#include "validation/summary.hpp"
+
+namespace fatih::detection {
+
+/// Control payload kinds in the 0x20xx range (detection subsystem).
+inline constexpr std::uint16_t kKindSegmentSummary = 0x2001;  ///< Pi(k+2) end-to-end exchange
+inline constexpr std::uint16_t kKindSummaryFlood = 0x2002;    ///< Pi2 consensus dissemination
+inline constexpr std::uint16_t kKindChiReport = 0x2003;       ///< chi neighbor reports
+
+/// info(r, pi, tau): everything router r tells others about the traffic it
+/// handled on segment `segment` during round `round`.
+struct SegmentSummary {
+  util::NodeId reporter = util::kInvalidNode;
+  routing::PathSegment segment;
+  std::int64_t round = 0;
+  validation::CounterSummary counters;
+  /// Content fingerprints in forwarding order (doubles as the
+  /// conservation-of-order summary; sorted on demand for set operations).
+  /// Empty when the summary ships in reconciliation form.
+  std::vector<validation::Fingerprint> content;
+  /// Appendix-A compressed form: characteristic-polynomial evaluations of
+  /// the content set at the shared points, shipped instead of `content`
+  /// (O(d) field elements instead of O(n) fingerprints).
+  std::vector<std::uint64_t> recon_evals;
+  /// Bloom-digest form (§2.4.1): the filter's words, shipped instead of
+  /// `content`. Cheap but approximate — the symmetric-difference size is
+  /// ESTIMATED from the XOR population.
+  std::vector<std::uint64_t> bloom_words;
+  std::uint32_t bloom_hashes = 0;
+
+  [[nodiscard]] bool reconciled_form() const { return !recon_evals.empty(); }
+  [[nodiscard]] bool bloom_form() const { return !bloom_words.empty(); }
+
+  /// Canonical byte serialization (signed and MAC-verified end to end).
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  /// Wire size estimate for the simulated control packet.
+  [[nodiscard]] std::uint32_t wire_bytes() const;
+};
+
+/// A signed SegmentSummary in flight (both the Pi(k+2) unicast exchange
+/// and the Pi2 flood use this payload; `kind_tag` distinguishes them).
+struct SegmentSummaryPayload final : sim::ControlPayload {
+  SegmentSummary summary;
+  crypto::SignedEnvelope envelope;
+  std::uint16_t kind_tag = kKindSegmentSummary;
+  [[nodiscard]] std::uint16_t kind() const override { return kind_tag; }
+};
+
+/// One timestamped record of the chi protocol's ingress stream, §6.2.1.
+struct ChiRecord {
+  validation::Fingerprint fp = 0;
+  std::uint32_t size_bytes = 0;
+  std::uint32_t flow_id = 0;
+  /// Control-plane packets bypass RED/drop-tail admission (see
+  /// sim/queue.cpp); the replay must model them the same way.
+  bool control = false;
+  util::SimTime ts;  ///< predicted queue-entry time
+};
+
+/// Tinfo(rs, Qin, <rs, r, rd>, tau): neighbor rs reports what it fed into
+/// router r's output queue toward rd during `round`.
+struct ChiReport {
+  util::NodeId reporter = util::kInvalidNode;
+  util::NodeId queue_owner = util::kInvalidNode;  ///< r
+  util::NodeId queue_peer = util::kInvalidNode;   ///< rd
+  std::int64_t round = 0;
+  /// Reports are fragmented into MTU-sized parts (dissertation §7.4.4:
+  /// oversized control messages must not become jumbo frames); part is
+  /// 0-based, parts is the total count. The validator requires all parts.
+  std::uint32_t part = 0;
+  std::uint32_t parts = 1;
+  std::vector<ChiRecord> records;
+
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  [[nodiscard]] std::uint32_t wire_bytes() const;
+};
+
+struct ChiReportPayload final : sim::ControlPayload {
+  ChiReport report;
+  crypto::SignedEnvelope envelope;
+  [[nodiscard]] std::uint16_t kind() const override { return kKindChiReport; }
+};
+
+}  // namespace fatih::detection

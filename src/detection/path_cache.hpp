@@ -1,0 +1,50 @@
+// Stable-state path oracle.
+//
+// The detection protocols assume knowledge of the path a packet will take
+// in the stable state (dissertation §4.1: deterministic forwarding lets a
+// router "predict the path that a packet will take ... based on its own
+// routing tables"). PathCache memoizes the unique shortest path per
+// (src, dst) pair from a RoutingTables snapshot.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "routing/spf.hpp"
+
+namespace fatih::detection {
+
+class PathCache {
+ public:
+  explicit PathCache(std::shared_ptr<const routing::RoutingTables> tables)
+      : tables_(std::move(tables)) {}
+
+  /// The stable path src -> dst (empty when unreachable). The reference is
+  /// stable for the cache's lifetime.
+  [[nodiscard]] const routing::Path& path(util::NodeId src, util::NodeId dst) const {
+    const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_.emplace(key, tables_->path(src, dst)).first;
+    }
+    return it->second;
+  }
+
+  /// Next hop after `at` on the stable path src -> dst, or kInvalidNode.
+  [[nodiscard]] util::NodeId next_hop_after(util::NodeId src, util::NodeId dst,
+                                            util::NodeId at) const {
+    const auto& p = path(src, dst);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      if (p[i] == at) return p[i + 1];
+    }
+    return util::kInvalidNode;
+  }
+
+  [[nodiscard]] const routing::RoutingTables& tables() const { return *tables_; }
+
+ private:
+  std::shared_ptr<const routing::RoutingTables> tables_;
+  mutable std::unordered_map<std::uint64_t, routing::Path> cache_;
+};
+
+}  // namespace fatih::detection

@@ -1,0 +1,147 @@
+#include "detection/perlman.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace fatih::detection {
+
+namespace {
+
+std::uint64_t tag_of(const routing::Path& path, std::uint32_t flow) {
+  constexpr crypto::SipKey kTagKey{0x5045524C4D414E21ULL, 0x5041544854414721ULL};
+  std::vector<std::uint32_t> material(path.begin(), path.end());
+  material.push_back(flow);
+  return crypto::siphash24(kTagKey, material.data(), material.size() * sizeof(std::uint32_t));
+}
+
+constexpr std::uint32_t kAckBytes = 24;
+
+}  // namespace
+
+PerlmanDetector::PerlmanDetector(sim::Network& net, const crypto::KeyRegistry& keys,
+                                 routing::Path path, PerlmanConfig config)
+    : net_(net),
+      keys_(keys),
+      path_(std::move(path)),
+      config_(config),
+      fp_key_(keys.fingerprint_key(path_.front(), path_.back())),
+      path_tag_(tag_of(path_, config.flow_id)) {
+  const std::size_t last = path_.size() - 1;
+
+  // Every router past the source acks the data packet to the source when
+  // it handles it (forwarding, or consuming at the sink).
+  for (std::size_t i = 1; i < path_.size(); ++i) {
+    const std::size_t pos = i;
+    auto& router = net_.router(path_[i]);
+    router.add_receive_tap([this, pos](const sim::Packet& p, util::NodeId prev, util::SimTime) {
+      if (p.is_control() || p.hdr.flow_id != config_.flow_id) return;
+      if (prev != path_[pos - 1]) return;
+      on_forward(pos, p);
+    });
+  }
+
+  // The source arms a per-packet timer at forward time and collects acks.
+  auto& source = net_.router(path_[0]);
+  source.add_forward_tap([this](const sim::Packet& p, util::NodeId, std::size_t out_iface,
+                                util::SimTime) {
+    if (p.is_control() || p.hdr.flow_id != config_.flow_id) return;
+    if (net_.router(path_[0]).interface(out_iface).peer() != path_[1]) return;
+    const auto fp = validation::packet_fingerprint(fp_key_, p);
+    const auto timeout =
+        config_.per_hop_bound * static_cast<std::int64_t>(2 * (path_.size() - 1) + 1);
+    timers_[fp] = net_.sim().schedule_in(timeout, [this, fp] { on_source_timeout(fp); });
+  });
+  source.add_control_sink([this, last](const sim::Packet& p, util::NodeId, util::SimTime) {
+    if (p.control == nullptr || p.control->kind() != kKindPerlmanAck) return;
+    const auto& ack = static_cast<const PerlmanAckPayload&>(*p.control);
+    if (ack.path_tag != path_tag_) return;
+    acked_[ack.fp].insert(ack.from_position);
+    if (ack.from_position == last) {
+      // Delivered: disarm.
+      if (auto it = timers_.find(ack.fp); it != timers_.end()) {
+        net_.sim().cancel(it->second);
+        timers_.erase(it);
+      }
+      acked_.erase(ack.fp);
+    }
+  });
+}
+
+void PerlmanDetector::on_forward(std::size_t position, const sim::Packet& p) {
+  ++acks_sent_;
+  auto payload = std::make_shared<PerlmanAckPayload>();
+  payload->path_tag = path_tag_;
+  payload->fp = validation::packet_fingerprint(fp_key_, p);
+  payload->from_position = static_cast<std::uint32_t>(position);
+
+  sim::PacketHeader hdr;
+  hdr.src = path_[position];
+  hdr.dst = path_[0];
+  hdr.proto = sim::Protocol::kControl;
+  sim::Packet ack = net_.make_packet(hdr, kAckBytes);
+  ack.control = std::move(payload);
+  std::vector<util::NodeId> hops;
+  for (std::size_t i = position + 1; i-- > 0;) hops.push_back(path_[i]);
+  ack.source_route = std::make_shared<const std::vector<util::NodeId>>(std::move(hops));
+  net_.router(path_[position]).originate(ack);
+}
+
+void PerlmanDetector::on_source_timeout(validation::Fingerprint fp) {
+  timers_.erase(fp);
+  // Deepest contiguous acked prefix; blame the next link. This is the
+  // very rule the dissertation shows is unsound against colluders.
+  std::size_t deepest = 0;
+  if (auto it = acked_.find(fp); it != acked_.end()) {
+    while (it->second.contains(deepest + 1)) ++deepest;
+    acked_.erase(it);
+  }
+  const std::size_t hi = std::min(deepest + 1, path_.size() - 1);
+  const auto key = std::make_pair(deepest, net_.sim().now().nanos() / 1'000'000'000);
+  if (!suspected_.insert(key).second) return;
+
+  Suspicion s;
+  s.reporter = path_[0];
+  s.segment = routing::PathSegment(std::vector<util::NodeId>(
+      path_.begin() + static_cast<std::ptrdiff_t>(deepest),
+      path_.begin() + static_cast<std::ptrdiff_t>(hi) + 1));
+  s.interval = {net_.sim().now() - config_.per_hop_bound * 16, net_.sim().now()};
+  s.cause = "perlman-ack-timeout";
+  util::log(util::LogLevel::kInfo, "perlman", "%s", s.to_string().c_str());
+  suspicions_.push_back(s);
+}
+
+// ---------------------------------------------------- RobustMultipathSender
+
+RobustMultipathSender::RobustMultipathSender(sim::Network& net, const routing::Topology& topo,
+                                             util::NodeId src, util::NodeId dst, std::size_t f)
+    : net_(net), src_(src), dst_(dst) {
+  paths_ = routing::disjoint_paths(topo, src, dst, f + 1);
+  if (paths_.size() < f + 1) {
+    throw std::runtime_error("insufficient path diversity for TotalFault(f)");
+  }
+  for (const auto& p : paths_) {
+    routes_.push_back(std::make_shared<const std::vector<util::NodeId>>(p));
+  }
+}
+
+void RobustMultipathSender::send(std::uint32_t flow_id, std::uint32_t seq,
+                                 std::uint32_t payload_bytes) {
+  sim::PacketHeader hdr;
+  hdr.src = src_;
+  hdr.dst = dst_;
+  hdr.flow_id = flow_id;
+  hdr.seq = seq;
+  hdr.proto = sim::Protocol::kUdp;
+  // All copies share one payload identity so receivers can deduplicate by
+  // fingerprint.
+  sim::Packet prototype = net_.make_packet(hdr, payload_bytes);
+  for (const auto& route : routes_) {
+    sim::Packet copy = prototype;
+    copy.source_route = route;
+    net_.router(src_).originate(copy);
+  }
+}
+
+}  // namespace fatih::detection

@@ -1,0 +1,168 @@
+#include "detection/pi2.hpp"
+
+#include <algorithm>
+
+#include "crypto/siphash.hpp"
+#include "util/log.hpp"
+
+namespace fatih::detection {
+
+namespace {
+constexpr const char* kComponent = "pi2";
+
+std::uint64_t payload_key(const sim::ControlPayload& payload) {
+  const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
+  // Key on the full signed content so equivocating summaries BOTH flood.
+  constexpr crypto::SipKey kKey{0x50493246C00DF00DULL, 0x64697373656D3031ULL};
+  auto bytes = p.summary.to_bytes();
+  crypto::append_bytes(bytes, p.envelope.tag);
+  return crypto::siphash24(kKey, bytes.data(), bytes.size());
+}
+}  // namespace
+
+Pi2Engine::Pi2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
+                     const std::vector<util::NodeId>& terminals, Pi2Config config)
+    : net_(net), keys_(keys), config_(config) {
+  // Enumerate the in-use paths and the monitored segments.
+  const auto used_paths = paths.tables().all_paths(terminals);
+  const routing::SegmentIndex index(used_paths, config_.k);
+  segments_ = index.all_pi2_segments();
+  for (std::size_t i = 0; i < segments_.size(); ++i) segment_ids_[segments_[i]] = i;
+
+  generators_.resize(net_.node_count());
+  for (util::NodeId r = 0; r < net_.node_count(); ++r) {
+    if (!net_.is_router(r)) continue;
+    bool monitors_any = false;
+    for (const auto& seg : segments_) {
+      if (seg.contains(r)) {
+        monitors_any = true;
+        break;
+      }
+    }
+    if (!monitors_any) continue;
+    generators_[r] =
+        std::make_unique<SummaryGenerator>(net_, keys_, r, config_.clock, paths);
+    for (const auto& seg : segments_) {
+      const auto& nodes = seg.nodes();
+      for (std::size_t pos = 0; pos < nodes.size(); ++pos) {
+        if (nodes[pos] == r) generators_[r]->monitor(seg, pos);
+      }
+    }
+  }
+
+  flood_ = std::make_unique<FloodService>(net_, kKindSummaryFlood);
+  flood_->set_key_fn(payload_key);
+  flood_->set_delivery_fn([this](util::NodeId at, const sim::ControlPayload& payload,
+                                 util::SimTime) {
+    const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
+    if (!crypto::verify(keys_, p.envelope)) return;
+    if (p.envelope.signer != p.summary.reporter) return;
+    if (p.envelope.payload != p.summary.to_bytes()) return;  // signature covers content
+    auto it = segment_ids_.find(p.summary.segment);
+    if (it == segment_ids_.end()) return;
+    // Store per receiving router; equivocation poisons the slot.
+    Slot& slot = received_[{at, it->second, p.summary.reporter, p.summary.round}];
+    if (slot.summary.has_value()) {
+      if (!(slot.summary->to_bytes() == p.summary.to_bytes())) slot.poisoned = true;
+      return;
+    }
+    slot.summary = p.summary;
+  });
+}
+
+void Pi2Engine::start() {
+  // Begin with the first round whose collection point is still ahead
+  // (an engine commissioned mid-experiment skips the already-past rounds).
+  std::int64_t round = 0;
+  while (config_.clock.interval_of(round).end + config_.collect_settle <= net_.sim().now()) {
+    ++round;
+  }
+  const auto first = config_.clock.interval_of(round).end + config_.collect_settle;
+  const std::int64_t start_round = round;
+  net_.sim().schedule_at(first, [this, start_round] { run_round(start_round); });
+}
+
+std::vector<routing::PathSegment> Pi2Engine::monitored_by(util::NodeId r) const {
+  std::vector<routing::PathSegment> out;
+  for (const auto& seg : segments_) {
+    if (seg.contains(r)) out.push_back(seg);
+  }
+  return out;
+}
+
+void Pi2Engine::run_round(std::int64_t round) {
+  disseminate(round);
+  net_.sim().schedule_in(config_.evaluate_settle, [this, round] { evaluate(round); });
+  if (config_.rounds == 0 || round + 1 < config_.rounds) {
+    const auto next = config_.clock.interval_of(round + 1).end + config_.collect_settle;
+    net_.sim().schedule_at(next, [this, round] { run_round(round + 1); });
+  }
+}
+
+void Pi2Engine::disseminate(std::int64_t round) {
+  for (util::NodeId r = 0; r < net_.node_count(); ++r) {
+    if (generators_[r] == nullptr) continue;
+    auto mut = mutators_.find(r);
+    for (const auto& seg : segments_) {
+      if (!seg.contains(r)) continue;
+      SegmentSummary summary = generators_[r]->take_summary(seg, round);
+      if (mut != mutators_.end()) {
+        if (!mut->second(summary)) continue;  // suppressed
+      }
+      auto payload = std::make_shared<SegmentSummaryPayload>();
+      payload->kind_tag = kKindSummaryFlood;
+      payload->envelope = crypto::sign(keys_, r, summary.to_bytes());
+      payload->summary = std::move(summary);
+      const auto bytes = payload->summary.wire_bytes();
+      flood_->originate(r, std::move(payload), bytes);
+    }
+  }
+}
+
+void Pi2Engine::evaluate(std::int64_t round) {
+  // Every correct router evaluates every monitored segment: the summary
+  // flood already delivered all signed summaries everywhere, which is the
+  // reliable broadcast of evidence in Fig. 5.1 and yields strong
+  // completeness (all correct routers suspect, not just segment members).
+  for (util::NodeId r = 0; r < net_.node_count(); ++r) {
+    if (!net_.is_router(r)) continue;
+    for (const auto& seg : segments_) {
+      const std::size_t sid = segment_ids_.at(seg);
+      const auto& nodes = seg.nodes();
+      for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+        const auto up_it = received_.find({r, sid, nodes[i], round});
+        const auto down_it = received_.find({r, sid, nodes[i + 1], round});
+        const bool up_ok =
+            up_it != received_.end() && up_it->second.summary && !up_it->second.poisoned;
+        const bool down_ok =
+            down_it != received_.end() && down_it->second.summary && !down_it->second.poisoned;
+        if (!up_ok || !down_ok) {
+          suspect(r, routing::PathSegment{nodes[i], nodes[i + 1]}, round, "missing-summary");
+          continue;
+        }
+        const auto outcome = evaluate_tv(config_.policy, config_.thresholds,
+                                         *up_it->second.summary, *down_it->second.summary);
+        if (!outcome.ok) {
+          suspect(r, routing::PathSegment{nodes[i], nodes[i + 1]}, round, "tv-failed");
+        }
+      }
+    }
+  }
+  // Garbage-collect this round's state.
+  std::erase_if(received_, [round](const auto& kv) { return std::get<3>(kv.first) <= round; });
+}
+
+void Pi2Engine::suspect(util::NodeId reporter, const routing::PathSegment& pair,
+                        std::int64_t round, const char* cause) {
+  if (!raised_.insert({reporter, pair, round}).second) return;
+  Suspicion s;
+  s.reporter = reporter;
+  s.segment = pair;
+  s.interval = config_.clock.interval_of(round);
+  s.cause = cause;
+  util::log(util::LogLevel::kInfo, kComponent, "%s", s.to_string().c_str());
+  suspicions_.push_back(s);
+  if (handler_) handler_(suspicions_.back());
+}
+
+}  // namespace fatih::detection

@@ -1,0 +1,98 @@
+// Protocol Pi2 (dissertation §5.1, Fig. 5.1): strong-complete, accurate
+// failure detection with precision 2.
+//
+// Every router r monitors every (k+2)-path-segment containing r (the set
+// Pr). Per round, each router collects info(r, pi, tau) for each pi in Pr,
+// signs it, and disseminates it to the routers of pi. Dissemination uses
+// robust flooding of signed summaries, which under the good-path condition
+// gives all correct routers the same view — the role consensus plays in
+// Fig. 5.1 (a router caught signing two different summaries for the same
+// (pi, tau) is thereby proven protocol-faulty). Each correct router then
+// evaluates TV on every adjacent pair <pi[i], pi[i+1]> and suspects pairs
+// that fail, achieving precision 2.
+//
+// Protocol-faulty behaviours (withheld or corrupted summaries) are
+// injectable per router for the adversarial tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "detection/flood.hpp"
+#include "detection/summary_gen.hpp"
+#include "detection/tv.hpp"
+#include "detection/types.hpp"
+
+namespace fatih::detection {
+
+struct Pi2Config {
+  RoundClock clock;
+  std::size_t k = 1;  ///< AdjacentFault(k)
+  /// Wait after round end before building summaries (in-flight packets).
+  util::Duration collect_settle = util::Duration::millis(300);
+  /// Wait after dissemination before evaluating TV (flood convergence).
+  util::Duration evaluate_settle = util::Duration::millis(500);
+  TvPolicy policy = TvPolicy::kContent;
+  TvThresholds thresholds;
+  std::int64_t rounds = 0;  ///< 0 = run until simulation ends
+};
+
+/// The distributed Pi2 engine: one summary generator + evaluator per
+/// router, communicating through the simulated network.
+class Pi2Engine {
+ public:
+  /// `terminals`: the routers that source/sink traffic (used to enumerate
+  /// the in-use paths and hence the monitored segments).
+  Pi2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
+            const std::vector<util::NodeId>& terminals, Pi2Config config);
+
+  /// Starts the round scheduler.
+  void start();
+
+  /// All suspicions raised so far by any router (deduplicated per
+  /// (reporter, segment, round)).
+  [[nodiscard]] const std::vector<Suspicion>& suspicions() const { return suspicions_; }
+  void set_suspicion_handler(SuspicionHandler h) { handler_ = std::move(h); }
+
+  /// Protocol-fault injection: corrupt (return true to keep, after
+  /// mutating) or suppress (return false) router r's outgoing summaries.
+  using ReportMutator = std::function<bool(SegmentSummary&)>;
+  void set_report_mutator(util::NodeId r, ReportMutator m) { mutators_[r] = std::move(m); }
+
+  /// The segments router r monitors.
+  [[nodiscard]] std::vector<routing::PathSegment> monitored_by(util::NodeId r) const;
+
+ private:
+  void run_round(std::int64_t round);
+  void disseminate(std::int64_t round);
+  void evaluate(std::int64_t round);
+  void suspect(util::NodeId reporter, const routing::PathSegment& pair, std::int64_t round,
+               const char* cause);
+
+  sim::Network& net_;
+  const crypto::KeyRegistry& keys_;
+  Pi2Config config_;
+  std::unique_ptr<FloodService> flood_;
+  std::vector<std::unique_ptr<SummaryGenerator>> generators_;  // per router id (may be null)
+  std::vector<routing::PathSegment> segments_;                 // all monitored segments
+  // segment index -> member routers; member -> position.
+  std::map<routing::PathSegment, std::size_t> segment_ids_;
+  // received[(router, segment id, reporter, round)] -> summary (one per key;
+  // a second, different summary for the same key marks the reporter
+  // equivocating and poisons the entry).
+  struct Slot {
+    std::optional<SegmentSummary> summary;
+    bool poisoned = false;
+  };
+  std::map<std::tuple<util::NodeId, std::size_t, util::NodeId, std::int64_t>, Slot> received_;
+  std::map<util::NodeId, ReportMutator> mutators_;
+  std::vector<Suspicion> suspicions_;
+  std::set<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>> raised_;
+  SuspicionHandler handler_;
+};
+
+}  // namespace fatih::detection

@@ -1,0 +1,238 @@
+#include "detection/pik2.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/log.hpp"
+#include "validation/bloom.hpp"
+#include "validation/reconcile.hpp"
+
+namespace fatih::detection {
+
+namespace {
+constexpr const char* kComponent = "pik2";
+}
+
+Pik2Engine::Pik2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
+                       const std::vector<util::NodeId>& terminals, Pik2Config config)
+    : net_(net), keys_(keys), config_(config) {
+  const auto used_paths = paths.tables().all_paths(terminals);
+  const routing::SegmentIndex index(used_paths, config_.k);
+  segments_ = index.all_pik2_segments();
+
+  generators_.resize(net_.node_count());
+  for (util::NodeId r = 0; r < net_.node_count(); ++r) {
+    if (!net_.is_router(r)) continue;
+    std::vector<std::pair<const routing::PathSegment*, std::size_t>> roles;
+    for (const auto& seg : segments_) {
+      if (seg.front() == r) roles.emplace_back(&seg, 0);
+      if (seg.back() == r) roles.emplace_back(&seg, seg.length() - 1);
+    }
+    if (roles.empty()) continue;
+    generators_[r] = std::make_unique<SummaryGenerator>(net_, keys_, r, config_.clock, paths);
+    for (auto [seg, pos] : roles) {
+      generators_[r]->monitor(*seg, pos, config_.sample_keep_per_256);
+    }
+    // Receive peer summaries.
+    net_.node(r).add_control_sink(
+        [this, r](const sim::Packet& p, util::NodeId, util::SimTime) {
+          if (p.control != nullptr && p.control->kind() == kKindSegmentSummary) {
+            on_summary(r, static_cast<const SegmentSummaryPayload&>(*p.control));
+          }
+        });
+  }
+}
+
+void Pik2Engine::start() {
+  // Begin with the first round whose collection point is still ahead
+  // (an engine commissioned mid-experiment skips the already-past rounds).
+  std::int64_t round = 0;
+  while (config_.clock.interval_of(round).end + config_.collect_settle <= net_.sim().now()) {
+    ++round;
+  }
+  const auto first = config_.clock.interval_of(round).end + config_.collect_settle;
+  const std::int64_t start_round = round;
+  net_.sim().schedule_at(first, [this, start_round] { run_round(start_round); });
+}
+
+void Pik2Engine::stop() {
+  stopped_ = true;
+  for (auto& gen : generators_) {
+    if (gen != nullptr) gen->set_enabled(false);
+  }
+}
+
+std::vector<routing::PathSegment> Pik2Engine::monitored_by(util::NodeId r) const {
+  std::vector<routing::PathSegment> out;
+  for (const auto& seg : segments_) {
+    if (seg.is_end(r)) out.push_back(seg);
+  }
+  return out;
+}
+
+void Pik2Engine::run_round(std::int64_t round) {
+  if (stopped_) return;
+  exchange(round);
+  net_.sim().schedule_in(config_.exchange_timeout, [this, round] { evaluate(round); });
+  if (config_.rounds == 0 || round + 1 < config_.rounds) {
+    const auto next = config_.clock.interval_of(round + 1).end + config_.collect_settle;
+    net_.sim().schedule_at(next, [this, round] { run_round(round + 1); });
+  }
+}
+
+void Pik2Engine::exchange(std::int64_t round) {
+  for (const auto& seg : segments_) {
+    for (const util::NodeId r : {seg.front(), seg.back()}) {
+      if (generators_[r] == nullptr) continue;
+      SegmentSummary summary = generators_[r]->take_summary(seg, round);
+      own_[{r, seg, round}] = summary;
+      auto mut = mutators_.find(r);
+      if (mut != mutators_.end()) {
+        if (!mut->second(summary)) continue;  // protocol-faulty: withhold
+      }
+      if (config_.compression == SummaryCompression::kBloom) {
+        // Bloom digest (§2.4.1): size the filter for the reference rate
+        // seen this round, with a floor so empty rounds stay comparable.
+        const std::size_t bits = std::max<std::size_t>(
+            512, summary.content.size() * config_.bloom_bits_per_packet);
+        validation::BloomFilter filter(bits, config_.bloom_hashes);
+        for (auto fp : summary.content) filter.insert(fp);
+        summary.bloom_words = filter.words();
+        summary.bloom_hashes = static_cast<std::uint32_t>(config_.bloom_hashes);
+        summary.content.clear();
+      } else if (config_.compression == SummaryCompression::kReconcile) {
+        // Appendix A: ship O(d) evaluations instead of O(n) fingerprints.
+        const auto points = validation::evaluation_points(config_.reconcile_bound + 4);
+        std::set<std::uint64_t> elems;
+        for (auto fp : summary.content) elems.insert(validation::to_field(fp));
+        const std::vector<std::uint64_t> elem_vec(elems.begin(), elems.end());
+        summary.recon_evals = validation::char_poly_evaluations(elem_vec, points);
+        summary.counters.packets = elem_vec.size();  // distinct-set cardinality
+        summary.content.clear();
+      }
+      const util::NodeId peer = (r == seg.front()) ? seg.back() : seg.front();
+      auto payload = std::make_shared<SegmentSummaryPayload>();
+      payload->kind_tag = kKindSegmentSummary;
+      payload->envelope = crypto::sign(keys_, r, summary.to_bytes());
+      payload->summary = std::move(summary);
+      sim::PacketHeader hdr;
+      hdr.src = r;
+      hdr.dst = peer;
+      hdr.proto = sim::Protocol::kControl;
+      // The exchange is routed normally; the stable route between the two
+      // ends IS the segment (subpaths of shortest paths), so a faulty
+      // interior router sits on the exchange path and can only cause a
+      // timeout — which is itself a detection (§5.2).
+      sim::Packet p = net_.make_packet(hdr, payload->summary.wire_bytes());
+      exchange_bytes_ += p.size_bytes;
+      p.control = std::move(payload);
+      net_.router(r).originate(p);
+    }
+  }
+}
+
+void Pik2Engine::on_summary(util::NodeId at, const SegmentSummaryPayload& payload) {
+  if (!crypto::verify(keys_, payload.envelope)) return;
+  if (payload.envelope.signer != payload.summary.reporter) return;
+  if (payload.envelope.payload != payload.summary.to_bytes()) return;
+  const auto& seg = payload.summary.segment;
+  if (!seg.is_end(at) || !seg.is_end(payload.summary.reporter)) return;
+  peer_[{at, seg, payload.summary.round}] = payload.summary;
+}
+
+void Pik2Engine::evaluate(std::int64_t round) {
+  if (stopped_) return;
+  for (const auto& seg : segments_) {
+    for (const util::NodeId r : {seg.front(), seg.back()}) {
+      if (generators_[r] == nullptr) continue;
+      const auto own_it = own_.find({r, seg, round});
+      if (own_it == own_.end()) continue;
+      const auto peer_it = peer_.find({r, seg, round});
+      if (peer_it == peer_.end()) {
+        suspect(r, seg, round, "exchange-timeout");
+        continue;
+      }
+      if (peer_it->second.bloom_form()) {
+        // Rebuild our own filter with the peer's shape and estimate the
+        // symmetric difference from the XOR population.
+        const auto& peer_summary = peer_it->second;
+        validation::BloomFilter mine(peer_summary.bloom_words.size() * 64,
+                                     peer_summary.bloom_hashes);
+        for (auto fp : own_it->second.content) mine.insert(fp);
+        const auto theirs = validation::BloomFilter::from_words(peer_summary.bloom_words,
+                                                                peer_summary.bloom_hashes);
+        const auto est = validation::BloomFilter::estimate_symmetric_difference(mine, theirs);
+        const double diff = est.value_or(1e9);  // saturated filter: alarm
+        const auto allowance =
+            std::max(static_cast<double>(config_.thresholds.max_lost_packets),
+                     config_.thresholds.max_lost_fraction *
+                         static_cast<double>(own_it->second.content.size())) +
+            static_cast<double>(config_.thresholds.max_fabricated);
+        // The estimate cannot split lost from fabricated; compare the
+        // total difference against the combined allowance (plus the
+        // estimator's own noise floor).
+        if (diff > allowance + 4.0) suspect(r, seg, round, "tv-failed");
+        continue;
+      }
+      if (peer_it->second.reconciled_form()) {
+        // Reconcile the peer's evaluations against our own content; the
+        // recovered difference feeds the same thresholds.
+        std::set<std::uint64_t> own_elems;
+        for (auto fp : own_it->second.content) {
+          own_elems.insert(validation::to_field(fp));
+        }
+        const std::vector<std::uint64_t> local(own_elems.begin(), own_elems.end());
+        const auto points = validation::evaluation_points(config_.reconcile_bound + 4);
+        const auto result = validation::reconcile(
+            local, peer_it->second.recon_evals,
+            static_cast<std::size_t>(peer_it->second.counters.packets), points,
+            config_.reconcile_bound);
+        TvOutcome outcome;
+        if (!result.has_value()) {
+          // Difference beyond the bound: unconditionally suspicious.
+          outcome.ok = false;
+          outcome.lost = config_.reconcile_bound + 1;
+        } else {
+          // only_local = packets we have that the peer lacks; orientation
+          // decides which side is "lost" vs "fabricated".
+          const bool we_are_upstream = r == seg.front();
+          const auto here_only = result->only_local.size();
+          const auto there_only = result->only_remote.size();
+          outcome.lost = we_are_upstream ? here_only : there_only;
+          outcome.fabricated = we_are_upstream ? there_only : here_only;
+          const auto allowance = std::max(
+              config_.thresholds.max_lost_packets,
+              static_cast<std::uint64_t>(config_.thresholds.max_lost_fraction *
+                                         static_cast<double>(local.size())));
+          outcome.ok = outcome.lost <= allowance &&
+                       outcome.fabricated <= config_.thresholds.max_fabricated;
+        }
+        if (!outcome.ok) suspect(r, seg, round, "tv-failed");
+        continue;
+      }
+      // Orient: upstream summary is the segment's front end.
+      const SegmentSummary& up = (r == seg.front()) ? own_it->second : peer_it->second;
+      const SegmentSummary& down = (r == seg.front()) ? peer_it->second : own_it->second;
+      const auto outcome = evaluate_tv(config_.policy, config_.thresholds, up, down);
+      if (!outcome.ok) suspect(r, seg, round, "tv-failed");
+    }
+  }
+  std::erase_if(own_, [round](const auto& kv) { return std::get<2>(kv.first) <= round; });
+  std::erase_if(peer_, [round](const auto& kv) { return std::get<2>(kv.first) <= round; });
+}
+
+void Pik2Engine::suspect(util::NodeId reporter, const routing::PathSegment& segment,
+                         std::int64_t round, const char* cause, double confidence) {
+  if (!raised_.insert({reporter, segment, round}).second) return;
+  Suspicion s;
+  s.reporter = reporter;
+  s.segment = segment;
+  s.interval = config_.clock.interval_of(round);
+  s.cause = cause;
+  s.confidence = confidence;
+  util::log(util::LogLevel::kInfo, kComponent, "%s", s.to_string().c_str());
+  suspicions_.push_back(s);
+  if (handler_) handler_(suspicions_.back());
+}
+
+}  // namespace fatih::detection

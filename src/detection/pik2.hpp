@@ -1,0 +1,107 @@
+// Protocol Pi(k+2) (dissertation §5.2, Fig. 5.3): complete, accurate
+// failure detection with precision k+2, cheap enough for practical
+// deployment — the protocol the Fatih prototype implements.
+//
+// Each router monitors the x-path-segments (3 <= x <= k+2) for which it is
+// an END router. Per round, the two ends of each segment exchange signed
+// summaries through the segment itself; a failed exchange (timeout) or a
+// failed TV evaluation makes each end suspect the whole segment. Interior
+// routers do nothing, which is what makes the overhead practical
+// (Fig. 5.4), and subsampling of monitored packets is supported because
+// interior routers never learn the sampling pattern (§5.2.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "detection/summary_gen.hpp"
+#include "detection/tv.hpp"
+#include "detection/types.hpp"
+
+namespace fatih::detection {
+
+/// How summaries travel between the segment ends.
+enum class SummaryCompression {
+  kFull,       ///< ship every fingerprint (conservation of order capable)
+  kReconcile,  ///< ship Appendix-A characteristic-polynomial evaluations:
+               ///< O(d) field elements; exact content diff up to the bound
+  kBloom,      ///< ship a Bloom digest (§2.4.1): ~1.25 B/packet, the
+               ///< difference size is estimated rather than exact
+};
+
+struct Pik2Config {
+  RoundClock clock;
+  std::size_t k = 1;
+  util::Duration collect_settle = util::Duration::millis(300);
+  /// Timeout mu for the summary exchange (§5.2: "within mu timeout interval").
+  util::Duration exchange_timeout = util::Duration::millis(500);
+  TvPolicy policy = TvPolicy::kContent;
+  TvThresholds thresholds;
+  /// Fingerprint sampling: keep fp iff (fp & 0xFF) < sample_keep_per_256.
+  std::uint32_t sample_keep_per_256 = 256;
+  SummaryCompression compression = SummaryCompression::kFull;
+  /// Reconciliation difference bound (kReconcile); a diff beyond it is by
+  /// itself a TV failure, so set it above the loss thresholds.
+  std::size_t reconcile_bound = 32;
+  /// Bloom sizing (kBloom): bits per recorded packet, and hash count.
+  std::size_t bloom_bits_per_packet = 10;
+  std::size_t bloom_hashes = 4;
+  std::int64_t rounds = 0;  ///< 0 = run until simulation ends
+};
+
+class Pik2Engine {
+ public:
+  Pik2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
+             const std::vector<util::NodeId>& terminals, Pik2Config config);
+
+  void start();
+
+  /// Retires the engine: stops the round scheduler and disables its
+  /// summary generators. Registered taps remain (harmless no-ops), so the
+  /// object must stay alive, parked.
+  void stop();
+
+  [[nodiscard]] const std::vector<Suspicion>& suspicions() const { return suspicions_; }
+  void set_suspicion_handler(SuspicionHandler h) { handler_ = std::move(h); }
+
+  /// Protocol-fault injection, as in Pi2Engine.
+  using ReportMutator = std::function<bool(SegmentSummary&)>;
+  void set_report_mutator(util::NodeId r, ReportMutator m) { mutators_[r] = std::move(m); }
+
+  /// Segments with r as an end (its Pr).
+  [[nodiscard]] std::vector<routing::PathSegment> monitored_by(util::NodeId r) const;
+
+  /// Total control bytes shipped by the exchange so far (overhead bench).
+  [[nodiscard]] std::uint64_t exchange_bytes() const { return exchange_bytes_; }
+
+ private:
+  void run_round(std::int64_t round);
+  void exchange(std::int64_t round);
+  void evaluate(std::int64_t round);
+  void on_summary(util::NodeId at, const SegmentSummaryPayload& payload);
+  void suspect(util::NodeId reporter, const routing::PathSegment& segment, std::int64_t round,
+               const char* cause, double confidence = 1.0);
+
+  sim::Network& net_;
+  const crypto::KeyRegistry& keys_;
+  Pik2Config config_;
+  std::vector<std::unique_ptr<SummaryGenerator>> generators_;
+  std::vector<routing::PathSegment> segments_;
+  // Local copy each end keeps of what it sent (for the TV evaluation).
+  std::map<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, SegmentSummary> own_;
+  // Peer summaries received, keyed by (receiver, segment, round).
+  std::map<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, SegmentSummary> peer_;
+  std::map<util::NodeId, ReportMutator> mutators_;
+  std::uint64_t exchange_bytes_ = 0;
+  bool stopped_ = false;
+  std::vector<Suspicion> suspicions_;
+  std::set<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>> raised_;
+  SuspicionHandler handler_;
+};
+
+}  // namespace fatih::detection

@@ -1,0 +1,78 @@
+// SecTrace: secure traceroute (dissertation §3.6; Padmanabhan & Simon).
+//
+// The source validates its traffic toward a destination hop by hop: in
+// each round it and ONE intermediate router summarize the monitored flow
+// (conservation of content over sampled/aggregate traffic); the
+// intermediate ships its signed summary back; on a match the source
+// advances to the next router, on a mismatch (or a missing summary) it
+// suspects the link between the current target and its predecessor.
+//
+// Weak-complete, precision 2 as specified — but the dissertation shows
+// the precision-2 attribution is UNSOUND (Fig. 3.7): an adaptive attacker
+// upstream of the already-validated prefix can start misbehaving after
+// its own validation round passed, making the source blame a downstream
+// pair of correct routers. The adversarial test reproduces that framing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "detection/messages.hpp"
+#include "detection/summary_gen.hpp"
+#include "detection/types.hpp"
+#include "sim/network.hpp"
+
+namespace fatih::detection {
+
+inline constexpr std::uint16_t kKindSecTraceSummary = 0x2121;
+
+struct SecTraceConfig {
+  RoundClock clock;  ///< one probing round per interval
+  util::Duration collect_settle = util::Duration::millis(150);
+  util::Duration reply_timeout = util::Duration::millis(300);
+  std::uint32_t flow_id = 0;
+  /// Loss tolerance before a hop is declared inconsistent.
+  std::uint64_t max_lost_packets = 2;
+};
+
+/// One SecTrace session: source = path.front(), destination service =
+/// traffic to path.back()'s direction, advancing one hop per round.
+class SecTraceDetector {
+ public:
+  SecTraceDetector(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
+                   routing::Path path, SecTraceConfig config);
+  SecTraceDetector(const SecTraceDetector&) = delete;
+  SecTraceDetector& operator=(const SecTraceDetector&) = delete;
+
+  void start();
+
+  [[nodiscard]] const std::vector<Suspicion>& suspicions() const { return suspicions_; }
+  /// Index of the hop currently being validated (1-based along the path).
+  [[nodiscard]] std::size_t current_target() const { return target_; }
+  /// True once the whole path validated cleanly at least once.
+  [[nodiscard]] bool completed_pass() const { return completed_; }
+
+ private:
+  void run_round(std::int64_t round);
+  void evaluate(std::int64_t round, std::size_t target);
+
+  sim::Network& net_;
+  const crypto::KeyRegistry& keys_;
+  routing::Path path_;
+  SecTraceConfig config_;
+  // One summary generator per path router; the source's records are the
+  // reference, each intermediate's are the probe.
+  std::vector<std::unique_ptr<SummaryGenerator>> generators_;
+  std::size_t target_ = 1;
+  bool completed_ = false;
+  // Replies received at the source: (round) -> summary.
+  std::map<std::int64_t, SegmentSummary> replies_;
+  std::vector<Suspicion> suspicions_;
+  SuspicionHandler handler_;
+};
+
+}  // namespace fatih::detection

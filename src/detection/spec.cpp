@@ -1,0 +1,70 @@
+#include "detection/spec.hpp"
+
+#include <algorithm>
+
+namespace fatih::detection {
+
+void GroundTruth::mark_traffic_faulty(util::NodeId r, util::SimTime since) {
+  traffic_.push_back({r, since});
+}
+
+void GroundTruth::mark_protocol_faulty(util::NodeId r, util::SimTime since) {
+  protocol_.push_back({r, since});
+}
+
+bool GroundTruth::is_faulty(util::NodeId r, const util::TimeInterval& during) const {
+  const auto hit = [&](const std::vector<Mark>& marks) {
+    return std::any_of(marks.begin(), marks.end(), [&](const Mark& m) {
+      return m.r == r && m.since < during.end;
+    });
+  };
+  return hit(traffic_) || hit(protocol_);
+}
+
+bool GroundTruth::is_faulty_ever(util::NodeId r) const {
+  const auto hit = [&](const std::vector<Mark>& marks) {
+    return std::any_of(marks.begin(), marks.end(), [&](const Mark& m) { return m.r == r; });
+  };
+  return hit(traffic_) || hit(protocol_);
+}
+
+bool GroundTruth::is_traffic_faulty_ever(util::NodeId r) const {
+  return std::any_of(traffic_.begin(), traffic_.end(),
+                     [&](const Mark& m) { return m.r == r; });
+}
+
+std::vector<util::NodeId> GroundTruth::faulty_routers() const {
+  std::set<util::NodeId> out;
+  for (const auto& m : traffic_) out.insert(m.r);
+  for (const auto& m : protocol_) out.insert(m.r);
+  return {out.begin(), out.end()};
+}
+
+SpecReport check_accuracy(const std::vector<Suspicion>& suspicions, const GroundTruth& truth,
+                          std::size_t precision) {
+  SpecReport report;
+  for (const Suspicion& s : suspicions) {
+    if (truth.is_faulty_ever(s.reporter)) continue;  // faulty reporters don't count
+    ++report.suspicions;
+    if (s.segment.length() > precision) {
+      ++report.oversized;
+      continue;
+    }
+    const bool contains_faulty =
+        std::any_of(s.segment.nodes().begin(), s.segment.nodes().end(),
+                    [&](util::NodeId r) { return truth.is_faulty(r, s.interval); });
+    if (contains_faulty) {
+      ++report.accurate;
+    } else {
+      ++report.violations;
+    }
+  }
+  return report;
+}
+
+bool check_completeness_for(const std::vector<Suspicion>& suspicions, util::NodeId faulty) {
+  return std::any_of(suspicions.begin(), suspicions.end(),
+                     [&](const Suspicion& s) { return s.segment.contains(faulty); });
+}
+
+}  // namespace fatih::detection

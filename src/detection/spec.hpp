@@ -1,0 +1,65 @@
+// Specification checkers: a-Accuracy and a-Completeness (dissertation
+// §4.2.2), evaluated against simulator ground truth.
+//
+//   * Accuracy: whenever a correct router suspects (pi, tau), |pi| <= a
+//     and some router in pi was faulty during tau.
+//   * FC-Completeness: whenever a router is traffic-faulty, all correct
+//     routers eventually suspect a segment containing a router
+//     fault-connected to it.
+//
+// Tests and benches register the ground truth (which routers are faulty
+// and when) and feed every suspicion through these checkers.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "detection/types.hpp"
+
+namespace fatih::detection {
+
+/// Ground truth about adversary placement.
+class GroundTruth {
+ public:
+  /// Declares `r` traffic-faulty from `since` (until forever).
+  void mark_traffic_faulty(util::NodeId r, util::SimTime since);
+  /// Declares `r` protocol-faulty from `since`.
+  void mark_protocol_faulty(util::NodeId r, util::SimTime since);
+
+  [[nodiscard]] bool is_faulty(util::NodeId r, const util::TimeInterval& during) const;
+  [[nodiscard]] bool is_faulty_ever(util::NodeId r) const;
+  [[nodiscard]] bool is_traffic_faulty_ever(util::NodeId r) const;
+  [[nodiscard]] std::vector<util::NodeId> faulty_routers() const;
+
+ private:
+  struct Mark {
+    util::NodeId r;
+    util::SimTime since;
+  };
+  std::vector<Mark> traffic_;
+  std::vector<Mark> protocol_;
+};
+
+/// Result of checking a batch of suspicions against ground truth.
+struct SpecReport {
+  std::size_t suspicions = 0;
+  std::size_t accurate = 0;    ///< contain a faulty router, length within precision
+  std::size_t violations = 0;  ///< suspicions naming only correct routers
+  std::size_t oversized = 0;   ///< suspicions longer than the precision bound
+  [[nodiscard]] bool accuracy_holds() const { return violations == 0 && oversized == 0; }
+};
+
+/// Checks a-Accuracy over suspicions raised by CORRECT reporters (faulty
+/// routers are allowed to report nonsense; the response layer discounts
+/// them, §4.2.2).
+[[nodiscard]] SpecReport check_accuracy(const std::vector<Suspicion>& suspicions,
+                                        const GroundTruth& truth, std::size_t precision);
+
+/// Checks completeness for one traffic-faulty router `f`: does some
+/// suspicion (by each of `observers` if strong, any if weak) contain a
+/// router fault-connected to `f`? With at most one faulty router per
+/// neighborhood, fault-connected reduces to "the segment contains f".
+[[nodiscard]] bool check_completeness_for(const std::vector<Suspicion>& suspicions,
+                                          util::NodeId faulty);
+
+}  // namespace fatih::detection

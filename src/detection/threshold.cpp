@@ -1,0 +1,83 @@
+#include "detection/threshold.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+#include "validation/fingerprint.hpp"
+
+namespace fatih::detection {
+
+ThresholdDetector::ThresholdDetector(sim::Network& net, const crypto::KeyRegistry& keys,
+                                     const PathCache& paths, util::NodeId queue_owner,
+                                     util::NodeId queue_peer, ThresholdConfig config)
+    : net_(net),
+      paths_(paths),
+      owner_(queue_owner),
+      peer_(queue_peer),
+      config_(config),
+      fp_key_(keys.fingerprint_key(queue_owner, queue_peer)) {
+  auto& owner_node = net_.router(owner_);
+
+  for (std::size_t i = 0; i < owner_node.interface_count(); ++i) {
+    const util::NodeId nbr = owner_node.interface(i).peer();
+    if (nbr == peer_) continue;
+    auto* nbr_iface = net_.node(nbr).interface_to(owner_);
+    if (nbr_iface == nullptr) continue;
+    const sim::LinkParams nbr_link = nbr_iface->link();
+    const auto proc = owner_node.base_processing_delay();
+    nbr_iface->add_transmit_tap([this, nbr_link, proc](const sim::Packet& p, util::SimTime now) {
+      if (p.hdr.dst == owner_) return;
+      if (paths_.next_hop_after(p.hdr.src, p.hdr.dst, owner_) != peer_) return;
+      const auto ts = now + nbr_link.tx_time(p.size_bytes) + nbr_link.delay + proc;
+      entries_[config_.clock.round_of(ts)].push_back(
+          validation::packet_fingerprint(fp_key_, p));
+    });
+  }
+
+  net_.node(peer_).add_receive_tap(
+      [this](const sim::Packet& p, util::NodeId prev, util::SimTime) {
+        if (prev != owner_) return;
+        exits_.insert(validation::packet_fingerprint(fp_key_, p));
+      });
+}
+
+void ThresholdDetector::start() {
+  const auto first = config_.clock.interval_of(0).end + config_.settle;
+  net_.sim().schedule_at(first, [this] { validate(0); });
+}
+
+void ThresholdDetector::validate(std::int64_t round) {
+  RoundStats stats;
+  stats.round = round;
+  if (auto it = entries_.find(round); it != entries_.end()) {
+    stats.entries = it->second.size();
+    for (validation::Fingerprint fp : it->second) {
+      auto eit = exits_.find(fp);
+      if (eit != exits_.end()) {
+        exits_.erase(eit);
+      } else {
+        ++stats.lost;
+      }
+    }
+    entries_.erase(it);
+  }
+  if (stats.lost > config_.loss_threshold) {
+    stats.alarmed = true;
+    Suspicion s;
+    s.reporter = peer_;
+    s.segment = routing::PathSegment{owner_, peer_};
+    s.interval = config_.clock.interval_of(round);
+    s.cause = "static-threshold";
+    util::log(util::LogLevel::kInfo, "threshold", "%s", s.to_string().c_str());
+    suspicions_.push_back(s);
+    if (handler_) handler_(suspicions_.back());
+  }
+  round_stats_.push_back(stats);
+
+  if (config_.rounds == 0 || round + 1 < config_.rounds) {
+    const auto next = config_.clock.interval_of(round + 1).end + config_.settle;
+    net_.sim().schedule_at(next, [this, round] { validate(round + 1); });
+  }
+}
+
+}  // namespace fatih::detection

@@ -1,0 +1,68 @@
+// Static-threshold loss detector (dissertation §6.1.1) — the baseline that
+// Protocol chi replaces.
+//
+// Counts packets entering and leaving a router's output queue per round
+// and raises an alarm when more than `threshold` packets vanish. The
+// benches demonstrate the paper's point: any threshold high enough to
+// tolerate genuine congestion bursts also lets through focused attacks
+// (queue-full targeting, SYN dropping), and any threshold low enough to
+// catch those attacks false-positives under pure congestion (§6.4.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "detection/path_cache.hpp"
+#include "detection/types.hpp"
+#include "sim/network.hpp"
+#include "validation/fingerprint.hpp"
+
+namespace fatih::detection {
+
+struct ThresholdConfig {
+  RoundClock clock;
+  util::Duration settle = util::Duration::millis(400);
+  std::uint64_t loss_threshold = 10;  ///< packets per round
+  std::int64_t rounds = 0;
+};
+
+/// Watches one queue (owner -> peer); same observation points as chi, but
+/// the only statistic is the per-round loss count.
+class ThresholdDetector {
+ public:
+  ThresholdDetector(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
+                    util::NodeId queue_owner, util::NodeId queue_peer, ThresholdConfig config);
+
+  void start();
+
+  struct RoundStats {
+    std::int64_t round = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t lost = 0;
+    bool alarmed = false;
+  };
+  [[nodiscard]] const std::vector<RoundStats>& rounds() const { return round_stats_; }
+  [[nodiscard]] const std::vector<Suspicion>& suspicions() const { return suspicions_; }
+  void set_suspicion_handler(SuspicionHandler h) { handler_ = std::move(h); }
+
+ private:
+  void validate(std::int64_t round);
+
+  sim::Network& net_;
+  const PathCache& paths_;
+  util::NodeId owner_;
+  util::NodeId peer_;
+  ThresholdConfig config_;
+  crypto::SipKey fp_key_;
+  // Entries keyed by round of predicted queue-entry time.
+  std::map<std::int64_t, std::vector<validation::Fingerprint>> entries_;
+  std::set<validation::Fingerprint> exits_;
+  std::vector<RoundStats> round_stats_;
+  std::vector<Suspicion> suspicions_;
+  SuspicionHandler handler_;
+};
+
+}  // namespace fatih::detection

@@ -1,0 +1,48 @@
+#include "detection/tv.hpp"
+
+#include <algorithm>
+
+#include "validation/summary.hpp"
+
+namespace fatih::detection {
+
+namespace {
+
+std::uint64_t loss_allowance(const TvThresholds& th, std::uint64_t upstream_count) {
+  const auto relative =
+      static_cast<std::uint64_t>(th.max_lost_fraction * static_cast<double>(upstream_count));
+  return std::max(th.max_lost_packets, relative);
+}
+
+}  // namespace
+
+TvOutcome evaluate_tv(TvPolicy policy, const TvThresholds& thresholds,
+                      const SegmentSummary& upstream, const SegmentSummary& downstream) {
+  TvOutcome out;
+  if (policy == TvPolicy::kFlow) {
+    const std::uint64_t up = upstream.counters.packets;
+    const std::uint64_t down = downstream.counters.packets;
+    out.lost = up > down ? up - down : 0;
+    out.fabricated = down > up ? down - up : 0;
+  } else {
+    validation::FingerprintSummary up;
+    validation::FingerprintSummary down;
+    for (auto fp : upstream.content) up.add(fp);
+    for (auto fp : downstream.content) down.add(fp);
+    out.lost = up.difference(down).size();
+    out.fabricated = down.difference(up).size();
+    if (policy == TvPolicy::kContentOrder) {
+      validation::OrderedSummary sent;
+      validation::OrderedSummary received;
+      for (auto fp : upstream.content) sent.add(fp);
+      for (auto fp : downstream.content) received.add(fp);
+      out.reordered = validation::OrderedSummary::reorder_count(sent, received);
+    }
+  }
+  out.ok = out.lost <= loss_allowance(thresholds, upstream.counters.packets) &&
+           out.fabricated <= thresholds.max_fabricated &&
+           (policy != TvPolicy::kContentOrder || out.reordered <= thresholds.max_reordered);
+  return out;
+}
+
+}  // namespace fatih::detection

@@ -1,0 +1,14 @@
+#include "detection/types.hpp"
+
+#include "util/log.hpp"
+
+namespace fatih::detection {
+
+std::string Suspicion::to_string() const {
+  return util::strfmt("%s suspects %s during [%s,%s) cause=%s conf=%.4f",
+                      util::node_name(reporter).c_str(), segment.to_string().c_str(),
+                      util::to_string(interval.begin).c_str(),
+                      util::to_string(interval.end).c_str(), cause.c_str(), confidence);
+}
+
+}  // namespace fatih::detection

@@ -1,0 +1,51 @@
+// Failure-detector specification types (dissertation §4.2.2).
+//
+// A detector reports suspicions as (path-segment, time-interval) pairs.
+// The spec properties — a-Accuracy and a-Completeness — are checked
+// against ground truth by the harness in detection/spec.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "routing/segments.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace fatih::detection {
+
+/// A reported suspicion: some router within `segment` behaved in a faulty
+/// manner during `interval`.
+struct Suspicion {
+  util::NodeId reporter = util::kInvalidNode;
+  routing::PathSegment segment;
+  util::TimeInterval interval;
+  /// Detector-specific confidence in [0,1]; 1 for deterministic detectors.
+  double confidence = 1.0;
+  /// Free-form cause tag ("content-mismatch", "exchange-timeout",
+  /// "queue-single", "queue-combined", ...) for forensics.
+  std::string cause;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Callback fired when an engine raises a suspicion (response layer).
+using SuspicionHandler = std::function<void(const Suspicion&)>;
+
+/// Identifies one traffic-validation round: rounds partition time into
+/// intervals of length tau starting at the epoch.
+struct RoundClock {
+  util::SimTime epoch;
+  util::Duration tau = util::Duration::seconds(5);
+
+  [[nodiscard]] std::int64_t round_of(util::SimTime t) const {
+    return (t - epoch).count_nanos() / tau.count_nanos();
+  }
+  [[nodiscard]] util::TimeInterval interval_of(std::int64_t round) const {
+    return {epoch + tau * round, epoch + tau * (round + 1)};
+  }
+};
+
+}  // namespace fatih::detection

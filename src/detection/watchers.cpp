@@ -1,0 +1,225 @@
+#include "detection/watchers.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace fatih::detection {
+
+namespace {
+constexpr const char* kComponent = "watchers";
+
+WatchersClass classify(const sim::Packet& p, util::NodeId forwarder, util::NodeId link_peer) {
+  if (p.hdr.src == forwarder) return WatchersClass::kSourced;
+  if (p.hdr.dst == link_peer) return WatchersClass::kDestined;
+  return WatchersClass::kTransit;
+}
+}  // namespace
+
+WatchersEngine::WatchersEngine(sim::Network& net, const PathCache& paths, WatchersConfig config)
+    : net_(net), paths_(paths), config_(config) {
+  live_.resize(net_.node_count());
+  for (util::NodeId r = 0; r < net_.node_count(); ++r) {
+    if (!net_.is_router(r)) continue;
+    auto& router = net_.router(r);
+    router.add_forward_tap(
+        [this, r](const sim::Packet& p, util::NodeId, std::size_t out_iface, util::SimTime) {
+          if (p.is_control()) return;
+          const util::NodeId y = net_.router(r).interface(out_iface).peer();
+          const WatchersClass cls = classify(p, r, y);
+          const util::NodeId d = cls == WatchersClass::kDestined ? y : p.hdr.dst;
+          auto& snap = live_[r][config_.clock.round_of(p.created)];
+          snap.router = r;
+          ++snap.send[{y, cls, d}];
+        });
+    router.add_receive_tap([this, r](const sim::Packet& p, util::NodeId prev, util::SimTime) {
+      if (p.is_control() || prev == r) return;
+      // Mirror of prev's send counter for the link (prev -> r): classify
+      // from prev's point of view.
+      const WatchersClass as_sender = p.hdr.src == prev  ? WatchersClass::kSourced
+                                      : p.hdr.dst == r   ? WatchersClass::kDestined
+                                                         : WatchersClass::kTransit;
+      const util::NodeId d = as_sender == WatchersClass::kDestined ? r : p.hdr.dst;
+      auto& snap = live_[r][config_.clock.round_of(p.created)];
+      snap.router = r;
+      ++snap.recv[{prev, as_sender, d}];
+      // Misroute counter: prev should not have handed us this packet if the
+      // stable route at prev points elsewhere.
+      if (p.hdr.dst != r) {
+        const auto expected = paths_.next_hop_after(p.hdr.src, p.hdr.dst, prev);
+        if (expected != util::kInvalidNode && expected != r) {
+          ++live_[r][config_.clock.round_of(p.created)].misroutes[prev];
+        }
+      }
+    });
+  }
+}
+
+void WatchersEngine::start() {
+  const auto first = config_.clock.interval_of(0).end + config_.settle;
+  net_.sim().schedule_at(first, [this] { evaluate(0); });
+}
+
+std::size_t WatchersEngine::counters_at(util::NodeId r) const {
+  std::size_t total = 0;
+  for (const auto& [round, snap] : live_.at(r)) {
+    total = std::max(total, snap.send.size() + snap.recv.size() + snap.misroutes.size());
+  }
+  return total;
+}
+
+void WatchersEngine::evaluate(std::int64_t round) {
+  // "Flood" this round's snapshots and apply lying mutators.
+  std::vector<WatchersSnapshot> snaps(net_.node_count());
+  for (util::NodeId r = 0; r < net_.node_count(); ++r) {
+    snaps[r].router = r;
+    auto it = live_[r].find(round);
+    if (it != live_[r].end()) {
+      snaps[r] = it->second;
+      snaps[r].router = r;
+      live_[r].erase(it);
+    }
+  }
+  for (auto& [r, mut] : mutators_) mut(snaps[r]);
+
+  // Per-link comparison helper: x's send counters toward y vs y's recv
+  // counters from x.
+  const auto link_consistent = [&](util::NodeId x, util::NodeId y) {
+    const auto& sx = snaps[x].send;
+    const auto& ry = snaps[y].recv;
+    for (const auto& [key, count] : sx) {
+      if (std::get<0>(key) != y) continue;
+      const auto rkey = std::make_tuple(x, std::get<1>(key), std::get<2>(key));
+      const auto it = ry.find(rkey);
+      const std::uint64_t rc = it == ry.end() ? 0 : it->second;
+      if (rc != count) return false;
+    }
+    for (const auto& [key, count] : ry) {
+      if (std::get<0>(key) != x) continue;
+      const auto skey = std::make_tuple(y, std::get<1>(key), std::get<2>(key));
+      const auto it = sx.find(skey);
+      const std::uint64_t sc = it == sx.end() ? 0 : it->second;
+      if (sc != count) return false;
+    }
+    return true;
+  };
+
+  // Transit inflow/outflow of router b according to the flooded snapshots.
+  const auto cof_gap = [&](util::NodeId b) -> std::uint64_t {
+    std::uint64_t inflow = 0;
+    std::uint64_t outflow = 0;
+    for (util::NodeId c = 0; c < net_.node_count(); ++c) {
+      if (!net_.is_router(c)) continue;
+      for (const auto& [key, count] : snaps[c].send) {
+        if (std::get<0>(key) != b) continue;
+        // Traffic into b that b must forward again: everything except
+        // traffic terminating at b.
+        if (std::get<1>(key) == WatchersClass::kDestined) continue;
+        if (std::get<2>(key) == b) continue;
+        inflow += count;
+      }
+    }
+    for (const auto& [key, count] : snaps[b].send) {
+      if (std::get<1>(key) == WatchersClass::kSourced) continue;  // b's own traffic
+      outflow += count;
+    }
+    return inflow > outflow ? inflow - outflow : outflow - inflow;
+  };
+
+  // Phase 1+2 at each correct router a; collect announcements first so the
+  // fixed variant can check for them.
+  struct Announcement {
+    util::NodeId reporter;
+    routing::PathSegment segment;
+  };
+  std::vector<Announcement> announcements;
+
+  for (util::NodeId a = 0; a < net_.node_count(); ++a) {
+    if (!net_.is_router(a) || silent_.contains(a)) continue;
+    auto& node = net_.node(a);
+    for (std::size_t i = 0; i < node.interface_count(); ++i) {
+      const util::NodeId b = node.interface(i).peer();
+      if (!net_.is_router(b)) continue;
+      // Direct validation of my own links.
+      if (!link_consistent(a, b) || !link_consistent(b, a)) {
+        announcements.push_back({a, routing::PathSegment{a, b}});
+        continue;
+      }
+      // Misroute counter is decisive on its own.
+      if (auto it = snaps[a].misroutes.find(b);
+          it != snaps[a].misroutes.end() && it->second > 0) {
+        announcements.push_back({a, routing::PathSegment{a, b}});
+        continue;
+      }
+      // §3.1: if any of b's other links shows inconsistent counters, "a
+      // knows that at least one of b and c is faulty, and so a does
+      // nothing further with b" — the CoF test is skipped. This skip is
+      // exactly what consorting routers exploit (the flaw); the fixed
+      // variant compensates in phase 2 below.
+      bool all_links_validated = true;
+      auto& bnode = net_.node(b);
+      for (std::size_t j = 0; j < bnode.interface_count() && all_links_validated; ++j) {
+        const util::NodeId c = bnode.interface(j).peer();
+        if (c == a || !net_.is_router(c)) continue;
+        if (!link_consistent(b, c) || !link_consistent(c, b)) all_links_validated = false;
+      }
+      if (!all_links_validated) continue;
+      // CoF test for the validated neighbor.
+      if (cof_gap(b) > config_.flow_threshold) {
+        announcements.push_back({a, routing::PathSegment{b}});
+      }
+    }
+  }
+
+  for (const auto& ann : announcements) {
+    suspect(ann.reporter, ann.segment, round, "watchers");
+  }
+
+  if (config_.fixed) {
+    // The fix: every remote link inconsistency must be matched by an
+    // announcement from one of its ends; silence implicates the adjacent
+    // neighbor of each observer.
+    const auto announced = [&](util::NodeId x, util::NodeId y) {
+      return std::any_of(announcements.begin(), announcements.end(), [&](const Announcement& n) {
+        return (n.reporter == x || n.reporter == y) && n.segment.contains(x) &&
+               n.segment.contains(y);
+      });
+    };
+    for (util::NodeId a = 0; a < net_.node_count(); ++a) {
+      if (!net_.is_router(a) || silent_.contains(a)) continue;
+      auto& node = net_.node(a);
+      for (std::size_t i = 0; i < node.interface_count(); ++i) {
+        const util::NodeId b = node.interface(i).peer();
+        if (!net_.is_router(b)) continue;
+        auto& bnode = net_.node(b);
+        for (std::size_t j = 0; j < bnode.interface_count(); ++j) {
+          const util::NodeId c = bnode.interface(j).peer();
+          if (c == a || !net_.is_router(c)) continue;
+          if (link_consistent(b, c) && link_consistent(c, b)) continue;
+          if (announced(b, c)) continue;
+          suspect(a, routing::PathSegment{a, b}, round, "watchers-fix");
+        }
+      }
+    }
+  }
+
+  if (config_.rounds == 0 || round + 1 < config_.rounds) {
+    const auto next = config_.clock.interval_of(round + 1).end + config_.settle;
+    net_.sim().schedule_at(next, [this, round] { evaluate(round + 1); });
+  }
+}
+
+void WatchersEngine::suspect(util::NodeId reporter, routing::PathSegment seg, std::int64_t round,
+                             const char* cause) {
+  if (!raised_.insert({reporter, seg, round}).second) return;
+  Suspicion s;
+  s.reporter = reporter;
+  s.segment = std::move(seg);
+  s.interval = config_.clock.interval_of(round);
+  s.cause = cause;
+  util::log(util::LogLevel::kInfo, kComponent, "%s", s.to_string().c_str());
+  suspicions_.push_back(s);
+  if (handler_) handler_(suspicions_.back());
+}
+
+}  // namespace fatih::detection

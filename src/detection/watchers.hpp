@@ -1,0 +1,103 @@
+// WATCHERS (dissertation §3.1; Bradley et al.): the conservation-of-flow
+// baseline, including the consorting-router flaw the dissertation
+// identifies and the fix it proposes.
+//
+// Every router keeps, per neighbor and final destination, the byte/packet
+// counters of Fig. 3.1 on both the send and receive side of each link,
+// plus the misrouted-packet counter. Snapshots are flooded each round;
+// each router then runs the two-phase protocol:
+//   1. Validation: compare my counters for my links against my neighbors'
+//      claims; compare my neighbors' claims for their other links against
+//      their neighbors' claims. A direct mismatch implicates my neighbor;
+//      a remote mismatch (b,c) is left for b and c to settle — which is
+//      exactly the flaw: if b and c consort, neither will.
+//   2. Conservation of flow: transit inflow vs outflow per neighbor,
+//      within a threshold.
+// The fixed variant (§3.1, "This flaw can be fixed") expects a detection
+// announcement for every remote mismatch; silence implicates the adjacent
+// neighbor.
+//
+// Snapshots are gathered centrally with per-router mutator hooks standing
+// in for the flooding step (a protocol-faulty router lies in its snapshot
+// or stays silent); the evaluation itself runs independently per router,
+// as the real protocol would.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "detection/path_cache.hpp"
+#include "detection/types.hpp"
+#include "sim/network.hpp"
+
+namespace fatih::detection {
+
+/// Counter classes of WATCHERS Fig. 3.1.
+enum class WatchersClass : std::uint8_t {
+  kSourced,     ///< S_{x,y}: source x, passing through y
+  kTransit,     ///< T_{x,y}: transit through both x and y
+  kDestined,    ///< D_{x,y}: destination y, passing through x
+};
+
+/// One router's flooded snapshot: counters for each of its links, keyed by
+/// (direction, neighbor, class, destination).
+struct WatchersSnapshot {
+  util::NodeId router = util::kInvalidNode;
+  // send[(neighbor, class, dst)] = packets x forwarded to neighbor.
+  std::map<std::tuple<util::NodeId, WatchersClass, util::NodeId>, std::uint64_t> send;
+  // recv[(neighbor, class, dst)] = packets x received from neighbor.
+  std::map<std::tuple<util::NodeId, WatchersClass, util::NodeId>, std::uint64_t> recv;
+  // misroutes counted against each neighbor.
+  std::map<util::NodeId, std::uint64_t> misroutes;
+};
+
+struct WatchersConfig {
+  RoundClock clock;
+  util::Duration settle = util::Duration::millis(400);
+  std::uint64_t flow_threshold = 5;  ///< |inflow - outflow| tolerance, packets
+  bool fixed = false;                ///< apply the dissertation's fix
+  std::int64_t rounds = 0;
+};
+
+class WatchersEngine {
+ public:
+  WatchersEngine(sim::Network& net, const PathCache& paths, WatchersConfig config);
+
+  void start();
+
+  [[nodiscard]] const std::vector<Suspicion>& suspicions() const { return suspicions_; }
+  void set_suspicion_handler(SuspicionHandler h) { handler_ = std::move(h); }
+
+  /// Lying hook: mutate router r's snapshot before it is "flooded".
+  using SnapshotMutator = std::function<void(WatchersSnapshot&)>;
+  void set_snapshot_mutator(util::NodeId r, SnapshotMutator m) { mutators_[r] = std::move(m); }
+
+  /// Protocol-faulty r never announces detections (consorting silence).
+  void set_silent(util::NodeId r) { silent_.insert(r); }
+
+  /// Counter-count introspection for the §5.1.1 overhead comparison.
+  [[nodiscard]] std::size_t counters_at(util::NodeId r) const;
+
+ private:
+  void evaluate(std::int64_t round);
+  void suspect(util::NodeId reporter, routing::PathSegment seg, std::int64_t round,
+               const char* cause);
+
+  sim::Network& net_;
+  const PathCache& paths_;
+  WatchersConfig config_;
+  // Counters bucketed per round of the packet's origination time, so both
+  // ends of a link attribute each packet to the same measurement interval
+  // (no in-flight mismatch at round boundaries).
+  std::vector<std::map<std::int64_t, WatchersSnapshot>> live_;
+  std::map<util::NodeId, SnapshotMutator> mutators_;
+  std::set<util::NodeId> silent_;
+  std::vector<Suspicion> suspicions_;
+  std::set<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>> raised_;
+  SuspicionHandler handler_;
+};
+
+}  // namespace fatih::detection

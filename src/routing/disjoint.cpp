@@ -1,0 +1,123 @@
+#include "routing/disjoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace fatih::routing {
+
+namespace {
+
+// Node-split max-flow: each vertex v becomes v_in (2v) and v_out (2v+1)
+// joined by a unit-capacity internal arc; each edge (u,v) becomes
+// u_out -> v_in with unit capacity. Unit-capacity BFS augmentation
+// (Edmonds-Karp) is plenty for the path counts we need.
+struct FlowGraph {
+  struct Arc {
+    std::uint32_t to;
+    std::int32_t cap;
+    std::uint32_t rev;  // index of the reverse arc in adj[to]
+  };
+  std::vector<std::vector<Arc>> adj;
+
+  explicit FlowGraph(std::size_t nodes) : adj(nodes) {}
+
+  void add_arc(std::uint32_t from, std::uint32_t to, std::int32_t cap) {
+    adj[from].push_back(Arc{to, cap, static_cast<std::uint32_t>(adj[to].size())});
+    adj[to].push_back(Arc{from, 0, static_cast<std::uint32_t>(adj[from].size() - 1)});
+  }
+
+  /// One BFS augmentation of unit flow; returns false when none exists.
+  bool augment(std::uint32_t s, std::uint32_t t) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> parent(adj.size(),
+                                                                {UINT32_MAX, UINT32_MAX});
+    std::queue<std::uint32_t> q;
+    q.push(s);
+    parent[s] = {s, UINT32_MAX};
+    while (!q.empty() && parent[t].first == UINT32_MAX) {
+      const auto u = q.front();
+      q.pop();
+      for (std::uint32_t i = 0; i < adj[u].size(); ++i) {
+        const Arc& a = adj[u][i];
+        if (a.cap <= 0 || parent[a.to].first != UINT32_MAX) continue;
+        parent[a.to] = {u, i};
+        q.push(a.to);
+      }
+    }
+    if (parent[t].first == UINT32_MAX) return false;
+    for (std::uint32_t v = t; v != s;) {
+      const auto [u, i] = parent[v];
+      Arc& a = adj[u][i];
+      a.cap -= 1;
+      adj[a.to][a.rev].cap += 1;
+      v = u;
+    }
+    return true;
+  }
+};
+
+constexpr std::uint32_t in_node(util::NodeId v) { return 2 * v; }
+constexpr std::uint32_t out_node(util::NodeId v) { return 2 * v + 1; }
+
+FlowGraph build_flow(const Topology& topo, util::NodeId src, util::NodeId dst) {
+  FlowGraph g(2 * topo.node_count());
+  for (util::NodeId v = 0; v < topo.node_count(); ++v) {
+    // Endpoints carry unbounded internal capacity; interior vertices 1.
+    const std::int32_t cap = (v == src || v == dst) ? 1 << 20 : 1;
+    g.add_arc(in_node(v), out_node(v), cap);
+    for (const auto& e : topo.neighbors(v)) {
+      g.add_arc(out_node(v), in_node(e.to), 1);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::vector<Path> disjoint_paths(const Topology& topo, util::NodeId src, util::NodeId dst,
+                                 std::size_t want) {
+  std::vector<Path> out;
+  if (src >= topo.node_count() || dst >= topo.node_count() || src == dst || want == 0) {
+    return out;
+  }
+  FlowGraph g = build_flow(topo, src, dst);
+  std::size_t flow = 0;
+  while (flow < want && g.augment(out_node(src), in_node(dst))) ++flow;
+
+  // Decompose the flow into paths: walk saturated edge arcs from src,
+  // consuming them so each path uses distinct arcs.
+  for (std::size_t p = 0; p < flow; ++p) {
+    Path path{src};
+    util::NodeId cur = src;
+    std::size_t guard = 0;
+    while (cur != dst && guard++ <= topo.node_count()) {
+      bool advanced = false;
+      for (auto& arc : g.adj[out_node(cur)]) {
+        // A forward edge arc carried flow iff its residual reverse arc has
+        // positive capacity (cap moved to the reverse side). Skip the
+        // residual of the node's own internal arc (to/2 == cur).
+        if (arc.to % 2 != 0 || arc.to / 2 == cur) continue;
+        auto& rev = g.adj[arc.to][arc.rev];
+        if (rev.cap <= 0) continue;
+        rev.cap -= 1;  // consume this unit so other paths skip it
+        cur = static_cast<util::NodeId>(arc.to / 2);
+        path.push_back(cur);
+        advanced = true;
+        break;
+      }
+      if (!advanced) break;
+    }
+    if (cur == dst) out.push_back(std::move(path));
+  }
+  return out;
+}
+
+std::size_t vertex_connectivity(const Topology& topo, util::NodeId src, util::NodeId dst) {
+  if (src >= topo.node_count() || dst >= topo.node_count() || src == dst) return 0;
+  FlowGraph g = build_flow(topo, src, dst);
+  std::size_t flow = 0;
+  while (g.augment(out_node(src), in_node(dst))) ++flow;
+  return flow;
+}
+
+}  // namespace fatih::routing

@@ -1,0 +1,29 @@
+// Vertex-disjoint path computation (Perlman's Byzantine-robust routing,
+// dissertation §3.7).
+//
+// PERLMAN's data-routing protocol with Byzantine robustness assumes
+// TotalFault(f) and forwards each packet over f+1 vertex-disjoint paths:
+// at least one path avoids every faulty router, so delivery is guaranteed
+// without detecting anyone. Disjoint paths are found with unit-capacity
+// max-flow over the node-split graph (Menger's theorem).
+#pragma once
+
+#include <vector>
+
+#include "routing/graph.hpp"
+#include "routing/segments.hpp"
+
+namespace fatih::routing {
+
+/// Up to `want` pairwise internally-vertex-disjoint paths from src to dst
+/// (fewer if the graph's connectivity is smaller). Paths include both
+/// endpoints. Deterministic for a given topology.
+[[nodiscard]] std::vector<Path> disjoint_paths(const Topology& topo, util::NodeId src,
+                                               util::NodeId dst, std::size_t want);
+
+/// The internal vertex connectivity between src and dst (the maximum
+/// number of disjoint paths available = Menger bound).
+[[nodiscard]] std::size_t vertex_connectivity(const Topology& topo, util::NodeId src,
+                                              util::NodeId dst);
+
+}  // namespace fatih::routing

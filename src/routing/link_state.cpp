@@ -1,0 +1,290 @@
+#include "routing/link_state.hpp"
+
+#include <cassert>
+
+#include "routing/install.hpp"
+#include "util/log.hpp"
+
+namespace fatih::routing {
+
+namespace {
+constexpr std::uint32_t kHelloBytes = 24;
+constexpr const char* kComponent = "link-state";
+}  // namespace
+
+LinkStateRouting::LinkStateRouting(sim::Network& net, const crypto::KeyRegistry& keys,
+                                   LinkStateConfig config)
+    : net_(net), keys_(keys), config_(config) {
+  daemons_.resize(net_.node_count());
+  for (util::NodeId n = 0; n < net_.node_count(); ++n) {
+    daemons_[n].id = n;
+    daemons_[n].is_router = net_.is_router(n);
+    net_.node(n).add_control_sink([this, n](const sim::Packet& p, util::NodeId prev,
+                                            util::SimTime) { on_control(n, p, prev); });
+  }
+}
+
+void LinkStateRouting::start() {
+  for (util::NodeId n = 0; n < net_.node_count(); ++n) {
+    // Stagger first hellos across the interval to avoid lockstep.
+    const auto offset = util::Duration::nanos(
+        net_.rng().uniform_int(0, config_.hello_interval.count_nanos() - 1));
+    net_.sim().schedule_in(offset, [this, n] { send_hello(n); });
+  }
+}
+
+void LinkStateRouting::send_hello(util::NodeId n) {
+  auto payload = std::make_shared<HelloPayload>();
+  payload->from = n;
+  auto& node = net_.node(n);
+  for (std::size_t i = 0; i < node.interface_count(); ++i) {
+    auto& iface = node.interface(i);
+    sim::PacketHeader hdr;
+    hdr.src = n;
+    hdr.dst = iface.peer();
+    hdr.proto = sim::Protocol::kControl;
+    sim::Packet p = net_.make_packet(hdr, kHelloBytes);
+    p.control = payload;
+    iface.send(p);
+  }
+  net_.sim().schedule_in(config_.hello_interval, [this, n] { send_hello(n); });
+}
+
+void LinkStateRouting::on_control(util::NodeId n, const sim::Packet& p, util::NodeId prev) {
+  if (p.control == nullptr) return;
+  Daemon& d = daemons_[n];
+  switch (p.control->kind()) {
+    case kKindHello: {
+      const auto& hello = static_cast<const HelloPayload&>(*p.control);
+      if (!d.neighbors_up.contains(hello.from)) {
+        d.neighbors_up.insert(hello.from);
+        if (d.is_router) originate_lsa(n);
+      }
+      break;
+    }
+    case kKindLsa: {
+      const auto& lsa = static_cast<const LsaPayload&>(*p.control);
+      if (!crypto::verify(keys_, lsa.envelope)) return;
+      if (lsa.envelope.signer != lsa.origin) return;
+      auto it = d.lsdb.find(lsa.origin);
+      if (it != d.lsdb.end() && it->second.seq >= lsa.seq) return;  // stale/duplicate
+      d.lsdb[lsa.origin] = lsa;
+      flood(n, std::shared_ptr<const sim::ControlPayload>(p.control), p.size_bytes, prev);
+      if (d.is_router) schedule_spf(n);
+      break;
+    }
+    case kKindAlert: {
+      const auto& alert = static_cast<const AlertPayload&>(*p.control);
+      if (!crypto::verify(keys_, alert.envelope)) return;
+      if (alert.envelope.signer != alert.reporter) return;
+      if (d.seen_alerts.contains({alert.reporter, alert.segment})) return;
+      d.seen_alerts.insert({alert.reporter, alert.segment});
+      flood(n, std::shared_ptr<const sim::ControlPayload>(p.control), p.size_bytes, prev);
+      if (d.is_router) accept_alert(n, alert);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void LinkStateRouting::originate_lsa(util::NodeId n) {
+  Daemon& d = daemons_[n];
+  const auto now = net_.sim().now();
+  if (now - d.last_lsa < config_.lsa_min_interval) {
+    if (!d.lsa_pending) {
+      d.lsa_pending = true;
+      net_.sim().schedule_at(d.last_lsa + config_.lsa_min_interval, [this, n] {
+        daemons_[n].lsa_pending = false;
+        originate_lsa(n);
+      });
+    }
+    return;
+  }
+  d.last_lsa = now;
+
+  auto lsa = std::make_shared<LsaPayload>();
+  lsa->origin = n;
+  lsa->seq = ++d.own_seq;
+  auto& node = net_.node(n);
+  for (std::size_t i = 0; i < node.interface_count(); ++i) {
+    const util::NodeId peer = node.interface(i).peer();
+    if (!d.neighbors_up.contains(peer)) continue;
+    std::uint32_t metric = 1;
+    // Metric comes from the physical adjacency table.
+    for (const auto& adj : net_.adjacencies()) {
+      if (adj.from == n && adj.to == peer) {
+        metric = adj.metric;
+        break;
+      }
+    }
+    lsa->neighbors.push_back(Topology::Edge{peer, metric});
+  }
+  lsa->envelope = crypto::sign(keys_, n, lsa_bytes(*lsa));
+
+  // Accept our own LSA locally, then flood.
+  d.lsdb[n] = *lsa;
+  const std::uint32_t bytes = 48 + 8 * static_cast<std::uint32_t>(lsa->neighbors.size());
+  flood(n, lsa, bytes, util::kInvalidNode);
+  schedule_spf(n);
+}
+
+void LinkStateRouting::flood(util::NodeId n, std::shared_ptr<const sim::ControlPayload> payload,
+                             std::uint32_t bytes, util::NodeId except_peer) {
+  // A protocol-faulty daemon simply refuses to propagate (it can still
+  // originate its own traffic, which except_peer == kInvalidNode marks).
+  if (suppressed_.contains(n) && except_peer != util::kInvalidNode) return;
+  auto& node = net_.node(n);
+  for (std::size_t i = 0; i < node.interface_count(); ++i) {
+    auto& iface = node.interface(i);
+    if (iface.peer() == except_peer) continue;
+    if (!net_.is_router(iface.peer())) continue;  // hosts don't participate in flooding
+    sim::PacketHeader hdr;
+    hdr.src = n;
+    hdr.dst = iface.peer();
+    hdr.proto = sim::Protocol::kControl;
+    sim::Packet p = net_.make_packet(hdr, bytes);
+    p.control = payload;
+    iface.send(p);
+  }
+}
+
+void LinkStateRouting::schedule_spf(util::NodeId n) {
+  Daemon& d = daemons_[n];
+  if (d.spf_scheduled) return;
+  d.spf_scheduled = true;
+  const auto now = net_.sim().now();
+  auto when = now + config_.spf_delay;
+  if (d.spf_ran_once && d.last_spf + config_.spf_hold > when) {
+    when = d.last_spf + config_.spf_hold;
+  }
+  net_.sim().schedule_at(when, [this, n] { run_spf(n); });
+}
+
+void LinkStateRouting::run_spf(util::NodeId n) {
+  Daemon& d = daemons_[n];
+  d.spf_scheduled = false;
+  d.spf_ran_once = true;
+  d.last_spf = net_.sim().now();
+  ++d.spf_count;
+
+  // Build this router's topology view from its LSDB. Our links are
+  // physically symmetric, so each advertised edge is added in both
+  // directions; this also connects stub hosts, which advertise nothing.
+  Topology topo;
+  if (net_.node_count() > 0) topo.ensure_node(static_cast<util::NodeId>(net_.node_count() - 1));
+  for (const auto& [origin, lsa] : d.lsdb) {
+    for (const auto& e : lsa.neighbors) {
+      topo.add_duplex(origin, e.to, e.metric);
+    }
+  }
+  d.view = topo;
+
+  auto& router = net_.router(n);
+  if (d.banned.empty()) {
+    const RoutingTables tables(topo);
+    router.clear_routes();
+    for (util::NodeId dst = 0; dst < net_.node_count(); ++dst) {
+      if (dst == n) continue;
+      const util::NodeId nh = tables.to(dst).next_hop[n];
+      if (nh == util::kInvalidNode) continue;
+      if (auto* iface = router.interface_to(nh)) router.set_route(dst, iface->index());
+    }
+  } else {
+    const PolicyRoutes routes(topo, d.banned);
+    router.clear_routes();
+    for (util::NodeId dst = 0; dst < net_.node_count(); ++dst) {
+      if (dst == n) continue;
+      if (auto nh = routes.next_hop(n, n, dst)) {
+        if (auto* iface = router.interface_to(*nh)) router.set_route(dst, iface->index());
+      }
+      for (std::size_t i = 0; i < router.interface_count(); ++i) {
+        const util::NodeId prev = router.interface(i).peer();
+        const auto nh = routes.next_hop(prev, n, dst);
+        if (!nh) {
+          router.set_policy_drop(prev, dst);
+        } else if (auto* iface = router.interface_to(*nh)) {
+          router.set_policy_route(prev, dst, iface->index());
+        }
+      }
+    }
+  }
+
+  util::log(util::LogLevel::kInfo, kComponent, "%s ran SPF #%zu at %s",
+            net_.node(n).name().c_str(), d.spf_count, util::to_string(d.last_spf).c_str());
+  if (route_change_hook_) route_change_hook_(n, d.last_spf);
+}
+
+void LinkStateRouting::accept_alert(util::NodeId n, const AlertPayload& alert) {
+  Daemon& d = daemons_[n];
+  // Countermeasure rule (§4.2.2): only a suspicion reported by a router
+  // adjacent to the segment (i.e. one of its members) triggers exclusion;
+  // anything else could be a faulty router framing correct ones at a
+  // distance.
+  if (!alert.segment.contains(alert.reporter)) return;
+  for (const auto& b : d.banned) {
+    if (b == alert.segment) return;
+  }
+  d.banned.push_back(alert.segment);
+  util::log(util::LogLevel::kInfo, kComponent, "%s accepts alert %s from %s",
+            net_.node(n).name().c_str(), alert.segment.to_string().c_str(),
+            util::node_name(alert.reporter).c_str());
+  if (alert_hook_) alert_hook_(n, alert, net_.sim().now());
+  schedule_spf(n);
+}
+
+void LinkStateRouting::announce_suspicion(util::NodeId reporter, const PathSegment& segment,
+                                          util::TimeInterval interval) {
+  auto alert = std::make_shared<AlertPayload>();
+  alert->reporter = reporter;
+  alert->segment = segment;
+  alert->interval = interval;
+  alert->envelope = crypto::sign(keys_, reporter, alert_bytes(*alert));
+
+  Daemon& d = daemons_[reporter];
+  if (d.seen_alerts.contains({reporter, segment})) return;
+  d.seen_alerts.insert({reporter, segment});
+  if (d.is_router) accept_alert(reporter, *alert);
+  const std::uint32_t bytes = 48 + 8 * static_cast<std::uint32_t>(segment.length());
+  flood(reporter, alert, bytes, util::kInvalidNode);
+}
+
+bool LinkStateRouting::converged(util::NodeId r) const {
+  std::size_t routers = 0;
+  for (util::NodeId n = 0; n < net_.node_count(); ++n) {
+    if (net_.is_router(n)) ++routers;
+  }
+  return daemons_.at(r).lsdb.size() == routers && daemons_.at(r).spf_ran_once;
+}
+
+std::size_t LinkStateRouting::spf_runs(util::NodeId r) const { return daemons_.at(r).spf_count; }
+
+const std::vector<PathSegment>& LinkStateRouting::banned_segments(util::NodeId r) const {
+  return daemons_.at(r).banned;
+}
+
+const Topology& LinkStateRouting::topology_view(util::NodeId r) const {
+  return daemons_.at(r).view;
+}
+
+std::vector<std::byte> LinkStateRouting::lsa_bytes(const LsaPayload& lsa) {
+  std::vector<std::byte> out;
+  crypto::append_bytes(out, lsa.origin);
+  crypto::append_bytes(out, lsa.seq);
+  for (const auto& e : lsa.neighbors) {
+    crypto::append_bytes(out, e.to);
+    crypto::append_bytes(out, e.metric);
+  }
+  return out;
+}
+
+std::vector<std::byte> LinkStateRouting::alert_bytes(const AlertPayload& alert) {
+  std::vector<std::byte> out;
+  crypto::append_bytes(out, alert.reporter);
+  for (util::NodeId n : alert.segment.nodes()) crypto::append_bytes(out, n);
+  crypto::append_bytes(out, alert.interval.begin.nanos());
+  crypto::append_bytes(out, alert.interval.end.nanos());
+  return out;
+}
+
+}  // namespace fatih::routing

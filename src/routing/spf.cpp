@@ -1,0 +1,184 @@
+#include "routing/spf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace fatih::routing {
+
+DestinationRoutes compute_routes_to(const Topology& topo, util::NodeId dst) {
+  const std::size_t n = topo.node_count();
+  DestinationRoutes out;
+  out.dst = dst;
+  out.dist.assign(n, kUnreachable);
+  out.next_hop.assign(n, util::kInvalidNode);
+  if (dst >= n) return out;
+
+  using Item = std::pair<std::uint64_t, util::NodeId>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  out.dist[dst] = 0;
+  pq.emplace(0, dst);
+
+  std::vector<bool> done(n, false);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (done[v]) continue;
+    done[v] = true;
+    // Metrics are symmetric, so scanning v's out-edges relaxes the
+    // reverse edges u -> v.
+    for (const auto& e : topo.neighbors(v)) {
+      const util::NodeId u = e.to;
+      const std::uint64_t nd = d + e.metric;
+      if (nd < out.dist[u] || (nd == out.dist[u] && v < out.next_hop[u])) {
+        const bool improved = nd < out.dist[u];
+        out.dist[u] = nd;
+        out.next_hop[u] = v;
+        if (improved) pq.emplace(nd, u);
+      }
+    }
+  }
+  out.next_hop[dst] = util::kInvalidNode;
+  return out;
+}
+
+RoutingTables::RoutingTables(const Topology& topo) {
+  per_dst_.reserve(topo.node_count());
+  for (util::NodeId d = 0; d < topo.node_count(); ++d) {
+    per_dst_.push_back(compute_routes_to(topo, d));
+  }
+}
+
+Path RoutingTables::path(util::NodeId src, util::NodeId dst) const {
+  Path p;
+  if (src >= per_dst_.size() || dst >= per_dst_.size()) return p;
+  const auto& routes = per_dst_[dst];
+  if (routes.dist[src] == kUnreachable) return p;
+  util::NodeId cur = src;
+  p.push_back(cur);
+  while (cur != dst) {
+    cur = routes.next_hop[cur];
+    if (cur == util::kInvalidNode || p.size() > per_dst_.size()) return {};
+    p.push_back(cur);
+  }
+  return p;
+}
+
+std::vector<Path> RoutingTables::all_paths(const std::vector<util::NodeId>& terminals) const {
+  std::vector<Path> out;
+  for (util::NodeId s : terminals) {
+    for (util::NodeId d : terminals) {
+      if (s == d) continue;
+      Path p = path(s, d);
+      if (!p.empty()) out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- PolicyRoutes
+
+PolicyRoutes::PolicyRoutes(const Topology& topo, const std::vector<PathSegment>& banned)
+    : n_(topo.node_count()) {
+  for (const PathSegment& seg : banned) {
+    const auto& v = seg.nodes();
+    if (v.size() == 2) {
+      banned_links_.emplace(v[0], v[1]);
+    } else if (v.size() >= 3) {
+      for (std::size_t i = 0; i + 3 <= v.size(); ++i) {
+        banned_triples_.emplace(v[i], v[i + 1], v[i + 2]);
+      }
+    }
+  }
+  next_.resize(n_);
+  for (util::NodeId d = 0; d < n_; ++d) compute_for_destination(topo, d);
+}
+
+bool PolicyRoutes::link_banned(util::NodeId a, util::NodeId b) const {
+  return banned_links_.contains({a, b});
+}
+
+bool PolicyRoutes::triple_banned(util::NodeId a, util::NodeId b, util::NodeId c) const {
+  return banned_triples_.contains({a, b, c});
+}
+
+void PolicyRoutes::compute_for_destination(const Topology& topo, util::NodeId dst) {
+  // Dijkstra over (prev, node) states: dist[s] = cost from `node` to dst
+  // for a packet that arrived via `prev` (prev == node for origination).
+  const std::size_t states = n_ * n_;
+  std::vector<std::uint64_t> dist(states, kUnreachable);
+  auto& next = next_[dst];
+  next.assign(states, util::kInvalidNode);
+
+  auto idx = [this](util::NodeId prev, util::NodeId node) {
+    return static_cast<std::size_t>(prev) * n_ + node;
+  };
+
+  using Item = std::pair<std::uint64_t, std::uint32_t>;  // (dist, state index)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+
+  // Every state sitting at dst costs 0, whatever the previous hop.
+  for (util::NodeId p = 0; p < n_; ++p) {
+    const bool adjacent_or_self = p == dst || topo.has_edge(p, dst);
+    if (!adjacent_or_self) continue;
+    dist[idx(p, dst)] = 0;
+    pq.emplace(0, static_cast<std::uint32_t>(idx(p, dst)));
+  }
+
+  std::vector<bool> done(states, false);
+  while (!pq.empty()) {
+    const auto [d, si] = pq.top();
+    pq.pop();
+    if (done[si]) continue;
+    done[si] = true;
+    const auto node = static_cast<util::NodeId>(si % n_);
+    const auto via_prev = static_cast<util::NodeId>(si / n_);
+    // Popping state (via_prev, node): a packet at via_prev heading to node
+    // then onward costs metric(via_prev, node) + d. Relax predecessor
+    // states (p, via_prev).
+    if (via_prev == node) continue;  // origin states have no predecessors
+    if (link_banned(via_prev, node)) continue;
+    const std::uint64_t hop = topo.metric(via_prev, node);
+    if (hop == 0) continue;  // no such physical edge
+    const std::uint64_t nd = d + hop;
+    for (util::NodeId p = 0; p < n_; ++p) {
+      const bool reachable_state = p == via_prev || topo.has_edge(p, via_prev);
+      if (!reachable_state) continue;
+      if (p != via_prev && triple_banned(p, via_prev, node)) continue;
+      const std::size_t pi = idx(p, via_prev);
+      if (nd < dist[pi] || (nd == dist[pi] && node < next[pi])) {
+        const bool improved = nd < dist[pi];
+        dist[pi] = nd;
+        next[pi] = node;
+        if (improved) pq.emplace(nd, static_cast<std::uint32_t>(pi));
+      }
+    }
+  }
+}
+
+std::optional<util::NodeId> PolicyRoutes::next_hop(util::NodeId prev, util::NodeId node,
+                                                   util::NodeId dst) const {
+  if (dst >= n_ || node >= n_ || prev >= n_) return std::nullopt;
+  if (node == dst) return std::nullopt;
+  const util::NodeId nh = next_[dst][static_cast<std::size_t>(prev) * n_ + node];
+  if (nh == util::kInvalidNode) return std::nullopt;
+  return nh;
+}
+
+Path PolicyRoutes::path(util::NodeId src, util::NodeId dst) const {
+  Path p;
+  if (src >= n_ || dst >= n_) return p;
+  util::NodeId prev = src;
+  util::NodeId cur = src;
+  p.push_back(cur);
+  while (cur != dst) {
+    const auto nh = next_hop(prev, cur, dst);
+    if (!nh || p.size() > n_ * n_) return {};
+    prev = cur;
+    cur = *nh;
+    p.push_back(cur);
+  }
+  return p;
+}
+
+}  // namespace fatih::routing

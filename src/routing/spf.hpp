@@ -1,0 +1,102 @@
+// Shortest-path-first routing computations.
+//
+// All routers compute next hops from the same deterministic rule, so
+// hop-by-hop forwarding yields a single consistent loop-free path per
+// (source, destination) pair — the dissertation's assumption that "a link
+// state routing protocol chooses only one path between any two routers"
+// (§5.1.1) with deterministic tie-breaking standing in for the vendors'
+// deterministic ECMP hash (§4.1).
+//
+// The policy-aware variant computes routes that avoid suspected
+// path-segments (the response mechanism, §2.4.3/§5.3.1): forwarding state
+// is keyed by (previous hop, destination), which is exactly enough to
+// avoid any banned segment of length <= 3. Longer banned segments are
+// handled conservatively by banning each interior length-3 window.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "routing/graph.hpp"
+#include "routing/segments.hpp"
+
+namespace fatih::routing {
+
+/// Infinite distance marker.
+inline constexpr std::uint64_t kUnreachable = std::numeric_limits<std::uint64_t>::max();
+
+/// Distances from every node to one destination, plus deterministic next
+/// hops (lowest-cost neighbor; ties broken by smaller neighbor id).
+struct DestinationRoutes {
+  util::NodeId dst = util::kInvalidNode;
+  std::vector<std::uint64_t> dist;                 ///< dist[n] = cost n -> dst
+  std::vector<util::NodeId> next_hop;              ///< next_hop[n]; kInvalidNode at dst/unreachable
+};
+
+/// Runs reverse Dijkstra toward `dst` (metrics are symmetric in this
+/// system, so neighbors(n) is used directly).
+[[nodiscard]] DestinationRoutes compute_routes_to(const Topology& topo, util::NodeId dst);
+
+/// Full routing state: one DestinationRoutes per destination.
+class RoutingTables {
+ public:
+  explicit RoutingTables(const Topology& topo);
+
+  [[nodiscard]] const DestinationRoutes& to(util::NodeId dst) const { return per_dst_.at(dst); }
+  [[nodiscard]] std::size_t node_count() const { return per_dst_.size(); }
+
+  /// The unique path src -> dst by following next hops; empty if
+  /// unreachable. Includes both endpoints.
+  [[nodiscard]] Path path(util::NodeId src, util::NodeId dst) const;
+
+  /// Every in-use path among the given terminal nodes (ordered pairs).
+  [[nodiscard]] std::vector<Path> all_paths(const std::vector<util::NodeId>& terminals) const;
+
+ private:
+  std::vector<DestinationRoutes> per_dst_;
+};
+
+/// Policy routes that avoid banned path-segments.
+///
+/// State is (prev, node): the cost-to-destination of a packet sitting at
+/// `node` having arrived from `prev`. A banned segment <a,b,c> forbids the
+/// transition b->c for packets arriving from a; a banned segment <a,b>
+/// forbids the directed link a->b outright.
+class PolicyRoutes {
+ public:
+  /// `banned` segments of length 2 or 3 are enforced exactly; longer
+  /// segments are decomposed into their length-3 windows (conservative:
+  /// strictly more traffic is diverted, never less).
+  PolicyRoutes(const Topology& topo, const std::vector<PathSegment>& banned);
+
+  /// Next hop at `node` toward `dst` for a packet that arrived from
+  /// `prev`; for locally-originated packets pass prev == node.
+  /// nullopt when no compliant route exists.
+  [[nodiscard]] std::optional<util::NodeId> next_hop(util::NodeId prev, util::NodeId node,
+                                                     util::NodeId dst) const;
+
+  /// The path taken from src to dst under these policies (empty if none).
+  [[nodiscard]] Path path(util::NodeId src, util::NodeId dst) const;
+
+ private:
+  struct StateKey {
+    util::NodeId prev;
+    util::NodeId node;
+    auto operator<=>(const StateKey&) const = default;
+  };
+
+  void compute_for_destination(const Topology& topo, util::NodeId dst);
+  [[nodiscard]] bool link_banned(util::NodeId a, util::NodeId b) const;
+  [[nodiscard]] bool triple_banned(util::NodeId a, util::NodeId b, util::NodeId c) const;
+
+  std::size_t n_ = 0;
+  std::set<std::pair<util::NodeId, util::NodeId>> banned_links_;
+  std::set<std::tuple<util::NodeId, util::NodeId, util::NodeId>> banned_triples_;
+  // next_[dst][prev * n + node] = next hop (kInvalidNode if none).
+  std::vector<std::vector<util::NodeId>> next_;
+};
+
+}  // namespace fatih::routing

@@ -1,0 +1,69 @@
+// Reference topologies used by the dissertation's evaluation.
+//
+//  * Abilene (Fig. 5.6): the 11-PoP Internet2 backbone, with link delays
+//    chosen so that the two coast-to-coast paths used in the Fatih
+//    experiment have one-way latencies of 25 ms and 28 ms (Fig. 5.7).
+//  * Rocketfuel-like ISP graphs (Fig. 5.2/5.4): synthetic graphs matched
+//    to the published statistics of the measured Sprintlink (315 routers,
+//    972 links, mean degree 6.17, max degree 45) and EBONE (87 routers,
+//    161 links, mean degree 3.70, max degree 11) maps. The real maps are
+//    not redistributable; a degree-matched synthetic graph preserves the
+//    path-segment structure the figures depend on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "routing/graph.hpp"
+
+namespace fatih::routing {
+
+/// Abilene PoP indices (NodeIds in the returned topology).
+enum AbileneNode : util::NodeId {
+  kSeattle = 0,
+  kSunnyvale = 1,
+  kLosAngeles = 2,
+  kDenver = 3,
+  kKansasCity = 4,
+  kHouston = 5,
+  kIndianapolis = 6,
+  kChicago = 7,
+  kAtlanta = 8,
+  kWashington = 9,
+  kNewYork = 10,
+};
+
+/// One Abilene link with its one-way propagation delay in milliseconds.
+/// Metrics equal the delay, so SPF prefers the lower-latency path.
+struct AbileneLink {
+  util::NodeId a;
+  util::NodeId b;
+  std::uint32_t delay_ms;
+};
+
+/// The 14 Abilene links.
+[[nodiscard]] const std::vector<AbileneLink>& abilene_links();
+
+/// Human-readable PoP name.
+[[nodiscard]] std::string abilene_name(util::NodeId n);
+
+/// Abilene as a metric-weighted topology (metric = delay in ms).
+[[nodiscard]] Topology abilene_topology();
+
+/// Parameters of a synthetic ISP graph.
+struct IspProfile {
+  std::size_t routers;
+  std::size_t links;        ///< undirected link count target
+  std::size_t max_degree;   ///< cap on any router's degree
+  std::string name;
+};
+
+[[nodiscard]] IspProfile sprintlink_profile();
+[[nodiscard]] IspProfile ebone_profile();
+
+/// Generates a connected preferential-attachment graph matched to the
+/// profile (unit metrics). Deterministic in `seed`.
+[[nodiscard]] Topology synthetic_isp(const IspProfile& profile, std::uint64_t seed);
+
+}  // namespace fatih::routing

@@ -1,0 +1,66 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fatih::sim {
+
+Network::Network(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+Router& Network::add_router(std::string name) {
+  const auto id = static_cast<util::NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Router>(sim_, id, std::move(name), rng_.next_u64()));
+  node_is_router_.push_back(true);
+  return static_cast<Router&>(*nodes_.back());
+}
+
+Host& Network::add_host(std::string name) {
+  const auto id = static_cast<util::NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Host>(sim_, id, std::move(name)));
+  node_is_router_.push_back(false);
+  return static_cast<Host&>(*nodes_.back());
+}
+
+std::unique_ptr<OutputQueue> Network::make_queue(const LinkConfig& cfg) {
+  if (cfg.queue == QueueKind::kRed) {
+    return std::make_unique<RedQueue>(cfg.red, rng_.next_u64());
+  }
+  return std::make_unique<DropTailQueue>(cfg.queue_limit_bytes);
+}
+
+void Network::connect(util::NodeId a, util::NodeId b, const LinkConfig& cfg) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  const LinkParams link{cfg.bandwidth_bps, cfg.delay};
+
+  Interface& ab = nodes_[a]->add_interface(b, link, make_queue(cfg));
+  Interface& ba = nodes_[b]->add_interface(a, link, make_queue(cfg));
+  ab.set_peer_node(nodes_[b].get());
+  ba.set_peer_node(nodes_[a].get());
+
+  adjacencies_.push_back(Adjacency{a, b, cfg.metric, link});
+  adjacencies_.push_back(Adjacency{b, a, cfg.metric, link});
+}
+
+Router& Network::router(util::NodeId id) {
+  if (!is_router(id)) throw std::logic_error("node is not a router");
+  return static_cast<Router&>(*nodes_.at(id));
+}
+
+Host& Network::host(util::NodeId id) {
+  if (is_router(id)) throw std::logic_error("node is not a host");
+  return static_cast<Host&>(*nodes_.at(id));
+}
+
+bool Network::is_router(util::NodeId id) const { return node_is_router_.at(id); }
+
+Packet Network::make_packet(PacketHeader hdr, std::uint32_t payload_bytes) {
+  Packet p;
+  p.hdr = hdr;
+  p.size_bytes = kHeaderBytes + payload_bytes;
+  p.payload_tag = rng_.next_u64();
+  p.uid = next_uid_++;
+  p.created = sim_.now();
+  return p;
+}
+
+}  // namespace fatih::sim

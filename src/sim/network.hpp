@@ -1,0 +1,87 @@
+// Network: owns the simulator, the nodes, and the wiring between them.
+//
+// Experiments build a Network, connect routers/hosts with duplex links
+// (two simplex interfaces), attach traffic agents and detection engines,
+// then run the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/node.hpp"
+#include "sim/red.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace fatih::sim {
+
+/// Which queue discipline a link's output interfaces use.
+enum class QueueKind { kDropTail, kRed };
+
+/// Duplex link configuration. Applied symmetrically to both directions.
+struct LinkConfig {
+  double bandwidth_bps = 1e8;
+  util::Duration delay = util::Duration::millis(1);
+  std::size_t queue_limit_bytes = 64000;
+  QueueKind queue = QueueKind::kDropTail;
+  RedParams red;       ///< used when queue == kRed (byte_limit overrides queue_limit_bytes)
+  std::uint32_t metric = 1;  ///< routing cost, symmetric
+};
+
+/// A record of one simplex adjacency, for topology export to the routing
+/// library.
+struct Adjacency {
+  util::NodeId from;
+  util::NodeId to;
+  std::uint32_t metric;
+  LinkParams link;
+};
+
+/// Container and factory for a simulated network.
+class Network {
+ public:
+  explicit Network(std::uint64_t seed);
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  Router& add_router(std::string name);
+  Host& add_host(std::string name);
+
+  /// Connects a and b with a duplex link (two interfaces, two simplex links).
+  void connect(util::NodeId a, util::NodeId b, const LinkConfig& cfg);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(util::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const Node& node(util::NodeId id) const { return *nodes_.at(id); }
+  /// Requires the node to be a Router.
+  [[nodiscard]] Router& router(util::NodeId id);
+  /// Requires the node to be a Host.
+  [[nodiscard]] Host& host(util::NodeId id);
+  [[nodiscard]] bool is_router(util::NodeId id) const;
+
+  /// All simplex adjacencies, for routing computations.
+  [[nodiscard]] const std::vector<Adjacency>& adjacencies() const { return adjacencies_; }
+
+  /// Creates a packet with a fresh uid and creation timestamp.
+  [[nodiscard]] Packet make_packet(PacketHeader hdr, std::uint32_t payload_bytes);
+
+  /// Fresh pseudo-random payload identity (models distinct packet bytes).
+  [[nodiscard]] std::uint64_t fresh_payload_tag() { return rng_.next_u64(); }
+
+ private:
+  std::unique_ptr<OutputQueue> make_queue(const LinkConfig& cfg);
+
+  std::uint64_t seed_;
+  Simulator sim_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> node_is_router_;
+  std::vector<Adjacency> adjacencies_;
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace fatih::sim

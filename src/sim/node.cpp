@@ -1,0 +1,234 @@
+#include "sim/node.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace fatih::sim {
+
+// ---------------------------------------------------------------- Interface
+
+Interface::Interface(Simulator& sim, Node& owner, std::size_t index, util::NodeId peer,
+                     LinkParams link, std::unique_ptr<OutputQueue> queue)
+    : sim_(sim),
+      owner_(owner),
+      index_(index),
+      peer_(peer),
+      link_(link),
+      queue_(std::move(queue)) {
+  assert(queue_ != nullptr);
+}
+
+double Interface::fill_fraction() const {
+  const auto limit = queue_->byte_limit();
+  if (limit == 0) return 0.0;
+  return static_cast<double>(queue_->byte_length()) / static_cast<double>(limit);
+}
+
+EnqueueResult Interface::send(const Packet& p) {
+  const auto result = queue_->enqueue(p, sim_.now());
+  switch (result) {
+    case EnqueueResult::kAccepted:
+      for (const auto& tap : enqueue_taps_) tap(p, sim_.now());
+      try_transmit();
+      break;
+    case EnqueueResult::kDroppedFull:
+      notify_drop(p, DropReason::kCongestion);
+      break;
+    case EnqueueResult::kDroppedRedEarly:
+      notify_drop(p, DropReason::kRedEarly);
+      break;
+  }
+  return result;
+}
+
+void Interface::notify_drop(const Packet& p, DropReason reason) {
+  for (const auto& tap : drop_taps_) tap(p, sim_.now(), reason);
+}
+
+void Interface::try_transmit() {
+  if (busy_) return;
+  auto popped = queue_->dequeue(sim_.now());
+  if (!popped) return;
+  busy_ = true;
+  const Packet p = *std::move(popped);
+  for (const auto& tap : transmit_taps_) tap(p, sim_.now());
+  const auto tx = link_.tx_time(p.size_bytes);
+  // End of serialization: the transmitter frees up and the packet begins
+  // propagating to the peer.
+  sim_.schedule_in(tx, [this, p] {
+    busy_ = false;
+    Node* peer_node = peer_node_;
+    const util::NodeId from = owner_.id();
+    sim_.schedule_in(link_.delay, [peer_node, p, from] {
+      if (peer_node != nullptr) peer_node->receive(p, from);
+    });
+    try_transmit();
+  });
+}
+
+// --------------------------------------------------------------------- Node
+
+Node::Node(Simulator& sim, util::NodeId id, std::string name)
+    : sim_(sim), id_(id), name_(std::move(name)) {}
+
+Interface& Node::add_interface(util::NodeId peer, LinkParams link,
+                               std::unique_ptr<OutputQueue> q) {
+  interfaces_.push_back(
+      std::make_unique<Interface>(sim_, *this, interfaces_.size(), peer, link, std::move(q)));
+  return *interfaces_.back();
+}
+
+Interface* Node::interface_to(util::NodeId peer) {
+  for (auto& iface : interfaces_) {
+    if (iface->peer() == peer) return iface.get();
+  }
+  return nullptr;
+}
+
+void Node::fire_receive_taps(const Packet& p, util::NodeId prev) {
+  for (const auto& tap : receive_taps_) tap(p, prev, sim_.now());
+}
+
+void Node::deliver_locally(const Packet& p, util::NodeId prev) {
+  if (p.is_control()) {
+    for (const auto& sink : control_sinks_) sink(p, prev, sim_.now());
+    return;
+  }
+  for (const auto& handler : local_handlers_) handler(p, prev, sim_.now());
+}
+
+// ------------------------------------------------------------------- Router
+
+Router::Router(Simulator& sim, util::NodeId id, std::string name, std::uint64_t jitter_seed)
+    : Node(sim, id, std::move(name)), rng_(jitter_seed) {}
+
+void Router::set_route(util::NodeId dst, std::size_t out_iface) {
+  assert(out_iface < interfaces_.size());
+  routes_[dst] = out_iface;
+}
+
+void Router::set_policy_route(util::NodeId prev, util::NodeId dst, std::size_t out_iface) {
+  assert(out_iface < interfaces_.size());
+  policy_routes_[key(prev, dst)] = out_iface;
+}
+
+void Router::set_policy_drop(util::NodeId prev, util::NodeId dst) {
+  policy_routes_[key(prev, dst)] = kDropRouteSentinel;
+}
+
+void Router::clear_routes() {
+  routes_.clear();
+  policy_routes_.clear();
+}
+
+std::optional<std::size_t> Router::lookup(util::NodeId prev, util::NodeId dst) const {
+  if (auto it = policy_routes_.find(key(prev, dst)); it != policy_routes_.end()) {
+    if (it->second == kDropRouteSentinel) return std::nullopt;
+    return it->second;
+  }
+  if (auto it = routes_.find(dst); it != routes_.end()) return it->second;
+  return std::nullopt;
+}
+
+void Router::set_processing_delay(util::Duration base, util::Duration max_jitter) {
+  proc_base_ = base;
+  proc_jitter_ = max_jitter;
+}
+
+void Router::originate(const Packet& p) { do_forward(p, id_); }
+
+void Router::receive(const Packet& p, util::NodeId prev) {
+  fire_receive_taps(p, prev);
+  if (p.hdr.dst == id_) {
+    deliver_locally(p, prev);
+    return;
+  }
+  // Forward after the (jittered) processing delay; the jitter is the
+  // short-term scheduling noise that makes queue prediction statistical
+  // (dissertation §6.2.1).
+  util::Duration delay = proc_base_;
+  if (proc_jitter_ > util::Duration{}) {
+    delay += util::Duration::nanos(rng_.uniform_int(0, proc_jitter_.count_nanos()));
+  }
+  sim_.schedule_in(delay, [this, p, prev] { do_forward(p, prev); });
+}
+
+void Router::do_forward(Packet p, util::NodeId prev) {
+  if (p.hdr.ttl == 0 || --p.hdr.ttl == 0) {
+    notify_router_drop(p, DropReason::kTtlExpired);
+    return;
+  }
+  std::size_t out_iface;
+  if (p.source_route != nullptr) {
+    // Strict source routing: follow the embedded node sequence.
+    const auto& route = *p.source_route;
+    if (p.route_hop + 1U >= route.size() || route[p.route_hop] != id_) {
+      notify_router_drop(p, DropReason::kNoRoute);
+      return;
+    }
+    ++p.route_hop;
+    auto* iface = interface_to(route[p.route_hop]);
+    if (iface == nullptr) {
+      notify_router_drop(p, DropReason::kNoRoute);
+      return;
+    }
+    out_iface = iface->index();
+  } else {
+    const auto out = lookup(prev, p.hdr.dst);
+    if (!out) {
+      notify_router_drop(p, DropReason::kNoRoute);
+      return;
+    }
+    out_iface = *out;
+  }
+
+  if (filter_ != nullptr) {
+    auto decision = filter_->on_forward(p, prev, *interfaces_[out_iface], *this);
+    if (decision.action == ForwardDecision::Action::kDrop) {
+      ++malicious_drops_;
+      notify_router_drop(p, DropReason::kMalicious);
+      return;
+    }
+    if (decision.replacement) p = *std::move(decision.replacement);
+    if (decision.iface_override) out_iface = *decision.iface_override;
+    if (decision.extra_delay > util::Duration{}) {
+      const auto d = decision.extra_delay;
+      sim_.schedule_in(d, [this, p, prev, out_iface] {
+        for (const auto& tap : forward_taps_) tap(p, prev, out_iface, sim_.now());
+        interfaces_[out_iface]->send(p);
+      });
+      return;
+    }
+  }
+
+  for (const auto& tap : forward_taps_) tap(p, prev, out_iface, sim_.now());
+  interfaces_[out_iface]->send(p);
+}
+
+void Router::notify_router_drop(const Packet& p, DropReason reason) {
+  for (const auto& tap : drop_taps_) tap(p, sim_.now(), reason);
+}
+
+// --------------------------------------------------------------------- Host
+
+Host::Host(Simulator& sim, util::NodeId id, std::string name) : Node(sim, id, std::move(name)) {}
+
+void Host::send(const Packet& p) {
+  if (p.hdr.dst == id_) {
+    deliver_locally(p, id_);
+    return;
+  }
+  assert(!interfaces_.empty());
+  interfaces_.front()->send(p);
+}
+
+void Host::receive(const Packet& p, util::NodeId prev) {
+  fire_receive_taps(p, prev);
+  if (p.hdr.dst == id_) {
+    deliver_locally(p, prev);
+  }
+  // Hosts never forward transit traffic.
+}
+
+}  // namespace fatih::sim

@@ -1,0 +1,16 @@
+#include "sim/packet.hpp"
+
+#include "util/log.hpp"
+
+namespace fatih::sim {
+
+std::string describe(const Packet& p) {
+  const char* proto = p.hdr.proto == Protocol::kUdp     ? "udp"
+                      : p.hdr.proto == Protocol::kTcp   ? "tcp"
+                                                        : "ctl";
+  return util::strfmt("%s flow=%u seq=%u %s->%s %uB", proto, p.hdr.flow_id, p.hdr.seq,
+                      util::node_name(p.hdr.src).c_str(), util::node_name(p.hdr.dst).c_str(),
+                      p.size_bytes);
+}
+
+}  // namespace fatih::sim

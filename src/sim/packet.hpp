@@ -1,0 +1,89 @@
+// Packet model.
+//
+// An IPv4-like header plus an opaque payload identity. We do not carry
+// payload bytes: a 64-bit `payload_tag` stands in for the packet contents,
+// which is sufficient for fingerprint-based traffic validation — a
+// modification attack changes the tag, exactly as altering bytes would
+// change a content hash. Control traffic of the detection protocols rides
+// in `control`, and does consume simulated bandwidth via `size_bytes`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace fatih::sim {
+
+/// Transport protocol discriminator.
+enum class Protocol : std::uint8_t {
+  kUdp,      ///< datagram data traffic
+  kTcp,      ///< simplified TCP Reno data traffic
+  kControl,  ///< detection/routing protocol messages
+};
+
+/// TCP-style flag bits (used when proto == kTcp).
+enum TcpFlags : std::uint8_t {
+  kFlagSyn = 1U << 0,
+  kFlagAck = 1U << 1,
+  kFlagFin = 1U << 2,
+};
+
+/// Fields that identify and route a packet. Everything except `ttl` is
+/// invariant along the path; fingerprints cover only invariant fields
+/// (dissertation §7.4.2 discusses why TTL must be excluded).
+struct PacketHeader {
+  util::NodeId src = util::kInvalidNode;  ///< originating end node
+  util::NodeId dst = util::kInvalidNode;  ///< final destination node
+  std::uint32_t flow_id = 0;              ///< flow demultiplexer
+  std::uint32_t seq = 0;                  ///< per-flow sequence / TCP seq
+  std::uint32_t ack = 0;                  ///< TCP cumulative ack
+  Protocol proto = Protocol::kUdp;
+  std::uint8_t flags = 0;  ///< TcpFlags when proto == kTcp
+  std::uint8_t ttl = 64;   ///< mutable hop limit
+};
+
+/// Base class for typed control-plane payloads (routing LSAs, traffic
+/// summaries, detection announcements). Immutable once sent: a router that
+/// wants to tamper must replace the pointer, and signatures are checked by
+/// receivers.
+struct ControlPayload {
+  virtual ~ControlPayload() = default;
+  /// Dispatch tag; each subsystem defines its own kinds (see kind ranges
+  /// in routing/link_state.hpp and detection/messages.hpp).
+  [[nodiscard]] virtual std::uint16_t kind() const = 0;
+};
+
+/// A packet in flight. Copyable value; the control payload is shared
+/// immutable state.
+struct Packet {
+  PacketHeader hdr;
+  std::uint32_t size_bytes = 0;  ///< total wire size, header included
+  /// Optional source route (dissertation §2.1.6: PERLMAN, HSER and
+  /// SecTrace are source-routed). When set, routers forward along this
+  /// node sequence instead of consulting their tables; `route_hop` is the
+  /// packet's current position in it.
+  std::shared_ptr<const std::vector<util::NodeId>> source_route;
+  std::uint8_t route_hop = 0;
+  /// Identity of the payload contents; two packets with equal invariant
+  /// headers and equal payload_tag are "the same bytes".
+  std::uint64_t payload_tag = 0;
+  /// Globally unique id assigned at creation; never visible to protocols
+  /// (it exists for ground-truth bookkeeping in tests and benches).
+  std::uint64_t uid = 0;
+  util::SimTime created;
+  std::shared_ptr<const ControlPayload> control;
+
+  [[nodiscard]] bool is_control() const { return hdr.proto == Protocol::kControl; }
+};
+
+/// Renders "flow/seq src->dst" for logs.
+[[nodiscard]] std::string describe(const Packet& p);
+
+/// Minimum on-the-wire size accounting for the header.
+inline constexpr std::uint32_t kHeaderBytes = 40;
+
+}  // namespace fatih::sim

@@ -1,0 +1,83 @@
+#include "sim/red.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fatih::sim {
+
+double RedState::on_arrival(const RedParams& params, std::size_t queue_bytes, util::SimTime now) {
+  if (idle_) {
+    // Decay the average across the idle period as if `m` small packets had
+    // drained through an empty queue (Floyd-Jacobson idle handling).
+    const double idle_seconds = std::max(0.0, (now - idle_since_).to_seconds());
+    const double pkt_time = params.mean_packet_size / params.drain_rate;
+    const double m = pkt_time > 0 ? idle_seconds / pkt_time : 0.0;
+    avg_ *= std::pow(1.0 - params.weight, m);
+    idle_ = false;
+  }
+  avg_ += params.weight * (static_cast<double>(queue_bytes) - avg_);
+
+  double pb;
+  if (avg_ < params.min_threshold) {
+    count_ = -1;
+    return 0.0;
+  }
+  if (avg_ < params.max_threshold) {
+    pb = params.max_probability * (avg_ - params.min_threshold) /
+         (params.max_threshold - params.min_threshold);
+  } else if (params.gentle && avg_ < 2 * params.max_threshold) {
+    pb = params.max_probability +
+         (1.0 - params.max_probability) * (avg_ - params.max_threshold) / params.max_threshold;
+  } else {
+    count_ = 0;
+    return 1.0;
+  }
+  ++count_;
+  // p_a = p_b / (1 - count * p_b): spreads drops uniformly over the
+  // inter-drop interval.
+  const double denom = 1.0 - static_cast<double>(count_) * pb;
+  const double pa = denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
+  return pa;
+}
+
+void RedState::on_outcome(bool dropped) {
+  if (dropped) count_ = 0;
+}
+
+void RedState::on_queue_empty(util::SimTime now) {
+  idle_ = true;
+  idle_since_ = now;
+}
+
+EnqueueResult RedQueue::enqueue(const Packet& p, util::SimTime now) {
+  if (p.is_control()) {
+    // Prioritized past RED and the byte limit, as in DropTailQueue.
+    bytes_ += p.size_bytes;
+    q_.push_back(p);
+    return EnqueueResult::kAccepted;
+  }
+  const double pa = state_.on_arrival(params_, bytes_, now);
+  const bool early_drop = pa > 0.0 && rng_.bernoulli(pa);
+  if (early_drop) {
+    state_.on_outcome(true);
+    return EnqueueResult::kDroppedRedEarly;
+  }
+  state_.on_outcome(false);
+  if (bytes_ + p.size_bytes > params_.byte_limit) {
+    return EnqueueResult::kDroppedFull;
+  }
+  bytes_ += p.size_bytes;
+  q_.push_back(p);
+  return EnqueueResult::kAccepted;
+}
+
+std::optional<Packet> RedQueue::dequeue(util::SimTime now) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p.size_bytes;
+  if (q_.empty()) state_.on_queue_empty(now);
+  return p;
+}
+
+}  // namespace fatih::sim

@@ -1,0 +1,83 @@
+// Random Early Detection queue (Floyd & Jacobson 1993), plus the reusable
+// EWMA state machine that Protocol chi's RED traffic validator replays
+// (dissertation §6.5).
+//
+// The EWMA / drop-probability computation is factored into RedState so the
+// exact same arithmetic runs in two places: inside the simulated router's
+// queue, and inside the remote validator that replays the reported arrival
+// stream to recover each packet's drop probability (§6.5.2, Fig. 6.10).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "sim/queue.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace fatih::sim {
+
+/// RED configuration. Thresholds are in bytes (we operate the queue in
+/// byte mode, matching the dissertation's "average queue size above 45,000
+/// bytes" attack descriptions).
+struct RedParams {
+  double weight = 0.002;          ///< EWMA weight w_q
+  double min_threshold = 15000;   ///< min_th in bytes
+  double max_threshold = 45000;   ///< max_th in bytes
+  double max_probability = 0.1;   ///< max_p at max_th
+  bool gentle = true;             ///< ramp max_p..1 over (max_th, 2*max_th]
+  std::size_t byte_limit = 60000; ///< hard queue limit
+  double mean_packet_size = 1000; ///< for idle-time averaging, bytes
+  double drain_rate = 1.25e7;     ///< output link rate, bytes/sec (idle decay)
+};
+
+/// The deterministic part of RED: EWMA average and per-arrival drop
+/// probability. Contains no randomness — the caller supplies the coin.
+class RedState {
+ public:
+  /// Updates the average for a packet arriving at `now` when the
+  /// instantaneous queue holds `queue_bytes`, and returns the early-drop
+  /// probability p_a in [0, 1] for this packet.
+  double on_arrival(const RedParams& params, std::size_t queue_bytes, util::SimTime now);
+
+  /// Records the outcome so the count-since-last-drop term evolves the way
+  /// Floyd-Jacobson RED specifies.
+  void on_outcome(bool dropped);
+
+  /// Marks the instant the queue went empty (starts the idle period).
+  void on_queue_empty(util::SimTime now);
+
+  [[nodiscard]] double average() const { return avg_; }
+
+ private:
+  double avg_ = 0.0;
+  std::int64_t count_ = -1;  // packets since last early drop
+  bool idle_ = true;
+  util::SimTime idle_since_;
+};
+
+/// RED output queue: RedState + a seeded coin + a FIFO.
+class RedQueue final : public OutputQueue {
+ public:
+  RedQueue(RedParams params, std::uint64_t seed) : params_(params), rng_(seed) {}
+
+  EnqueueResult enqueue(const Packet& p, util::SimTime now) override;
+  std::optional<Packet> dequeue(util::SimTime now) override;
+  [[nodiscard]] std::size_t byte_length() const override { return bytes_; }
+  [[nodiscard]] std::size_t packet_count() const override { return q_.size(); }
+  [[nodiscard]] std::size_t byte_limit() const override { return params_.byte_limit; }
+
+  [[nodiscard]] const RedParams& params() const { return params_; }
+  /// Current EWMA average queue size in bytes (the value attacks key on).
+  [[nodiscard]] double average_queue() const { return state_.average(); }
+
+ private:
+  RedParams params_;
+  RedState state_;
+  util::Rng rng_;
+  std::size_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+}  // namespace fatih::sim

@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace fatih::sim {
+
+EventId Simulator::schedule_at(util::SimTime t, std::function<void()> fn) {
+  // Requests for the past run "now": simulated time never moves backward.
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::schedule_in(util::Duration d, std::function<void()> fn) {
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { callbacks_.erase(id); }
+
+void Simulator::run_until(util::SimTime limit) {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    if (ev.at > limit) break;
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.at;
+    ++dispatched_;
+    fn();
+  }
+  if (limit != util::SimTime::infinity() && now_ < limit) now_ = limit;
+}
+
+void Simulator::run() { run_until(util::SimTime::infinity()); }
+
+}  // namespace fatih::sim

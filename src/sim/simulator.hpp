@@ -1,0 +1,76 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop ordered by simulated time. Ties are broken
+// by insertion order (FIFO), which keeps runs deterministic. Everything in
+// the network model — link transmissions, router processing, protocol
+// round timers, TCP retransmission timers — is an event here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace fatih::sim {
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+/// The event loop. Not copyable; one per experiment.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (time of the event being processed, or of the
+  /// last processed event between dispatches).
+  [[nodiscard]] util::SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(util::SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `d` from now.
+  EventId schedule_in(util::Duration d, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue empties or `limit` is passed; leaves
+  /// now() at min(limit, last event time). Events scheduled exactly at
+  /// `limit` are executed.
+  void run_until(util::SimTime limit);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Number of events dispatched so far (for tests / sanity checks).
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    util::SimTime at;
+    std::uint64_t seq;  // FIFO tie-break
+    EventId id;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  // Callbacks keyed by id; erased on dispatch or cancel. A cancelled event
+  // leaves a tombstone in queue_ that is skipped at dispatch time.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace fatih::sim

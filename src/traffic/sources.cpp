@@ -1,0 +1,96 @@
+#include "traffic/sources.hpp"
+
+namespace fatih::traffic {
+
+void send_datagram(sim::Network& net, util::NodeId src, util::NodeId dst, std::uint32_t flow_id,
+                   std::uint32_t seq, std::uint32_t payload_bytes) {
+  sim::PacketHeader hdr;
+  hdr.src = src;
+  hdr.dst = dst;
+  hdr.flow_id = flow_id;
+  hdr.seq = seq;
+  hdr.proto = sim::Protocol::kUdp;
+  sim::Packet p = net.make_packet(hdr, payload_bytes);
+  if (net.is_router(src)) {
+    net.router(src).originate(p);
+  } else {
+    net.host(src).send(p);
+  }
+}
+
+// ---------------------------------------------------------------- CbrSource
+
+CbrSource::CbrSource(sim::Network& net, Config config) : net_(net), config_(config) {
+  net_.sim().schedule_at(config_.start, [this] { tick(); });
+}
+
+void CbrSource::tick() {
+  if (net_.sim().now() >= config_.stop) return;
+  send_datagram(net_, config_.src, config_.dst, config_.flow_id, seq_++, config_.payload_bytes);
+  net_.sim().schedule_in(util::Duration::from_seconds(1.0 / config_.rate_pps), [this] { tick(); });
+}
+
+// ------------------------------------------------------------ PoissonSource
+
+PoissonSource::PoissonSource(sim::Network& net, Config config)
+    : net_(net), config_(config), rng_(net.rng().next_u64()) {
+  net_.sim().schedule_at(config_.start, [this] { tick(); });
+}
+
+void PoissonSource::tick() {
+  if (net_.sim().now() >= config_.stop) return;
+  send_datagram(net_, config_.src, config_.dst, config_.flow_id, seq_++, config_.payload_bytes);
+  const double gap = rng_.exponential(1.0 / config_.mean_rate_pps);
+  net_.sim().schedule_in(util::Duration::from_seconds(gap), [this] { tick(); });
+}
+
+// -------------------------------------------------------------- OnOffSource
+
+OnOffSource::OnOffSource(sim::Network& net, Config config)
+    : net_(net), config_(config), rng_(net.rng().next_u64()) {
+  net_.sim().schedule_at(config_.start, [this] { enter_on(); });
+}
+
+void OnOffSource::enter_on() {
+  if (net_.sim().now() >= config_.stop) return;
+  on_ = true;
+  const double on_seconds = rng_.exponential(config_.mean_on.to_seconds());
+  burst_end_ = net_.sim().now() + util::Duration::from_seconds(on_seconds);
+  net_.sim().schedule_at(burst_end_, [this] { enter_off(); });
+  tick();
+}
+
+void OnOffSource::enter_off() {
+  on_ = false;
+  if (net_.sim().now() >= config_.stop) return;
+  const double off_seconds = rng_.exponential(config_.mean_off.to_seconds());
+  net_.sim().schedule_in(util::Duration::from_seconds(off_seconds), [this] { enter_on(); });
+}
+
+void OnOffSource::tick() {
+  if (!on_ || net_.sim().now() >= config_.stop) return;
+  send_datagram(net_, config_.src, config_.dst, config_.flow_id, seq_++, config_.payload_bytes);
+  net_.sim().schedule_in(util::Duration::from_seconds(1.0 / config_.on_rate_pps),
+                         [this] { tick(); });
+}
+
+// ----------------------------------------------------------------- FlowSink
+
+FlowSink::FlowSink(sim::Network& net, util::NodeId node) {
+  net.node(node).add_local_handler(
+      [this](const sim::Packet& p, util::NodeId, util::SimTime now) {
+        auto& stats = flows_[p.hdr.flow_id];
+        ++stats.packets;
+        stats.bytes += p.size_bytes;
+        stats.last_arrival = now;
+        stats.sum_latency_seconds += (now - p.created).to_seconds();
+        ++total_packets_;
+      });
+}
+
+const FlowSink::FlowStats& FlowSink::flow(std::uint32_t flow_id) const {
+  auto it = flows_.find(flow_id);
+  return it != flows_.end() ? it->second : empty_;
+}
+
+}  // namespace fatih::traffic

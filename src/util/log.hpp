@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// The simulator and protocol engines log noteworthy events (detections,
+// route recomputations, attack activations) through this sink so that the
+// examples can narrate what is happening while tests and benches run quiet.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fatih::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are discarded.
+/// Defaults to kWarn so tests stay quiet.
+void set_log_level(LogLevel level);
+
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Writes one formatted line to stderr if `level` passes the global filter.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// printf-style convenience wrapper:
+///   log(LogLevel::kInfo, "fatih", "detected segment %s", seg.c_str());
+template <typename... Args>
+void log(LogLevel level, std::string_view component, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    log_line(level, component, fmt);
+  } else {
+    log_line(level, component, strfmt(fmt, std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace fatih::util

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (traffic inter-arrivals,
+// processing jitter, attack sampling, topology generation) draws from an
+// explicitly seeded Rng so that experiments are reproducible. The core
+// generator is xoshiro256** (Blackman & Vigna), implemented from scratch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fatih::util {
+
+/// xoshiro256** PRNG with distribution helpers.
+///
+/// Not cryptographically secure; crypto-grade randomness is not needed
+/// anywhere in the simulator (keys are also deterministic per-seed).
+class Rng {
+ public:
+  /// Seeds the state via splitmix64 so that nearby seeds give uncorrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Pareto-distributed value with scale xm and shape alpha; used for
+  /// heavy-tailed flow sizes.
+  double pareto(double xm, double alpha);
+
+  /// Derives an independent child generator; handy for giving each flow or
+  /// router its own stream.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace fatih::util

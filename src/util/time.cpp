@@ -1,0 +1,19 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace fatih::util {
+
+std::string to_string(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", t.seconds());
+  return buf;
+}
+
+std::string to_string(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", d.to_seconds());
+  return buf;
+}
+
+}  // namespace fatih::util

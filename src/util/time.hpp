@@ -1,0 +1,104 @@
+// Simulated time for the discrete-event network simulator.
+//
+// All libraries in this project are driven exclusively by simulated time:
+// there is no wall-clock dependency anywhere, which keeps every experiment
+// bit-for-bit reproducible. Time is an integer count of nanoseconds since
+// the start of the simulation.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace fatih::util {
+
+/// A span of simulated time in integer nanoseconds.
+///
+/// Value type with full ordering and arithmetic. Use the factory functions
+/// (`Duration::seconds(5)`, `Duration::micros(250)`, ...) rather than raw
+/// nanosecond counts in application code.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Constructs from a raw nanosecond count.
+  static constexpr Duration nanos(std::int64_t ns) { return Duration(ns); }
+  static constexpr Duration micros(std::int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1'000'000'000); }
+
+  /// Constructs from a fractional second count (e.g. 0.0035 -> 3.5 ms).
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  /// Scales by a real factor, rounding toward zero.
+  [[nodiscard]] constexpr Duration scaled(double f) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * f));
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime origin() { return SimTime(0); }
+  static constexpr SimTime from_nanos(std::int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  /// A time later than every time the simulator will ever reach.
+  static constexpr SimTime infinity() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(ns_ + d.count_nanos()); }
+  constexpr SimTime operator-(Duration d) const { return SimTime(ns_ - d.count_nanos()); }
+  constexpr Duration operator-(SimTime o) const { return Duration::nanos(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(Duration d) { ns_ += d.count_nanos(); return *this; }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// A half-open interval [begin, end) of simulated time; the measurement
+/// window tau over which traffic information is collected (dissertation §4.1).
+struct TimeInterval {
+  SimTime begin;
+  SimTime end;
+
+  [[nodiscard]] constexpr bool contains(SimTime t) const { return begin <= t && t < end; }
+  [[nodiscard]] constexpr Duration length() const { return end - begin; }
+  constexpr bool operator==(const TimeInterval&) const = default;
+};
+
+/// Renders a time as "12.345s" for logs and bench tables.
+[[nodiscard]] std::string to_string(SimTime t);
+[[nodiscard]] std::string to_string(Duration d);
+
+}  // namespace fatih::util

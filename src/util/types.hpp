@@ -1,0 +1,22 @@
+// Shared primitive identifier types.
+//
+// Kept in util so that low-level libraries (crypto, validation) can talk
+// about routers without depending on the simulator or routing layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fatih::util {
+
+/// Identifies a node (router or end host) in the simulated network.
+/// Dense small integers; assigned by the topology builder.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Renders a node id as "r<id>" for logs.
+[[nodiscard]] inline std::string node_name(NodeId id) { return "r" + std::to_string(id); }
+
+}  // namespace fatih::util

@@ -1,0 +1,73 @@
+#include "validation/bloom.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace fatih::validation {
+
+namespace {
+// Kirsch-Mitzenmacher double hashing: g_i(x) = h1(x) + i * h2(x).
+constexpr crypto::SipKey kH1{0x424C4F4F4D483121ULL, 0x66696C7465723131ULL};
+constexpr crypto::SipKey kH2{0x424C4F4F4D483221ULL, 0x66696C7465723232ULL};
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hashes)
+    : bits_((bits + 63) / 64 * 64), hashes_(hashes), words_(bits_ / 64, 0) {
+  assert(hashes_ >= 1 && bits_ >= 64);
+}
+
+void BloomFilter::insert(Fingerprint fp) {
+  const std::uint64_t h1 = crypto::siphash24(kH1, &fp, sizeof(fp));
+  const std::uint64_t h2 = crypto::siphash24(kH2, &fp, sizeof(fp)) | 1;  // odd stride
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bits_;
+    words_[bit / 64] |= (1ULL << (bit % 64));
+  }
+}
+
+bool BloomFilter::maybe_contains(Fingerprint fp) const {
+  const std::uint64_t h1 = crypto::siphash24(kH1, &fp, sizeof(fp));
+  const std::uint64_t h2 = crypto::siphash24(kH2, &fp, sizeof(fp)) | 1;
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bits_;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+BloomFilter BloomFilter::from_words(std::vector<std::uint64_t> words, std::size_t hashes) {
+  BloomFilter f(words.size() * 64, hashes);
+  f.words_ = std::move(words);
+  return f;
+}
+
+std::size_t BloomFilter::population() const {
+  std::size_t pop = 0;
+  for (std::uint64_t w : words_) pop += static_cast<std::size_t>(std::popcount(w));
+  return pop;
+}
+
+std::size_t BloomFilter::xor_population(const BloomFilter& a, const BloomFilter& b) {
+  assert(a.bits_ == b.bits_ && a.hashes_ == b.hashes_);
+  std::size_t pop = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    pop += static_cast<std::size_t>(std::popcount(a.words_[i] ^ b.words_[i]));
+  }
+  return pop;
+}
+
+std::optional<double> BloomFilter::estimate_symmetric_difference(const BloomFilter& a,
+                                                                 const BloomFilter& b) {
+  // A fingerprint in exactly one of the two sets flips ~k bits of the XOR
+  // image; collisions shrink that. Inverting the standard fill-rate model:
+  //   E[xor_pop] ~= m * (1 - (1 - 1/m)^(k*d))  =>
+  //   d ~= ln(1 - xor_pop/m) / (k * ln(1 - 1/m)).
+  const auto m = static_cast<double>(a.bits_);
+  const auto k = static_cast<double>(a.hashes_);
+  const auto pop = static_cast<double>(xor_population(a, b));
+  if (pop >= m) return std::nullopt;  // saturated
+  return std::log(1.0 - pop / m) / (k * std::log(1.0 - 1.0 / m));
+}
+
+}  // namespace fatih::validation

@@ -1,0 +1,24 @@
+// Packet fingerprints.
+//
+// Traffic validation identifies packets by a keyed one-way hash of their
+// path-invariant contents (dissertation §2.1.5). Mutable header fields
+// (TTL, and in real IP the checksum) are excluded — §7.4.2 — so that a
+// correct downstream router computes the same fingerprint as the upstream
+// one.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/siphash.hpp"
+#include "sim/packet.hpp"
+
+namespace fatih::validation {
+
+/// 64-bit packet fingerprint.
+using Fingerprint = std::uint64_t;
+
+/// Computes the keyed fingerprint of a packet over its invariant fields:
+/// src, dst, flow, seq, ack, proto, flags, payload identity, and size.
+[[nodiscard]] Fingerprint packet_fingerprint(crypto::SipKey key, const sim::Packet& p);
+
+}  // namespace fatih::validation

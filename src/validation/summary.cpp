@@ -1,0 +1,89 @@
+#include "validation/summary.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace fatih::validation {
+
+void FingerprintSummary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(fps_.begin(), fps_.end());
+    sorted_ = true;
+  }
+}
+
+std::vector<Fingerprint> FingerprintSummary::difference(const FingerprintSummary& other) const {
+  ensure_sorted();
+  other.ensure_sorted();
+  std::vector<Fingerprint> out;
+  std::set_difference(fps_.begin(), fps_.end(), other.fps_.begin(), other.fps_.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::size_t FingerprintSummary::symmetric_difference_size(const FingerprintSummary& a,
+                                                          const FingerprintSummary& b) {
+  a.ensure_sorted();
+  b.ensure_sorted();
+  std::size_t count = 0;
+  auto ia = a.fps_.begin();
+  auto ib = b.fps_.begin();
+  while (ia != a.fps_.end() && ib != b.fps_.end()) {
+    if (*ia < *ib) {
+      ++count;
+      ++ia;
+    } else if (*ib < *ia) {
+      ++count;
+      ++ib;
+    } else {
+      ++ia;
+      ++ib;
+    }
+  }
+  count += static_cast<std::size_t>(a.fps_.end() - ia);
+  count += static_cast<std::size_t>(b.fps_.end() - ib);
+  return count;
+}
+
+std::size_t OrderedSummary::reorder_count(const OrderedSummary& sent,
+                                          const OrderedSummary& received) {
+  // Restrict both streams to their common multiset.
+  // Positions of each fingerprint in the received stream, consumed FIFO so
+  // duplicate fingerprints pair up in order.
+  std::map<Fingerprint, std::vector<std::size_t>> positions;
+  for (std::size_t i = 0; i < received.fps_.size(); ++i) {
+    positions[received.fps_[i]].push_back(i);
+  }
+  // Map the sent stream to received positions (Hunt-Szymanski: duplicate
+  // positions listed in DECREASING order so the LIS uses each at most once).
+  std::map<Fingerprint, std::size_t> consumed;
+  std::vector<std::vector<std::size_t>> per_sent;
+  std::size_t common = 0;
+  for (Fingerprint fp : sent.fps_) {
+    auto it = positions.find(fp);
+    if (it == positions.end()) continue;
+    auto& used = consumed[fp];
+    if (used >= it->second.size()) continue;  // more sent copies than received
+    ++used;
+    ++common;
+    // All candidate positions, decreasing.
+    std::vector<std::size_t> cands(it->second.rbegin(), it->second.rend());
+    per_sent.push_back(std::move(cands));
+  }
+  // Longest strictly-increasing subsequence over the concatenated
+  // candidate lists = LCS length.
+  std::vector<std::size_t> tails;  // patience piles
+  for (const auto& cands : per_sent) {
+    for (std::size_t pos : cands) {
+      auto it = std::lower_bound(tails.begin(), tails.end(), pos);
+      if (it == tails.end()) {
+        tails.push_back(pos);
+      } else {
+        *it = pos;
+      }
+    }
+  }
+  return common - tails.size();
+}
+
+}  // namespace fatih::validation

@@ -1,0 +1,45 @@
+#include "crypto/hash_chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fatih::crypto {
+namespace {
+
+TEST(HashChain, AnchorVerifiesItself) {
+  const HashChain chain(123, 10);
+  EXPECT_TRUE(HashChain::verify(chain.anchor(), chain.anchor(), 0));
+}
+
+TEST(HashChain, EveryPositionVerifies) {
+  const HashChain chain(456, 32);
+  for (std::size_t i = 0; i <= chain.length(); ++i) {
+    EXPECT_TRUE(HashChain::verify(chain.anchor(), chain.value_at(i), i)) << i;
+  }
+}
+
+TEST(HashChain, WrongPositionFails) {
+  const HashChain chain(456, 32);
+  EXPECT_FALSE(HashChain::verify(chain.anchor(), chain.value_at(5), 6));
+  EXPECT_FALSE(HashChain::verify(chain.anchor(), chain.value_at(5), 4));
+}
+
+TEST(HashChain, ForgedValueFails) {
+  const HashChain chain(789, 16);
+  EXPECT_FALSE(HashChain::verify(chain.anchor(), chain.value_at(3) ^ 1, 3));
+}
+
+TEST(HashChain, StepIsChainLink) {
+  const HashChain chain(42, 8);
+  for (std::size_t i = 1; i <= chain.length(); ++i) {
+    EXPECT_EQ(HashChain::step(chain.value_at(i)), chain.value_at(i - 1));
+  }
+}
+
+TEST(HashChain, DifferentSeedsDiverge) {
+  const HashChain a(1, 4);
+  const HashChain b(2, 4);
+  EXPECT_NE(a.anchor(), b.anchor());
+}
+
+}  // namespace
+}  // namespace fatih::crypto

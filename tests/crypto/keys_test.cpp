@@ -1,0 +1,59 @@
+#include "crypto/keys.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fatih::crypto {
+namespace {
+
+TEST(KeyRegistry, PairwiseKeySymmetric) {
+  const KeyRegistry reg(12345);
+  EXPECT_EQ(reg.pairwise_key(3, 7), reg.pairwise_key(7, 3));
+  EXPECT_EQ(reg.fingerprint_key(3, 7), reg.fingerprint_key(7, 3));
+}
+
+TEST(KeyRegistry, DistinctPairsGetDistinctKeys) {
+  const KeyRegistry reg(12345);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (util::NodeId a = 0; a < 10; ++a) {
+    for (util::NodeId b = a + 1; b < 10; ++b) {
+      const SipKey k = reg.pairwise_key(a, b);
+      EXPECT_TRUE(seen.insert({k.k0, k.k1}).second) << a << "," << b;
+    }
+  }
+}
+
+TEST(KeyRegistry, SigningKeysDistinctPerRouter) {
+  const KeyRegistry reg(999);
+  std::set<std::uint64_t> seen;
+  for (util::NodeId r = 0; r < 100; ++r) {
+    EXPECT_TRUE(seen.insert(reg.signing_key(r).k0).second);
+  }
+}
+
+TEST(KeyRegistry, KeyFamiliesAreSeparated) {
+  const KeyRegistry reg(1);
+  // The pairwise, signing and fingerprint families must never collide.
+  EXPECT_NE(reg.pairwise_key(1, 2), reg.fingerprint_key(1, 2));
+  const SipKey sign = reg.signing_key(1);
+  const SipKey pair = reg.pairwise_key(1, 0);
+  EXPECT_FALSE(sign.k0 == pair.k0 && sign.k1 == pair.k1);
+}
+
+TEST(KeyRegistry, DeterministicAcrossInstances) {
+  const KeyRegistry a(42);
+  const KeyRegistry b(42);
+  EXPECT_EQ(a.pairwise_key(5, 9), b.pairwise_key(5, 9));
+  EXPECT_EQ(a.signing_key(5), b.signing_key(5));
+}
+
+TEST(KeyRegistry, MasterSeedChangesEverything) {
+  const KeyRegistry a(42);
+  const KeyRegistry b(43);
+  EXPECT_NE(a.pairwise_key(5, 9), b.pairwise_key(5, 9));
+  EXPECT_NE(a.signing_key(5), b.signing_key(5));
+}
+
+}  // namespace
+}  // namespace fatih::crypto

@@ -1,0 +1,170 @@
+#include "attacks/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/sources.hpp"
+
+namespace fatih::attacks {
+namespace {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+sim::Packet udp_packet(NodeId src, NodeId dst, std::uint32_t flow) {
+  sim::Packet p;
+  p.hdr.src = src;
+  p.hdr.dst = dst;
+  p.hdr.flow_id = flow;
+  p.hdr.proto = sim::Protocol::kUdp;
+  p.size_bytes = 100;
+  return p;
+}
+
+TEST(FlowMatch, EmptyMatchesAnyData) {
+  const FlowMatch match;
+  EXPECT_TRUE(match.matches(udp_packet(1, 2, 7)));
+  sim::Packet control = udp_packet(1, 2, 7);
+  control.hdr.proto = sim::Protocol::kControl;
+  EXPECT_FALSE(match.matches(control));
+}
+
+TEST(FlowMatch, ControlOptIn) {
+  FlowMatch match;
+  match.include_control = true;
+  sim::Packet control = udp_packet(1, 2, 7);
+  control.hdr.proto = sim::Protocol::kControl;
+  EXPECT_TRUE(match.matches(control));
+}
+
+TEST(FlowMatch, FlowIdsFilter) {
+  FlowMatch match;
+  match.flow_ids = {3, 5};
+  EXPECT_TRUE(match.matches(udp_packet(1, 2, 3)));
+  EXPECT_TRUE(match.matches(udp_packet(1, 2, 5)));
+  EXPECT_FALSE(match.matches(udp_packet(1, 2, 4)));
+}
+
+TEST(FlowMatch, SrcDstFilters) {
+  FlowMatch match;
+  match.src = 1;
+  match.dst = 9;
+  EXPECT_TRUE(match.matches(udp_packet(1, 9, 0)));
+  EXPECT_FALSE(match.matches(udp_packet(2, 9, 0)));
+  EXPECT_FALSE(match.matches(udp_packet(1, 8, 0)));
+}
+
+TEST(FlowMatch, SynOnlyMatchesPureSyn) {
+  FlowMatch match;
+  match.syn_only = true;
+  sim::Packet p = udp_packet(1, 2, 0);
+  EXPECT_FALSE(match.matches(p));  // not TCP
+  p.hdr.proto = sim::Protocol::kTcp;
+  EXPECT_FALSE(match.matches(p));  // no SYN flag
+  p.hdr.flags = sim::kFlagSyn;
+  EXPECT_TRUE(match.matches(p));
+  p.hdr.flags = sim::kFlagSyn | sim::kFlagAck;
+  EXPECT_FALSE(match.matches(p));  // SYN-ACK is the victim's reply, not target
+}
+
+struct AttackHarness {
+  sim::Network net{3};
+  NodeId a;
+  NodeId b;
+  std::size_t delivered = 0;
+
+  AttackHarness() {
+    a = net.add_router("a").id();
+    b = net.add_router("b").id();
+    sim::LinkConfig cfg;
+    net.connect(a, b, cfg);
+    net.router(a).set_route(b, 0);
+    net.router(b).add_local_handler(
+        [this](const sim::Packet&, NodeId, SimTime) { ++delivered; });
+  }
+
+  void blast(int n) {
+    for (int i = 0; i < n; ++i) {
+      net.sim().schedule_at(SimTime::from_seconds(0.01 * i), [this, i] {
+        sim::PacketHeader hdr;
+        hdr.src = a;
+        hdr.dst = b;
+        hdr.flow_id = 1;
+        hdr.seq = static_cast<std::uint32_t>(i);
+        net.router(a).originate(net.make_packet(hdr, 100));
+      });
+    }
+  }
+};
+
+TEST(RateDropAttack, InertBeforeActivation) {
+  AttackHarness h;
+  FlowMatch match;
+  h.net.router(h.a).set_forward_filter(std::make_shared<RateDropAttack>(
+      match, 1.0, SimTime::from_seconds(0.5), 7));
+  h.blast(100);  // packets at 0.00 .. 0.99s
+  h.net.sim().run();
+  // Roughly the first half survive.
+  EXPECT_NEAR(static_cast<double>(h.delivered), 50.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(h.net.router(h.a).malicious_drops()), 50.0, 2.0);
+}
+
+TEST(RateDropAttack, FractionRespected) {
+  AttackHarness h;
+  FlowMatch match;
+  h.net.router(h.a).set_forward_filter(std::make_shared<RateDropAttack>(
+      match, 0.25, SimTime::origin(), 7));
+  h.blast(1000);
+  h.net.sim().run();
+  EXPECT_NEAR(static_cast<double>(h.delivered), 750.0, 50.0);
+}
+
+TEST(ModificationAttack, PreservesDeliveryAltersBytes) {
+  AttackHarness h;
+  std::set<std::uint64_t> tags;
+  h.net.router(h.b).add_local_handler(
+      [&tags](const sim::Packet& p, NodeId, SimTime) { tags.insert(p.payload_tag); });
+  FlowMatch match;
+  h.net.router(h.a).set_forward_filter(std::make_shared<ModificationAttack>(
+      match, 1.0, SimTime::origin(), 7));
+  h.blast(50);
+  h.net.sim().run();
+  EXPECT_EQ(h.delivered, 50U);      // nothing lost
+  EXPECT_EQ(tags.size(), 50U);      // but every payload replaced uniquely
+}
+
+TEST(ReorderAttack, DelayedPacketsArriveLate) {
+  AttackHarness h;
+  std::vector<std::uint32_t> order;
+  h.net.router(h.b).add_local_handler(
+      [&order](const sim::Packet& p, NodeId, SimTime) { order.push_back(p.hdr.seq); });
+  FlowMatch match;
+  h.net.router(h.a).set_forward_filter(std::make_shared<ReorderAttack>(
+      match, 0.5, Duration::millis(50), SimTime::origin(), 7));
+  h.blast(40);
+  h.net.sim().run();
+  EXPECT_EQ(order.size(), 40U);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(FabricationAttack, InjectsAtConfiguredRate) {
+  AttackHarness h;
+  FabricationAttack::Config cfg;
+  cfg.at = h.a;
+  cfg.forged_src = 9;  // a node that does not even exist
+  cfg.dst = h.b;
+  cfg.flow_id = 66;
+  cfg.rate_pps = 100;
+  cfg.start = SimTime::origin();
+  cfg.stop = SimTime::from_seconds(1);
+  std::size_t forged = 0;
+  h.net.router(h.b).add_local_handler([&forged](const sim::Packet& p, NodeId, SimTime) {
+    if (p.hdr.flow_id == 66) ++forged;
+  });
+  FabricationAttack attack(h.net, cfg);
+  h.net.sim().run_until(SimTime::from_seconds(2));
+  EXPECT_NEAR(static_cast<double>(forged), 100.0, 2.0);
+}
+
+}  // namespace
+}  // namespace fatih::attacks

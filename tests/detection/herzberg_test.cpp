@@ -1,0 +1,143 @@
+#include "detection/herzberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hpp"
+#include "detection/spec.hpp"
+#include "tests/detection/test_net.hpp"
+
+namespace fatih::detection {
+namespace {
+
+using testing::LineNet;
+using util::Duration;
+using util::SimTime;
+
+HerzbergConfig config_of(HerzbergConfig::Mode mode, std::size_t spacing = 2) {
+  HerzbergConfig cfg;
+  cfg.mode = mode;
+  cfg.per_hop_bound = Duration::millis(5);
+  cfg.checkpoint_spacing = spacing;
+  cfg.flow_id = 1;
+  return cfg;
+}
+
+struct HerzbergFixture {
+  LineNet line;
+  routing::Path path;
+  std::unique_ptr<HerzbergDetector> detector;
+
+  explicit HerzbergFixture(HerzbergConfig cfg, std::size_t n = 6) : line(n) {
+    for (util::NodeId i = 0; i < n; ++i) path.push_back(i);
+    detector = std::make_unique<HerzbergDetector>(line.net, line.keys, path, cfg);
+    line.add_cbr(0, static_cast<util::NodeId>(n - 1), 1, 100, SimTime::from_seconds(0.1),
+                 SimTime::from_seconds(2.9));
+  }
+
+  void attack_at(util::NodeId r, double t) {
+    attacks::FlowMatch match;
+    match.flow_ids = {1};
+    line.net.router(r).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+        match, 1.0, SimTime::from_seconds(t), 7));
+  }
+
+  void run(double seconds = 4.0) { line.net.sim().run_until(SimTime::from_seconds(seconds)); }
+};
+
+class HerzbergModes : public ::testing::TestWithParam<HerzbergConfig::Mode> {};
+
+TEST_P(HerzbergModes, CleanPathNoSuspicions) {
+  HerzbergFixture f(config_of(GetParam()));
+  f.run();
+  EXPECT_GT(f.detector->data_packets_seen(), 200U);
+  EXPECT_TRUE(f.detector->suspicions().empty());
+}
+
+TEST_P(HerzbergModes, DropperDetectedAccurately) {
+  HerzbergFixture f(config_of(GetParam()));
+  GroundTruth truth;
+  truth.mark_traffic_faulty(3, SimTime::from_seconds(1));
+  f.attack_at(3, 1.0);
+  f.run();
+  ASSERT_FALSE(f.detector->suspicions().empty());
+  const std::size_t precision =
+      GetParam() == HerzbergConfig::Mode::kCheckpoint ? 3 : 2;
+  EXPECT_TRUE(check_accuracy(f.detector->suspicions(), truth, precision).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.detector->suspicions(), 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, HerzbergModes,
+                         ::testing::Values(HerzbergConfig::Mode::kEndToEnd,
+                                           HerzbergConfig::Mode::kHopByHop,
+                                           HerzbergConfig::Mode::kCheckpoint));
+
+TEST(Herzberg, MessageComplexityOrdering) {
+  // §3.3's trade-off: e2e sends one ack per packet, checkpoints L/c,
+  // hop-by-hop L-1 (plus the sink).
+  HerzbergFixture e2e(config_of(HerzbergConfig::Mode::kEndToEnd));
+  HerzbergFixture hop(config_of(HerzbergConfig::Mode::kHopByHop));
+  HerzbergFixture cp(config_of(HerzbergConfig::Mode::kCheckpoint));
+  e2e.run();
+  hop.run();
+  cp.run();
+  const auto per_packet = [](const HerzbergFixture& f) {
+    return static_cast<double>(f.detector->ack_messages_sent()) /
+           static_cast<double>(f.detector->data_packets_seen());
+  };
+  EXPECT_NEAR(per_packet(e2e), 1.0, 0.1);
+  EXPECT_NEAR(per_packet(hop), 5.0, 0.2);  // positions 1..5 each ack
+  EXPECT_GT(per_packet(cp), per_packet(e2e));
+  EXPECT_LT(per_packet(cp), per_packet(hop));
+}
+
+TEST(Herzberg, DetectionLatencyOrdering) {
+  // Hop-by-hop and checkpoint localize faster than end-to-end, whose
+  // timeout spans the whole remaining path.
+  auto first_detection = [](HerzbergConfig::Mode mode) {
+    HerzbergFixture f(config_of(mode));
+    f.attack_at(3, 1.0);
+    f.run();
+    return f.detector->first_detection_time();
+  };
+  const auto t_cp = first_detection(HerzbergConfig::Mode::kCheckpoint);
+  const auto t_e2e = first_detection(HerzbergConfig::Mode::kEndToEnd);
+  ASSERT_LT(t_e2e, SimTime::infinity());
+  ASSERT_LT(t_cp, SimTime::infinity());
+  // The checkpoint just upstream of the fault waits ~2*spacing hops; the
+  // end-to-end waiter just upstream waits ~2*(remaining path) hops.
+  EXPECT_LE(t_cp, t_e2e);
+}
+
+TEST(Herzberg, EndToEndBlamesAdjacentPair) {
+  HerzbergFixture f(config_of(HerzbergConfig::Mode::kEndToEnd));
+  f.attack_at(4, 1.0);
+  f.run();
+  ASSERT_FALSE(f.detector->suspicions().empty());
+  // The nearest upstream correct router (position 3) times out first and
+  // announces <r3, r4>.
+  const auto& s = f.detector->suspicions().front();
+  EXPECT_EQ(s.segment, (routing::PathSegment{3, 4}));
+}
+
+TEST(Herzberg, CheckpointPrecisionIsSegmentWide) {
+  HerzbergFixture f(config_of(HerzbergConfig::Mode::kCheckpoint, 2));
+  f.attack_at(3, 1.0);  // interior of the checkpoint segment <2,3,4>
+  f.run();
+  ASSERT_FALSE(f.detector->suspicions().empty());
+  const auto& s = f.detector->suspicions().front();
+  EXPECT_EQ(s.segment, (routing::PathSegment{2, 3, 4}));
+}
+
+TEST(Herzberg, SingleAckPerPacketEvenUnderLoss) {
+  // End-to-end ack accounting stays one-per-delivered-packet.
+  HerzbergFixture f(config_of(HerzbergConfig::Mode::kEndToEnd));
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  f.line.net.router(2).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 0.5, SimTime::from_seconds(1), 7));
+  f.run();
+  EXPECT_LE(f.detector->ack_messages_sent(), f.detector->data_packets_seen());
+}
+
+}  // namespace
+}  // namespace fatih::detection

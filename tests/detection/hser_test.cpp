@@ -1,0 +1,121 @@
+#include "detection/hser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hpp"
+#include "detection/spec.hpp"
+#include "tests/detection/test_net.hpp"
+
+namespace fatih::detection {
+namespace {
+
+using testing::LineNet;
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+struct HserFixture {
+  LineNet line{6};
+  routing::Path path{0, 1, 2, 3, 4, 5};
+  std::unique_ptr<HserDetector> detector;
+
+  HserFixture() {
+    HserConfig cfg;
+    cfg.per_hop_bound = Duration::millis(5);
+    cfg.flow_id = 1;
+    detector = std::make_unique<HserDetector>(line.net, line.keys, path, cfg);
+  }
+
+  void blast(int packets, double start, double spacing = 0.01) {
+    for (int i = 0; i < packets; ++i) {
+      line.net.sim().schedule_at(SimTime::from_seconds(start + spacing * i), [this, i] {
+        detector->send(static_cast<std::uint32_t>(i), 500);
+      });
+    }
+  }
+
+  void run(double seconds = 4.0) { line.net.sim().run_until(SimTime::from_seconds(seconds)); }
+};
+
+TEST(Hser, CleanPathDeliversAndStaysQuiet) {
+  HserFixture f;
+  f.blast(100, 0.1);
+  f.run();
+  EXPECT_EQ(f.detector->delivered(), 100U);
+  EXPECT_EQ(f.detector->auth_failures(), 0U);
+  EXPECT_TRUE(f.detector->suspicions().empty());
+}
+
+TEST(Hser, DropperLocatedWithPrecision2) {
+  HserFixture f;
+  GroundTruth truth;
+  truth.mark_traffic_faulty(3, SimTime::from_seconds(1));
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  f.line.net.router(3).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 1.0, SimTime::from_seconds(1), 7));
+  f.blast(200, 0.1);
+  f.run();
+  ASSERT_FALSE(f.detector->suspicions().empty());
+  EXPECT_TRUE(check_accuracy(f.detector->suspicions(), truth, 2).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.detector->suspicions(), 3));
+}
+
+TEST(Hser, ModificationCaughtByHopAuthentication) {
+  // HSER's distinguishing capability among the ack protocols: a tampered
+  // packet fails MAC verification at the NEXT hop, which names the
+  // upstream link immediately — no ack timeout needed.
+  HserFixture f;
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::from_seconds(1));
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  f.line.net.router(2).set_forward_filter(std::make_shared<attacks::ModificationAttack>(
+      match, 1.0, SimTime::from_seconds(1), 7));
+  f.blast(100, 0.1);
+  f.run();
+  EXPECT_GT(f.detector->auth_failures(), 0U);
+  ASSERT_FALSE(f.detector->suspicions().empty());
+  bool auth_cause = false;
+  for (const auto& s : f.detector->suspicions()) {
+    if (s.cause == "hser-auth-failure") auth_cause = true;
+  }
+  EXPECT_TRUE(auth_cause);
+  EXPECT_TRUE(check_accuracy(f.detector->suspicions(), truth, 2).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.detector->suspicions(), 2));
+}
+
+TEST(Hser, PartialDropStillCaught) {
+  HserFixture f;
+  GroundTruth truth;
+  truth.mark_traffic_faulty(4, SimTime::from_seconds(1));
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  f.line.net.router(4).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 0.2, SimTime::from_seconds(1), 7));
+  f.blast(200, 0.1);
+  f.run();
+  ASSERT_FALSE(f.detector->suspicions().empty());
+  EXPECT_TRUE(check_completeness_for(f.detector->suspicions(), 4));
+  // Deliveries continue for the surviving 80%.
+  EXPECT_GT(f.detector->delivered(), 120U);
+}
+
+TEST(Hser, AnnouncementNamesNearestPair) {
+  HserFixture f;
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  f.line.net.router(3).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 1.0, SimTime::from_seconds(1), 7));
+  f.blast(50, 1.1);
+  f.run();
+  ASSERT_FALSE(f.detector->suspicions().empty());
+  // The hop just upstream of the dropper times out first: <r2, r3>... or
+  // the source's own end-to-end timer names <r3, r4> via hop 3's silence.
+  for (const auto& s : f.detector->suspicions()) {
+    EXPECT_TRUE(s.segment.contains(3)) << s.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace fatih::detection

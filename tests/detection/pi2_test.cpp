@@ -1,0 +1,209 @@
+#include "detection/pi2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hpp"
+#include "detection/spec.hpp"
+#include "tests/detection/test_net.hpp"
+
+namespace fatih::detection {
+namespace {
+
+using testing::LineNet;
+using util::Duration;
+using util::SimTime;
+
+Pi2Config fast_config(std::int64_t rounds = 4, std::size_t k = 1) {
+  Pi2Config cfg;
+  cfg.clock = RoundClock{SimTime::origin(), Duration::seconds(1)};
+  cfg.k = k;
+  cfg.collect_settle = Duration::millis(150);
+  cfg.evaluate_settle = Duration::millis(300);
+  cfg.policy = TvPolicy::kContentOrder;
+  cfg.rounds = rounds;
+  return cfg;
+}
+
+// Runs a 5-router line with CBR 0->4 and 4->0 for `seconds`.
+struct Pi2Fixture {
+  LineNet line{5};
+  std::unique_ptr<Pi2Engine> engine;
+
+  explicit Pi2Fixture(Pi2Config cfg = fast_config()) {
+    engine = std::make_unique<Pi2Engine>(line.net, line.keys, *line.paths, line.terminals(),
+                                         cfg);
+    line.add_cbr(0, 4, 1, 200, SimTime::from_seconds(0.05), SimTime::from_seconds(3.9));
+    line.add_cbr(4, 0, 2, 150, SimTime::from_seconds(0.05), SimTime::from_seconds(3.9));
+    engine->start();
+  }
+
+  void run(double seconds = 6.0) { line.net.sim().run_until(SimTime::from_seconds(seconds)); }
+};
+
+TEST(Pi2, NoAttackNoSuspicions) {
+  Pi2Fixture f;
+  f.run();
+  EXPECT_TRUE(f.engine->suspicions().empty());
+}
+
+TEST(Pi2, MonitoredSetsMatchSegmentIndex) {
+  Pi2Fixture f;
+  // Interior router 2 of a 5-line with k=1 monitors the 3-windows
+  // containing it, in both directions: {<0,1,2>,<1,2,3>,<2,3,4>} and the
+  // three reverses.
+  const auto segs = f.engine->monitored_by(2);
+  EXPECT_EQ(segs.size(), 6U);
+  // End router 0 is in <0,1,2> and <2,1,0>.
+  EXPECT_EQ(f.engine->monitored_by(0).size(), 2U);
+}
+
+TEST(Pi2, DropperSuspectedWithPrecision2) {
+  Pi2Fixture f;
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::from_seconds(2));
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  f.line.net.router(2).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 1.0, SimTime::from_seconds(2), 99));
+  f.run();
+  const auto& suspicions = f.engine->suspicions();
+  ASSERT_FALSE(suspicions.empty());
+  const auto report = check_accuracy(suspicions, truth, 2);
+  EXPECT_TRUE(report.accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(suspicions, 2));
+}
+
+TEST(Pi2, StrongCompletenessEveryCorrectRouterSuspects) {
+  Pi2Fixture f;
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  f.line.net.router(2).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 1.0, SimTime::from_seconds(2), 99));
+  f.run();
+  // Every correct router that monitors a segment containing r2 must have
+  // raised a suspicion containing r2 (strong completeness, §5.1).
+  for (util::NodeId r : {0U, 1U, 3U, 4U}) {
+    bool found = false;
+    for (const auto& s : f.engine->suspicions()) {
+      if (s.reporter == r && s.segment.contains(2)) found = true;
+    }
+    EXPECT_TRUE(found) << "router " << r;
+  }
+}
+
+TEST(Pi2, ModificationDetected) {
+  Pi2Fixture f;
+  GroundTruth truth;
+  truth.mark_traffic_faulty(1, SimTime::from_seconds(2));
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  f.line.net.router(1).set_forward_filter(std::make_shared<attacks::ModificationAttack>(
+      match, 0.5, SimTime::from_seconds(2), 99));
+  f.run();
+  ASSERT_FALSE(f.engine->suspicions().empty());
+  EXPECT_TRUE(check_accuracy(f.engine->suspicions(), truth, 2).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.engine->suspicions(), 1));
+}
+
+TEST(Pi2, ReorderingDetected) {
+  Pi2Fixture f;
+  GroundTruth truth;
+  truth.mark_traffic_faulty(3, SimTime::from_seconds(2));
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  // Hold back 30% of packets by 30 ms: reorders past ~6 packets at 200pps.
+  f.line.net.router(3).set_forward_filter(std::make_shared<attacks::ReorderAttack>(
+      match, 0.3, Duration::millis(30), SimTime::from_seconds(2), 99));
+  f.run();
+  ASSERT_FALSE(f.engine->suspicions().empty());
+  EXPECT_TRUE(check_accuracy(f.engine->suspicions(), truth, 2).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.engine->suspicions(), 3));
+}
+
+TEST(Pi2, FabricationDetected) {
+  Pi2Fixture f;
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::from_seconds(1));
+  attacks::FabricationAttack::Config cfg;
+  cfg.at = 2;
+  cfg.forged_src = 0;
+  cfg.dst = 4;
+  cfg.flow_id = 1;
+  cfg.rate_pps = 100;
+  cfg.start = SimTime::from_seconds(1);
+  cfg.stop = SimTime::from_seconds(3.5);
+  attacks::FabricationAttack attack(f.line.net, cfg);
+  f.run();
+  ASSERT_FALSE(f.engine->suspicions().empty());
+  EXPECT_TRUE(check_accuracy(f.engine->suspicions(), truth, 2).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.engine->suspicions(), 2));
+}
+
+TEST(Pi2, MisroutingDetected) {
+  // Misrouting is loss + fabrication (§2.2.1): the packet vanishes from
+  // its nominal segment and appears where it does not belong.
+  Pi2Fixture f;
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::from_seconds(2));
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  // r2 diverts flow 1 back toward r1 instead of onward to r3.
+  const std::size_t wrong = f.line.net.router(2).interface_to(1)->index();
+  f.line.net.router(2).set_forward_filter(std::make_shared<attacks::MisrouteAttack>(
+      match, 1.0, wrong, SimTime::from_seconds(2), 99));
+  f.run();
+  ASSERT_FALSE(f.engine->suspicions().empty());
+  EXPECT_TRUE(check_accuracy(f.engine->suspicions(), truth, 2).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.engine->suspicions(), 2));
+}
+
+TEST(Pi2, ProtocolFaultySilenceSuspected) {
+  Pi2Fixture f;
+  GroundTruth truth;
+  truth.mark_protocol_faulty(2, SimTime::from_seconds(2));
+  f.engine->set_report_mutator(2, [&f](SegmentSummary& s) {
+    // Withhold everything from round 2 on.
+    return s.round < 2;
+  });
+  f.run();
+  ASSERT_FALSE(f.engine->suspicions().empty());
+  EXPECT_TRUE(check_accuracy(f.engine->suspicions(), truth, 2).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.engine->suspicions(), 2));
+}
+
+TEST(Pi2, LyingSummaryImplicatesLiarPair) {
+  Pi2Fixture f;
+  GroundTruth truth;
+  truth.mark_protocol_faulty(1, SimTime::origin());
+  f.engine->set_report_mutator(1, [](SegmentSummary& s) {
+    // Claim one extra phantom packet everywhere.
+    s.content.push_back(0xDEADBEEF);
+    s.counters.add(1000);
+    return true;
+  });
+  f.run();
+  ASSERT_FALSE(f.engine->suspicions().empty());
+  const auto report = check_accuracy(f.engine->suspicions(), truth, 2);
+  EXPECT_TRUE(report.accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.engine->suspicions(), 1));
+}
+
+TEST(Pi2, ThresholdsAbsorbBenignLoss) {
+  // With a congested link and a loss allowance, clean-but-lossy traffic
+  // must not raise suspicions.
+  sim::LinkConfig tight = testing::fast_link();
+  tight.bandwidth_bps = 2e6;
+  tight.queue_limit_bytes = 8000;
+  LineNet line(5, tight);
+  auto cfg = fast_config(4);
+  cfg.thresholds.max_lost_fraction = 0.6;
+  Pi2Engine engine(line.net, line.keys, *line.paths, line.terminals(), cfg);
+  // 400 pps of 1000B = 3.2 Mbps through a 2 Mbps bottleneck: heavy loss.
+  line.add_cbr(0, 4, 1, 400, SimTime::from_seconds(0.05), SimTime::from_seconds(3.9));
+  engine.start();
+  line.net.sim().run_until(SimTime::from_seconds(6));
+  EXPECT_TRUE(engine.suspicions().empty());
+}
+
+}  // namespace
+}  // namespace fatih::detection

@@ -1,0 +1,116 @@
+#include "detection/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fatih::detection {
+namespace {
+
+using util::SimTime;
+using util::TimeInterval;
+
+Suspicion make_suspicion(util::NodeId reporter, std::initializer_list<util::NodeId> seg,
+                         double t0 = 0.0, double t1 = 10.0) {
+  Suspicion s;
+  s.reporter = reporter;
+  s.segment = routing::PathSegment(seg);
+  s.interval = TimeInterval{SimTime::from_seconds(t0), SimTime::from_seconds(t1)};
+  return s;
+}
+
+TEST(GroundTruth, MarkingAndQuery) {
+  GroundTruth truth;
+  truth.mark_traffic_faulty(3, SimTime::from_seconds(5));
+  EXPECT_TRUE(truth.is_faulty_ever(3));
+  EXPECT_TRUE(truth.is_traffic_faulty_ever(3));
+  EXPECT_FALSE(truth.is_faulty_ever(4));
+  // Faulty during intervals overlapping [5, inf).
+  EXPECT_TRUE(truth.is_faulty(3, {SimTime::from_seconds(6), SimTime::from_seconds(7)}));
+  EXPECT_FALSE(truth.is_faulty(3, {SimTime::from_seconds(1), SimTime::from_seconds(4)}));
+}
+
+TEST(GroundTruth, ProtocolFaultCountsAsFaulty) {
+  GroundTruth truth;
+  truth.mark_protocol_faulty(2, SimTime::origin());
+  EXPECT_TRUE(truth.is_faulty_ever(2));
+  EXPECT_FALSE(truth.is_traffic_faulty_ever(2));
+}
+
+TEST(GroundTruth, FaultyRosterSorted) {
+  GroundTruth truth;
+  truth.mark_traffic_faulty(9, SimTime::origin());
+  truth.mark_protocol_faulty(2, SimTime::origin());
+  EXPECT_EQ(truth.faulty_routers(), (std::vector<util::NodeId>{2, 9}));
+}
+
+TEST(CheckAccuracy, AccurateSuspicionCounted) {
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::origin());
+  const auto report = check_accuracy({make_suspicion(0, {1, 2})}, truth, 2);
+  EXPECT_EQ(report.suspicions, 1U);
+  EXPECT_EQ(report.accurate, 1U);
+  EXPECT_TRUE(report.accuracy_holds());
+}
+
+TEST(CheckAccuracy, ViolationWhenAllCorrect) {
+  GroundTruth truth;
+  truth.mark_traffic_faulty(9, SimTime::origin());
+  const auto report = check_accuracy({make_suspicion(0, {1, 2})}, truth, 2);
+  EXPECT_EQ(report.violations, 1U);
+  EXPECT_FALSE(report.accuracy_holds());
+}
+
+TEST(CheckAccuracy, OversizedSegmentFlagged) {
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::origin());
+  const auto report = check_accuracy({make_suspicion(0, {1, 2, 3})}, truth, 2);
+  EXPECT_EQ(report.oversized, 1U);
+  EXPECT_FALSE(report.accuracy_holds());
+}
+
+TEST(CheckAccuracy, FaultyReportersIgnored) {
+  // §4.2.2: faulty routers may suspect correct routers; only correct
+  // reporters are held to the accuracy property.
+  GroundTruth truth;
+  truth.mark_traffic_faulty(5, SimTime::origin());
+  const auto report = check_accuracy({make_suspicion(5, {1, 2})}, truth, 2);
+  EXPECT_EQ(report.suspicions, 0U);
+  EXPECT_TRUE(report.accuracy_holds());
+}
+
+TEST(CheckAccuracy, TimingMatters) {
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::from_seconds(100));
+  // Suspicion interval ends before the fault began: inaccurate.
+  const auto report = check_accuracy({make_suspicion(0, {1, 2}, 0, 10)}, truth, 2);
+  EXPECT_EQ(report.violations, 1U);
+}
+
+TEST(CheckCompleteness, FindsContainingSegment) {
+  const std::vector<Suspicion> suspicions{make_suspicion(0, {1, 2}),
+                                          make_suspicion(3, {4, 5})};
+  EXPECT_TRUE(check_completeness_for(suspicions, 2));
+  EXPECT_TRUE(check_completeness_for(suspicions, 4));
+  EXPECT_FALSE(check_completeness_for(suspicions, 7));
+  EXPECT_FALSE(check_completeness_for({}, 2));
+}
+
+TEST(RoundClock, RoundArithmetic) {
+  RoundClock clock{SimTime::origin(), util::Duration::seconds(5)};
+  EXPECT_EQ(clock.round_of(SimTime::from_seconds(0.1)), 0);
+  EXPECT_EQ(clock.round_of(SimTime::from_seconds(4.999)), 0);
+  EXPECT_EQ(clock.round_of(SimTime::from_seconds(5.0)), 1);
+  EXPECT_EQ(clock.round_of(SimTime::from_seconds(17.0)), 3);
+  const auto tau2 = clock.interval_of(2);
+  EXPECT_EQ(tau2.begin, SimTime::from_seconds(10));
+  EXPECT_EQ(tau2.end, SimTime::from_seconds(15));
+}
+
+TEST(Suspicion, RendersReadably) {
+  const auto s = make_suspicion(0, {1, 2});
+  const auto text = s.to_string();
+  EXPECT_NE(text.find("r0"), std::string::npos);
+  EXPECT_NE(text.find("<r1,r2>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fatih::detection

@@ -1,0 +1,141 @@
+#include "detection/summary_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/detection/test_net.hpp"
+
+namespace fatih::detection {
+namespace {
+
+using testing::LineNet;
+using util::Duration;
+using util::SimTime;
+
+RoundClock one_second_rounds() { return RoundClock{SimTime::origin(), Duration::seconds(1)}; }
+
+TEST(SummaryGenerator, InteriorRouterRecordsAlignedTraffic) {
+  LineNet line(5);
+  SummaryGenerator gen(line.net, line.keys, 2, one_second_rounds(), *line.paths);
+  const routing::PathSegment seg{1, 2, 3};
+  gen.monitor(seg, 1);
+  line.add_cbr(0, 4, 1, 100, SimTime::from_seconds(0.1), SimTime::from_seconds(0.9));
+  line.net.sim().run_until(SimTime::from_seconds(2));
+  const auto summary = gen.take_summary(seg, 0);
+  EXPECT_NEAR(static_cast<double>(summary.counters.packets), 80.0, 2.0);
+  EXPECT_EQ(summary.content.size(), summary.counters.packets);
+}
+
+TEST(SummaryGenerator, SinkRecordsAtReceive) {
+  LineNet line(5);
+  SummaryGenerator gen(line.net, line.keys, 3, one_second_rounds(), *line.paths);
+  const routing::PathSegment seg{1, 2, 3};
+  gen.monitor(seg, 2);
+  line.add_cbr(0, 4, 1, 50, SimTime::from_seconds(0.1), SimTime::from_seconds(0.9));
+  line.net.sim().run_until(SimTime::from_seconds(2));
+  const auto summary = gen.take_summary(seg, 0);
+  EXPECT_NEAR(static_cast<double>(summary.counters.packets), 40.0, 2.0);
+}
+
+TEST(SummaryGenerator, UpstreamAndDownstreamAgreeOnCleanTraffic) {
+  LineNet line(5);
+  SummaryGenerator up(line.net, line.keys, 1, one_second_rounds(), *line.paths);
+  SummaryGenerator down(line.net, line.keys, 3, one_second_rounds(), *line.paths);
+  const routing::PathSegment seg{1, 2, 3};
+  up.monitor(seg, 0);
+  down.monitor(seg, 2);
+  line.add_cbr(0, 4, 1, 200, SimTime::from_seconds(0.05), SimTime::from_seconds(0.95));
+  line.net.sim().run_until(SimTime::from_seconds(2));
+  const auto s_up = up.take_summary(seg, 0);
+  const auto s_down = down.take_summary(seg, 0);
+  ASSERT_GT(s_up.counters.packets, 0U);
+  EXPECT_EQ(s_up.counters.packets, s_down.counters.packets);
+  // Same fingerprints in the same order.
+  EXPECT_EQ(s_up.content, s_down.content);
+}
+
+TEST(SummaryGenerator, OffSegmentTrafficNotRecorded) {
+  // Traffic 3 -> 4 does not traverse <1,2,3>; the generator at 2 must not
+  // charge it to that segment.
+  LineNet line(5);
+  SummaryGenerator gen(line.net, line.keys, 2, one_second_rounds(), *line.paths);
+  const routing::PathSegment seg{1, 2, 3};
+  gen.monitor(seg, 1);
+  line.add_cbr(3, 4, 1, 100, SimTime::from_seconds(0.1), SimTime::from_seconds(0.9));
+  line.net.sim().run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(gen.take_summary(seg, 0).counters.packets, 0U);
+}
+
+TEST(SummaryGenerator, ReverseDirectionNotRecorded) {
+  // Traffic 4 -> 0 traverses the reverse segment <3,2,1>, not <1,2,3>.
+  LineNet line(5);
+  SummaryGenerator gen(line.net, line.keys, 2, one_second_rounds(), *line.paths);
+  const routing::PathSegment seg{1, 2, 3};
+  gen.monitor(seg, 1);
+  line.add_cbr(4, 0, 1, 100, SimTime::from_seconds(0.1), SimTime::from_seconds(0.9));
+  line.net.sim().run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(gen.take_summary(seg, 0).counters.packets, 0U);
+}
+
+TEST(SummaryGenerator, BucketsByOriginationRound) {
+  LineNet line(5);
+  SummaryGenerator gen(line.net, line.keys, 2, one_second_rounds(), *line.paths);
+  const routing::PathSegment seg{1, 2, 3};
+  gen.monitor(seg, 1);
+  // 10 pps continuously across rounds 0..2.
+  line.add_cbr(0, 4, 1, 10, SimTime::from_seconds(0.05), SimTime::from_seconds(2.95));
+  line.net.sim().run_until(SimTime::from_seconds(4));
+  const auto r0 = gen.take_summary(seg, 0);
+  const auto r1 = gen.take_summary(seg, 1);
+  const auto r2 = gen.take_summary(seg, 2);
+  EXPECT_NEAR(static_cast<double>(r0.counters.packets), 10.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(r1.counters.packets), 10.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(r2.counters.packets), 10.0, 1.0);
+}
+
+TEST(SummaryGenerator, TakeSummaryConsumes) {
+  LineNet line(5);
+  SummaryGenerator gen(line.net, line.keys, 2, one_second_rounds(), *line.paths);
+  const routing::PathSegment seg{1, 2, 3};
+  gen.monitor(seg, 1);
+  line.add_cbr(0, 4, 1, 100, SimTime::from_seconds(0.1), SimTime::from_seconds(0.5));
+  line.net.sim().run_until(SimTime::from_seconds(2));
+  EXPECT_GT(gen.take_summary(seg, 0).counters.packets, 0U);
+  EXPECT_EQ(gen.take_summary(seg, 0).counters.packets, 0U);  // already taken
+}
+
+TEST(SummaryGenerator, SamplingKeepsSubset) {
+  LineNet line(5);
+  SummaryGenerator full(line.net, line.keys, 2, one_second_rounds(), *line.paths);
+  SummaryGenerator sampled(line.net, line.keys, 2, one_second_rounds(), *line.paths);
+  const routing::PathSegment seg{1, 2, 3};
+  full.monitor(seg, 1, 256);
+  sampled.monitor(seg, 1, 64);  // keep ~25%
+  line.add_cbr(0, 4, 1, 1000, SimTime::from_seconds(0.05), SimTime::from_seconds(0.95));
+  line.net.sim().run_until(SimTime::from_seconds(2));
+  const auto all = full.take_summary(seg, 0);
+  const auto some = sampled.take_summary(seg, 0);
+  ASSERT_GT(all.counters.packets, 800U);
+  const double keep_ratio = static_cast<double>(some.counters.packets) /
+                            static_cast<double>(all.counters.packets);
+  EXPECT_NEAR(keep_ratio, 0.25, 0.08);
+}
+
+TEST(SummaryGenerator, ControlTrafficExcluded) {
+  LineNet line(5);
+  SummaryGenerator gen(line.net, line.keys, 2, one_second_rounds(), *line.paths);
+  const routing::PathSegment seg{1, 2, 3};
+  gen.monitor(seg, 1);
+  // Send a control packet along the segment.
+  sim::PacketHeader hdr;
+  hdr.src = 0;
+  hdr.dst = 4;
+  hdr.proto = sim::Protocol::kControl;
+  const sim::Packet p = line.net.make_packet(hdr, 100);
+  line.net.sim().schedule_at(SimTime::from_seconds(0.1),
+                             [&] { line.net.router(0).originate(p); });
+  line.net.sim().run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(gen.take_summary(seg, 0).counters.packets, 0U);
+}
+
+}  // namespace
+}  // namespace fatih::detection

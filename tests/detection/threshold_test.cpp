@@ -1,0 +1,164 @@
+#include "detection/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hpp"
+#include "routing/install.hpp"
+#include "traffic/sources.hpp"
+#include "traffic/tcp.hpp"
+
+namespace fatih::detection {
+namespace {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+struct ThreshNet {
+  sim::Network net;
+  crypto::KeyRegistry keys{555};
+  std::shared_ptr<routing::RoutingTables> tables;
+  std::unique_ptr<PathCache> paths;
+  std::vector<std::unique_ptr<traffic::CbrSource>> cbr;
+  std::vector<std::unique_ptr<traffic::OnOffSource>> onoff;
+  NodeId s1, s2, r, rd;
+
+  explicit ThreshNet(std::uint64_t seed = 21) : net(seed) {
+    s1 = net.add_router("s1").id();
+    s2 = net.add_router("s2").id();
+    r = net.add_router("r").id();
+    rd = net.add_router("rd").id();
+    sim::LinkConfig edge;
+    edge.bandwidth_bps = 1e8;
+    edge.delay = Duration::millis(1);
+    sim::LinkConfig core;
+    core.bandwidth_bps = 1e7;
+    core.delay = Duration::millis(2);
+    core.queue_limit_bytes = 50000;
+    net.connect(s1, r, edge);
+    net.connect(s2, r, edge);
+    net.connect(r, rd, core);
+    tables = std::make_shared<routing::RoutingTables>(routing::Topology::from_network(net));
+    routing::install_static_routes(net, *tables);
+    paths = std::make_unique<PathCache>(tables);
+  }
+};
+
+ThresholdConfig config_with(std::uint64_t threshold, std::int64_t rounds = 10) {
+  ThresholdConfig cfg;
+  cfg.clock = RoundClock{SimTime::origin(), Duration::seconds(1)};
+  cfg.settle = Duration::millis(400);
+  cfg.loss_threshold = threshold;
+  cfg.rounds = rounds;
+  return cfg;
+}
+
+void add_congestion(ThreshNet& n, double stop) {
+  traffic::CbrSource::Config c;
+  c.src = n.s1;
+  c.dst = n.rd;
+  c.flow_id = 1;
+  c.rate_pps = 600;
+  c.start = SimTime::from_seconds(0.05);
+  c.stop = SimTime::from_seconds(stop);
+  n.cbr.push_back(std::make_unique<traffic::CbrSource>(n.net, c));
+  traffic::OnOffSource::Config o;
+  o.src = n.s2;
+  o.dst = n.rd;
+  o.flow_id = 2;
+  o.on_rate_pps = 1400;
+  o.mean_on = Duration::millis(150);
+  o.mean_off = Duration::millis(250);
+  o.start = SimTime::from_seconds(0.05);
+  o.stop = SimTime::from_seconds(stop);
+  n.onoff.push_back(std::make_unique<traffic::OnOffSource>(n.net, o));
+}
+
+TEST(Threshold, CleanTrafficNoAlarm) {
+  ThreshNet n;
+  traffic::CbrSource::Config c;
+  c.src = n.s1;
+  c.dst = n.rd;
+  c.flow_id = 1;
+  c.rate_pps = 300;
+  c.start = SimTime::from_seconds(0.05);
+  c.stop = SimTime::from_seconds(9.5);
+  n.cbr.push_back(std::make_unique<traffic::CbrSource>(n.net, c));
+  ThresholdDetector det(n.net, n.keys, *n.paths, n.r, n.rd, config_with(10));
+  det.start();
+  n.net.sim().run_until(SimTime::from_seconds(12));
+  EXPECT_TRUE(det.suspicions().empty());
+}
+
+TEST(Threshold, LowThresholdFalsePositivesUnderCongestion) {
+  // §6.4.3 first horn: a threshold tight enough to catch subtle attacks
+  // cries wolf under ordinary congestion.
+  ThreshNet n;
+  add_congestion(n, 9.5);
+  ThresholdDetector det(n.net, n.keys, *n.paths, n.r, n.rd, config_with(10));
+  det.start();
+  n.net.sim().run_until(SimTime::from_seconds(12));
+  EXPECT_FALSE(det.suspicions().empty());  // false positives, nothing is malicious
+}
+
+TEST(Threshold, HighThresholdSilentUnderCongestion) {
+  ThreshNet n;
+  add_congestion(n, 9.5);
+  ThresholdDetector det(n.net, n.keys, *n.paths, n.r, n.rd, config_with(500));
+  det.start();
+  n.net.sim().run_until(SimTime::from_seconds(12));
+  EXPECT_TRUE(det.suspicions().empty());
+}
+
+TEST(Threshold, HighThresholdMissesSynAttack) {
+  // §6.4.3 second horn: the congestion-safe threshold waves the focused
+  // attack straight through.
+  ThreshNet n;
+  add_congestion(n, 11.5);
+  ThresholdDetector det(n.net, n.keys, *n.paths, n.r, n.rd, config_with(500, 11));
+  det.start();
+  attacks::FlowMatch match;
+  match.syn_only = true;
+  n.net.router(n.r).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 1.0, SimTime::from_seconds(4), 9));
+  traffic::TcpFlow tcp(n.net, n.s2, n.rd, 50, {});
+  tcp.start(SimTime::from_seconds(5.0));
+  n.net.sim().run_until(SimTime::from_seconds(13));
+  EXPECT_FALSE(tcp.connected());          // the attack succeeded...
+  EXPECT_TRUE(det.suspicions().empty());  // ...and went undetected
+}
+
+TEST(Threshold, DetectsBulkDropper) {
+  ThreshNet n;
+  traffic::CbrSource::Config c;
+  c.src = n.s1;
+  c.dst = n.rd;
+  c.flow_id = 1;
+  c.rate_pps = 300;
+  c.start = SimTime::from_seconds(0.05);
+  c.stop = SimTime::from_seconds(9.5);
+  n.cbr.push_back(std::make_unique<traffic::CbrSource>(n.net, c));
+  ThresholdDetector det(n.net, n.keys, *n.paths, n.r, n.rd, config_with(50));
+  det.start();
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  n.net.router(n.r).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 0.5, SimTime::from_seconds(4), 9));
+  n.net.sim().run_until(SimTime::from_seconds(12));
+  EXPECT_FALSE(det.suspicions().empty());
+}
+
+TEST(Threshold, RoundStatsTrackLosses) {
+  ThreshNet n;
+  add_congestion(n, 7.5);
+  ThresholdDetector det(n.net, n.keys, *n.paths, n.r, n.rd, config_with(100000, 7));
+  det.start();
+  n.net.sim().run_until(SimTime::from_seconds(9));
+  ASSERT_GE(det.rounds().size(), 7U);
+  std::uint64_t total_lost = 0;
+  for (const auto& rs : det.rounds()) total_lost += rs.lost;
+  EXPECT_GT(total_lost, 0U);
+}
+
+}  // namespace
+}  // namespace fatih::detection

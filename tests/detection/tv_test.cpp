@@ -1,0 +1,112 @@
+#include "detection/tv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fatih::detection {
+namespace {
+
+SegmentSummary summary_of(std::initializer_list<validation::Fingerprint> fps) {
+  SegmentSummary s;
+  for (auto fp : fps) {
+    s.content.push_back(fp);
+    s.counters.add(1000);
+  }
+  return s;
+}
+
+TEST(Tv, CleanTrafficPasses) {
+  const auto up = summary_of({1, 2, 3});
+  const auto outcome = evaluate_tv(TvPolicy::kContent, {}, up, up);
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.lost, 0U);
+  EXPECT_EQ(outcome.fabricated, 0U);
+}
+
+TEST(Tv, LossDetectedUnderContent) {
+  const auto up = summary_of({1, 2, 3, 4});
+  const auto down = summary_of({1, 3});
+  const auto outcome = evaluate_tv(TvPolicy::kContent, {}, up, down);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.lost, 2U);
+}
+
+TEST(Tv, ModificationShowsAsLossPlusFabrication) {
+  const auto up = summary_of({1, 2, 3});
+  const auto down = summary_of({1, 2, 99});  // 3 modified into 99
+  const auto outcome = evaluate_tv(TvPolicy::kContent, {}, up, down);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.lost, 1U);
+  EXPECT_EQ(outcome.fabricated, 1U);
+}
+
+TEST(Tv, FlowPolicyMissesModification) {
+  // Conservation of flow only counts volume — the WATCHERS weakness.
+  const auto up = summary_of({1, 2, 3});
+  const auto down = summary_of({1, 2, 99});
+  const auto outcome = evaluate_tv(TvPolicy::kFlow, {}, up, down);
+  EXPECT_TRUE(outcome.ok);
+}
+
+TEST(Tv, FlowPolicyCatchesLoss) {
+  const auto up = summary_of({1, 2, 3});
+  const auto down = summary_of({1});
+  const auto outcome = evaluate_tv(TvPolicy::kFlow, {}, up, down);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.lost, 2U);
+}
+
+TEST(Tv, AbsoluteLossAllowance) {
+  TvThresholds th;
+  th.max_lost_packets = 2;
+  const auto up = summary_of({1, 2, 3, 4});
+  EXPECT_TRUE(evaluate_tv(TvPolicy::kContent, th, up, summary_of({1, 2})).ok);
+  EXPECT_FALSE(evaluate_tv(TvPolicy::kContent, th, up, summary_of({1})).ok);
+}
+
+TEST(Tv, FractionalLossAllowance) {
+  TvThresholds th;
+  th.max_lost_fraction = 0.5;
+  const auto up = summary_of({1, 2, 3, 4});
+  EXPECT_TRUE(evaluate_tv(TvPolicy::kContent, th, up, summary_of({1, 2})).ok);
+  EXPECT_FALSE(evaluate_tv(TvPolicy::kContent, th, up, summary_of({1})).ok);
+}
+
+TEST(Tv, FabricationNeverTolerated) {
+  TvThresholds th;
+  th.max_lost_packets = 100;
+  const auto up = summary_of({1});
+  const auto down = summary_of({1, 2});
+  EXPECT_FALSE(evaluate_tv(TvPolicy::kContent, th, up, down).ok);
+}
+
+TEST(Tv, ReorderDetectedUnderOrderPolicy) {
+  SegmentSummary up = summary_of({1, 2, 3, 4});
+  SegmentSummary down;
+  for (auto fp : {4U, 1U, 2U, 3U}) {
+    down.content.push_back(fp);
+    down.counters.add(1000);
+  }
+  const auto plain = evaluate_tv(TvPolicy::kContent, {}, up, down);
+  EXPECT_TRUE(plain.ok);  // content alone is conserved
+  const auto ordered = evaluate_tv(TvPolicy::kContentOrder, {}, up, down);
+  EXPECT_FALSE(ordered.ok);
+  EXPECT_EQ(ordered.reordered, 1U);
+}
+
+TEST(Tv, ReorderAllowance) {
+  TvThresholds th;
+  th.max_reordered = 1;
+  SegmentSummary up = summary_of({1, 2, 3, 4});
+  SegmentSummary down;
+  for (auto fp : {4U, 1U, 2U, 3U}) down.content.push_back(fp);
+  down.counters = up.counters;
+  EXPECT_TRUE(evaluate_tv(TvPolicy::kContentOrder, th, up, down).ok);
+}
+
+TEST(Tv, EmptySummariesPass) {
+  const SegmentSummary empty;
+  EXPECT_TRUE(evaluate_tv(TvPolicy::kContentOrder, {}, empty, empty).ok);
+}
+
+}  // namespace
+}  // namespace fatih::detection

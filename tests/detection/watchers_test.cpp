@@ -1,0 +1,179 @@
+#include "detection/watchers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hpp"
+#include "detection/spec.hpp"
+#include "tests/detection/test_net.hpp"
+
+namespace fatih::detection {
+namespace {
+
+using testing::LineNet;
+using util::Duration;
+using util::SimTime;
+
+WatchersConfig fast_watchers(bool fixed, std::int64_t rounds = 4) {
+  WatchersConfig cfg;
+  cfg.clock = RoundClock{SimTime::origin(), Duration::seconds(1)};
+  cfg.settle = Duration::millis(300);
+  cfg.flow_threshold = 5;
+  cfg.fixed = fixed;
+  cfg.rounds = rounds;
+  return cfg;
+}
+
+// The dissertation's consorting scenario (Fig. 3.3): path a-b-c-d-e with
+// c and d colluding. Node ids 0..4.
+struct WatchersFixture {
+  LineNet line{5};
+  std::unique_ptr<WatchersEngine> engine;
+
+  explicit WatchersFixture(bool fixed) {
+    engine = std::make_unique<WatchersEngine>(line.net, *line.paths, fast_watchers(fixed));
+    line.add_cbr(0, 4, 1, 200, SimTime::from_seconds(0.05), SimTime::from_seconds(3.9));
+    engine->start();
+  }
+
+  void run(double seconds = 6.0) { line.net.sim().run_until(SimTime::from_seconds(seconds)); }
+};
+
+TEST(Watchers, BenignTrafficNoDetection) {
+  WatchersFixture f(false);
+  f.run();
+  EXPECT_TRUE(f.engine->suspicions().empty());
+}
+
+TEST(Watchers, SimpleDropperCaughtByConservationOfFlow) {
+  WatchersFixture f(false);
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::from_seconds(1));
+  attacks::FlowMatch match;
+  f.line.net.router(2).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 0.5, SimTime::from_seconds(1), 7));
+  f.run();
+  ASSERT_FALSE(f.engine->suspicions().empty());
+  EXPECT_TRUE(check_accuracy(f.engine->suspicions(), truth, 2).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.engine->suspicions(), 2));
+}
+
+TEST(Watchers, HonestCountersMismatchImplicatesLink) {
+  // A router lying about its own link counters is caught in validation
+  // phase 1 by its honest neighbor.
+  WatchersFixture f(false);
+  GroundTruth truth;
+  truth.mark_protocol_faulty(1, SimTime::origin());
+  f.engine->set_snapshot_mutator(1, [](WatchersSnapshot& snap) {
+    for (auto& [key, count] : snap.send) count += 25;
+  });
+  f.run();
+  ASSERT_FALSE(f.engine->suspicions().empty());
+  EXPECT_TRUE(check_accuracy(f.engine->suspicions(), truth, 2).accuracy_holds());
+  EXPECT_TRUE(check_completeness_for(f.engine->suspicions(), 1));
+}
+
+// Installs the consorting attack of §3.1: c (=2) drops transit traffic
+// and inflates its transit counter toward d (=3); d stays silent and
+// keeps honest receive counters, so the (c,d) link looks like "their
+// problem" to b and e — who, in the flawed protocol, skip it.
+void install_consorting(WatchersFixture& f) {
+  attacks::FlowMatch match;
+  f.line.net.router(2).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 1.0, SimTime::from_seconds(1), 7));
+  f.engine->set_snapshot_mutator(2, [&f](WatchersSnapshot& snap) {
+    // Claim the dropped transit packets were sent to d: c's send counters
+    // toward 3 are restored to what b's counters imply.
+    const auto& b_snap_unavailable = snap;  // c can only alter its own snapshot
+    (void)b_snap_unavailable;
+    // Inflate T_{c,d} per destination by the dropped amount: copy what c
+    // received from b (its own recv counters from 1) into its send
+    // counters toward 3.
+    for (const auto& [key, count] : snap.recv) {
+      if (std::get<0>(key) != 1) continue;
+      const auto cls = std::get<1>(key);
+      const auto dst = std::get<2>(key);
+      if (dst == 2) continue;  // traffic for c itself is consumed
+      const auto out_cls =
+          cls == WatchersClass::kSourced ? WatchersClass::kTransit : cls;
+      auto skey = std::make_tuple(util::NodeId{3}, out_cls, dst);
+      if (dst == 3) skey = std::make_tuple(util::NodeId{3}, WatchersClass::kDestined, dst);
+      snap.send[skey] = count;
+    }
+  });
+  f.engine->set_silent(2);
+  f.engine->set_silent(3);
+}
+
+TEST(Watchers, ConsortingRoutersEvadeFlawedProtocol) {
+  // The flaw: d's honest counters disagree with c's inflated ones, so b
+  // and e skip the CoF test for both; being faulty, d never announces.
+  WatchersFixture f(false);
+  install_consorting(f);
+  f.run();
+  // No CORRECT router ever suspects c or d: completeness is violated.
+  bool caught = false;
+  for (const auto& s : f.engine->suspicions()) {
+    if (s.reporter != 2 && s.reporter != 3 && (s.segment.contains(2) || s.segment.contains(3))) {
+      caught = true;
+    }
+  }
+  EXPECT_FALSE(caught);
+}
+
+TEST(Watchers, FixRestoresCompleteness) {
+  // The dissertation's fix: b and e expect an announcement about <c,d>;
+  // silence implicates the adjacent neighbor.
+  WatchersFixture f(true);
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::from_seconds(1));
+  truth.mark_protocol_faulty(3, SimTime::from_seconds(1));
+  install_consorting(f);
+  f.run();
+  bool caught = false;
+  for (const auto& s : f.engine->suspicions()) {
+    if (s.reporter != 2 && s.reporter != 3 && (s.segment.contains(2) || s.segment.contains(3))) {
+      caught = true;
+    }
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_TRUE(check_accuracy(f.engine->suspicions(), truth, 2).accuracy_holds());
+}
+
+TEST(Watchers, MisrouteCounterFires) {
+  WatchersFixture f(false);
+  GroundTruth truth;
+  truth.mark_traffic_faulty(2, SimTime::from_seconds(1));
+  // Misroute flow 1 back toward node 1 instead of 3.
+  attacks::FlowMatch match;
+  match.flow_ids = {1};
+  const std::size_t wrong =
+      f.line.net.router(2).interface_to(1)->index();
+  f.line.net.router(2).set_forward_filter(std::make_shared<attacks::MisrouteAttack>(
+      match, 1.0, wrong, SimTime::from_seconds(1), 7));
+  f.run();
+  ASSERT_FALSE(f.engine->suspicions().empty());
+  EXPECT_TRUE(check_completeness_for(f.engine->suspicions(), 2));
+}
+
+TEST(Watchers, CounterFootprintGrowsWithTraffic) {
+  // The §5.1.1 comparison point: WATCHERS state is per (neighbor,
+  // destination) pair.
+  WatchersFixture f(false);
+  f.line.add_cbr(0, 3, 5, 100, SimTime::from_seconds(0.05), SimTime::from_seconds(0.9));
+  f.line.net.sim().run_until(SimTime::from_seconds(0.95));
+  EXPECT_GT(f.engine->counters_at(2), 2U);
+}
+
+TEST(Watchers, ModificationInvisibleToConservationOfFlow) {
+  // WATCHERS' fundamental limitation (§3.1): content tampering preserves
+  // flow counts and sails through.
+  WatchersFixture f(false);
+  attacks::FlowMatch match;
+  f.line.net.router(2).set_forward_filter(std::make_shared<attacks::ModificationAttack>(
+      match, 1.0, SimTime::from_seconds(1), 7));
+  f.run();
+  EXPECT_TRUE(f.engine->suspicions().empty());
+}
+
+}  // namespace
+}  // namespace fatih::detection

@@ -1,0 +1,190 @@
+#include "fatih/fatih.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hpp"
+#include "detection/spec.hpp"
+#include "routing/topologies.hpp"
+#include "traffic/sources.hpp"
+
+namespace fatih::system {
+namespace {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+// The Fig. 5.6/5.7 environment: Abilene, link-state routing, Fatih with
+// k=1 and accelerated timers so tests stay fast.
+struct AbileneFatih {
+  sim::Network net{77};
+  crypto::KeyRegistry keys{2025};
+  std::unique_ptr<routing::LinkStateRouting> lsr;
+  std::unique_ptr<FatihSystem> fatih;
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+
+  AbileneFatih() {
+    using namespace fatih::routing;
+    for (NodeId n = 0; n <= kNewYork; ++n) net.add_router(abilene_name(n));
+    for (const auto& l : abilene_links()) {
+      sim::LinkConfig link;
+      link.delay = Duration::millis(l.delay_ms);
+      link.metric = l.delay_ms;
+      link.bandwidth_bps = 1e8;
+      net.connect(l.a, l.b, link);
+    }
+    LinkStateConfig lcfg;
+    lcfg.hello_interval = Duration::seconds(1);
+    lcfg.spf_delay = Duration::millis(500);
+    lcfg.spf_hold = Duration::seconds(1);
+    lsr = std::make_unique<routing::LinkStateRouting>(net, keys, lcfg);
+
+    FatihConfig fcfg;
+    fcfg.detection.clock = detection::RoundClock{SimTime::from_seconds(10),
+                                                 Duration::seconds(1)};
+    fcfg.detection.k = 1;
+    fcfg.detection.collect_settle = Duration::millis(200);
+    fcfg.detection.exchange_timeout = Duration::millis(400);
+    fcfg.detection.thresholds.max_lost_packets = 2;
+    fatih = std::make_unique<FatihSystem>(net, keys, *lsr, fcfg);
+  }
+
+  void start() {
+    lsr->start();
+    // Commission once routing is converged (t=10 s, the round epoch).
+    net.sim().schedule_at(SimTime::from_seconds(10), [this] {
+      auto tables = std::make_shared<routing::RoutingTables>(
+          routing::abilene_topology());
+      std::vector<NodeId> terminals;
+      for (NodeId n = 0; n <= routing::kNewYork; ++n) terminals.push_back(n);
+      fatih->commission(tables, terminals);
+    });
+  }
+
+  void add_cbr(NodeId src, NodeId dst, std::uint32_t flow, double pps, double start,
+               double stop) {
+    traffic::CbrSource::Config cfg;
+    cfg.src = src;
+    cfg.dst = dst;
+    cfg.flow_id = flow;
+    cfg.rate_pps = pps;
+    cfg.start = SimTime::from_seconds(start);
+    cfg.stop = SimTime::from_seconds(stop);
+    sources.push_back(std::make_unique<traffic::CbrSource>(net, cfg));
+  }
+};
+
+TEST(Fatih, CleanNetworkStaysQuiet) {
+  AbileneFatih a;
+  a.start();
+  a.add_cbr(routing::kNewYork, routing::kSunnyvale, 1, 100, 11, 18);
+  a.add_cbr(routing::kSunnyvale, routing::kNewYork, 2, 100, 11, 18);
+  a.net.sim().run_until(SimTime::from_seconds(20));
+  EXPECT_TRUE(a.fatih->suspicions().empty());
+  for (NodeId n = 0; n <= routing::kNewYork; ++n) {
+    EXPECT_TRUE(a.lsr->banned_segments(n).empty());
+  }
+}
+
+TEST(Fatih, KansasCityAttackDetectedAndRoutedAround) {
+  // The Fig. 5.7 storyline, compressed: traffic between the coasts, the
+  // Kansas City router compromised to drop 20% of transit traffic;
+  // detection, alert flooding, and rerouting onto the southern path.
+  AbileneFatih a;
+  a.start();
+  a.add_cbr(routing::kSunnyvale, routing::kNewYork, 1, 200, 11, 30);
+  a.add_cbr(routing::kNewYork, routing::kSunnyvale, 2, 200, 11, 30);
+
+  detection::GroundTruth truth;
+  truth.mark_traffic_faulty(routing::kKansasCity, SimTime::from_seconds(14));
+  attacks::FlowMatch match;  // all transit data traffic
+  a.net.router(routing::kKansasCity)
+      .set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+          match, 0.2, SimTime::from_seconds(14), 5));
+
+  a.net.sim().run_until(SimTime::from_seconds(30));
+
+  // (1) Detection happened and was accurate (precision k+2 = 3).
+  ASSERT_FALSE(a.fatih->suspicions().empty());
+  EXPECT_TRUE(detection::check_accuracy(a.fatih->suspicions(), truth, 3).accuracy_holds());
+  EXPECT_TRUE(detection::check_completeness_for(a.fatih->suspicions(),
+                                                routing::kKansasCity));
+
+  // (2) The alert propagated: every router banned at least one segment.
+  for (NodeId n = 0; n <= routing::kNewYork; ++n) {
+    EXPECT_FALSE(a.lsr->banned_segments(n).empty()) << routing::abilene_name(n);
+  }
+
+  // (3) Traffic no longer crosses the suspected segment: send a probe and
+  // record its path.
+  std::vector<NodeId> visited;
+  for (NodeId n = 0; n <= routing::kNewYork; ++n) {
+    a.net.router(n).add_receive_tap(
+        [&visited, n](const sim::Packet& p, NodeId, SimTime) {
+          if (p.hdr.flow_id == 777) visited.push_back(n);
+        });
+  }
+  sim::PacketHeader hdr;
+  hdr.src = routing::kSunnyvale;
+  hdr.dst = routing::kNewYork;
+  hdr.flow_id = 777;
+  const sim::Packet probe = a.net.make_packet(hdr, 100);
+  a.net.sim().schedule_at(SimTime::from_seconds(30.5), [&] {
+    a.net.router(routing::kSunnyvale).originate(probe);
+  });
+  a.net.sim().run_until(SimTime::from_seconds(31));
+  ASSERT_FALSE(visited.empty());
+  EXPECT_EQ(visited.back(), routing::kNewYork);
+  // The new path must avoid at least the banned middle.
+  for (const auto& banned : a.lsr->banned_segments(routing::kSunnyvale)) {
+    routing::Path p = visited;
+    p.insert(p.begin(), routing::kSunnyvale);
+    EXPECT_FALSE(banned.within(p)) << banned.to_string();
+  }
+}
+
+TEST(Fatih, RecommissionRetiresOldEngine) {
+  // After a response reroutes traffic, commissioning again swaps in a new
+  // monitoring set; the retired engine stops raising suspicions.
+  AbileneFatih a;
+  a.start();
+  a.add_cbr(routing::kSunnyvale, routing::kNewYork, 1, 150, 11, 28);
+
+  attacks::FlowMatch match;
+  a.net.router(routing::kKansasCity)
+      .set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+          match, 0.2, SimTime::from_seconds(14), 5));
+  a.net.sim().run_until(SimTime::from_seconds(18));
+  const auto* first_engine = &a.fatih->engine();
+  ASSERT_FALSE(a.fatih->suspicions().empty());
+
+  // Cure the attacker and recommission at t=18 (fresh monitoring set).
+  a.net.router(routing::kKansasCity).set_forward_filter(nullptr);
+  a.net.sim().schedule_at(SimTime::from_seconds(18), [&] {
+    auto tables = std::make_shared<routing::RoutingTables>(routing::abilene_topology());
+    std::vector<NodeId> terminals;
+    for (NodeId n = 0; n <= routing::kNewYork; ++n) terminals.push_back(n);
+    a.fatih->commission(tables, terminals);
+  });
+  a.net.sim().run_until(SimTime::from_seconds(30));
+  EXPECT_NE(&a.fatih->engine(), first_engine);
+  // The new engine sees only clean traffic: no suspicions.
+  EXPECT_TRUE(a.fatih->suspicions().empty());
+}
+
+TEST(Fatih, RttProbeMeasuresPathLatency) {
+  AbileneFatih a;
+  a.start();
+  RttProbe probe(a.net, routing::kNewYork, routing::kSunnyvale, 900,
+                 Duration::millis(500));
+  probe.start(SimTime::from_seconds(11));
+  a.net.sim().run_until(SimTime::from_seconds(15));
+  ASSERT_GE(probe.samples().size(), 5U);
+  // One-way 25 ms -> RTT ~50 ms.
+  for (const auto& s : probe.samples()) {
+    EXPECT_NEAR(s.rtt_seconds, 0.050, 0.005);
+  }
+}
+
+}  // namespace
+}  // namespace fatih::system

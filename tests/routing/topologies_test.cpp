@@ -1,0 +1,111 @@
+#include "routing/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "routing/spf.hpp"
+
+namespace fatih::routing {
+namespace {
+
+std::size_t connected_component_size(const Topology& t) {
+  if (t.node_count() == 0) return 0;
+  std::vector<bool> seen(t.node_count(), false);
+  std::queue<util::NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const auto n = q.front();
+    q.pop();
+    for (const auto& e : t.neighbors(n)) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++count;
+        q.push(e.to);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(Abilene, ElevenPopsAndFourteenLinks) {
+  const Topology t = abilene_topology();
+  EXPECT_EQ(t.node_count(), 11U);
+  EXPECT_EQ(t.edge_count(), 28U);  // 14 duplex links
+  EXPECT_EQ(abilene_links().size(), 14U);
+}
+
+TEST(Abilene, Connected) {
+  EXPECT_EQ(connected_component_size(abilene_topology()), 11U);
+}
+
+TEST(Abilene, HeadlinePathLatencies) {
+  // Fig. 5.7: primary coast-to-coast path 25 ms one-way; southern
+  // alternative 28 ms.
+  const Topology t = abilene_topology();
+  const RoutingTables tables(t);
+  EXPECT_EQ(tables.to(kNewYork).dist[kSunnyvale], 25U);
+  std::uint64_t southern = 0;
+  const Path alt{kSunnyvale, kLosAngeles, kHouston, kAtlanta, kWashington, kNewYork};
+  for (std::size_t i = 0; i + 1 < alt.size(); ++i) southern += t.metric(alt[i], alt[i + 1]);
+  EXPECT_EQ(southern, 28U);
+}
+
+TEST(Abilene, NamesResolve) {
+  EXPECT_EQ(abilene_name(kKansasCity), "KansasCity");
+  EXPECT_EQ(abilene_name(kNewYork), "NewYork");
+}
+
+TEST(SyntheticIsp, MatchesSprintlinkProfile) {
+  const auto profile = sprintlink_profile();
+  const Topology t = synthetic_isp(profile, 42);
+  EXPECT_EQ(t.node_count(), profile.routers);
+  // Link count within 2% of the published 972.
+  EXPECT_NEAR(static_cast<double>(t.edge_count()) / 2.0, static_cast<double>(profile.links),
+              0.02 * static_cast<double>(profile.links));
+  std::size_t max_deg = 0;
+  for (util::NodeId n = 0; n < t.node_count(); ++n) max_deg = std::max(max_deg, t.degree(n));
+  EXPECT_LE(max_deg, profile.max_degree);
+  EXPECT_GE(max_deg, profile.max_degree / 3);  // hubs exist
+  EXPECT_EQ(connected_component_size(t), profile.routers);
+}
+
+TEST(SyntheticIsp, MatchesEboneProfile) {
+  const auto profile = ebone_profile();
+  const Topology t = synthetic_isp(profile, 42);
+  EXPECT_EQ(t.node_count(), profile.routers);
+  EXPECT_NEAR(static_cast<double>(t.edge_count()) / 2.0, static_cast<double>(profile.links),
+              0.05 * static_cast<double>(profile.links));
+  EXPECT_EQ(connected_component_size(t), profile.routers);
+}
+
+TEST(SyntheticIsp, DeterministicPerSeed) {
+  const auto profile = ebone_profile();
+  const Topology a = synthetic_isp(profile, 7);
+  const Topology b = synthetic_isp(profile, 7);
+  const Topology c = synthetic_isp(profile, 8);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  bool any_difference = a.edge_count() != c.edge_count();
+  for (util::NodeId n = 0; n < profile.routers; ++n) {
+    ASSERT_EQ(a.degree(n), b.degree(n));
+    if (a.degree(n) != c.degree(n)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticIsp, MeanDegreeApproximatesPublished) {
+  // Sprintlink: 6.17 mean degree; EBONE: 3.70 (dissertation §5.1.1).
+  const Topology sprint = synthetic_isp(sprintlink_profile(), 1);
+  const double sprint_mean =
+      static_cast<double>(sprint.edge_count()) / static_cast<double>(sprint.node_count());
+  EXPECT_NEAR(sprint_mean, 6.17, 0.7);
+  const Topology ebone = synthetic_isp(ebone_profile(), 1);
+  const double ebone_mean =
+      static_cast<double>(ebone.edge_count()) / static_cast<double>(ebone.node_count());
+  EXPECT_NEAR(ebone_mean, 3.70, 0.5);
+}
+
+}  // namespace
+}  // namespace fatih::routing

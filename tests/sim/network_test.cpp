@@ -1,0 +1,307 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/node.hpp"
+
+namespace fatih::sim {
+namespace {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+// Two routers connected by one duplex link.
+struct Pair {
+  Network net{1};
+  Router* a;
+  Router* b;
+
+  explicit Pair(LinkConfig cfg = {}) {
+    a = &net.add_router("a");
+    b = &net.add_router("b");
+    net.connect(a->id(), b->id(), cfg);
+    a->set_route(b->id(), 0);
+    b->set_route(a->id(), 0);
+    a->set_processing_delay(Duration::micros(10), {});
+    b->set_processing_delay(Duration::micros(10), {});
+  }
+
+  Packet make(NodeId src, NodeId dst, std::uint32_t payload) {
+    PacketHeader hdr;
+    hdr.src = src;
+    hdr.dst = dst;
+    return net.make_packet(hdr, payload);
+  }
+};
+
+TEST(Network, PacketDeliveredWithCorrectLatency) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;  // 1 MB/s
+  cfg.delay = Duration::millis(5);
+  Pair p(cfg);
+
+  SimTime arrival;
+  p.b->add_local_handler([&](const Packet&, NodeId, SimTime now) { arrival = now; });
+  const Packet pkt = p.make(p.a->id(), p.b->id(), 960);  // 1000B wire
+  p.net.sim().schedule_at(SimTime::origin(), [&] { p.a->originate(pkt); });
+  p.net.sim().run();
+  // tx = 1000B / 1MBps = 1ms; total = 1ms + 5ms.
+  EXPECT_EQ(arrival, SimTime::origin() + Duration::millis(6));
+}
+
+TEST(Network, SerializationSerializesBackToBack) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.delay = Duration::millis(1);
+  Pair p(cfg);
+  std::vector<SimTime> arrivals;
+  p.b->add_local_handler([&](const Packet&, NodeId, SimTime now) { arrivals.push_back(now); });
+  p.net.sim().schedule_at(SimTime::origin(), [&] {
+    p.a->originate(p.make(p.a->id(), p.b->id(), 960));
+    p.a->originate(p.make(p.a->id(), p.b->id(), 960));
+  });
+  p.net.sim().run();
+  ASSERT_EQ(arrivals.size(), 2U);
+  // Second packet waits for the first's 1 ms serialization.
+  EXPECT_EQ(arrivals[1] - arrivals[0], Duration::millis(1));
+}
+
+TEST(Network, TtlExpiryDropsPacket) {
+  Pair p;
+  bool delivered = false;
+  DropReason reason{};
+  bool dropped = false;
+  p.b->add_local_handler([&](const Packet&, NodeId, SimTime) { delivered = true; });
+  p.a->add_drop_tap([&](const Packet&, SimTime, DropReason r) {
+    dropped = true;
+    reason = r;
+  });
+  Packet pkt = p.make(p.a->id(), p.b->id(), 100);
+  pkt.hdr.ttl = 1;  // decrements to 0 at the first router
+  p.net.sim().schedule_at(SimTime::origin(), [&] { p.a->originate(pkt); });
+  p.net.sim().run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(reason, DropReason::kTtlExpired);
+}
+
+TEST(Network, NoRouteDrops) {
+  Pair p;
+  p.a->clear_routes();
+  bool dropped = false;
+  p.a->add_drop_tap([&](const Packet&, SimTime, DropReason r) {
+    dropped = r == DropReason::kNoRoute;
+  });
+  p.net.sim().schedule_at(SimTime::origin(),
+                          [&] { p.a->originate(p.make(p.a->id(), p.b->id(), 100)); });
+  p.net.sim().run();
+  EXPECT_TRUE(dropped);
+}
+
+TEST(Network, CongestionDropFiresTap) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e4;  // very slow: 10 kB/s
+  cfg.queue_limit_bytes = 2000;
+  Pair p(cfg);
+  int congestion_drops = 0;
+  p.a->interface(0).add_drop_tap([&](const Packet&, SimTime, DropReason r) {
+    if (r == DropReason::kCongestion) ++congestion_drops;
+  });
+  p.net.sim().schedule_at(SimTime::origin(), [&] {
+    for (int i = 0; i < 10; ++i) p.a->originate(p.make(p.a->id(), p.b->id(), 960));
+  });
+  p.net.sim().run();
+  EXPECT_GT(congestion_drops, 0);
+}
+
+TEST(Network, PolicyRouteOverridesDefault) {
+  // Triangle a-b-c; b's policy for traffic from a diverts to c.
+  Network net(2);
+  auto& a = net.add_router("a");
+  auto& b = net.add_router("b");
+  auto& c = net.add_router("c");
+  auto& d = net.add_router("d");
+  net.connect(a.id(), b.id(), {});
+  net.connect(b.id(), c.id(), {});
+  net.connect(b.id(), d.id(), {});
+  a.set_route(d.id(), 0);                    // a -> b
+  b.set_route(d.id(), b.interface_to(d.id())->index());  // default: b -> d
+  b.set_policy_route(a.id(), d.id(), b.interface_to(c.id())->index());  // policy: via c
+  bool via_c = false;
+  c.add_receive_tap([&](const Packet&, NodeId, SimTime) { via_c = true; });
+
+  PacketHeader hdr;
+  hdr.src = a.id();
+  hdr.dst = d.id();
+  const Packet pkt = net.make_packet(hdr, 100);
+  net.sim().schedule_at(SimTime::origin(), [&] { a.originate(pkt); });
+  net.sim().run();
+  EXPECT_TRUE(via_c);
+}
+
+TEST(Network, PolicyDropSuppressesFallback) {
+  Pair p;
+  p.a->set_policy_drop(p.a->id(), p.b->id());
+  bool delivered = false;
+  bool no_route = false;
+  p.b->add_local_handler([&](const Packet&, NodeId, SimTime) { delivered = true; });
+  p.a->add_drop_tap([&](const Packet&, SimTime, DropReason r) {
+    no_route = r == DropReason::kNoRoute;
+  });
+  p.net.sim().schedule_at(SimTime::origin(),
+                          [&] { p.a->originate(p.make(p.a->id(), p.b->id(), 100)); });
+  p.net.sim().run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(no_route);
+}
+
+TEST(Network, HostSendsThroughGateway) {
+  Network net(3);
+  auto& r = net.add_router("r");
+  auto& h1 = net.add_host("h1");
+  auto& h2 = net.add_host("h2");
+  net.connect(h1.id(), r.id(), {});
+  net.connect(h2.id(), r.id(), {});
+  r.set_route(h1.id(), r.interface_to(h1.id())->index());
+  r.set_route(h2.id(), r.interface_to(h2.id())->index());
+
+  bool delivered = false;
+  h2.add_local_handler([&](const Packet&, NodeId, SimTime) { delivered = true; });
+  PacketHeader hdr;
+  hdr.src = h1.id();
+  hdr.dst = h2.id();
+  const Packet pkt = net.make_packet(hdr, 100);
+  net.sim().schedule_at(SimTime::origin(), [&] { h1.send(pkt); });
+  net.sim().run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Network, HostsDoNotForwardTransit) {
+  // a - h - b: h is a host in the middle; transit traffic must die there.
+  Network net(4);
+  auto& a = net.add_router("a");
+  auto& h = net.add_host("h");
+  auto& b = net.add_router("b");
+  net.connect(a.id(), h.id(), {});
+  net.connect(h.id(), b.id(), {});
+  a.set_route(b.id(), 0);
+  bool delivered = false;
+  b.add_local_handler([&](const Packet&, NodeId, SimTime) { delivered = true; });
+  PacketHeader hdr;
+  hdr.src = a.id();
+  hdr.dst = b.id();
+  const Packet pkt = net.make_packet(hdr, 100);
+  net.sim().schedule_at(SimTime::origin(), [&] { a.originate(pkt); });
+  net.sim().run();
+  EXPECT_FALSE(delivered);
+}
+
+// Forward filter that drops everything after a time.
+struct DropAllFilter : ForwardFilter {
+  ForwardDecision on_forward(const Packet&, NodeId, const Interface&, Router&) override {
+    return ForwardDecision::drop();
+  }
+};
+
+TEST(Network, ForwardFilterDropCountsAsMalicious) {
+  Pair p;
+  p.a->set_forward_filter(std::make_shared<DropAllFilter>());
+  bool malicious = false;
+  p.a->add_drop_tap([&](const Packet&, SimTime, DropReason r) {
+    malicious = r == DropReason::kMalicious;
+  });
+  p.net.sim().schedule_at(SimTime::origin(),
+                          [&] { p.a->originate(p.make(p.a->id(), p.b->id(), 100)); });
+  p.net.sim().run();
+  EXPECT_TRUE(malicious);
+  EXPECT_EQ(p.a->malicious_drops(), 1U);
+  EXPECT_TRUE(p.a->compromised());
+}
+
+struct TamperFilter : ForwardFilter {
+  ForwardDecision on_forward(const Packet& p, NodeId, const Interface&, Router&) override {
+    ForwardDecision d;
+    Packet copy = p;
+    copy.payload_tag ^= 0xFFULL;
+    d.replacement = copy;
+    return d;
+  }
+};
+
+TEST(Network, ForwardFilterCanModifyPayload) {
+  Pair p;
+  const Packet pkt = p.make(p.a->id(), p.b->id(), 100);
+  const std::uint64_t original_tag = pkt.payload_tag;
+  p.a->set_forward_filter(std::make_shared<TamperFilter>());
+  std::uint64_t seen_tag = 0;
+  p.b->add_local_handler([&](const Packet& q, NodeId, SimTime) { seen_tag = q.payload_tag; });
+  p.net.sim().schedule_at(SimTime::origin(), [&] { p.a->originate(pkt); });
+  p.net.sim().run();
+  EXPECT_EQ(seen_tag, original_tag ^ 0xFFULL);
+}
+
+TEST(Network, ProcessingJitterBoundedAndVariable) {
+  LinkConfig cfg;
+  cfg.delay = Duration::millis(1);
+  cfg.bandwidth_bps = 1e9;
+  Network net(5);
+  auto& a = net.add_router("a");
+  auto& b = net.add_router("b");
+  auto& c = net.add_router("c");
+  net.connect(a.id(), b.id(), cfg);
+  net.connect(b.id(), c.id(), cfg);
+  a.set_route(c.id(), 0);
+  b.set_route(c.id(), b.interface_to(c.id())->index());
+  b.set_processing_delay(Duration::micros(20), Duration::micros(100));
+
+  std::vector<SimTime> arrivals;
+  c.add_local_handler([&](const Packet&, NodeId, SimTime now) { arrivals.push_back(now); });
+  net.sim().schedule_at(SimTime::origin(), [&] {
+    for (int i = 0; i < 50; ++i) {
+      PacketHeader hdr;
+      hdr.src = a.id();
+      hdr.dst = c.id();
+      Packet pkt = net.make_packet(hdr, 0);
+      net.sim().schedule_at(SimTime::from_seconds(i * 0.01), [&a, pkt] { a.originate(pkt); });
+    }
+  });
+  net.sim().run();
+  ASSERT_EQ(arrivals.size(), 50U);
+  // Latency varies (jitter), but within the configured bound.
+  std::set<std::int64_t> latencies;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto lat = arrivals[i] - SimTime::from_seconds(i * 0.01);
+    latencies.insert(lat.count_nanos());
+    EXPECT_GE(lat, Duration::millis(2) + Duration::micros(20));
+    EXPECT_LE(lat, Duration::millis(2) + Duration::micros(120) + Duration::micros(5));
+  }
+  EXPECT_GT(latencies.size(), 10U);
+}
+
+TEST(Network, MakePacketAssignsUniqueUids) {
+  Network net(6);
+  net.add_router("a");
+  PacketHeader hdr;
+  std::set<std::uint64_t> uids;
+  for (int i = 0; i < 100; ++i) uids.insert(net.make_packet(hdr, 0).uid);
+  EXPECT_EQ(uids.size(), 100U);
+}
+
+TEST(Network, AdjacencyExportMatchesLinks) {
+  Network net(7);
+  auto& a = net.add_router("a");
+  auto& b = net.add_router("b");
+  LinkConfig cfg;
+  cfg.metric = 9;
+  net.connect(a.id(), b.id(), cfg);
+  ASSERT_EQ(net.adjacencies().size(), 2U);
+  EXPECT_EQ(net.adjacencies()[0].metric, 9U);
+  EXPECT_EQ(net.adjacencies()[0].from, a.id());
+  EXPECT_EQ(net.adjacencies()[1].from, b.id());
+}
+
+}  // namespace
+}  // namespace fatih::sim

@@ -1,0 +1,68 @@
+#include "sim/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fatih::sim {
+namespace {
+
+Packet packet_of(std::uint32_t size, std::uint64_t uid = 0) {
+  Packet p;
+  p.size_bytes = size;
+  p.uid = uid;
+  return p;
+}
+
+TEST(DropTailQueue, AcceptsUpToLimit) {
+  DropTailQueue q(3000);
+  EXPECT_EQ(q.enqueue(packet_of(1000), {}), EnqueueResult::kAccepted);
+  EXPECT_EQ(q.enqueue(packet_of(1000), {}), EnqueueResult::kAccepted);
+  EXPECT_EQ(q.enqueue(packet_of(1000), {}), EnqueueResult::kAccepted);
+  EXPECT_EQ(q.byte_length(), 3000U);
+  EXPECT_EQ(q.packet_count(), 3U);
+}
+
+TEST(DropTailQueue, RejectsOverflow) {
+  DropTailQueue q(2500);
+  EXPECT_EQ(q.enqueue(packet_of(1000), {}), EnqueueResult::kAccepted);
+  EXPECT_EQ(q.enqueue(packet_of(1000), {}), EnqueueResult::kAccepted);
+  EXPECT_EQ(q.enqueue(packet_of(1000), {}), EnqueueResult::kDroppedFull);
+  EXPECT_EQ(q.byte_length(), 2000U);
+  // A smaller packet that fits is still accepted after a drop.
+  EXPECT_EQ(q.enqueue(packet_of(400), {}), EnqueueResult::kAccepted);
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(100000);
+  for (std::uint64_t i = 0; i < 10; ++i) q.enqueue(packet_of(100, i), {});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    auto p = q.dequeue({});
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->uid, i);
+  }
+  EXPECT_FALSE(q.dequeue({}).has_value());
+}
+
+TEST(DropTailQueue, ByteAccountingOnDequeue) {
+  DropTailQueue q(10000);
+  q.enqueue(packet_of(700), {});
+  q.enqueue(packet_of(300), {});
+  EXPECT_EQ(q.byte_length(), 1000U);
+  q.dequeue({});
+  EXPECT_EQ(q.byte_length(), 300U);
+  q.dequeue({});
+  EXPECT_EQ(q.byte_length(), 0U);
+}
+
+TEST(DropTailQueue, ExactFit) {
+  DropTailQueue q(1000);
+  EXPECT_EQ(q.enqueue(packet_of(1000), {}), EnqueueResult::kAccepted);
+  EXPECT_EQ(q.enqueue(packet_of(1), {}), EnqueueResult::kDroppedFull);
+}
+
+TEST(DropTailQueue, EmptyDequeueIsNull) {
+  DropTailQueue q(1000);
+  EXPECT_FALSE(q.dequeue({}).has_value());
+}
+
+}  // namespace
+}  // namespace fatih::sim

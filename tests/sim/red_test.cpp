@@ -1,0 +1,152 @@
+#include "sim/red.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fatih::sim {
+namespace {
+
+using util::SimTime;
+
+Packet packet_of(std::uint32_t size, std::uint64_t uid = 0) {
+  Packet p;
+  p.size_bytes = size;
+  p.uid = uid;
+  return p;
+}
+
+RedParams small_params() {
+  RedParams p;
+  p.weight = 0.2;  // fast EWMA so tests converge quickly
+  p.min_threshold = 2000;
+  p.max_threshold = 6000;
+  p.max_probability = 0.1;
+  p.gentle = true;
+  p.byte_limit = 12000;
+  p.mean_packet_size = 1000;
+  p.drain_rate = 1e6;
+  return p;
+}
+
+TEST(RedState, NoDropBelowMinThreshold) {
+  RedState state;
+  const auto params = small_params();
+  for (int i = 0; i < 100; ++i) {
+    const double pa = state.on_arrival(params, 500, SimTime::from_seconds(i * 0.001));
+    EXPECT_DOUBLE_EQ(pa, 0.0);
+    state.on_outcome(false);
+  }
+  EXPECT_LT(state.average(), params.min_threshold);
+}
+
+TEST(RedState, ProbabilityGrowsBetweenThresholds) {
+  RedState state;
+  const auto params = small_params();
+  // Pump the average up with a persistently full queue.
+  double last_pa = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    last_pa = state.on_arrival(params, 5000, SimTime::from_seconds(i * 0.001));
+    state.on_outcome(false);
+  }
+  EXPECT_GT(state.average(), params.min_threshold);
+  EXPECT_GT(last_pa, 0.0);
+  EXPECT_LE(last_pa, 1.0);
+}
+
+TEST(RedState, ForcedDropAboveGentleRegion) {
+  RedState state;
+  const auto params = small_params();
+  double pa = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    pa = state.on_arrival(params, 12000, SimTime::from_seconds(i * 0.001));
+    state.on_outcome(false);
+  }
+  // avg -> 12000 = 2 * max_th: in (or beyond) the gentle tail.
+  EXPECT_GE(pa, params.max_probability);
+}
+
+TEST(RedState, CountIncreasesDropPressure) {
+  // p_a = p_b / (1 - count * p_b) grows with consecutive non-drops.
+  RedState state;
+  const auto params = small_params();
+  for (int i = 0; i < 8; ++i) {
+    state.on_arrival(params, 4000, SimTime::from_seconds(i * 0.001));
+    state.on_outcome(false);
+  }
+  const double pa1 = state.on_arrival(params, 4000, SimTime::from_seconds(0.06));
+  state.on_outcome(false);
+  const double pa2 = state.on_arrival(params, 4000, SimTime::from_seconds(0.061));
+  EXPECT_GT(pa2, pa1);
+}
+
+TEST(RedState, IdleDecayShrinksAverage) {
+  RedState state;
+  const auto params = small_params();
+  for (int i = 0; i < 50; ++i) {
+    state.on_arrival(params, 5000, SimTime::from_seconds(i * 0.001));
+    state.on_outcome(false);
+  }
+  const double before = state.average();
+  state.on_queue_empty(SimTime::from_seconds(0.05));
+  state.on_arrival(params, 0, SimTime::from_seconds(1.0));  // ~1 s idle
+  EXPECT_LT(state.average(), before * 0.5);
+}
+
+TEST(RedQueue, AcceptsWhenCalm) {
+  RedQueue q(small_params(), 42);
+  EXPECT_EQ(q.enqueue(packet_of(500), SimTime::origin()), EnqueueResult::kAccepted);
+  EXPECT_EQ(q.packet_count(), 1U);
+}
+
+TEST(RedQueue, HardLimitEnforced) {
+  auto params = small_params();
+  params.weight = 0.0001;  // keep the average low so early drop stays off
+  RedQueue q(params, 42);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (q.enqueue(packet_of(1000), SimTime::origin()) == EnqueueResult::kAccepted) ++accepted;
+  }
+  EXPECT_EQ(accepted, params.byte_limit / 1000);
+  EXPECT_LE(q.byte_length(), params.byte_limit);
+}
+
+TEST(RedQueue, EarlyDropsHappenUnderSustainedLoad) {
+  RedQueue q(small_params(), 7);
+  std::size_t early = 0;
+  // Keep the queue pinned high; drain one packet per two arrivals.
+  for (int i = 0; i < 2000; ++i) {
+    const auto res = q.enqueue(packet_of(1000), SimTime::from_seconds(i * 1e-4));
+    if (res == EnqueueResult::kDroppedRedEarly) ++early;
+    if (i % 2 == 0) q.dequeue(SimTime::from_seconds(i * 1e-4));
+  }
+  EXPECT_GT(early, 0U);
+}
+
+TEST(RedQueue, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    RedQueue q(small_params(), seed);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 500; ++i) {
+      outcomes.push_back(static_cast<int>(q.enqueue(packet_of(1000),
+                                                    SimTime::from_seconds(i * 1e-4))));
+      if (i % 2 == 0) q.dequeue(SimTime::from_seconds(i * 1e-4));
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(RedQueue, FifoOrderPreserved) {
+  auto params = small_params();
+  params.weight = 0.0001;
+  RedQueue q(params, 3);
+  for (std::uint64_t i = 0; i < 5; ++i) q.enqueue(packet_of(100, i), SimTime::origin());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auto p = q.dequeue(SimTime::origin());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->uid, i);
+  }
+}
+
+}  // namespace
+}  // namespace fatih::sim

@@ -1,0 +1,122 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fatih::sim {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+TEST(Simulator, StartsAtOrigin) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::origin());
+}
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::from_seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::from_seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  const auto t = SimTime::from_seconds(1);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesDuringDispatch) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_at(SimTime::from_seconds(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::from_seconds(5));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_at(SimTime::from_seconds(2), [&] {
+    sim.schedule_in(Duration::seconds(3), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::from_seconds(5));
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(SimTime::from_seconds(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterDispatchIsNoop) {
+  Simulator sim;
+  int count = 0;
+  const EventId id = sim.schedule_at(SimTime::from_seconds(1), [&] { ++count; });
+  sim.run();
+  sim.cancel(id);  // must not crash or corrupt
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtLimitInclusive) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::from_seconds(2), [&] { order.push_back(2); });
+  sim.schedule_at(SimTime::from_seconds(3), [&] { order.push_back(3); });
+  sim.run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(Duration::millis(1), recurse);
+  };
+  sim.schedule_at(SimTime::origin(), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.events_dispatched(), 100U);
+}
+
+TEST(Simulator, PastTimeRequestsRunNow) {
+  // schedule_at clamps requests for the past to "now": simulated time
+  // never moves backward (matters for engines commissioned mid-run).
+  Simulator sim;
+  std::vector<double> fired_at;
+  sim.schedule_at(SimTime::from_seconds(5), [&] {
+    sim.schedule_at(SimTime::from_seconds(1), [&] { fired_at.push_back(sim.now().seconds()); });
+  });
+  sim.schedule_at(SimTime::from_seconds(7), [&] { fired_at.push_back(sim.now().seconds()); });
+  sim.run();
+  ASSERT_EQ(fired_at.size(), 2U);
+  EXPECT_DOUBLE_EQ(fired_at[0], 5.0);  // clamped, not time-travelled
+  EXPECT_DOUBLE_EQ(fired_at[1], 7.0);
+}
+
+TEST(Simulator, RunUntilIdlesAtLimitWithEmptyQueue) {
+  Simulator sim;
+  sim.run_until(SimTime::from_seconds(10));
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(10));
+}
+
+}  // namespace
+}  // namespace fatih::sim

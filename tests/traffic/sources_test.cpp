@@ -1,0 +1,126 @@
+#include "traffic/sources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fatih::traffic {
+namespace {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+struct TwoRouters {
+  sim::Network net{10};
+  NodeId a;
+  NodeId b;
+
+  TwoRouters() {
+    a = net.add_router("a").id();
+    b = net.add_router("b").id();
+    sim::LinkConfig cfg;
+    cfg.bandwidth_bps = 1e9;
+    net.connect(a, b, cfg);
+    net.router(a).set_route(b, 0);
+    net.router(b).set_route(a, 0);
+  }
+};
+
+TEST(CbrSource, SendsAtConfiguredRate) {
+  TwoRouters tr;
+  FlowSink sink(tr.net, tr.b);
+  CbrSource::Config cfg;
+  cfg.src = tr.a;
+  cfg.dst = tr.b;
+  cfg.flow_id = 1;
+  cfg.rate_pps = 100;
+  cfg.start = SimTime::from_seconds(1);
+  cfg.stop = SimTime::from_seconds(3);
+  CbrSource src(tr.net, cfg);
+  tr.net.sim().run_until(SimTime::from_seconds(5));
+  // 2 seconds at 100 pps.
+  EXPECT_NEAR(static_cast<double>(sink.flow(1).packets), 200.0, 2.0);
+  EXPECT_EQ(sink.flow(1).packets, src.packets_sent());
+}
+
+TEST(CbrSource, WireSizeIncludesHeader) {
+  TwoRouters tr;
+  FlowSink sink(tr.net, tr.b);
+  CbrSource::Config cfg;
+  cfg.src = tr.a;
+  cfg.dst = tr.b;
+  cfg.flow_id = 2;
+  cfg.payload_bytes = 960;
+  cfg.rate_pps = 10;
+  cfg.start = SimTime::origin();
+  cfg.stop = SimTime::from_seconds(1);
+  CbrSource src(tr.net, cfg);
+  tr.net.sim().run_until(SimTime::from_seconds(2));
+  ASSERT_GT(sink.flow(2).packets, 0U);
+  EXPECT_EQ(sink.flow(2).bytes / sink.flow(2).packets, 1000U);
+}
+
+TEST(PoissonSource, MeanRateApproximatelyHolds) {
+  TwoRouters tr;
+  FlowSink sink(tr.net, tr.b);
+  PoissonSource::Config cfg;
+  cfg.src = tr.a;
+  cfg.dst = tr.b;
+  cfg.flow_id = 3;
+  cfg.mean_rate_pps = 500;
+  cfg.start = SimTime::origin();
+  cfg.stop = SimTime::from_seconds(10);
+  PoissonSource src(tr.net, cfg);
+  tr.net.sim().run_until(SimTime::from_seconds(11));
+  EXPECT_NEAR(static_cast<double>(sink.flow(3).packets), 5000.0, 300.0);
+}
+
+TEST(OnOffSource, BurstsAndSilences) {
+  TwoRouters tr;
+  FlowSink sink(tr.net, tr.b);
+  OnOffSource::Config cfg;
+  cfg.src = tr.a;
+  cfg.dst = tr.b;
+  cfg.flow_id = 4;
+  cfg.on_rate_pps = 1000;
+  cfg.mean_on = Duration::millis(100);
+  cfg.mean_off = Duration::millis(100);
+  cfg.start = SimTime::origin();
+  cfg.stop = SimTime::from_seconds(20);
+  OnOffSource src(tr.net, cfg);
+  tr.net.sim().run_until(SimTime::from_seconds(21));
+  // Duty cycle ~50%: expect roughly 10k packets; allow wide tolerance.
+  EXPECT_GT(sink.flow(4).packets, 5000U);
+  EXPECT_LT(sink.flow(4).packets, 15000U);
+}
+
+TEST(FlowSink, SeparatesFlows) {
+  TwoRouters tr;
+  FlowSink sink(tr.net, tr.b);
+  for (std::uint32_t flow = 1; flow <= 3; ++flow) {
+    for (std::uint32_t seq = 0; seq < flow * 10; ++seq) {
+      tr.net.sim().schedule_at(SimTime::from_seconds(0.001 * seq), [&tr, flow, seq] {
+        send_datagram(tr.net, tr.a, tr.b, flow, seq, 100);
+      });
+    }
+  }
+  tr.net.sim().run();
+  EXPECT_EQ(sink.flow(1).packets, 10U);
+  EXPECT_EQ(sink.flow(2).packets, 20U);
+  EXPECT_EQ(sink.flow(3).packets, 30U);
+  EXPECT_EQ(sink.total_packets(), 60U);
+  EXPECT_EQ(sink.flow(99).packets, 0U);
+}
+
+TEST(FlowSink, LatencyAccounting) {
+  TwoRouters tr;
+  FlowSink sink(tr.net, tr.b);
+  tr.net.sim().schedule_at(SimTime::origin(),
+                           [&] { send_datagram(tr.net, tr.a, tr.b, 7, 0, 100); });
+  tr.net.sim().run();
+  ASSERT_EQ(sink.flow(7).packets, 1U);
+  EXPECT_GT(sink.flow(7).mean_latency_seconds(), 0.0);
+  EXPECT_LT(sink.flow(7).mean_latency_seconds(), 0.01);
+}
+
+}  // namespace
+}  // namespace fatih::traffic

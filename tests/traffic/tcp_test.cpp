@@ -1,0 +1,191 @@
+#include "traffic/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hpp"
+
+namespace fatih::traffic {
+namespace {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+// host1 - r1 - r2 - host2 with a configurable bottleneck on r1->r2.
+struct TcpNet {
+  sim::Network net{20};
+  NodeId h1;
+  NodeId r1;
+  NodeId r2;
+  NodeId h2;
+
+  explicit TcpNet(double bottleneck_bps = 1e7, std::size_t qlimit = 30000) {
+    h1 = net.add_host("h1").id();
+    r1 = net.add_router("r1").id();
+    r2 = net.add_router("r2").id();
+    h2 = net.add_host("h2").id();
+    sim::LinkConfig edge;
+    edge.bandwidth_bps = 1e9;
+    edge.delay = Duration::millis(1);
+    sim::LinkConfig core;
+    core.bandwidth_bps = bottleneck_bps;
+    core.delay = Duration::millis(10);
+    core.queue_limit_bytes = qlimit;
+    net.connect(h1, r1, edge);
+    net.connect(r1, r2, core);
+    net.connect(r2, h2, edge);
+    auto& ra = net.router(r1);
+    auto& rb = net.router(r2);
+    ra.set_route(h2, ra.interface_to(r2)->index());
+    ra.set_route(h1, ra.interface_to(h1)->index());
+    ra.set_route(r2, ra.interface_to(r2)->index());
+    rb.set_route(h1, rb.interface_to(r1)->index());
+    rb.set_route(h2, rb.interface_to(h2)->index());
+    rb.set_route(r1, rb.interface_to(r1)->index());
+  }
+};
+
+TEST(Tcp, ConnectsQuicklyOnCleanNetwork) {
+  TcpNet n;
+  TcpFlow flow(n.net, n.h1, n.h2, 1, {});
+  flow.start(SimTime::from_seconds(1));
+  n.net.sim().run_until(SimTime::from_seconds(2));
+  EXPECT_TRUE(flow.connected());
+  // One RTT: ~2 * 12ms.
+  EXPECT_LT(flow.connect_latency().to_seconds(), 0.05);
+  EXPECT_EQ(flow.syn_retransmits(), 0U);
+}
+
+TEST(Tcp, TransfersRequestedBytes) {
+  TcpNet n;
+  TcpConfig cfg;
+  cfg.packets_to_send = 200;
+  TcpFlow flow(n.net, n.h1, n.h2, 1, cfg);
+  flow.start(SimTime::from_seconds(0.5));
+  n.net.sim().run_until(SimTime::from_seconds(20));
+  EXPECT_TRUE(flow.completed());
+  EXPECT_EQ(flow.packets_acked(), 200U);
+}
+
+TEST(Tcp, ReliableUnderCongestiveLoss) {
+  // A tight bottleneck forces congestion drops; TCP must still deliver
+  // everything via retransmission.
+  TcpNet n(2e6, 8000);
+  TcpConfig cfg;
+  cfg.packets_to_send = 300;
+  TcpFlow flow(n.net, n.h1, n.h2, 1, cfg);
+  flow.start(SimTime::from_seconds(0.5));
+  n.net.sim().run_until(SimTime::from_seconds(60));
+  EXPECT_TRUE(flow.completed());
+  EXPECT_GT(flow.data_retransmits(), 0U);
+}
+
+TEST(Tcp, CongestionReducesCwnd) {
+  TcpNet n(2e6, 8000);
+  TcpConfig cfg;
+  cfg.packets_to_send = 0;  // run forever
+  TcpFlow flow(n.net, n.h1, n.h2, 1, cfg);
+  flow.start(SimTime::from_seconds(0.5));
+  n.net.sim().run_until(SimTime::from_seconds(30));
+  // cwnd must have been cut below the slow-start explosion value.
+  EXPECT_LT(flow.current_cwnd(), 1000.0);
+  EXPECT_GT(flow.packets_acked(), 100U);
+}
+
+TEST(Tcp, SynDropCostsSeconds) {
+  // The dissertation's point (§6.1.1): losing a SYN costs a >= 3 s
+  // retransmission timeout — a devastating but tiny attack.
+  TcpNet n;
+  attacks::FlowMatch match;
+  match.syn_only = true;
+  match.dst = n.h2;
+  n.net.router(n.r1).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 1.0, SimTime::origin(), 1));
+  // Disarm the attack after the first SYN so the retry connects.
+  n.net.sim().schedule_at(SimTime::from_seconds(2), [&] {
+    n.net.router(n.r1).set_forward_filter(nullptr);
+  });
+  TcpFlow flow(n.net, n.h1, n.h2, 1, {});
+  flow.start(SimTime::from_seconds(1));
+  n.net.sim().run_until(SimTime::from_seconds(10));
+  EXPECT_TRUE(flow.connected());
+  EXPECT_GE(flow.syn_retransmits(), 1U);
+  EXPECT_GE(flow.connect_latency().to_seconds(), 3.0);
+}
+
+TEST(Tcp, PersistentSynDropPreventsConnection) {
+  TcpNet n;
+  attacks::FlowMatch match;
+  match.syn_only = true;
+  n.net.router(n.r1).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+      match, 1.0, SimTime::origin(), 1));
+  TcpFlow flow(n.net, n.h1, n.h2, 1, {});
+  flow.start(SimTime::from_seconds(1));
+  n.net.sim().run_until(SimTime::from_seconds(30));
+  EXPECT_FALSE(flow.connected());
+  EXPECT_GE(flow.syn_retransmits(), 2U);
+}
+
+TEST(Tcp, RttEstimateTracksPathLatency) {
+  TcpNet n;
+  TcpConfig cfg;
+  cfg.packets_to_send = 100;
+  TcpFlow flow(n.net, n.h1, n.h2, 1, cfg);
+  flow.start(SimTime::from_seconds(0.5));
+  n.net.sim().run_until(SimTime::from_seconds(20));
+  // Propagation RTT is ~24 ms plus queueing.
+  EXPECT_GT(flow.srtt_seconds(), 0.02);
+  EXPECT_LT(flow.srtt_seconds(), 0.2);
+}
+
+TEST(Tcp, MultipleFlowsShareBottleneck) {
+  TcpNet n(5e6, 20000);
+  std::vector<std::unique_ptr<TcpFlow>> flows;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    TcpConfig cfg;
+    cfg.packets_to_send = 0;
+    flows.push_back(std::make_unique<TcpFlow>(n.net, n.h1, n.h2, 10 + i, cfg));
+    flows.back()->start(SimTime::from_seconds(0.1 * i));
+  }
+  n.net.sim().run_until(SimTime::from_seconds(30));
+  std::uint64_t total = 0;
+  for (const auto& f : flows) {
+    EXPECT_TRUE(f->connected());
+    EXPECT_GT(f->packets_acked(), 50U);
+    total += f->packets_acked();
+  }
+  // Aggregate goodput bounded by the bottleneck: 5 Mbps for ~30 s is at
+  // most ~18750 thousand-byte packets.
+  EXPECT_LT(total, 19500U);
+  EXPECT_GT(total, 5000U);
+}
+
+TEST(Tcp, GoodputPositiveAfterTransfer) {
+  TcpNet n;
+  TcpConfig cfg;
+  cfg.packets_to_send = 50;
+  TcpFlow flow(n.net, n.h1, n.h2, 1, cfg);
+  flow.start(SimTime::from_seconds(0.5));
+  n.net.sim().run_until(SimTime::from_seconds(10));
+  EXPECT_GT(flow.goodput_pps(), 0.0);
+}
+
+TEST(Tcp, RetransmissionTimeoutBacksOff) {
+  // Black-hole everything after connection: RTOs must fire repeatedly.
+  TcpNet n;
+  TcpConfig cfg;
+  cfg.packets_to_send = 10;
+  TcpFlow flow(n.net, n.h1, n.h2, 1, cfg);
+  flow.start(SimTime::from_seconds(0.5));
+  n.net.sim().schedule_at(SimTime::from_seconds(0.6), [&] {
+    attacks::FlowMatch match;  // everything
+    n.net.router(n.r1).set_forward_filter(std::make_shared<attacks::RateDropAttack>(
+        match, 1.0, SimTime::from_seconds(0.6), 1));
+  });
+  n.net.sim().run_until(SimTime::from_seconds(30));
+  EXPECT_FALSE(flow.completed());
+  EXPECT_GE(flow.timeouts(), 2U);
+}
+
+}  // namespace
+}  // namespace fatih::traffic

@@ -1,0 +1,79 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fatih::util {
+namespace {
+
+TEST(Duration, FactoryUnits) {
+  EXPECT_EQ(Duration::nanos(1).count_nanos(), 1);
+  EXPECT_EQ(Duration::micros(1).count_nanos(), 1'000);
+  EXPECT_EQ(Duration::millis(1).count_nanos(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1).count_nanos(), 1'000'000'000);
+}
+
+TEST(Duration, FromSecondsFraction) {
+  EXPECT_EQ(Duration::from_seconds(0.0035).count_nanos(), 3'500'000);
+  EXPECT_DOUBLE_EQ(Duration::from_seconds(2.5).to_seconds(), 2.5);
+}
+
+TEST(Duration, Arithmetic) {
+  const auto a = Duration::millis(3);
+  const auto b = Duration::millis(2);
+  EXPECT_EQ((a + b).count_nanos(), Duration::millis(5).count_nanos());
+  EXPECT_EQ((a - b).count_nanos(), Duration::millis(1).count_nanos());
+  EXPECT_EQ((a * 4).count_nanos(), Duration::millis(12).count_nanos());
+  EXPECT_EQ((a / 3).count_nanos(), Duration::millis(1).count_nanos());
+}
+
+TEST(Duration, CompoundAssignment) {
+  auto d = Duration::seconds(1);
+  d += Duration::seconds(2);
+  EXPECT_EQ(d, Duration::seconds(3));
+  d -= Duration::seconds(1);
+  EXPECT_EQ(d, Duration::seconds(2));
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GT(Duration::seconds(1), Duration::millis(999));
+  EXPECT_EQ(Duration::micros(1000), Duration::millis(1));
+}
+
+TEST(Duration, Scaled) {
+  EXPECT_EQ(Duration::seconds(10).scaled(0.5), Duration::seconds(5));
+  EXPECT_EQ(Duration::millis(100).scaled(2.0), Duration::millis(200));
+}
+
+TEST(SimTime, OriginAndAdvance) {
+  const auto t0 = SimTime::origin();
+  EXPECT_EQ(t0.nanos(), 0);
+  const auto t1 = t0 + Duration::seconds(2);
+  EXPECT_DOUBLE_EQ(t1.seconds(), 2.0);
+  EXPECT_EQ(t1 - t0, Duration::seconds(2));
+}
+
+TEST(SimTime, InfinityDominates) {
+  EXPECT_GT(SimTime::infinity(), SimTime::from_seconds(1e9));
+}
+
+TEST(SimTime, FromSeconds) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).nanos(), 1'500'000'000);
+}
+
+TEST(TimeInterval, ContainsHalfOpen) {
+  const TimeInterval tau{SimTime::from_seconds(1), SimTime::from_seconds(2)};
+  EXPECT_TRUE(tau.contains(SimTime::from_seconds(1)));
+  EXPECT_TRUE(tau.contains(SimTime::from_seconds(1.999)));
+  EXPECT_FALSE(tau.contains(SimTime::from_seconds(2)));
+  EXPECT_FALSE(tau.contains(SimTime::from_seconds(0.5)));
+  EXPECT_EQ(tau.length(), Duration::seconds(1));
+}
+
+TEST(TimeFormatting, Renders) {
+  EXPECT_EQ(to_string(SimTime::from_seconds(1.5)), "1.500000s");
+  EXPECT_EQ(to_string(Duration::millis(250)), "0.250000s");
+}
+
+}  // namespace
+}  // namespace fatih::util

@@ -1,0 +1,101 @@
+#include "validation/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fatih::validation {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f(4096, 4);
+  util::Rng rng(1);
+  std::vector<Fingerprint> inserted;
+  for (int i = 0; i < 200; ++i) {
+    inserted.push_back(rng.next_u64());
+    f.insert(inserted.back());
+  }
+  for (auto fp : inserted) EXPECT_TRUE(f.maybe_contains(fp));
+}
+
+TEST(BloomFilter, LowFalsePositiveRateWhenSized) {
+  BloomFilter f(8192, 5);
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) f.insert(rng.next_u64());
+  int fp_count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (f.maybe_contains(rng.next_u64())) ++fp_count;
+  }
+  // ~0.7% expected at this load; allow generous slack.
+  EXPECT_LT(fp_count, 300);
+}
+
+TEST(BloomFilter, PopulationGrowsWithInsertions) {
+  BloomFilter f(4096, 4);
+  EXPECT_EQ(f.population(), 0U);
+  util::Rng rng(3);
+  f.insert(rng.next_u64());
+  const auto p1 = f.population();
+  EXPECT_GT(p1, 0U);
+  EXPECT_LE(p1, 4U);
+  for (int i = 0; i < 100; ++i) f.insert(rng.next_u64());
+  EXPECT_GT(f.population(), p1);
+}
+
+TEST(BloomFilter, IdenticalSetsHaveZeroXor) {
+  util::Rng rng(4);
+  BloomFilter a(4096, 4);
+  BloomFilter b(4096, 4);
+  for (int i = 0; i < 100; ++i) {
+    const auto fp = rng.next_u64();
+    a.insert(fp);
+    b.insert(fp);
+  }
+  EXPECT_EQ(BloomFilter::xor_population(a, b), 0U);
+  const auto est = BloomFilter::estimate_symmetric_difference(a, b);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(*est, 0.0);
+}
+
+class BloomDiffEstimate : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BloomDiffEstimate, EstimatesWithinTwentyPercent) {
+  const std::size_t diff = GetParam();
+  util::Rng rng(5);
+  BloomFilter a(1 << 16, 4);
+  BloomFilter b(1 << 16, 4);
+  // 2000 common fingerprints.
+  for (int i = 0; i < 2000; ++i) {
+    const auto fp = rng.next_u64();
+    a.insert(fp);
+    b.insert(fp);
+  }
+  // `diff` fingerprints split between the two sides.
+  for (std::size_t i = 0; i < diff; ++i) {
+    (i % 2 == 0 ? a : b).insert(rng.next_u64());
+  }
+  const auto est = BloomFilter::estimate_symmetric_difference(a, b);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, static_cast<double>(diff),
+              std::max(8.0, 0.2 * static_cast<double>(diff)));
+}
+
+INSTANTIATE_TEST_SUITE_P(DiffSizes, BloomDiffEstimate,
+                         ::testing::Values(0U, 10U, 50U, 200U, 800U));
+
+TEST(BloomFilter, SaturationReturnsNull) {
+  BloomFilter a(64, 4);
+  BloomFilter b(64, 4);
+  util::Rng rng(6);
+  for (int i = 0; i < 500; ++i) a.insert(rng.next_u64());
+  // a is all-ones, b all-zeros: XOR population == bit count.
+  EXPECT_FALSE(BloomFilter::estimate_symmetric_difference(a, b).has_value());
+}
+
+TEST(BloomFilter, ByteSizeReflectsBits) {
+  EXPECT_EQ(BloomFilter(4096, 3).byte_size(), 512U);
+  EXPECT_EQ(BloomFilter(100, 3).byte_size(), 16U);  // rounded to 128 bits
+}
+
+}  // namespace
+}  // namespace fatih::validation

@@ -1,0 +1,75 @@
+#include "validation/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fatih::validation {
+namespace {
+
+sim::Packet sample_packet() {
+  sim::Packet p;
+  p.hdr.src = 1;
+  p.hdr.dst = 9;
+  p.hdr.flow_id = 3;
+  p.hdr.seq = 17;
+  p.hdr.proto = sim::Protocol::kTcp;
+  p.hdr.ttl = 64;
+  p.size_bytes = 1000;
+  p.payload_tag = 0xABCDEF;
+  return p;
+}
+
+constexpr crypto::SipKey kKey{11, 22};
+
+TEST(Fingerprint, TtlInvariant) {
+  // §7.4.2: mutable header fields must not affect the fingerprint, or
+  // downstream routers could never match upstream records.
+  auto p1 = sample_packet();
+  auto p2 = sample_packet();
+  p2.hdr.ttl = 3;
+  EXPECT_EQ(packet_fingerprint(kKey, p1), packet_fingerprint(kKey, p2));
+}
+
+TEST(Fingerprint, UidAndTimestampInvariant) {
+  auto p1 = sample_packet();
+  auto p2 = sample_packet();
+  p2.uid = 999;
+  p2.created = util::SimTime::from_seconds(5);
+  EXPECT_EQ(packet_fingerprint(kKey, p1), packet_fingerprint(kKey, p2));
+}
+
+TEST(Fingerprint, PayloadSensitive) {
+  auto p1 = sample_packet();
+  auto p2 = sample_packet();
+  p2.payload_tag ^= 1;  // a modified packet
+  EXPECT_NE(packet_fingerprint(kKey, p1), packet_fingerprint(kKey, p2));
+}
+
+TEST(Fingerprint, HeaderSensitive) {
+  const auto base = packet_fingerprint(kKey, sample_packet());
+  auto p = sample_packet();
+  p.hdr.src = 2;
+  EXPECT_NE(packet_fingerprint(kKey, p), base);
+  p = sample_packet();
+  p.hdr.dst = 2;
+  EXPECT_NE(packet_fingerprint(kKey, p), base);
+  p = sample_packet();
+  p.hdr.seq = 18;
+  EXPECT_NE(packet_fingerprint(kKey, p), base);
+  p = sample_packet();
+  p.size_bytes = 999;
+  EXPECT_NE(packet_fingerprint(kKey, p), base);
+  p = sample_packet();
+  p.hdr.flags = sim::kFlagSyn;
+  EXPECT_NE(packet_fingerprint(kKey, p), base);
+}
+
+TEST(Fingerprint, KeySeparation) {
+  // Fingerprints under different segment keys are unlinkable, so interior
+  // routers cannot predict another segment's sampling (§5.2.1).
+  const auto p = sample_packet();
+  EXPECT_NE(packet_fingerprint(crypto::SipKey{1, 2}, p),
+            packet_fingerprint(crypto::SipKey{1, 3}, p));
+}
+
+}  // namespace
+}  // namespace fatih::validation

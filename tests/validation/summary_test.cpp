@@ -1,0 +1,91 @@
+#include "validation/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fatih::validation {
+namespace {
+
+TEST(CounterSummary, Accumulates) {
+  CounterSummary c;
+  c.add(100);
+  c.add(250);
+  EXPECT_EQ(c.packets, 2U);
+  EXPECT_EQ(c.bytes, 350U);
+}
+
+FingerprintSummary make_summary(std::initializer_list<Fingerprint> fps) {
+  FingerprintSummary s;
+  for (auto fp : fps) s.add(fp);
+  return s;
+}
+
+TEST(FingerprintSummary, DifferenceBasic) {
+  const auto a = make_summary({1, 2, 3, 4});
+  const auto b = make_summary({2, 4, 5});
+  EXPECT_EQ(a.difference(b), (std::vector<Fingerprint>{1, 3}));
+  EXPECT_EQ(b.difference(a), (std::vector<Fingerprint>{5}));
+}
+
+TEST(FingerprintSummary, DifferenceRespectsMultiplicity) {
+  const auto a = make_summary({7, 7, 7});
+  const auto b = make_summary({7});
+  EXPECT_EQ(a.difference(b).size(), 2U);
+}
+
+TEST(FingerprintSummary, SymmetricDifferenceSize) {
+  const auto a = make_summary({1, 2, 3});
+  const auto b = make_summary({3, 4});
+  EXPECT_EQ(FingerprintSummary::symmetric_difference_size(a, b), 3U);
+  EXPECT_EQ(FingerprintSummary::symmetric_difference_size(a, a), 0U);
+  EXPECT_EQ(FingerprintSummary::symmetric_difference_size(a, {}), 3U);
+}
+
+OrderedSummary seq_of(std::initializer_list<Fingerprint> fps) {
+  OrderedSummary s;
+  for (auto fp : fps) s.add(fp);
+  return s;
+}
+
+TEST(OrderedSummary, NoReorder) {
+  const auto sent = seq_of({1, 2, 3, 4, 5});
+  EXPECT_EQ(OrderedSummary::reorder_count(sent, sent), 0U);
+}
+
+TEST(OrderedSummary, SingleDisplacement) {
+  const auto sent = seq_of({1, 2, 3, 4, 5});
+  const auto recv = seq_of({2, 3, 4, 1, 5});  // 1 moved back
+  EXPECT_EQ(OrderedSummary::reorder_count(sent, recv), 1U);
+}
+
+TEST(OrderedSummary, FullReversal) {
+  const auto sent = seq_of({1, 2, 3, 4, 5});
+  const auto recv = seq_of({5, 4, 3, 2, 1});
+  EXPECT_EQ(OrderedSummary::reorder_count(sent, recv), 4U);
+}
+
+TEST(OrderedSummary, LossesExcludedFromMetric) {
+  // §2.2.1: remove lost/fabricated packets from both streams first.
+  const auto sent = seq_of({1, 2, 3, 4, 5});
+  const auto recv = seq_of({1, 3, 5});  // 2 and 4 lost, order intact
+  EXPECT_EQ(OrderedSummary::reorder_count(sent, recv), 0U);
+}
+
+TEST(OrderedSummary, FabricationsExcludedFromMetric) {
+  const auto sent = seq_of({1, 2, 3});
+  const auto recv = seq_of({1, 9, 2, 3});  // 9 fabricated
+  EXPECT_EQ(OrderedSummary::reorder_count(sent, recv), 0U);
+}
+
+TEST(OrderedSummary, SwapAdjacent) {
+  const auto sent = seq_of({1, 2, 3, 4});
+  const auto recv = seq_of({1, 3, 2, 4});
+  EXPECT_EQ(OrderedSummary::reorder_count(sent, recv), 1U);
+}
+
+TEST(OrderedSummary, EmptyStreams) {
+  EXPECT_EQ(OrderedSummary::reorder_count({}, {}), 0U);
+  EXPECT_EQ(OrderedSummary::reorder_count(seq_of({1, 2}), {}), 0U);
+}
+
+}  // namespace
+}  // namespace fatih::validation
