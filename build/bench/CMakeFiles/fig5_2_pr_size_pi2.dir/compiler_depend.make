@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_2_pr_size_pi2.
+# This may be replaced when dependencies are built.

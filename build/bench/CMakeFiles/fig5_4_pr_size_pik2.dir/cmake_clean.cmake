@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_4_pr_size_pik2.dir/fig5_4_pr_size_pik2.cpp.o"
+  "CMakeFiles/fig5_4_pr_size_pik2.dir/fig5_4_pr_size_pik2.cpp.o.d"
+  "fig5_4_pr_size_pik2"
+  "fig5_4_pr_size_pik2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_4_pr_size_pik2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_7_fatih_timeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_12_red_attack1.
+# This may be replaced when dependencies are built.

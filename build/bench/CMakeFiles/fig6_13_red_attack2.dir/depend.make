@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_13_red_attack2.
+# This may be replaced when dependencies are built.

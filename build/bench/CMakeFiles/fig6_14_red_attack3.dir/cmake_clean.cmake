@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_14_red_attack3.dir/fig6_14_red_attack3.cpp.o"
+  "CMakeFiles/fig6_14_red_attack3.dir/fig6_14_red_attack3.cpp.o.d"
+  "fig6_14_red_attack3"
+  "fig6_14_red_attack3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_14_red_attack3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_14_red_attack3.
+# This may be replaced when dependencies are built.

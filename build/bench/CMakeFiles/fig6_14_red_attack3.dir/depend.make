@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_14_red_attack3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_15_red_attack4.
+# This may be replaced when dependencies are built.

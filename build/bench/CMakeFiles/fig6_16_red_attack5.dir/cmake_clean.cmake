@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_16_red_attack5.dir/fig6_16_red_attack5.cpp.o"
+  "CMakeFiles/fig6_16_red_attack5.dir/fig6_16_red_attack5.cpp.o.d"
+  "fig6_16_red_attack5"
+  "fig6_16_red_attack5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_16_red_attack5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

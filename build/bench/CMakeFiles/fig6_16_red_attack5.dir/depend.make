@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_16_red_attack5.
+# This may be replaced when dependencies are built.

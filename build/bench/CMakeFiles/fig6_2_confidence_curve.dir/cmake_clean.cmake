@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_2_confidence_curve.dir/fig6_2_confidence_curve.cpp.o"
+  "CMakeFiles/fig6_2_confidence_curve.dir/fig6_2_confidence_curve.cpp.o.d"
+  "fig6_2_confidence_curve"
+  "fig6_2_confidence_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_2_confidence_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_3_queue_prediction.dir/fig6_3_queue_prediction.cpp.o"
+  "CMakeFiles/fig6_3_queue_prediction.dir/fig6_3_queue_prediction.cpp.o.d"
+  "fig6_3_queue_prediction"
+  "fig6_3_queue_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_3_queue_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

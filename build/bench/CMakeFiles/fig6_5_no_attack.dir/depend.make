@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_5_no_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_6_attack_drop20.dir/fig6_6_attack_drop20.cpp.o"
+  "CMakeFiles/fig6_6_attack_drop20.dir/fig6_6_attack_drop20.cpp.o.d"
+  "fig6_6_attack_drop20"
+  "fig6_6_attack_drop20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_6_attack_drop20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

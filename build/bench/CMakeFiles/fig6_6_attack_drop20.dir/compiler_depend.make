@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_6_attack_drop20.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_attack_q90.dir/fig6_7_attack_q90.cpp.o"
+  "CMakeFiles/fig6_7_attack_q90.dir/fig6_7_attack_q90.cpp.o.d"
+  "fig6_7_attack_q90"
+  "fig6_7_attack_q90.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_attack_q90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_8_attack_q95.dir/fig6_8_attack_q95.cpp.o"
+  "CMakeFiles/fig6_8_attack_q95.dir/fig6_8_attack_q95.cpp.o.d"
+  "fig6_8_attack_q95"
+  "fig6_8_attack_q95.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_8_attack_q95.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

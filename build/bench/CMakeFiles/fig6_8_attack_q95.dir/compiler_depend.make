@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_8_attack_q95.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_9_attack_syn.dir/fig6_9_attack_syn.cpp.o"
+  "CMakeFiles/fig6_9_attack_syn.dir/fig6_9_attack_syn.cpp.o.d"
+  "fig6_9_attack_syn"
+  "fig6_9_attack_syn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_9_attack_syn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab3_1_ack_protocols.cpp" "bench/CMakeFiles/tab3_1_ack_protocols.dir/tab3_1_ack_protocols.cpp.o" "gcc" "bench/CMakeFiles/tab3_1_ack_protocols.dir/tab3_1_ack_protocols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fatih_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fatih_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fatih_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/fatih_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/fatih_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/fatih_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/detection/CMakeFiles/fatih_detection.dir/DependInfo.cmake"
+  "/root/repo/build/src/fatih/CMakeFiles/fatih_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/fatih_attacks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

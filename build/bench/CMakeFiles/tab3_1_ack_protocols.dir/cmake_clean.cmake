@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_1_ack_protocols.dir/tab3_1_ack_protocols.cpp.o"
+  "CMakeFiles/tab3_1_ack_protocols.dir/tab3_1_ack_protocols.cpp.o.d"
+  "tab3_1_ack_protocols"
+  "tab3_1_ack_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_1_ack_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_1_state_overhead.dir/tab5_1_state_overhead.cpp.o"
+  "CMakeFiles/tab5_1_state_overhead.dir/tab5_1_state_overhead.cpp.o.d"
+  "tab5_1_state_overhead"
+  "tab5_1_state_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_1_state_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

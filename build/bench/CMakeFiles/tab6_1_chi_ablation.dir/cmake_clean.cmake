@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_1_chi_ablation.dir/tab6_1_chi_ablation.cpp.o"
+  "CMakeFiles/tab6_1_chi_ablation.dir/tab6_1_chi_ablation.cpp.o.d"
+  "tab6_1_chi_ablation"
+  "tab6_1_chi_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_1_chi_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

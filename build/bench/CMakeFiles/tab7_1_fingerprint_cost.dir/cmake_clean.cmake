@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_1_fingerprint_cost.dir/tab7_1_fingerprint_cost.cpp.o"
+  "CMakeFiles/tab7_1_fingerprint_cost.dir/tab7_1_fingerprint_cost.cpp.o.d"
+  "tab7_1_fingerprint_cost"
+  "tab7_1_fingerprint_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_1_fingerprint_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab7_1_fingerprint_cost.
+# This may be replaced when dependencies are built.

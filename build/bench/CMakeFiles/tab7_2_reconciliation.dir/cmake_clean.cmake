@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_2_reconciliation.dir/tab7_2_reconciliation.cpp.o"
+  "CMakeFiles/tab7_2_reconciliation.dir/tab7_2_reconciliation.cpp.o.d"
+  "tab7_2_reconciliation"
+  "tab7_2_reconciliation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_2_reconciliation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_3_exchange_bandwidth.dir/tab7_3_exchange_bandwidth.cpp.o"
+  "CMakeFiles/tab7_3_exchange_bandwidth.dir/tab7_3_exchange_bandwidth.cpp.o.d"
+  "tab7_3_exchange_bandwidth"
+  "tab7_3_exchange_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_3_exchange_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab7_3_exchange_bandwidth.
+# This may be replaced when dependencies are built.

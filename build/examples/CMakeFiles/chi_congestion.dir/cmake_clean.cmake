@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chi_congestion.dir/chi_congestion.cpp.o"
+  "CMakeFiles/chi_congestion.dir/chi_congestion.cpp.o.d"
+  "chi_congestion"
+  "chi_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chi_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

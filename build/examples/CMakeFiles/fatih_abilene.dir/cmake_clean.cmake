@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_abilene.dir/fatih_abilene.cpp.o"
+  "CMakeFiles/fatih_abilene.dir/fatih_abilene.cpp.o.d"
+  "fatih_abilene"
+  "fatih_abilene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_abilene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_survey.dir/protocol_survey.cpp.o"
+  "CMakeFiles/protocol_survey.dir/protocol_survey.cpp.o.d"
+  "protocol_survey"
+  "protocol_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

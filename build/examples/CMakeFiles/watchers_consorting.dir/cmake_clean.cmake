@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchers_consorting.dir/watchers_consorting.cpp.o"
+  "CMakeFiles/watchers_consorting.dir/watchers_consorting.cpp.o.d"
+  "watchers_consorting"
+  "watchers_consorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchers_consorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

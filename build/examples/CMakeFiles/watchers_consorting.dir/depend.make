@@ -1,0 +1,2 @@
+# Empty dependencies file for watchers_consorting.
+# This may be replaced when dependencies are built.

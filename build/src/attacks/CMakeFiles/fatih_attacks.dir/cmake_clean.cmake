@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_attacks.dir/attacks.cpp.o"
+  "CMakeFiles/fatih_attacks.dir/attacks.cpp.o.d"
+  "libfatih_attacks.a"
+  "libfatih_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_crypto.dir/hash_chain.cpp.o"
+  "CMakeFiles/fatih_crypto.dir/hash_chain.cpp.o.d"
+  "CMakeFiles/fatih_crypto.dir/keys.cpp.o"
+  "CMakeFiles/fatih_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/fatih_crypto.dir/mac.cpp.o"
+  "CMakeFiles/fatih_crypto.dir/mac.cpp.o.d"
+  "CMakeFiles/fatih_crypto.dir/siphash.cpp.o"
+  "CMakeFiles/fatih_crypto.dir/siphash.cpp.o.d"
+  "libfatih_crypto.a"
+  "libfatih_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

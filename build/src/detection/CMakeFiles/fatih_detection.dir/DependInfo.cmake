@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detection/chi.cpp" "src/detection/CMakeFiles/fatih_detection.dir/chi.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/chi.cpp.o.d"
+  "/root/repo/src/detection/flood.cpp" "src/detection/CMakeFiles/fatih_detection.dir/flood.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/flood.cpp.o.d"
+  "/root/repo/src/detection/herzberg.cpp" "src/detection/CMakeFiles/fatih_detection.dir/herzberg.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/herzberg.cpp.o.d"
+  "/root/repo/src/detection/hser.cpp" "src/detection/CMakeFiles/fatih_detection.dir/hser.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/hser.cpp.o.d"
+  "/root/repo/src/detection/messages.cpp" "src/detection/CMakeFiles/fatih_detection.dir/messages.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/messages.cpp.o.d"
+  "/root/repo/src/detection/perlman.cpp" "src/detection/CMakeFiles/fatih_detection.dir/perlman.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/perlman.cpp.o.d"
+  "/root/repo/src/detection/pi2.cpp" "src/detection/CMakeFiles/fatih_detection.dir/pi2.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/pi2.cpp.o.d"
+  "/root/repo/src/detection/pik2.cpp" "src/detection/CMakeFiles/fatih_detection.dir/pik2.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/pik2.cpp.o.d"
+  "/root/repo/src/detection/sectrace.cpp" "src/detection/CMakeFiles/fatih_detection.dir/sectrace.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/sectrace.cpp.o.d"
+  "/root/repo/src/detection/spec.cpp" "src/detection/CMakeFiles/fatih_detection.dir/spec.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/spec.cpp.o.d"
+  "/root/repo/src/detection/summary_gen.cpp" "src/detection/CMakeFiles/fatih_detection.dir/summary_gen.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/summary_gen.cpp.o.d"
+  "/root/repo/src/detection/threshold.cpp" "src/detection/CMakeFiles/fatih_detection.dir/threshold.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/threshold.cpp.o.d"
+  "/root/repo/src/detection/tv.cpp" "src/detection/CMakeFiles/fatih_detection.dir/tv.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/tv.cpp.o.d"
+  "/root/repo/src/detection/types.cpp" "src/detection/CMakeFiles/fatih_detection.dir/types.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/types.cpp.o.d"
+  "/root/repo/src/detection/watchers.cpp" "src/detection/CMakeFiles/fatih_detection.dir/watchers.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/watchers.cpp.o.d"
+  "/root/repo/src/detection/zhang.cpp" "src/detection/CMakeFiles/fatih_detection.dir/zhang.cpp.o" "gcc" "src/detection/CMakeFiles/fatih_detection.dir/zhang.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fatih_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fatih_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fatih_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/fatih_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/fatih_validation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

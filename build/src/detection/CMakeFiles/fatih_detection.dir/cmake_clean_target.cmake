@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfatih_detection.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_system.dir/fatih.cpp.o"
+  "CMakeFiles/fatih_system.dir/fatih.cpp.o.d"
+  "libfatih_system.a"
+  "libfatih_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

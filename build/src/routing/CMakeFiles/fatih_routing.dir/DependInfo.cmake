@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/disjoint.cpp" "src/routing/CMakeFiles/fatih_routing.dir/disjoint.cpp.o" "gcc" "src/routing/CMakeFiles/fatih_routing.dir/disjoint.cpp.o.d"
+  "/root/repo/src/routing/graph.cpp" "src/routing/CMakeFiles/fatih_routing.dir/graph.cpp.o" "gcc" "src/routing/CMakeFiles/fatih_routing.dir/graph.cpp.o.d"
+  "/root/repo/src/routing/install.cpp" "src/routing/CMakeFiles/fatih_routing.dir/install.cpp.o" "gcc" "src/routing/CMakeFiles/fatih_routing.dir/install.cpp.o.d"
+  "/root/repo/src/routing/link_state.cpp" "src/routing/CMakeFiles/fatih_routing.dir/link_state.cpp.o" "gcc" "src/routing/CMakeFiles/fatih_routing.dir/link_state.cpp.o.d"
+  "/root/repo/src/routing/segments.cpp" "src/routing/CMakeFiles/fatih_routing.dir/segments.cpp.o" "gcc" "src/routing/CMakeFiles/fatih_routing.dir/segments.cpp.o.d"
+  "/root/repo/src/routing/spf.cpp" "src/routing/CMakeFiles/fatih_routing.dir/spf.cpp.o" "gcc" "src/routing/CMakeFiles/fatih_routing.dir/spf.cpp.o.d"
+  "/root/repo/src/routing/topologies.cpp" "src/routing/CMakeFiles/fatih_routing.dir/topologies.cpp.o" "gcc" "src/routing/CMakeFiles/fatih_routing.dir/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fatih_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fatih_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fatih_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

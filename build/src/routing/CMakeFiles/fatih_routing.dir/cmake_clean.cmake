@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_routing.dir/disjoint.cpp.o"
+  "CMakeFiles/fatih_routing.dir/disjoint.cpp.o.d"
+  "CMakeFiles/fatih_routing.dir/graph.cpp.o"
+  "CMakeFiles/fatih_routing.dir/graph.cpp.o.d"
+  "CMakeFiles/fatih_routing.dir/install.cpp.o"
+  "CMakeFiles/fatih_routing.dir/install.cpp.o.d"
+  "CMakeFiles/fatih_routing.dir/link_state.cpp.o"
+  "CMakeFiles/fatih_routing.dir/link_state.cpp.o.d"
+  "CMakeFiles/fatih_routing.dir/segments.cpp.o"
+  "CMakeFiles/fatih_routing.dir/segments.cpp.o.d"
+  "CMakeFiles/fatih_routing.dir/spf.cpp.o"
+  "CMakeFiles/fatih_routing.dir/spf.cpp.o.d"
+  "CMakeFiles/fatih_routing.dir/topologies.cpp.o"
+  "CMakeFiles/fatih_routing.dir/topologies.cpp.o.d"
+  "libfatih_routing.a"
+  "libfatih_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_sim.dir/network.cpp.o"
+  "CMakeFiles/fatih_sim.dir/network.cpp.o.d"
+  "CMakeFiles/fatih_sim.dir/node.cpp.o"
+  "CMakeFiles/fatih_sim.dir/node.cpp.o.d"
+  "CMakeFiles/fatih_sim.dir/packet.cpp.o"
+  "CMakeFiles/fatih_sim.dir/packet.cpp.o.d"
+  "CMakeFiles/fatih_sim.dir/queue.cpp.o"
+  "CMakeFiles/fatih_sim.dir/queue.cpp.o.d"
+  "CMakeFiles/fatih_sim.dir/red.cpp.o"
+  "CMakeFiles/fatih_sim.dir/red.cpp.o.d"
+  "CMakeFiles/fatih_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fatih_sim.dir/simulator.cpp.o.d"
+  "libfatih_sim.a"
+  "libfatih_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

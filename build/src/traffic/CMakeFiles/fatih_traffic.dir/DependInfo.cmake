@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/sources.cpp" "src/traffic/CMakeFiles/fatih_traffic.dir/sources.cpp.o" "gcc" "src/traffic/CMakeFiles/fatih_traffic.dir/sources.cpp.o.d"
+  "/root/repo/src/traffic/tcp.cpp" "src/traffic/CMakeFiles/fatih_traffic.dir/tcp.cpp.o" "gcc" "src/traffic/CMakeFiles/fatih_traffic.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fatih_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fatih_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

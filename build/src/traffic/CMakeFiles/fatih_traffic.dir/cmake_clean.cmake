@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_traffic.dir/sources.cpp.o"
+  "CMakeFiles/fatih_traffic.dir/sources.cpp.o.d"
+  "CMakeFiles/fatih_traffic.dir/tcp.cpp.o"
+  "CMakeFiles/fatih_traffic.dir/tcp.cpp.o.d"
+  "libfatih_traffic.a"
+  "libfatih_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_util.dir/log.cpp.o"
+  "CMakeFiles/fatih_util.dir/log.cpp.o.d"
+  "CMakeFiles/fatih_util.dir/rng.cpp.o"
+  "CMakeFiles/fatih_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fatih_util.dir/stats.cpp.o"
+  "CMakeFiles/fatih_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fatih_util.dir/time.cpp.o"
+  "CMakeFiles/fatih_util.dir/time.cpp.o.d"
+  "libfatih_util.a"
+  "libfatih_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validation/bloom.cpp" "src/validation/CMakeFiles/fatih_validation.dir/bloom.cpp.o" "gcc" "src/validation/CMakeFiles/fatih_validation.dir/bloom.cpp.o.d"
+  "/root/repo/src/validation/fingerprint.cpp" "src/validation/CMakeFiles/fatih_validation.dir/fingerprint.cpp.o" "gcc" "src/validation/CMakeFiles/fatih_validation.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/validation/reconcile.cpp" "src/validation/CMakeFiles/fatih_validation.dir/reconcile.cpp.o" "gcc" "src/validation/CMakeFiles/fatih_validation.dir/reconcile.cpp.o.d"
+  "/root/repo/src/validation/summary.cpp" "src/validation/CMakeFiles/fatih_validation.dir/summary.cpp.o" "gcc" "src/validation/CMakeFiles/fatih_validation.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fatih_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fatih_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fatih_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_validation.dir/bloom.cpp.o"
+  "CMakeFiles/fatih_validation.dir/bloom.cpp.o.d"
+  "CMakeFiles/fatih_validation.dir/fingerprint.cpp.o"
+  "CMakeFiles/fatih_validation.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/fatih_validation.dir/reconcile.cpp.o"
+  "CMakeFiles/fatih_validation.dir/reconcile.cpp.o.d"
+  "CMakeFiles/fatih_validation.dir/summary.cpp.o"
+  "CMakeFiles/fatih_validation.dir/summary.cpp.o.d"
+  "libfatih_validation.a"
+  "libfatih_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chi_red_test.dir/detection/chi_red_test.cpp.o"
+  "CMakeFiles/chi_red_test.dir/detection/chi_red_test.cpp.o.d"
+  "chi_red_test"
+  "chi_red_test.pdb"
+  "chi_red_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chi_red_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chi_test.dir/detection/chi_test.cpp.o"
+  "CMakeFiles/chi_test.dir/detection/chi_test.cpp.o.d"
+  "chi_test"
+  "chi_test.pdb"
+  "chi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

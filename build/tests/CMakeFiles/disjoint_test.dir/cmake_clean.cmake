@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjoint_test.dir/routing/disjoint_test.cpp.o"
+  "CMakeFiles/disjoint_test.dir/routing/disjoint_test.cpp.o.d"
+  "disjoint_test"
+  "disjoint_test.pdb"
+  "disjoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fatih_test.dir/fatih/fatih_test.cpp.o"
+  "CMakeFiles/fatih_test.dir/fatih/fatih_test.cpp.o.d"
+  "fatih_test"
+  "fatih_test.pdb"
+  "fatih_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fatih_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

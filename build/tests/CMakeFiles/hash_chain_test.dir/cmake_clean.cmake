@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_chain_test.dir/crypto/hash_chain_test.cpp.o"
+  "CMakeFiles/hash_chain_test.dir/crypto/hash_chain_test.cpp.o.d"
+  "hash_chain_test"
+  "hash_chain_test.pdb"
+  "hash_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herzberg_test.dir/detection/herzberg_test.cpp.o"
+  "CMakeFiles/herzberg_test.dir/detection/herzberg_test.cpp.o.d"
+  "herzberg_test"
+  "herzberg_test.pdb"
+  "herzberg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herzberg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hser_test.dir/detection/hser_test.cpp.o"
+  "CMakeFiles/hser_test.dir/detection/hser_test.cpp.o.d"
+  "hser_test"
+  "hser_test.pdb"
+  "hser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

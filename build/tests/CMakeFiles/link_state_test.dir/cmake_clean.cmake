@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_state_test.dir/routing/link_state_test.cpp.o"
+  "CMakeFiles/link_state_test.dir/routing/link_state_test.cpp.o.d"
+  "link_state_test"
+  "link_state_test.pdb"
+  "link_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perlman_test.dir/detection/perlman_test.cpp.o"
+  "CMakeFiles/perlman_test.dir/detection/perlman_test.cpp.o.d"
+  "perlman_test"
+  "perlman_test.pdb"
+  "perlman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perlman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

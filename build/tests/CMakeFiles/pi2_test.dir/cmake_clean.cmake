@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2_test.dir/detection/pi2_test.cpp.o"
+  "CMakeFiles/pi2_test.dir/detection/pi2_test.cpp.o.d"
+  "pi2_test"
+  "pi2_test.pdb"
+  "pi2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

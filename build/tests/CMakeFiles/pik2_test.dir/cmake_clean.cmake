@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pik2_test.dir/detection/pik2_test.cpp.o"
+  "CMakeFiles/pik2_test.dir/detection/pik2_test.cpp.o.d"
+  "pik2_test"
+  "pik2_test.pdb"
+  "pik2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pik2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

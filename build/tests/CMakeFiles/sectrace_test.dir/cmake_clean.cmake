@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sectrace_test.dir/detection/sectrace_test.cpp.o"
+  "CMakeFiles/sectrace_test.dir/detection/sectrace_test.cpp.o.d"
+  "sectrace_test"
+  "sectrace_test.pdb"
+  "sectrace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sectrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siphash_test.dir/crypto/siphash_test.cpp.o"
+  "CMakeFiles/siphash_test.dir/crypto/siphash_test.cpp.o.d"
+  "siphash_test"
+  "siphash_test.pdb"
+  "siphash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siphash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sources_test.dir/traffic/sources_test.cpp.o"
+  "CMakeFiles/sources_test.dir/traffic/sources_test.cpp.o.d"
+  "sources_test"
+  "sources_test.pdb"
+  "sources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

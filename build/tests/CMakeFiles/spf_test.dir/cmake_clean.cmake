@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spf_test.dir/routing/spf_test.cpp.o"
+  "CMakeFiles/spf_test.dir/routing/spf_test.cpp.o.d"
+  "spf_test"
+  "spf_test.pdb"
+  "spf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

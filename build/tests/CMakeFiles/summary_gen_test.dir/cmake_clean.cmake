@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_gen_test.dir/detection/summary_gen_test.cpp.o"
+  "CMakeFiles/summary_gen_test.dir/detection/summary_gen_test.cpp.o.d"
+  "summary_gen_test"
+  "summary_gen_test.pdb"
+  "summary_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_test.dir/detection/tv_test.cpp.o"
+  "CMakeFiles/tv_test.dir/detection/tv_test.cpp.o.d"
+  "tv_test"
+  "tv_test.pdb"
+  "tv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

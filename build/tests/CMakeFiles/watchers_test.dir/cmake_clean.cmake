@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchers_test.dir/detection/watchers_test.cpp.o"
+  "CMakeFiles/watchers_test.dir/detection/watchers_test.cpp.o.d"
+  "watchers_test"
+  "watchers_test.pdb"
+  "watchers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for watchers_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhang_test.dir/detection/zhang_test.cpp.o"
+  "CMakeFiles/zhang_test.dir/detection/zhang_test.cpp.o.d"
+  "zhang_test"
+  "zhang_test.pdb"
+  "zhang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
