@@ -19,6 +19,89 @@ bool FlowMatch::matches(const sim::Packet& p) const {
   return true;
 }
 
+bool ControlMatch::matches(const sim::Packet& p) const {
+  if (!p.is_control()) return false;
+  if (src && p.hdr.src != *src) return false;
+  if (dst && p.hdr.dst != *dst) return false;
+  if (!kinds.empty()) {
+    const std::uint16_t kind = p.control != nullptr ? p.control->kind() : 0;
+    if (std::find(kinds.begin(), kinds.end(), kind) == kinds.end()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------- ControlDrop
+
+ControlDropAttack::ControlDropAttack(Config config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+sim::ForwardDecision ControlDropAttack::on_forward(const sim::Packet& p, util::NodeId /*prev*/,
+                                                   const sim::Interface& /*out*/,
+                                                   sim::Router& router) {
+  if (router.sim().now() < config_.active_from) return sim::ForwardDecision::forward();
+  if (!config_.match.matches(p)) return sim::ForwardDecision::forward();
+  if (config_.drop_fraction > 0.0 && rng_.bernoulli(config_.drop_fraction)) {
+    return sim::ForwardDecision::drop();
+  }
+  if (config_.delay_fraction > 0.0 && rng_.bernoulli(config_.delay_fraction)) {
+    sim::ForwardDecision d;
+    d.extra_delay = config_.delay;
+    return d;
+  }
+  return sim::ForwardDecision::forward();
+}
+
+// ---------------------------------------------------------- FilterChain
+
+sim::ForwardDecision FilterChain::on_forward(const sim::Packet& p, util::NodeId prev,
+                                             const sim::Interface& out, sim::Router& router) {
+  sim::ForwardDecision combined;
+  sim::Packet current = p;
+  bool replaced = false;
+  for (const auto& f : filters_) {
+    auto d = f->on_forward(current, prev, out, router);
+    if (d.action == sim::ForwardDecision::Action::kDrop) return sim::ForwardDecision::drop();
+    if (d.replacement) {
+      current = *d.replacement;
+      replaced = true;
+    }
+    if (d.iface_override) combined.iface_override = d.iface_override;
+    combined.extra_delay = combined.extra_delay + d.extra_delay;
+  }
+  if (replaced) combined.replacement = std::move(current);
+  return combined;
+}
+
+// ----------------------------------------------------- ControlLinkFaults
+
+ControlLinkFaults::ControlLinkFaults(sim::Network& net, Config config) {
+  for (util::NodeId n = 0; n < net.node_count(); ++n) {
+    auto& node = net.node(n);
+    for (std::size_t i = 0; i < node.interface_count(); ++i) {
+      // Splitmix-style per-interface stream: deterministic per seed, and
+      // one link's draw count never perturbs another's.
+      const std::uint64_t stream = config.seed ^
+                                   (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(n) + 1)) ^
+                                   (0xBF58476D1CE4E5B9ULL * (static_cast<std::uint64_t>(i) + 1));
+      util::Rng rng(stream);
+      node.interface(i).set_fault_injector(
+          [config, rng](const sim::Packet& p, util::SimTime now) mutable {
+            sim::LinkFault fault;
+            if (now < config.active_from) return fault;
+            if (!config.match.matches(p)) return fault;
+            if (config.drop_fraction > 0.0 && rng.bernoulli(config.drop_fraction)) {
+              fault.drop = true;
+              return fault;
+            }
+            if (config.delay_fraction > 0.0 && rng.bernoulli(config.delay_fraction)) {
+              fault.extra_delay = config.delay;
+            }
+            return fault;
+          });
+    }
+  }
+}
+
 // ------------------------------------------------------------ RateDrop
 
 RateDropAttack::RateDropAttack(FlowMatch match, double fraction, util::SimTime active_from,

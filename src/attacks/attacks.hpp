@@ -9,9 +9,17 @@
 //   * drops gated on the RED average queue size (Figs. 6.12-6.15),
 //   * SYN-targeted connection-killing drops (Figs. 6.9/6.16),
 //   * payload modification, reordering-by-delay, misrouting, and
-//     fabrication (Pi2/Pi(k+2) threat coverage).
+//     fabrication (Pi2/Pi(k+2) threat coverage),
+//   * control-plane attacks: dropping or delaying the detectors' own
+//     summaries/reports/acks, either at a compromised router
+//     (ControlDropAttack) or as link-level loss on chosen links
+//     (ControlLinkFaults) — the faults the reliable control transport
+//     must ride out, and the withholding behaviour §2.2.1 classifies as
+//     protocol-faulty.
 // All attacks are inert before `active_from`, so experiments can establish
-// clean baselines and calibration periods first.
+// clean baselines and calibration periods first. FilterChain composes
+// several ForwardFilters on one router, so a data-plane dropper and a
+// control-plane dropper can share a compromised node.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +44,76 @@ struct FlowMatch {
   bool include_control = false;  ///< also target protocol control traffic
 
   [[nodiscard]] bool matches(const sim::Packet& p) const;
+};
+
+/// Which control-plane packets a control-plane adversary targets.
+struct ControlMatch {
+  /// Control payload kinds to hit (raw kind tags, e.g. the summary-flood
+  /// or ack kind). Empty = every control packet, acks included.
+  std::vector<std::uint16_t> kinds;
+  std::optional<util::NodeId> src;
+  std::optional<util::NodeId> dst;
+
+  [[nodiscard]] bool matches(const sim::Packet& p) const;
+};
+
+/// Control-plane adversary at a compromised router: drops a fraction of
+/// matching control packets it is asked to forward, and/or holds them back
+/// by `delay`. Ack-only loss (kinds = {ack kind}) lets the transport
+/// deliver while suppressing the acknowledgements — the retransmit path's
+/// worst case, exercised by the duplicate-suppression tests.
+class ControlDropAttack final : public sim::ForwardFilter {
+ public:
+  struct Config {
+    ControlMatch match;
+    double drop_fraction = 1.0;
+    double delay_fraction = 0.0;
+    util::Duration delay;
+    util::SimTime active_from;
+    std::uint64_t seed = 1;
+  };
+
+  explicit ControlDropAttack(Config config);
+  sim::ForwardDecision on_forward(const sim::Packet& p, util::NodeId prev,
+                                  const sim::Interface& out, sim::Router& router) override;
+
+ private:
+  Config config_;
+  util::Rng rng_;
+};
+
+/// Composes several ForwardFilters on one compromised router (a router can
+/// be both data-plane and control-plane faulty). The first drop wins;
+/// replacements chain through subsequent filters; extra delays accumulate;
+/// the last interface override wins.
+class FilterChain final : public sim::ForwardFilter {
+ public:
+  void append(std::shared_ptr<sim::ForwardFilter> f) { filters_.push_back(std::move(f)); }
+
+  sim::ForwardDecision on_forward(const sim::Packet& p, util::NodeId prev,
+                                  const sim::Interface& out, sim::Router& router) override;
+
+ private:
+  std::vector<std::shared_ptr<sim::ForwardFilter>> filters_;
+};
+
+/// Link-level control-plane fault injection: installs a fault injector on
+/// every interface of every node, dropping/delaying matching control
+/// packets after serialization (so flood hop copies and acks are hit too,
+/// which no ForwardFilter ever sees). Each interface gets its own rng
+/// stream, so runs are deterministic per seed and independent per link.
+class ControlLinkFaults {
+ public:
+  struct Config {
+    ControlMatch match;
+    double drop_fraction = 0.0;
+    double delay_fraction = 0.0;
+    util::Duration delay;
+    util::SimTime active_from;
+    std::uint64_t seed = 1;
+  };
+
+  ControlLinkFaults(sim::Network& net, Config config);
 };
 
 /// Drops a fraction of matching packets (Fig. 6.6: "drop 20% of the

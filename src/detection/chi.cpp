@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <queue>
 
+#include "crypto/siphash.hpp"
 #include "util/log.hpp"
 #include "validation/fingerprint.hpp"
 
@@ -164,17 +165,24 @@ void QueueValidator::ship_reports(std::int64_t round) {
       payload->envelope = crypto::sign(keys_, reporter, piece.to_bytes());
       payload->report = std::move(piece);
 
+      // Parts are paced ~2 ms apart so the report train does not bloat the
+      // very queue being validated (control bypasses its byte limit); the
+      // off-round spacing avoids resonating with common CBR periods.
+      const auto send_at = net_.sim().now() + util::Duration::micros(2300) * part;
+      const util::NodeId from = reporter;
+      if (channel_ != nullptr) {
+        const std::uint32_t bytes = payload->report.wire_bytes();
+        net_.sim().schedule_at(send_at, [this, from, payload, bytes] {
+          channel_->send(from, peer_, payload, bytes, ReliableChannel::Via::kRouted);
+        });
+        continue;
+      }
       sim::PacketHeader hdr;
       hdr.src = reporter;
       hdr.dst = peer_;
       hdr.proto = sim::Protocol::kControl;
       sim::Packet p = net_.make_packet(hdr, payload->report.wire_bytes());
       p.control = payload;
-      // Parts are paced ~2 ms apart so the report train does not bloat the
-      // very queue being validated (control bypasses its byte limit); the
-      // off-round spacing avoids resonating with common CBR periods.
-      const auto send_at = net_.sim().now() + util::Duration::micros(2300) * part;
-      const util::NodeId from = reporter;
       net_.sim().schedule_at(send_at, [this, from, p] {
         if (net_.is_router(from)) {
           net_.router(from).originate(p);
@@ -602,11 +610,33 @@ void QueueValidator::suspect(std::int64_t round, const char* cause, double confi
 
 ChiEngine::ChiEngine(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
                      ChiConfig config)
-    : net_(net), keys_(keys), paths_(paths), config_(config) {}
+    : net_(net), keys_(keys), paths_(paths), config_(config) {
+  if (config_.reliable.enabled) {
+    // One channel serves every monitored queue; the dedup key pins each
+    // report part to its (reporter, queue, round, part) identity. Delivery
+    // still happens through the validators' existing control sinks (the
+    // channel does not wrap payloads), and on_report's part bookkeeping
+    // absorbs the duplicates that ack loss can produce.
+    channel_ = std::make_unique<ReliableChannel>(net_, kKindChiReport, config_.reliable);
+    channel_->set_key_fn([](const sim::ControlPayload& payload) {
+      const auto& p = static_cast<const ChiReportPayload&>(payload);
+      constexpr crypto::SipKey kKey{0x6368692D7265706FULL, 0x72742D6465647570ULL};
+      std::vector<std::byte> bytes;
+      crypto::append_bytes(bytes, p.report.reporter);
+      crypto::append_bytes(bytes, p.report.queue_owner);
+      crypto::append_bytes(bytes, p.report.queue_peer);
+      crypto::append_bytes(bytes, p.report.round);
+      crypto::append_bytes(bytes, p.report.part);
+      crypto::append_bytes(bytes, p.report.parts);
+      return crypto::siphash24(kKey, bytes.data(), bytes.size());
+    });
+  }
+}
 
 QueueValidator& ChiEngine::monitor_queue(util::NodeId owner, util::NodeId peer) {
   validators_.push_back(
       std::make_unique<QueueValidator>(net_, keys_, paths_, owner, peer, config_));
+  if (channel_ != nullptr) validators_.back()->set_channel(channel_.get());
   return *validators_.back();
 }
 

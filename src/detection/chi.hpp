@@ -39,6 +39,7 @@
 #include "crypto/keys.hpp"
 #include "detection/messages.hpp"
 #include "detection/path_cache.hpp"
+#include "detection/reliable.hpp"
 #include "detection/types.hpp"
 #include "sim/network.hpp"
 #include "sim/red.hpp"
@@ -75,6 +76,10 @@ struct ChiConfig {
   /// (limit drain time) * delay_slack + grace is a malicious delay.
   double delay_slack = 1.5;
   std::uint64_t delayed_packets_min = 3;  ///< per-round alarm threshold
+  /// When enabled, ChiEngine ships every report part over a shared
+  /// ack/retransmit channel (one per network), so neighbor reports
+  /// survive lossy control links; `settle` must cover the retry schedule.
+  ReliableConfig reliable;
   std::int64_t rounds = 0;  ///< 0 = run until simulation ends
 };
 
@@ -127,6 +132,10 @@ class QueueValidator {
   /// Delivery entry point: a signed neighbor/self report arrived at rd.
   void on_report(const ChiReportPayload& payload);
 
+  /// Ships report parts over `ch` (reliable transport) instead of raw
+  /// control packets; `ch` must outlive the validator. Set by ChiEngine.
+  void set_channel(ReliableChannel* ch) { channel_ = ch; }
+
  private:
   struct Entry {
     ChiRecord rec;
@@ -148,6 +157,7 @@ class QueueValidator {
   util::NodeId owner_;  ///< r
   util::NodeId peer_;   ///< rd
   ChiConfig config_;
+  ReliableChannel* channel_ = nullptr;
   crypto::SipKey fp_key_;
   sim::LinkParams link_;           ///< the r -> rd link
   std::size_t queue_limit_ = 0;    ///< bytes
@@ -244,6 +254,7 @@ class ChiEngine {
   const crypto::KeyRegistry& keys_;
   const PathCache& paths_;
   ChiConfig config_;
+  std::unique_ptr<ReliableChannel> channel_;  ///< shared; null unless enabled
   std::vector<std::unique_ptr<QueueValidator>> validators_;
   SuspicionHandler handler_;
 };

@@ -1,5 +1,7 @@
 #include "detection/flood.hpp"
 
+#include "detection/reliable.hpp"
+
 namespace fatih::detection {
 
 FloodService::FloodService(sim::Network& net, std::uint16_t kind) : net_(net), kind_(kind) {
@@ -38,6 +40,12 @@ void FloodService::forward_copies(util::NodeId at,
     auto& iface = node.interface(i);
     if (iface.peer() == except_peer) continue;
     if (!net_.is_router(iface.peer())) continue;
+    ++copies_sent_;
+    bytes_sent_ += sim::kHeaderBytes + bytes;
+    if (channel_ != nullptr) {
+      channel_->send(at, iface.peer(), payload, bytes, ReliableChannel::Via::kDirect);
+      continue;
+    }
     sim::PacketHeader hdr;
     hdr.src = at;
     hdr.dst = iface.peer();

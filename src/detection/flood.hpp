@@ -18,6 +18,8 @@
 
 namespace fatih::detection {
 
+class ReliableChannel;
+
 /// Floods control payloads to every router; delivery callbacks fire at
 /// each correct router as copies arrive. A compromised router can be told
 /// to suppress re-flooding (protocol-faulty behavior); the good-path
@@ -44,6 +46,16 @@ class FloodService {
   /// receives payloads addressed to it.
   void suppress_at(util::NodeId r) { suppressed_.insert(r); }
 
+  /// Routes every hop copy through a reliable channel (ack/retransmit per
+  /// link) instead of fire-and-forget interface sends. The channel must
+  /// share this service's kind and key function and outlive it.
+  void set_channel(ReliableChannel* ch) { channel_ = ch; }
+
+  /// Hop copies sent (first transmissions; the channel counts retries).
+  [[nodiscard]] std::uint64_t copies_sent() const { return copies_sent_; }
+  /// Wire bytes of those first transmissions, headers included.
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
  private:
   void on_control(util::NodeId at, const sim::Packet& p, util::NodeId prev);
   void forward_copies(util::NodeId at, std::shared_ptr<const sim::ControlPayload> payload,
@@ -53,8 +65,11 @@ class FloodService {
   std::uint16_t kind_;
   KeyFn key_fn_;
   DeliveryFn delivery_fn_;
+  ReliableChannel* channel_ = nullptr;
   std::set<util::NodeId> suppressed_;
   std::vector<std::set<std::uint64_t>> seen_;  // per node
+  std::uint64_t copies_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
 };
 
 }  // namespace fatih::detection

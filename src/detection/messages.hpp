@@ -22,6 +22,7 @@ namespace fatih::detection {
 inline constexpr std::uint16_t kKindSegmentSummary = 0x2001;  ///< Pi(k+2) end-to-end exchange
 inline constexpr std::uint16_t kKindSummaryFlood = 0x2002;    ///< Pi2 consensus dissemination
 inline constexpr std::uint16_t kKindChiReport = 0x2003;       ///< chi neighbor reports
+inline constexpr std::uint16_t kKindControlAck = 0x20A0;      ///< reliable-transport acks
 
 /// info(r, pi, tau): everything router r tells others about the traffic it
 /// handled on segment `segment` during round `round`.

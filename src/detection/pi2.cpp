@@ -52,6 +52,11 @@ Pi2Engine::Pi2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const P
 
   flood_ = std::make_unique<FloodService>(net_, kKindSummaryFlood);
   flood_->set_key_fn(payload_key);
+  if (config_.reliable.enabled) {
+    channel_ = std::make_unique<ReliableChannel>(net_, kKindSummaryFlood, config_.reliable);
+    channel_->set_key_fn(payload_key);
+    flood_->set_channel(channel_.get());
+  }
   flood_->set_delivery_fn([this](util::NodeId at, const sim::ControlPayload& payload,
                                  util::SimTime) {
     const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
@@ -129,19 +134,31 @@ void Pi2Engine::evaluate(std::int64_t round) {
     for (const auto& seg : segments_) {
       const std::size_t sid = segment_ids_.at(seg);
       const auto& nodes = seg.nodes();
-      for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
-        const auto up_it = received_.find({r, sid, nodes[i], round});
-        const auto down_it = received_.find({r, sid, nodes[i + 1], round});
-        const bool up_ok =
-            up_it != received_.end() && up_it->second.summary && !up_it->second.poisoned;
-        const bool down_ok =
-            down_it != received_.end() && down_it->second.summary && !down_it->second.poisoned;
-        if (!up_ok || !down_ok) {
-          suspect(r, routing::PathSegment{nodes[i], nodes[i + 1]}, round, "missing-summary");
-          continue;
+      // Graceful degradation: the round completes on whatever summaries
+      // made it. A reporter whose summary never arrived (after the
+      // transport exhausted its retries) is itself suspected — withholding
+      // is evidence under the protocol-faulty definition (§2.2.1) — with
+      // precision 1, strictly tighter than the pair bound. Equivocation
+      // (two conflicting signed summaries for one key) likewise convicts
+      // the signer alone.
+      std::vector<const Slot*> slots(nodes.size(), nullptr);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const auto it = received_.find({r, sid, nodes[i], round});
+        if (it != received_.end()) slots[i] = &it->second;
+        if (it == received_.end() || !it->second.summary.has_value()) {
+          suspect(r, routing::PathSegment{nodes[i]}, round, "withheld-summary");
+        } else if (it->second.poisoned) {
+          suspect(r, routing::PathSegment{nodes[i]}, round, "equivocation");
         }
-        const auto outcome = evaluate_tv(config_.policy, config_.thresholds,
-                                         *up_it->second.summary, *down_it->second.summary);
+      }
+      for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+        const Slot* up = slots[i];
+        const Slot* down = slots[i + 1];
+        const bool up_ok = up != nullptr && up->summary && !up->poisoned;
+        const bool down_ok = down != nullptr && down->summary && !down->poisoned;
+        if (!up_ok || !down_ok) continue;  // the per-reporter verdict covered it
+        const auto outcome =
+            evaluate_tv(config_.policy, config_.thresholds, *up->summary, *down->summary);
         if (!outcome.ok) {
           suspect(r, routing::PathSegment{nodes[i], nodes[i + 1]}, round, "tv-failed");
         }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "detection/flood.hpp"
+#include "detection/reliable.hpp"
 #include "detection/summary_gen.hpp"
 #include "detection/tv.hpp"
 #include "detection/types.hpp"
@@ -38,6 +39,10 @@ struct Pi2Config {
   util::Duration evaluate_settle = util::Duration::millis(500);
   TvPolicy policy = TvPolicy::kContent;
   TvThresholds thresholds;
+  /// When enabled, every flood hop copy travels over a per-link
+  /// ack/retransmit channel, so summaries survive lossy control links;
+  /// evaluate_settle must leave room for the retry schedule.
+  ReliableConfig reliable;
   std::int64_t rounds = 0;  ///< 0 = run until simulation ends
 };
 
@@ -66,6 +71,11 @@ class Pi2Engine {
   /// The segments router r monitors.
   [[nodiscard]] std::vector<routing::PathSegment> monitored_by(util::NodeId r) const;
 
+  /// Transport introspection (overhead accounting in the benches).
+  [[nodiscard]] const FloodService& flood() const { return *flood_; }
+  /// Null unless config.reliable.enabled.
+  [[nodiscard]] const ReliableChannel* channel() const { return channel_.get(); }
+
  private:
   void run_round(std::int64_t round);
   void disseminate(std::int64_t round);
@@ -76,6 +86,7 @@ class Pi2Engine {
   sim::Network& net_;
   const crypto::KeyRegistry& keys_;
   Pi2Config config_;
+  std::unique_ptr<ReliableChannel> channel_;  ///< null unless reliable.enabled
   std::unique_ptr<FloodService> flood_;
   std::vector<std::unique_ptr<SummaryGenerator>> generators_;  // per router id (may be null)
   std::vector<routing::PathSegment> segments_;                 // all monitored segments

@@ -41,6 +41,24 @@ Pik2Engine::Pik2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const
           }
         });
   }
+
+  if (config_.reliable.enabled) {
+    channel_ = std::make_unique<ReliableChannel>(net_, kKindSegmentSummary, config_.reliable);
+    channel_->set_key_fn([](const sim::ControlPayload& payload) {
+      const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
+      return summary_dedup_key(p.summary.reporter, p.summary.segment, p.summary.round,
+                               p.kind_tag);
+    });
+    channel_->set_failure_fn([this](util::NodeId from, util::NodeId /*to*/,
+                                    const sim::ControlPayload& payload, util::SimTime) {
+      if (stopped_) return;
+      // The sender could not get its summary through within the retry
+      // budget: degrade to a suspicion of the exchange segment now rather
+      // than stalling until the peer's timeout fires.
+      const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
+      suspect(from, p.summary.segment, p.summary.round, "exchange-undeliverable");
+    });
+  }
 }
 
 void Pik2Engine::start() {
@@ -115,16 +133,21 @@ void Pik2Engine::exchange(std::int64_t round) {
       payload->kind_tag = kKindSegmentSummary;
       payload->envelope = crypto::sign(keys_, r, summary.to_bytes());
       payload->summary = std::move(summary);
-      sim::PacketHeader hdr;
-      hdr.src = r;
-      hdr.dst = peer;
-      hdr.proto = sim::Protocol::kControl;
+      const std::uint32_t bytes = payload->summary.wire_bytes();
+      exchange_bytes_ += sim::kHeaderBytes + bytes;
       // The exchange is routed normally; the stable route between the two
       // ends IS the segment (subpaths of shortest paths), so a faulty
       // interior router sits on the exchange path and can only cause a
       // timeout — which is itself a detection (§5.2).
-      sim::Packet p = net_.make_packet(hdr, payload->summary.wire_bytes());
-      exchange_bytes_ += p.size_bytes;
+      if (channel_ != nullptr) {
+        channel_->send(r, peer, std::move(payload), bytes, ReliableChannel::Via::kRouted);
+        continue;
+      }
+      sim::PacketHeader hdr;
+      hdr.src = r;
+      hdr.dst = peer;
+      hdr.proto = sim::Protocol::kControl;
+      sim::Packet p = net_.make_packet(hdr, bytes);
       p.control = std::move(payload);
       net_.router(r).originate(p);
     }

@@ -19,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "detection/reliable.hpp"
 #include "detection/summary_gen.hpp"
 #include "detection/tv.hpp"
 #include "detection/types.hpp"
@@ -51,6 +52,12 @@ struct Pik2Config {
   /// Bloom sizing (kBloom): bits per recorded packet, and hash count.
   std::size_t bloom_bits_per_packet = 10;
   std::size_t bloom_hashes = 4;
+  /// When enabled, the end-to-end summary exchange runs over the reliable
+  /// ack/retransmit channel (duplicate-suppressed on (reporter, segment,
+  /// round, kind)); exchange_timeout must cover the retry schedule. A
+  /// send whose retry budget runs out raises "exchange-undeliverable" at
+  /// the sender immediately instead of waiting for the timeout.
+  ReliableConfig reliable;
   std::int64_t rounds = 0;  ///< 0 = run until simulation ends
 };
 
@@ -90,6 +97,7 @@ class Pik2Engine {
   sim::Network& net_;
   const crypto::KeyRegistry& keys_;
   Pik2Config config_;
+  std::unique_ptr<ReliableChannel> channel_;  ///< null unless reliable.enabled
   std::vector<std::unique_ptr<SummaryGenerator>> generators_;
   std::vector<routing::PathSegment> segments_;
   // Local copy each end keeps of what it sent (for the TV evaluation).

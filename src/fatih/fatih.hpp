@@ -21,7 +21,11 @@
 namespace fatih::system {
 
 struct FatihConfig {
-  detection::Pik2Config detection;  ///< tau = 5 s rounds, k = 1 by default
+  /// tau = 5 s rounds, k = 1 by default. Setting detection.reliable.enabled
+  /// runs the summary exchange over the ack/retransmit control transport
+  /// (lossy control links tolerated; undeliverable summaries degrade to
+  /// "exchange-undeliverable" suspicions instead of stalling rounds).
+  detection::Pik2Config detection;
 };
 
 class FatihSystem {

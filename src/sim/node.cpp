@@ -58,11 +58,17 @@ void Interface::try_transmit() {
   // propagating to the peer.
   sim_.schedule_in(tx, [this, p] {
     busy_ = false;
-    Node* peer_node = peer_node_;
-    const util::NodeId from = owner_.id();
-    sim_.schedule_in(link_.delay, [peer_node, p, from] {
-      if (peer_node != nullptr) peer_node->receive(p, from);
-    });
+    LinkFault fault;
+    if (fault_injector_) fault = fault_injector_(p, sim_.now());
+    if (fault.drop) {
+      notify_drop(p, DropReason::kLinkFault);
+    } else {
+      Node* peer_node = peer_node_;
+      const util::NodeId from = owner_.id();
+      sim_.schedule_in(link_.delay + fault.extra_delay, [peer_node, p, from] {
+        if (peer_node != nullptr) peer_node->receive(p, from);
+      });
+    }
     try_transmit();
   });
 }

@@ -40,6 +40,7 @@ enum class DropReason {
   kMalicious,   ///< dropped by an adversary filter
   kTtlExpired,
   kNoRoute,
+  kLinkFault,   ///< lost on the wire by an injected link fault
 };
 
 /// Simplex link properties.
@@ -54,11 +55,22 @@ struct LinkParams {
 };
 
 /// An output interface: queue + transmitter + simplex link to `peer`.
+/// What a link fault injector does to a packet that finished serializing:
+/// lose it on the wire, or deliver it `extra_delay` late.
+struct LinkFault {
+  bool drop = false;
+  util::Duration extra_delay{};
+};
+
 class Interface {
  public:
   using EnqueueTap = std::function<void(const Packet&, util::SimTime)>;
   using DropTap = std::function<void(const Packet&, util::SimTime, DropReason)>;
   using TransmitTap = std::function<void(const Packet&, util::SimTime)>;
+  /// Consulted once per transmitted packet; models a faulty/lossy link
+  /// (the control-plane fault injection the reliable transport is built
+  /// to survive). Null = perfect link.
+  using FaultInjector = std::function<LinkFault(const Packet&, util::SimTime)>;
 
   Interface(Simulator& sim, Node& owner, std::size_t index, util::NodeId peer, LinkParams link,
             std::unique_ptr<OutputQueue> queue);
@@ -85,6 +97,10 @@ class Interface {
   void add_drop_tap(DropTap tap) { drop_taps_.push_back(std::move(tap)); }
   void add_transmit_tap(TransmitTap tap) { transmit_taps_.push_back(std::move(tap)); }
 
+  /// Installs (or replaces) the link fault injector for this simplex
+  /// direction. Dropped packets fire the drop taps with kLinkFault.
+  void set_fault_injector(FaultInjector f) { fault_injector_ = std::move(f); }
+
   /// Used by Node::deliver_to_peer; set once during Network wiring.
   void set_peer_node(Node* peer_node) { peer_node_ = peer_node; }
 
@@ -106,6 +122,7 @@ class Interface {
   std::vector<EnqueueTap> enqueue_taps_;
   std::vector<DropTap> drop_taps_;
   std::vector<TransmitTap> transmit_taps_;
+  FaultInjector fault_injector_;
 };
 
 /// What a forward filter (attack hook) tells the router to do with a
@@ -215,6 +232,7 @@ class Router final : public Node {
 
   /// Installs / removes the adversary hook.
   void set_forward_filter(std::shared_ptr<ForwardFilter> f) { filter_ = std::move(f); }
+  [[nodiscard]] const std::shared_ptr<ForwardFilter>& forward_filter() const { return filter_; }
   [[nodiscard]] bool compromised() const { return filter_ != nullptr; }
 
   /// Sends a packet originating at this node (local agent or control

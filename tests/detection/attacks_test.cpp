@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <vector>
+
 #include "traffic/sources.hpp"
 
 namespace fatih::attacks {
@@ -52,6 +56,43 @@ TEST(FlowMatch, SrcDstFilters) {
   EXPECT_TRUE(match.matches(udp_packet(1, 9, 0)));
   EXPECT_FALSE(match.matches(udp_packet(2, 9, 0)));
   EXPECT_FALSE(match.matches(udp_packet(1, 8, 0)));
+}
+
+struct ProbePayload final : sim::ControlPayload {
+  std::uint16_t tag = 0x2F20;
+  [[nodiscard]] std::uint16_t kind() const override { return tag; }
+};
+
+sim::Packet control_packet(NodeId src, NodeId dst, std::uint16_t kind) {
+  sim::Packet p = udp_packet(src, dst, 0);
+  p.hdr.proto = sim::Protocol::kControl;
+  auto payload = std::make_shared<ProbePayload>();
+  payload->tag = kind;
+  p.control = std::move(payload);
+  return p;
+}
+
+TEST(ControlMatch, OnlyControlPacketsMatch) {
+  const ControlMatch match;
+  EXPECT_FALSE(match.matches(udp_packet(1, 2, 7)));
+  EXPECT_TRUE(match.matches(control_packet(1, 2, 0x2F20)));
+}
+
+TEST(ControlMatch, KindFilter) {
+  ControlMatch match;
+  match.kinds = {0x2F20, 0x2F22};
+  EXPECT_TRUE(match.matches(control_packet(1, 2, 0x2F20)));
+  EXPECT_TRUE(match.matches(control_packet(1, 2, 0x2F22)));
+  EXPECT_FALSE(match.matches(control_packet(1, 2, 0x2F21)));
+}
+
+TEST(ControlMatch, SrcDstFilters) {
+  ControlMatch match;
+  match.src = 1;
+  match.dst = 9;
+  EXPECT_TRUE(match.matches(control_packet(1, 9, 0x2F20)));
+  EXPECT_FALSE(match.matches(control_packet(2, 9, 0x2F20)));
+  EXPECT_FALSE(match.matches(control_packet(1, 8, 0x2F20)));
 }
 
 TEST(FlowMatch, SynOnlyMatchesPureSyn) {
@@ -145,6 +186,141 @@ TEST(ReorderAttack, DelayedPacketsArriveLate) {
   h.net.sim().run();
   EXPECT_EQ(order.size(), 40U);
   EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+// Three routers a - b - c with the filter under test installed at the
+// transit router b: the shape every control-plane drop scenario has.
+struct TransitHarness {
+  sim::Network net{5};
+  NodeId a;
+  NodeId b;
+  NodeId c;
+  std::size_t data_delivered = 0;
+  std::map<std::uint16_t, std::size_t> control_delivered;
+  std::vector<SimTime> control_times;
+
+  TransitHarness() {
+    a = net.add_router("a").id();
+    b = net.add_router("b").id();
+    c = net.add_router("c").id();
+    sim::LinkConfig cfg;
+    net.connect(a, b, cfg);
+    net.connect(b, c, cfg);
+    net.router(a).set_route(c, net.router(a).interface_to(b)->index());
+    net.router(b).set_route(c, net.router(b).interface_to(c)->index());
+    net.router(c).add_local_handler(
+        [this](const sim::Packet&, NodeId, SimTime) { ++data_delivered; });
+    net.router(c).add_control_sink([this](const sim::Packet& p, NodeId, SimTime now) {
+      ++control_delivered[p.control != nullptr ? p.control->kind() : 0];
+      control_times.push_back(now);
+    });
+  }
+
+  void send_data(double t, std::uint32_t flow) {
+    net.sim().schedule_at(SimTime::from_seconds(t), [this, flow] {
+      sim::PacketHeader hdr;
+      hdr.src = a;
+      hdr.dst = c;
+      hdr.flow_id = flow;
+      net.router(a).originate(net.make_packet(hdr, 100));
+    });
+  }
+
+  void send_control(double t, std::uint16_t kind) {
+    net.sim().schedule_at(SimTime::from_seconds(t), [this, kind] {
+      sim::PacketHeader hdr;
+      hdr.src = a;
+      hdr.dst = c;
+      hdr.proto = sim::Protocol::kControl;
+      sim::Packet p = net.make_packet(hdr, 64);
+      auto payload = std::make_shared<ProbePayload>();
+      payload->tag = kind;
+      p.control = std::move(payload);
+      net.router(a).originate(p);
+    });
+  }
+
+  void run() { net.sim().run_until(SimTime::from_seconds(2)); }
+};
+
+TEST(RateDropAttack, ControlOnlyTargetedWhenOptedIn) {
+  {
+    // include_control defaults to false: a full-rate data dropper must let
+    // transit control traffic (summaries, acks) pass untouched.
+    TransitHarness h;
+    const FlowMatch match;
+    h.net.router(h.b).set_forward_filter(std::make_shared<RateDropAttack>(
+        match, 1.0, SimTime::origin(), 7));
+    for (int i = 0; i < 10; ++i) h.send_data(0.01 * i, 1);
+    for (int i = 0; i < 10; ++i) h.send_control(0.01 * i, 0x2F20);
+    h.run();
+    EXPECT_EQ(h.data_delivered, 0U);
+    EXPECT_EQ(h.control_delivered[0x2F20], 10U);
+  }
+  {
+    TransitHarness h;
+    FlowMatch match;
+    match.include_control = true;
+    h.net.router(h.b).set_forward_filter(std::make_shared<RateDropAttack>(
+        match, 1.0, SimTime::origin(), 7));
+    for (int i = 0; i < 10; ++i) h.send_data(0.01 * i, 1);
+    for (int i = 0; i < 10; ++i) h.send_control(0.01 * i, 0x2F20);
+    h.run();
+    EXPECT_EQ(h.data_delivered, 0U);
+    EXPECT_EQ(h.control_delivered[0x2F20], 0U);
+  }
+}
+
+TEST(ControlDropAttack, DropsOnlyMatchingKinds) {
+  TransitHarness h;
+  ControlDropAttack::Config cfg;
+  cfg.match.kinds = {0x2F20};
+  cfg.seed = 8;
+  h.net.router(h.b).set_forward_filter(std::make_shared<ControlDropAttack>(cfg));
+  for (int i = 0; i < 10; ++i) h.send_data(0.01 * i, 1);
+  for (int i = 0; i < 10; ++i) h.send_control(0.01 * i, 0x2F20);
+  for (int i = 0; i < 10; ++i) h.send_control(0.01 * i, 0x2F21);
+  h.run();
+  EXPECT_EQ(h.data_delivered, 10U);  // data plane untouched
+  EXPECT_EQ(h.control_delivered[0x2F20], 0U);
+  EXPECT_EQ(h.control_delivered[0x2F21], 10U);
+}
+
+TEST(ControlDropAttack, DelayVariantHoldsControlBack) {
+  TransitHarness h;
+  ControlDropAttack::Config cfg;
+  cfg.drop_fraction = 0.0;
+  cfg.delay_fraction = 1.0;
+  cfg.delay = Duration::millis(50);
+  cfg.seed = 8;
+  h.net.router(h.b).set_forward_filter(std::make_shared<ControlDropAttack>(cfg));
+  h.send_control(0.1, 0x2F20);
+  h.run();
+  ASSERT_EQ(h.control_delivered[0x2F20], 1U);
+  EXPECT_GE(h.control_times.front(), SimTime::from_seconds(0.15));
+}
+
+TEST(FilterChain, ComposesDataAndControlAdversaries) {
+  // One compromised router running a data-plane dropper AND a
+  // control-plane dropper: each filter hits its own traffic class.
+  TransitHarness h;
+  auto chain = std::make_shared<FilterChain>();
+  FlowMatch data_match;
+  data_match.flow_ids = {1};
+  chain->append(std::make_shared<RateDropAttack>(data_match, 1.0, SimTime::origin(), 7));
+  ControlDropAttack::Config control_cfg;
+  control_cfg.match.kinds = {0x2F20};
+  control_cfg.seed = 8;
+  chain->append(std::make_shared<ControlDropAttack>(control_cfg));
+  h.net.router(h.b).set_forward_filter(chain);
+  for (int i = 0; i < 10; ++i) h.send_data(0.01 * i, 1);  // targeted flow
+  for (int i = 0; i < 10; ++i) h.send_data(0.01 * i, 2);  // bystander flow
+  for (int i = 0; i < 10; ++i) h.send_control(0.01 * i, 0x2F20);
+  for (int i = 0; i < 10; ++i) h.send_control(0.01 * i, 0x2F21);
+  h.run();
+  EXPECT_EQ(h.data_delivered, 10U);  // flow 2 survives, flow 1 gone
+  EXPECT_EQ(h.control_delivered[0x2F20], 0U);
+  EXPECT_EQ(h.control_delivered[0x2F21], 10U);
 }
 
 TEST(FabricationAttack, InjectsAtConfiguredRate) {
