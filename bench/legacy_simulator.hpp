@@ -1,0 +1,89 @@
+// Frozen copy of the event engine this PR replaced (priority_queue +
+// unordered_map<EventId, std::function>), kept verbatim from the seed so
+// bench/perf_core can measure legacy-vs-pooled live in the same binary
+// with identical compiler flags. Not used by any simulation code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace fatih::bench {
+
+using LegacyEventId = std::uint64_t;
+
+/// The seed's event loop, API-compatible with the workloads in
+/// perf_scenarios.hpp.
+class LegacySimulator {
+ public:
+  LegacySimulator() = default;
+  LegacySimulator(const LegacySimulator&) = delete;
+  LegacySimulator& operator=(const LegacySimulator&) = delete;
+
+  [[nodiscard]] util::SimTime now() const { return now_; }
+
+  LegacyEventId schedule_at(util::SimTime t, std::function<void()> fn) {
+    // Requests for the past run "now": simulated time never moves backward.
+    if (t < now_) t = now_;
+    const LegacyEventId id = next_id_++;
+    queue_.push(Event{t, next_seq_++, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  LegacyEventId schedule_in(util::Duration d, std::function<void()> fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  void cancel(LegacyEventId id) { callbacks_.erase(id); }
+
+  void run_until(util::SimTime limit) {
+    while (!queue_.empty()) {
+      const Event ev = queue_.top();
+      if (ev.at > limit) break;
+      queue_.pop();
+      auto it = callbacks_.find(ev.id);
+      if (it == callbacks_.end()) continue;  // cancelled
+      auto fn = std::move(it->second);
+      callbacks_.erase(it);
+      now_ = ev.at;
+      ++dispatched_;
+      fn();
+    }
+    if (limit != util::SimTime::infinity() && now_ < limit) now_ = limit;
+  }
+
+  void run() { run_until(util::SimTime::infinity()); }
+
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Pending entries in the time queue, including tombstones — the stat
+  /// that exhibits the unbounded growth the pooled engine fixes.
+  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    util::SimTime at;
+    std::uint64_t seq;  // FIFO tie-break
+    LegacyEventId id;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  LegacyEventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::unordered_map<LegacyEventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace fatih::bench

@@ -1,0 +1,174 @@
+// Shared workloads for the perf_core benchmark.
+//
+// The micro scenarios are templated over the engine type so the same
+// driver measures both the current pooled engine and the embedded copy of
+// the legacy (priority_queue + unordered_map) engine it replaced; the
+// macro scenario is the Abilene no-attack forwarding path, the substrate
+// under every chapter-5/6 experiment. Wall time is the one place this
+// project touches a real clock — simulated time stays bit-reproducible,
+// and these numbers never feed back into any simulation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "routing/install.hpp"
+#include "routing/spf.hpp"
+#include "routing/topologies.hpp"
+#include "sim/network.hpp"
+#include "traffic/sources.hpp"
+#include "util/time.hpp"
+
+namespace fatih::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct MicroResult {
+  std::uint64_t events = 0;  ///< events dispatched
+  double wall_s = 0.0;
+  [[nodiscard]] double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0.0; }
+};
+
+/// Pure schedule/dispatch churn: `chains` self-rescheduling timers run
+/// until `total_events` have been dispatched. Exercises the slab reuse and
+/// heap discipline with zero cancellations.
+template <typename Engine>
+MicroResult dispatch_churn(std::uint64_t total_events, std::size_t chains) {
+  Engine sim;
+  std::uint64_t dispatched = 0;
+  struct Chain {
+    Engine* sim;
+    std::uint64_t* dispatched;
+    std::uint64_t limit;
+    util::Duration period;
+    void fire() {
+      if (++*dispatched >= limit) return;
+      sim->schedule_in(period, [this] { fire(); });
+    }
+  };
+  std::vector<Chain> cs(chains);
+  for (std::size_t i = 0; i < chains; ++i) {
+    cs[i] = Chain{&sim, &dispatched, total_events, util::Duration::micros(100 + i)};
+    sim.schedule_at(util::SimTime::from_nanos(static_cast<std::int64_t>(i)),
+                    [&c = cs[i]] { c.fire(); });
+  }
+  WallTimer t;
+  sim.run();
+  return MicroResult{dispatched, t.seconds()};
+}
+
+/// TCP-retransmit-style churn: each flow keeps one pending RTO timer that
+/// every "ack" cancels and re-arms further out, so the vast majority of
+/// scheduled events never fire. This is the workload that grew the legacy
+/// engine's heap without bound (tombstone accumulation).
+template <typename Engine>
+MicroResult cancel_reschedule_churn(std::uint64_t total_acks, std::size_t flows) {
+  Engine sim;
+  std::uint64_t acks = 0;
+  struct Flow {
+    Engine* sim;
+    std::uint64_t* acks;
+    std::uint64_t limit;
+    util::Duration ack_period;
+    std::uint64_t rto = 0;
+    bool rto_armed = false;
+    void on_ack() {
+      if (rto_armed) sim->cancel(rto);
+      rto = sim->schedule_in(util::Duration::millis(200), [this] { rto_armed = false; });
+      rto_armed = true;
+      if (++*acks >= limit) return;
+      sim->schedule_in(ack_period, [this] { on_ack(); });
+    }
+  };
+  std::vector<Flow> fs(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    fs[i] = Flow{&sim, &acks, total_acks, util::Duration::micros(50 + i)};
+    fs[i].rto_armed = false;
+    sim.schedule_at(util::SimTime::from_nanos(static_cast<std::int64_t>(i)),
+                    [&f = fs[i]] { f.on_ack(); });
+  }
+  WallTimer t;
+  sim.run();
+  return MicroResult{acks, t.seconds()};
+}
+
+struct MacroResult {
+  std::uint64_t forwarded = 0;   ///< router forward operations
+  std::uint64_t delivered = 0;   ///< packets that reached their destination
+  std::uint64_t dispatched = 0;  ///< simulator events
+  double wall_s = 0.0;
+  [[nodiscard]] double forwards_per_sec() const { return wall_s > 0 ? forwarded / wall_s : 0.0; }
+  [[nodiscard]] double events_per_sec() const { return wall_s > 0 ? dispatched / wall_s : 0.0; }
+};
+
+/// The Abilene no-attack forwarding macro: 11 PoPs, static shortest-path
+/// routes, bidirectional coast-to-coast and regional CBR flows, forward
+/// taps installed on every router (the summary-generator attachment shape)
+/// so the tap chain is part of what is measured.
+inline MacroResult abilene_no_attack_macro(double sim_seconds) {
+  sim::Network net{20260805};
+  for (util::NodeId n = 0; n <= routing::kNewYork; ++n) {
+    net.add_router(routing::abilene_name(n));
+  }
+  for (const auto& l : routing::abilene_links()) {
+    sim::LinkConfig link;
+    link.delay = util::Duration::millis(l.delay_ms);
+    link.metric = l.delay_ms;
+    link.bandwidth_bps = 1e9;
+    link.queue_limit_bytes = 256000;
+    net.connect(l.a, l.b, link);
+  }
+  routing::RoutingTables tables(routing::Topology::from_network(net));
+  routing::install_static_routes(net, tables);
+  for (util::NodeId n = 0; n <= routing::kNewYork; ++n) {
+    net.router(n).set_processing_delay(util::Duration::micros(20), util::Duration::micros(10));
+  }
+
+  MacroResult out;
+  for (util::NodeId n = 0; n <= routing::kNewYork; ++n) {
+    net.router(n).add_forward_tap(
+        [&out](const sim::Packet&, util::NodeId, std::size_t, util::SimTime) {
+          ++out.forwarded;
+        });
+    net.router(n).add_local_handler(
+        [&out](const sim::Packet&, util::NodeId, util::SimTime) { ++out.delivered; });
+  }
+
+  const std::pair<util::NodeId, util::NodeId> pairs[] = {
+      {routing::kSeattle, routing::kNewYork},    {routing::kSunnyvale, routing::kWashington},
+      {routing::kLosAngeles, routing::kAtlanta}, {routing::kDenver, routing::kChicago},
+      {routing::kHouston, routing::kIndianapolis}};
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+  std::uint32_t flow = 1;
+  for (const auto& [a, b] : pairs) {
+    for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+      traffic::CbrSource::Config cfg;
+      cfg.src = src;
+      cfg.dst = dst;
+      cfg.flow_id = flow++;
+      cfg.payload_bytes = 960;
+      cfg.rate_pps = 2000.0;
+      cfg.start = util::SimTime::from_seconds(0.01);
+      cfg.stop = util::SimTime::from_seconds(sim_seconds);
+      sources.push_back(std::make_unique<traffic::CbrSource>(net, cfg));
+    }
+  }
+
+  WallTimer t;
+  net.sim().run_until(util::SimTime::from_seconds(sim_seconds + 1.0));
+  out.wall_s = t.seconds();
+  out.dispatched = net.sim().events_dispatched();
+  return out;
+}
+
+}  // namespace fatih::bench

@@ -1,61 +1,17 @@
 #include "crypto/siphash.hpp"
 
-#include <cstring>
-
 namespace fatih::crypto {
 
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
-
-struct SipState {
-  std::uint64_t v0, v1, v2, v3;
-
-  void round() {
-    v0 += v1;
-    v1 = rotl(v1, 13);
-    v1 ^= v0;
-    v0 = rotl(v0, 32);
-    v2 += v3;
-    v3 = rotl(v3, 16);
-    v3 ^= v2;
-    v0 += v3;
-    v3 = rotl(v3, 21);
-    v3 ^= v0;
-    v2 += v1;
-    v1 = rotl(v1, 17);
-    v1 ^= v2;
-    v2 = rotl(v2, 32);
-  }
-};
-
-std::uint64_t load_le64(const std::uint8_t* p) {
-  std::uint64_t v;
-  std::memcpy(&v, p, sizeof(v));
-  // Simulator targets are little-endian; a big-endian port would byteswap here.
-  return v;
-}
-
-}  // namespace
-
 std::uint64_t siphash24(SipKey key, std::span<const std::byte> data) {
-  SipState s{
-      key.k0 ^ 0x736F6D6570736575ULL,
-      key.k1 ^ 0x646F72616E646F6DULL,
-      key.k0 ^ 0x6C7967656E657261ULL,
-      key.k1 ^ 0x7465646279746573ULL,
-  };
+  const SipSchedule sched(key);
+  detail::SipState s{sched.v0, sched.v1, sched.v2, sched.v3};
 
   const auto* in = reinterpret_cast<const std::uint8_t*>(data.data());
   const std::size_t len = data.size();
   const std::size_t full_blocks = len / 8;
 
   for (std::size_t i = 0; i < full_blocks; ++i) {
-    const std::uint64_t m = load_le64(in + i * 8);
-    s.v3 ^= m;
-    s.round();
-    s.round();
-    s.v0 ^= m;
+    s.absorb(detail::load_le64(in + i * 8));
   }
 
   // Final block: remaining bytes plus the length in the top byte.
@@ -65,17 +21,8 @@ std::uint64_t siphash24(SipKey key, std::span<const std::byte> data) {
   for (std::size_t i = 0; i < rem; ++i) {
     last |= static_cast<std::uint64_t>(tail[i]) << (8 * i);
   }
-  s.v3 ^= last;
-  s.round();
-  s.round();
-  s.v0 ^= last;
-
-  s.v2 ^= 0xFF;
-  s.round();
-  s.round();
-  s.round();
-  s.round();
-  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+  s.absorb(last);
+  return s.finalize();
 }
 
 std::uint64_t siphash24(SipKey key, const void* data, std::size_t len) {

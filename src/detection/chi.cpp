@@ -26,7 +26,7 @@ QueueValidator::QueueValidator(sim::Network& net, const crypto::KeyRegistry& key
       owner_(queue_owner),
       peer_(queue_peer),
       config_(config),
-      fp_key_(keys.fingerprint_key(queue_owner, queue_peer)) {
+      fp_(keys.fingerprint_key(queue_owner, queue_peer)) {
   auto& owner_node = net_.router(owner_);
   auto* iface = owner_node.interface_to(peer_);
   assert(iface != nullptr && "queue owner must be adjacent to peer");
@@ -54,7 +54,7 @@ void QueueValidator::install_taps() {
       if (p.hdr.dst == owner_) return;
       if (paths_.next_hop_after(p.hdr.src, p.hdr.dst, owner_) != peer_) return;
       ChiRecord rec;
-      rec.fp = validation::packet_fingerprint(fp_key_, p);
+      rec.fp = fp_(p);
       rec.size_bytes = p.size_bytes;
       rec.flow_id = p.hdr.flow_id;
       rec.control = p.is_control();
@@ -69,7 +69,7 @@ void QueueValidator::install_taps() {
         if (prev != owner_) return;
         if (net_.router(owner_).interface(out_iface).peer() != peer_) return;
         ChiRecord rec;
-        rec.fp = validation::packet_fingerprint(fp_key_, p);
+        rec.fp = fp_(p);
         rec.size_bytes = p.size_bytes;
         rec.flow_id = p.hdr.flow_id;
         rec.control = p.is_control();
@@ -82,7 +82,7 @@ void QueueValidator::install_taps() {
                                           util::SimTime now) {
     if (prev != owner_) return;
     ChiRecord rec;
-    rec.fp = validation::packet_fingerprint(fp_key_, p);
+    rec.fp = fp_(p);
     rec.size_bytes = p.size_bytes;
     rec.flow_id = p.hdr.flow_id;
     rec.ts = now - link_.delay - link_.tx_time(p.size_bytes);
@@ -107,7 +107,7 @@ void QueueValidator::install_taps() {
     if (config_.clock.round_of(now) >= config_.learning_rounds) return;
     const auto& q = net_.router(owner_).interface_to(peer_)->queue();
     const double qact_before = static_cast<double>(q.byte_length()) - p.size_bytes;
-    qact_probe_[validation::packet_fingerprint(fp_key_, p)] = qact_before;
+    qact_probe_[fp_(p)] = qact_before;
   });
 }
 
@@ -120,7 +120,7 @@ void QueueValidator::start() {
 
 void QueueValidator::ship_reports(std::int64_t round) {
   auto& owner_node = net_.router(owner_);
-  std::set<util::NodeId> reporters;
+  util::FlatSet<util::NodeId> reporters;
   for (std::size_t i = 0; i < owner_node.interface_count(); ++i) {
     const util::NodeId nbr = owner_node.interface(i).peer();
     if (nbr != peer_) reporters.insert(nbr);
@@ -244,7 +244,7 @@ void QueueValidator::validate(std::int64_t round) {
     // consume state conservatively so qpred stays sane.
     stats.alarmed = true;
     std::erase_if(pending_entries_, [&](const Entry& e) { return e.rec.ts <= horizon; });
-    std::erase_if(exits_, [&](const auto& kv) { return kv.second.ts <= horizon; });
+    exits_.erase_if([&](const auto& kv) { return kv.second.ts <= horizon; });
     qpred_ = 0.0;
   }
 
@@ -303,7 +303,7 @@ void QueueValidator::stage_ready_entries(util::SimTime upto, RoundStats& stats) 
   }
   // Departures whose arrival no neighbor claimed would linger forever;
   // age them out (with honest reporters this set stays empty).
-  std::erase_if(exits_, [&](const auto& kv) { return kv.second.ts + config_.grace <= upto; });
+  exits_.erase_if([&](const auto& kv) { return kv.second.ts + config_.grace <= upto; });
 }
 
 void QueueValidator::replay_droptail(util::SimTime upto, RoundStats& stats) {
@@ -412,7 +412,7 @@ void QueueValidator::replay_red(util::SimTime upto, RoundStats& stats) {
     double variance = 0.0;
     std::uint64_t observed = 0;
   };
-  std::map<std::uint32_t, FlowAcc> flows;
+  util::FlatMap<std::uint32_t, FlowAcc> flows;
   FlowAcc global;
 
   while (!events_.empty() && events_.begin()->ts <= upto) {

@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -43,6 +42,8 @@
 #include "detection/types.hpp"
 #include "sim/network.hpp"
 #include "sim/red.hpp"
+#include "util/flat_map.hpp"
+#include "validation/fingerprint.hpp"
 #include "util/stats.hpp"
 
 namespace fatih::detection {
@@ -158,23 +159,27 @@ class QueueValidator {
   util::NodeId peer_;   ///< rd
   ChiConfig config_;
   ReliableChannel* channel_ = nullptr;
-  crypto::SipKey fp_key_;
+  validation::FingerprintHasher fp_{crypto::SipKey{}};
   sim::LinkParams link_;           ///< the r -> rd link
   std::size_t queue_limit_ = 0;    ///< bytes
   util::Duration owner_proc_;      ///< r's nominal processing delay
   std::optional<sim::RedParams> red_;  ///< set when Q is a RED queue
 
   // Staging at the neighbors (per neighbor, per round) before shipping.
-  std::map<std::pair<util::NodeId, std::int64_t>, std::vector<ChiRecord>> neighbor_staged_;
+  // Accounting stores are flat sorted-vector containers (util/flat_map.hpp):
+  // std::map iteration order — determinism is load-bearing — with dense
+  // lookups. events_ stays a std::set: it is an ordered queue popped from
+  // the front, where a flat vector would shift its tail on every pop.
+  util::FlatMap<std::pair<util::NodeId, std::int64_t>, std::vector<ChiRecord>> neighbor_staged_;
   // Arrived reports, merged; all entries not yet replayed, time-ordered.
   std::vector<Entry> pending_entries_;
   // Exits observed locally at rd: fp -> record (consumed by replay).
-  std::map<validation::Fingerprint, ChiRecord> exits_;
+  util::FlatMap<validation::Fingerprint, ChiRecord> exits_;
   std::vector<ChiRecord> exit_log_;  // time-ordered, not yet replayed
   // Which neighbors owe a report for each round.
-  std::map<std::int64_t, std::set<util::NodeId>> reports_due_;
-  std::set<std::pair<util::NodeId, std::int64_t>> reports_seen_;  // all parts arrived
-  std::map<std::pair<util::NodeId, std::int64_t>, std::set<std::uint32_t>> parts_seen_;
+  util::FlatMap<std::int64_t, util::FlatSet<util::NodeId>> reports_due_;
+  util::FlatSet<std::pair<util::NodeId, std::int64_t>> reports_seen_;  // all parts arrived
+  util::FlatMap<std::pair<util::NodeId, std::int64_t>, util::FlatSet<std::uint32_t>> parts_seen_;
 
   // Replay state. Events are merged into a time-ordered set that persists
   // across rounds: a departure later than this round's horizon must not be
@@ -205,7 +210,7 @@ class QueueValidator {
     double variance = 0.0;
     std::uint64_t observed = 0;
   };
-  std::map<std::uint32_t, FlowCum> red_cum_;
+  util::FlatMap<std::uint32_t, FlowCum> red_cum_;
   FlowCum red_cum_global_;
   /// RED drops cluster (the count-reset dynamics correlate them), so the
   /// Bernoulli variance understates per-flow spread. The dispersion of
@@ -215,7 +220,7 @@ class QueueValidator {
   sim::RedState red_state_;
 
   // Learning.
-  std::map<validation::Fingerprint, double> qact_probe_;  // fp -> qact at entry
+  util::FlatMap<validation::Fingerprint, double> qact_probe_;  // fp -> qact at entry
   util::RunningStats error_stats_;
   std::function<void(double)> error_sample_hook_;
   bool learned_ = false;

@@ -166,7 +166,7 @@ void Pi2Engine::evaluate(std::int64_t round) {
     }
   }
   // Garbage-collect this round's state.
-  std::erase_if(received_, [round](const auto& kv) { return std::get<3>(kv.first) <= round; });
+  received_.erase_if([round](const auto& kv) { return std::get<3>(kv.first) <= round; });
 }
 
 void Pi2Engine::suspect(util::NodeId reporter, const routing::PathSegment& pair,

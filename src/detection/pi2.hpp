@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "detection/summary_gen.hpp"
 #include "detection/tv.hpp"
 #include "detection/types.hpp"
+#include "util/flat_map.hpp"
 
 namespace fatih::detection {
 
@@ -90,8 +90,10 @@ class Pi2Engine {
   std::unique_ptr<FloodService> flood_;
   std::vector<std::unique_ptr<SummaryGenerator>> generators_;  // per router id (may be null)
   std::vector<routing::PathSegment> segments_;                 // all monitored segments
-  // segment index -> member routers; member -> position.
-  std::map<routing::PathSegment, std::size_t> segment_ids_;
+  // segment index -> member routers; member -> position. Flat (sorted
+  // vector) containers: same iteration order as std::map, so the suspicion
+  // output stays byte-identical while round evaluation walks dense memory.
+  util::FlatMap<routing::PathSegment, std::size_t> segment_ids_;
   // received[(router, segment id, reporter, round)] -> summary (one per key;
   // a second, different summary for the same key marks the reporter
   // equivocating and poisons the entry).
@@ -99,10 +101,11 @@ class Pi2Engine {
     std::optional<SegmentSummary> summary;
     bool poisoned = false;
   };
-  std::map<std::tuple<util::NodeId, std::size_t, util::NodeId, std::int64_t>, Slot> received_;
-  std::map<util::NodeId, ReportMutator> mutators_;
+  util::FlatMap<std::tuple<util::NodeId, std::size_t, util::NodeId, std::int64_t>, Slot>
+      received_;
+  util::FlatMap<util::NodeId, ReportMutator> mutators_;
   std::vector<Suspicion> suspicions_;
-  std::set<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>> raised_;
+  util::FlatSet<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>> raised_;
   SuspicionHandler handler_;
 };
 

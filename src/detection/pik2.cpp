@@ -240,8 +240,8 @@ void Pik2Engine::evaluate(std::int64_t round) {
       if (!outcome.ok) suspect(r, seg, round, "tv-failed");
     }
   }
-  std::erase_if(own_, [round](const auto& kv) { return std::get<2>(kv.first) <= round; });
-  std::erase_if(peer_, [round](const auto& kv) { return std::get<2>(kv.first) <= round; });
+  own_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
+  peer_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
 }
 
 void Pik2Engine::suspect(util::NodeId reporter, const routing::PathSegment& segment,

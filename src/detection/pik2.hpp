@@ -13,16 +13,15 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "detection/reliable.hpp"
 #include "detection/summary_gen.hpp"
 #include "detection/tv.hpp"
 #include "detection/types.hpp"
+#include "util/flat_map.hpp"
 
 namespace fatih::detection {
 
@@ -101,14 +100,17 @@ class Pik2Engine {
   std::vector<std::unique_ptr<SummaryGenerator>> generators_;
   std::vector<routing::PathSegment> segments_;
   // Local copy each end keeps of what it sent (for the TV evaluation).
-  std::map<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, SegmentSummary> own_;
+  // Flat sorted-vector stores: std::map iteration order, dense lookups.
+  util::FlatMap<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, SegmentSummary>
+      own_;
   // Peer summaries received, keyed by (receiver, segment, round).
-  std::map<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, SegmentSummary> peer_;
-  std::map<util::NodeId, ReportMutator> mutators_;
+  util::FlatMap<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, SegmentSummary>
+      peer_;
+  util::FlatMap<util::NodeId, ReportMutator> mutators_;
   std::uint64_t exchange_bytes_ = 0;
   bool stopped_ = false;
   std::vector<Suspicion> suspicions_;
-  std::set<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>> raised_;
+  util::FlatSet<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>> raised_;
   SuspicionHandler handler_;
 };
 

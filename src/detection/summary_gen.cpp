@@ -23,7 +23,7 @@ void SummaryGenerator::monitor(const routing::PathSegment& segment, std::size_t 
   role.sample_keep = sample_keep_per_256;
   // All routers of a segment share the key derived from its two ends, so
   // their fingerprints for the same packet agree.
-  role.fp_key = keys_.fingerprint_key(segment.front(), segment.back());
+  role.fp = validation::FingerprintHasher(keys_.fingerprint_key(segment.front(), segment.back()));
   roles_.push_back(std::move(role));
 }
 
@@ -45,7 +45,7 @@ bool SummaryGenerator::applies(const Role& role, const sim::Packet& p, util::Nod
 }
 
 void SummaryGenerator::record(const Role& role, const sim::Packet& p) {
-  const auto fp = validation::packet_fingerprint(role.fp_key, p);
+  const auto fp = role.fp(p);
   if (role.sample_keep < 256 && (fp & 0xFF) >= role.sample_keep) return;
   const std::size_t idx = static_cast<std::size_t>(&role - roles_.data());
   Bucket& b = buckets_[{idx, clock_.round_of(p.created)}];

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -22,6 +21,8 @@
 #include "detection/path_cache.hpp"
 #include "detection/types.hpp"
 #include "sim/network.hpp"
+#include "util/flat_map.hpp"
+#include "validation/fingerprint.hpp"
 
 namespace fatih::detection {
 
@@ -56,7 +57,8 @@ class SummaryGenerator {
     routing::PathSegment segment;
     std::size_t position = 0;
     std::uint32_t sample_keep = 256;
-    crypto::SipKey fp_key;
+    /// Schedule-cached hasher for the segment key (record() runs per packet).
+    validation::FingerprintHasher fp{crypto::SipKey{}};
   };
   struct Bucket {
     validation::CounterSummary counters;
@@ -77,8 +79,8 @@ class SummaryGenerator {
   const PathCache& paths_;
   bool enabled_ = true;
   std::vector<Role> roles_;
-  // Keyed by (role index, round).
-  std::map<std::pair<std::size_t, std::int64_t>, Bucket> buckets_;
+  // Keyed by (role index, round); flat store, std::map iteration order.
+  util::FlatMap<std::pair<std::size_t, std::int64_t>, Bucket> buckets_;
 };
 
 }  // namespace fatih::detection

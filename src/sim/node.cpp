@@ -51,12 +51,13 @@ void Interface::try_transmit() {
   auto popped = queue_->dequeue(sim_.now());
   if (!popped) return;
   busy_ = true;
-  const Packet p = *std::move(popped);
+  Packet p = *std::move(popped);
   for (const auto& tap : transmit_taps_) tap(p, sim_.now());
   const auto tx = link_.tx_time(p.size_bytes);
   // End of serialization: the transmitter frees up and the packet begins
-  // propagating to the peer.
-  sim_.schedule_in(tx, [this, p] {
+  // propagating to the peer. The packet is moved (never copied) through
+  // the serialization and propagation events.
+  sim_.schedule_in(tx, [this, p = std::move(p)]() mutable {
     busy_ = false;
     LinkFault fault;
     if (fault_injector_) fault = fault_injector_(p, sim_.now());
@@ -65,9 +66,10 @@ void Interface::try_transmit() {
     } else {
       Node* peer_node = peer_node_;
       const util::NodeId from = owner_.id();
-      sim_.schedule_in(link_.delay + fault.extra_delay, [peer_node, p, from] {
-        if (peer_node != nullptr) peer_node->receive(p, from);
-      });
+      sim_.schedule_in(link_.delay + fault.extra_delay,
+                       [peer_node, p = std::move(p), from]() mutable {
+                         if (peer_node != nullptr) peer_node->receive(std::move(p), from);
+                       });
     }
     try_transmit();
   });
@@ -144,7 +146,7 @@ void Router::set_processing_delay(util::Duration base, util::Duration max_jitter
 
 void Router::originate(const Packet& p) { do_forward(p, id_); }
 
-void Router::receive(const Packet& p, util::NodeId prev) {
+void Router::receive(Packet p, util::NodeId prev) {
   fire_receive_taps(p, prev);
   if (p.hdr.dst == id_) {
     deliver_locally(p, prev);
@@ -157,7 +159,8 @@ void Router::receive(const Packet& p, util::NodeId prev) {
   if (proc_jitter_ > util::Duration{}) {
     delay += util::Duration::nanos(rng_.uniform_int(0, proc_jitter_.count_nanos()));
   }
-  sim_.schedule_in(delay, [this, p, prev] { do_forward(p, prev); });
+  sim_.schedule_in(delay,
+                   [this, p = std::move(p), prev]() mutable { do_forward(std::move(p), prev); });
 }
 
 void Router::do_forward(Packet p, util::NodeId prev) {
@@ -200,7 +203,7 @@ void Router::do_forward(Packet p, util::NodeId prev) {
     if (decision.iface_override) out_iface = *decision.iface_override;
     if (decision.extra_delay > util::Duration{}) {
       const auto d = decision.extra_delay;
-      sim_.schedule_in(d, [this, p, prev, out_iface] {
+      sim_.schedule_in(d, [this, p = std::move(p), prev, out_iface]() mutable {
         for (const auto& tap : forward_taps_) tap(p, prev, out_iface, sim_.now());
         interfaces_[out_iface]->send(p);
       });
@@ -229,7 +232,7 @@ void Host::send(const Packet& p) {
   interfaces_.front()->send(p);
 }
 
-void Host::receive(const Packet& p, util::NodeId prev) {
+void Host::receive(Packet p, util::NodeId prev) {
   fire_receive_taps(p, prev);
   if (p.hdr.dst == id_) {
     deliver_locally(p, prev);

@@ -187,7 +187,11 @@ class Node {
   void add_receive_tap(ReceiveTap t) { receive_taps_.push_back(std::move(t)); }
 
   /// Called by the far interface when a packet finishes propagating.
-  virtual void receive(const Packet& p, util::NodeId prev) = 0;
+  /// By value so the packet can be moved hop-to-hop: the forwarding chain
+  /// (propagation → receive → processing-delay event → do_forward) hands
+  /// one Packet along instead of copying at each stage (each copy bumps
+  /// two shared_ptr refcounts).
+  virtual void receive(Packet p, util::NodeId prev) = 0;
 
  protected:
   void fire_receive_taps(const Packet& p, util::NodeId prev);
@@ -243,7 +247,7 @@ class Router final : public Node {
   void add_forward_tap(ForwardTap t) { forward_taps_.push_back(std::move(t)); }
   void add_drop_tap(DropTap t) { drop_taps_.push_back(std::move(t)); }
 
-  void receive(const Packet& p, util::NodeId prev) override;
+  void receive(Packet p, util::NodeId prev) override;
 
   /// Ground-truth counters (tests/benches only).
   [[nodiscard]] std::uint64_t malicious_drops() const { return malicious_drops_; }
@@ -279,7 +283,7 @@ class Host final : public Node {
   /// Sends a packet from the local stack toward its destination.
   void send(const Packet& p);
 
-  void receive(const Packet& p, util::NodeId prev) override;
+  void receive(Packet p, util::NodeId prev) override;
 };
 
 }  // namespace fatih::sim

@@ -1,36 +1,90 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
+#include <algorithm>
 
 namespace fatih::sim {
 
-EventId Simulator::schedule_at(util::SimTime t, std::function<void()> fn) {
-  // Requests for the past run "now": simulated time never moves backward.
-  if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+Simulator::~Simulator() {
+  // Destroy callbacks of events still pending at teardown (experiments
+  // routinely stop mid-schedule via run_until).
+  for (std::uint32_t slot = 0; slot < slot_count_; ++slot) {
+    EventRecord& rec = record(slot);
+    if (rec.armed) destroy_callback(rec);
+  }
 }
 
-EventId Simulator::schedule_in(util::Duration d, std::function<void()> fn) {
-  return schedule_at(now_ + d, std::move(fn));
+void Simulator::grow_slab() {
+  // Grow the slab by one chunk; records never move afterwards. Slots are
+  // linked lowest-index-first so allocation order stays tidy.
+  auto chunk = std::make_unique<EventRecord[]>(kChunkSlots);
+  const std::uint32_t base = slot_count_;
+  for (std::size_t i = kChunkSlots; i-- > 0;) {
+    chunk[i].next_free = free_head_;
+    free_head_ = base + static_cast<std::uint32_t>(i);
+  }
+  chunks_.push_back(std::move(chunk));
+  slot_count_ += kChunkSlots;
 }
 
-void Simulator::cancel(EventId id) { callbacks_.erase(id); }
+void Simulator::destroy_callback(EventRecord& rec) {
+  if (rec.heap != nullptr) {
+    rec.vt->destroy(rec.heap);
+  } else {
+    rec.vt->destroy(rec.inline_buf);
+  }
+}
+
+void Simulator::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0 || slot >= slot_count_) return;  // never-issued or foreign id
+  EventRecord& rec = record(slot);
+  if (!rec.armed || rec.generation != gen) return;  // already fired/cancelled
+  destroy_callback(rec);
+  release_slot(slot);
+  ++stale_;  // the heap entry stays behind; dispatch or the sweep skips it
+  maybe_sweep();
+}
+
+void Simulator::maybe_sweep() {
+  // Compact once stale entries outnumber live ones (with a floor so tiny
+  // heaps never bother): the heap stays within 2x the live event count,
+  // which bounds memory under unbounded cancel/reschedule churn.
+  if (stale_ < 64 || stale_ * 2 <= heap_.size()) return;
+  std::erase_if(heap_, [this](const HeapEntry& e) {
+    const EventRecord& rec = record(e.slot);
+    return !rec.armed || rec.seq != e.seq;
+  });
+  // Floyd heapify for the 4-ary layout: sift every non-leaf, last first.
+  const std::size_t n = heap_.size();
+  for (std::size_t i = n >= 2 ? (n - 2) / 4 + 1 : 0; i-- > 0;) {
+    heap_sift_down(i, heap_[i]);
+  }
+  stale_ = 0;
+  ++sweeps_;
+}
 
 void Simulator::run_until(util::SimTime limit) {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    if (ev.at > limit) break;
-    queue_.pop();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    auto fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = ev.at;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    // A live entry's time always equals its record's time, so the limit
+    // check needs no record load. A stale entry past the limit parks
+    // harmlessly until a later run or sweep collects it.
+    if (top.at > limit) break;
+    EventRecord& rec = record(top.slot);
+    if (!rec.armed || rec.seq != top.seq) {  // cancelled: drop the tombstone
+      heap_pop();
+      if (stale_ > 0) --stale_;
+      continue;
+    }
+    heap_pop();
+    now_ = top.at;
     ++dispatched_;
-    fn();
+    // The typed fire relocates the callable out of the record and frees
+    // the slot before invoking, so a callback that schedules (and thereby
+    // reuses the slot) cannot clobber its own captures mid-flight.
+    void* p = rec.heap != nullptr ? rec.heap : static_cast<void*>(rec.inline_buf);
+    rec.vt->fire(*this, top.slot, p);
   }
   if (limit != util::SimTime::infinity() && now_ < limit) now_ = limit;
 }

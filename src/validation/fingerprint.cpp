@@ -1,36 +1,9 @@
 #include "validation/fingerprint.hpp"
 
-#include <array>
-#include <cstring>
-
 namespace fatih::validation {
 
 Fingerprint packet_fingerprint(crypto::SipKey key, const sim::Packet& p) {
-  // Fixed-layout invariant view of the packet; TTL deliberately omitted.
-  struct InvariantView {
-    std::uint32_t src;
-    std::uint32_t dst;
-    std::uint32_t flow_id;
-    std::uint32_t seq;
-    std::uint32_t ack;
-    std::uint8_t proto;
-    std::uint8_t flags;
-    std::uint16_t pad;
-    std::uint32_t size_bytes;
-    std::uint64_t payload_tag;
-  };
-  InvariantView v{};
-  v.src = p.hdr.src;
-  v.dst = p.hdr.dst;
-  v.flow_id = p.hdr.flow_id;
-  v.seq = p.hdr.seq;
-  v.ack = p.hdr.ack;
-  v.proto = static_cast<std::uint8_t>(p.hdr.proto);
-  v.flags = p.hdr.flags;
-  v.pad = 0;
-  v.size_bytes = p.size_bytes;
-  v.payload_tag = p.payload_tag;
-  return crypto::siphash24(key, &v, sizeof(v));
+  return FingerprintHasher(key)(p);
 }
 
 }  // namespace fatih::validation

@@ -5,6 +5,13 @@
 // (TTL, and in real IP the checksum) are excluded — §7.4.2 — so that a
 // correct downstream router computes the same fingerprint as the upstream
 // one.
+//
+// The invariant view is a fixed 40-byte layout (header fields + size +
+// payload tag batched into one message), so the hash runs on the
+// compile-time-unrolled SipHash path. FingerprintHasher additionally
+// caches the key schedule; per-packet callers (summary generators,
+// Protocol χ queue accounting) should hold one instead of re-deriving the
+// schedule from the key on every packet.
 #pragma once
 
 #include <cstdint>
@@ -17,8 +24,49 @@ namespace fatih::validation {
 /// 64-bit packet fingerprint.
 using Fingerprint = std::uint64_t;
 
+/// Computes fingerprints under one key with the SipHash schedule cached.
+class FingerprintHasher {
+ public:
+  constexpr explicit FingerprintHasher(crypto::SipKey key) : sched_(key) {}
+
+  [[nodiscard]] Fingerprint operator()(const sim::Packet& p) const {
+    // Fixed-layout invariant view of the packet; TTL deliberately omitted.
+    struct InvariantView {
+      std::uint32_t src;
+      std::uint32_t dst;
+      std::uint32_t flow_id;
+      std::uint32_t seq;
+      std::uint32_t ack;
+      std::uint8_t proto;
+      std::uint8_t flags;
+      std::uint16_t pad;
+      std::uint32_t size_bytes;
+      std::uint64_t payload_tag;
+    };
+    // 40 bytes: 4 alignment-pad bytes precede payload_tag, value-initialized
+    // to zero so the hashed message is stable (and identical to the seed's).
+    static_assert(sizeof(InvariantView) == 40);
+    InvariantView v{};
+    v.src = p.hdr.src;
+    v.dst = p.hdr.dst;
+    v.flow_id = p.hdr.flow_id;
+    v.seq = p.hdr.seq;
+    v.ack = p.hdr.ack;
+    v.proto = static_cast<std::uint8_t>(p.hdr.proto);
+    v.flags = p.hdr.flags;
+    v.pad = 0;
+    v.size_bytes = p.size_bytes;
+    v.payload_tag = p.payload_tag;
+    return crypto::siphash24_fixed<sizeof(v)>(sched_, &v);
+  }
+
+ private:
+  crypto::SipSchedule sched_;
+};
+
 /// Computes the keyed fingerprint of a packet over its invariant fields:
 /// src, dst, flow, seq, ack, proto, flags, payload identity, and size.
+/// One-shot convenience; hot paths should reuse a FingerprintHasher.
 [[nodiscard]] Fingerprint packet_fingerprint(crypto::SipKey key, const sim::Packet& p);
 
 }  // namespace fatih::validation

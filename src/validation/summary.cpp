@@ -1,7 +1,6 @@
 #include "validation/summary.hpp"
 
 #include <algorithm>
-#include <map>
 
 namespace fatih::validation {
 
@@ -49,25 +48,42 @@ std::size_t OrderedSummary::reorder_count(const OrderedSummary& sent,
                                           const OrderedSummary& received) {
   // Restrict both streams to their common multiset.
   // Positions of each fingerprint in the received stream, consumed FIFO so
-  // duplicate fingerprints pair up in order.
-  std::map<Fingerprint, std::vector<std::size_t>> positions;
-  for (std::size_t i = 0; i < received.fps_.size(); ++i) {
-    positions[received.fps_[i]].push_back(i);
+  // duplicate fingerprints pair up in order. One sorted (fp, position)
+  // array with contiguous per-fingerprint groups replaces the node-based
+  // fp -> positions map; the stable sort keeps positions ascending within
+  // a group, exactly as the map's push_back order did.
+  std::vector<std::pair<Fingerprint, std::size_t>> pos;
+  pos.reserve(received.fps_.size());
+  for (std::size_t i = 0; i < received.fps_.size(); ++i) pos.emplace_back(received.fps_[i], i);
+  std::stable_sort(pos.begin(), pos.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  struct Group {
+    Fingerprint fp;
+    std::size_t begin, end;  ///< half-open range into `pos`
+    std::size_t used = 0;    ///< sent copies already paired (the FIFO cursor)
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < pos.size();) {
+    std::size_t j = i;
+    while (j < pos.size() && pos[j].first == pos[i].first) ++j;
+    groups.push_back({pos[i].first, i, j, 0});
+    i = j;
   }
   // Map the sent stream to received positions (Hunt-Szymanski: duplicate
   // positions listed in DECREASING order so the LIS uses each at most once).
-  std::map<Fingerprint, std::size_t> consumed;
   std::vector<std::vector<std::size_t>> per_sent;
   std::size_t common = 0;
   for (Fingerprint fp : sent.fps_) {
-    auto it = positions.find(fp);
-    if (it == positions.end()) continue;
-    auto& used = consumed[fp];
-    if (used >= it->second.size()) continue;  // more sent copies than received
-    ++used;
+    auto it = std::lower_bound(groups.begin(), groups.end(), fp,
+                               [](const Group& g, Fingerprint f) { return g.fp < f; });
+    if (it == groups.end() || it->fp != fp) continue;
+    if (it->used >= it->end - it->begin) continue;  // more sent copies than received
+    ++it->used;
     ++common;
     // All candidate positions, decreasing.
-    std::vector<std::size_t> cands(it->second.rbegin(), it->second.rend());
+    std::vector<std::size_t> cands;
+    cands.reserve(it->end - it->begin);
+    for (std::size_t k = it->end; k-- > it->begin;) cands.push_back(pos[k].second);
     per_sent.push_back(std::move(cands));
   }
   // Longest strictly-increasing subsequence over the concatenated

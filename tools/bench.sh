@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Benchmark driver: builds the Release (-O3 -DNDEBUG) tree and regenerates
+# the committed BENCH_*.json artifacts from the repo root:
+#   tools/bench.sh              # perf_core + reliable_control
+#   tools/bench.sh perf_core    # just the named benches
+# Perf numbers are only meaningful from this preset — never cite a
+# RelWithDebInfo or sanitizer build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES=("$@")
+if [ ${#BENCHES[@]} -eq 0 ]; then
+  BENCHES=(perf_core reliable_control)
+fi
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)" --target "${BENCHES[@]}"
+
+# Benches write their BENCH_<name>.json into the CWD; run from the root so
+# the artifacts land next to the sources and get committed.
+for b in "${BENCHES[@]}"; do
+  echo "== running $b =="
+  "build-release/bench/$b"
+done
