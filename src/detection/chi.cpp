@@ -52,7 +52,9 @@ void QueueValidator::install_taps() {
     const sim::LinkParams nbr_link = nbr_iface->link();
     nbr_iface->add_transmit_tap([this, nbr, nbr_link](const sim::Packet& p, util::SimTime now) {
       if (p.hdr.dst == owner_) return;
-      if (paths_.next_hop_after(p.hdr.src, p.hdr.dst, owner_) != peer_) return;
+      // Routing in force *now* decides whether r will forward this toward
+      // rd; after a reroute the recorder follows the new next hop.
+      if (paths_.next_hop_after_at(p.hdr.src, p.hdr.dst, owner_, now) != peer_) return;
       ChiRecord rec;
       rec.fp = fp_(p);
       rec.size_bytes = p.size_bytes;
@@ -221,19 +223,40 @@ void QueueValidator::validate(std::int64_t round) {
   RoundStats stats;
   stats.round = round;
 
+  // Churn awareness: a route change anywhere in [round start, now) can
+  // redirect the flows feeding Q mid-round and eat reports/acks in the
+  // transient, so the replay would mix two routing regimes. The round is
+  // invalidated — consumed conservatively, never alarmed; validation
+  // resumes the first round fully inside the new epoch.
+  const util::SimTime now = net_.sim().now();
+  const bool churned = paths_.changed_during(config_.clock.interval_of(round).begin, now);
+  if (churned) {
+    stats.invalidated = true;
+    ++rounds_invalidated_;
+  }
+
   bool all_reports = true;
   if (auto it = reports_due_.find(round); it != reports_due_.end()) {
     for (util::NodeId reporter : it->second) {
       if (!reports_seen_.contains({reporter, round})) {
         all_reports = false;
-        if (learned_) suspect(round, "missing-report", 1.0);
+        if (learned_ && !churned) suspect(round, "missing-report", 1.0);
       }
     }
     reports_due_.erase(it);
   }
 
   const util::SimTime horizon = config_.clock.interval_of(round).end;
-  if (all_reports) {
+  if (churned) {
+    // Drain everything up to the horizon without judging it, including
+    // already-staged replay events, and restart the occupancy prediction.
+    std::erase_if(pending_entries_, [&](const Entry& e) { return e.rec.ts <= horizon; });
+    exits_.erase_if([&](const auto& kv) { return kv.second.ts <= horizon; });
+    while (!events_.empty() && events_.begin()->ts <= horizon) {
+      events_.erase(events_.begin());
+    }
+    qpred_ = 0.0;
+  } else if (all_reports) {
     if (red_.has_value()) {
       replay_red(horizon, stats);
     } else {
@@ -661,6 +684,12 @@ std::vector<Suspicion> ChiEngine::all_suspicions() const {
     out.insert(out.end(), v->suspicions().begin(), v->suspicions().end());
   }
   return out;
+}
+
+std::uint64_t ChiEngine::rounds_invalidated() const {
+  std::uint64_t total = 0;
+  for (const auto& v : validators_) total += v->rounds_invalidated();
+  return total;
 }
 
 void ChiEngine::set_suspicion_handler(SuspicionHandler h) { handler_ = std::move(h); }

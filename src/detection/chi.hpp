@@ -114,8 +114,13 @@ class QueueValidator {
     double red_expected_drops = 0.0;
     double red_max_flow_z = 0.0;
     bool alarmed = false;
+    bool invalidated = false;  ///< round straddled a route change (churn)
   };
   [[nodiscard]] const std::vector<RoundStats>& rounds() const { return round_stats_; }
+
+  /// Churn-awareness: rounds whose replay was skipped because a route
+  /// change straddled them. Never counted as suspicions.
+  [[nodiscard]] std::uint64_t rounds_invalidated() const { return rounds_invalidated_; }
 
   /// Makes router r's self-report lie (protocol-fault injection): the
   /// mutator may add/remove records or return false to suppress entirely.
@@ -228,6 +233,7 @@ class QueueValidator {
   double sigma_ = 1.0;
 
   std::vector<RoundStats> round_stats_;
+  std::uint64_t rounds_invalidated_ = 0;
   std::vector<Suspicion> suspicions_;
   SuspicionHandler handler_;
   SelfReportMutator self_mutator_;
@@ -248,6 +254,8 @@ class ChiEngine {
   void start();
 
   [[nodiscard]] std::vector<Suspicion> all_suspicions() const;
+  /// Sum of rounds_invalidated over all validators.
+  [[nodiscard]] std::uint64_t rounds_invalidated() const;
   void set_suspicion_handler(SuspicionHandler h);
 
   [[nodiscard]] const std::vector<std::unique_ptr<QueueValidator>>& validators() const {

@@ -22,7 +22,7 @@ std::uint64_t payload_key(const sim::ControlPayload& payload) {
 
 Pi2Engine::Pi2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
                      const std::vector<util::NodeId>& terminals, Pi2Config config)
-    : net_(net), keys_(keys), config_(config) {
+    : net_(net), keys_(keys), paths_(paths), config_(config) {
   // Enumerate the in-use paths and the monitored segments.
   const auto used_paths = paths.tables().all_paths(terminals);
   const routing::SegmentIndex index(used_paths, config_.k);
@@ -125,6 +125,34 @@ void Pi2Engine::disseminate(std::int64_t round) {
 }
 
 void Pi2Engine::evaluate(std::int64_t round) {
+  // Churn awareness: a round whose interval straddles ANY route change —
+  // or a segment off the live path after a reroute — is invalidated
+  // rather than evaluated. The whole-fabric test (changed_during, not
+  // per-segment path stability) is deliberate: the recorders judge
+  // traffic against the end-to-end path in force at each packet's
+  // creation, so a reroute of a *flow* contaminates summaries even on
+  // segments whose own endpoints kept their path (the flow's source
+  // records packets "into" a segment they now detour around). The
+  // transient mixes honestly-forwarded and blackholed/detoured traffic,
+  // so any verdict would violate a-Accuracy; detection resumes the first
+  // round fully inside the new epoch. The window runs to `now` so route
+  // changes that ate this round's *control* traffic (summary floods) are
+  // covered too.
+  const auto interval = config_.clock.interval_of(round);
+  const auto now = net_.sim().now();
+  const bool churned = paths_.changed_during(interval.begin, now);
+  std::vector<bool> invalid(segments_.size(), false);
+  for (std::size_t sid = 0; sid < segments_.size(); ++sid) {
+    const auto& nodes = segments_[sid].nodes();
+    const bool off_path =
+        paths_.epoch_count() > 1 &&
+        !segments_[sid].within(paths_.path_at(nodes.front(), nodes.back(), now));
+    if (churned || off_path) {
+      invalid[sid] = true;
+      ++rounds_invalidated_;
+    }
+  }
+
   // Every correct router evaluates every monitored segment: the summary
   // flood already delivered all signed summaries everywhere, which is the
   // reliable broadcast of evidence in Fig. 5.1 and yields strong
@@ -133,6 +161,7 @@ void Pi2Engine::evaluate(std::int64_t round) {
     if (!net_.is_router(r)) continue;
     for (const auto& seg : segments_) {
       const std::size_t sid = segment_ids_.at(seg);
+      if (invalid[sid]) continue;
       const auto& nodes = seg.nodes();
       // Graceful degradation: the round completes on whatever summaries
       // made it. A reporter whose summary never arrived (after the

@@ -76,6 +76,13 @@ class Pi2Engine {
   /// Null unless config.reliable.enabled.
   [[nodiscard]] const ReliableChannel* channel() const { return channel_.get(); }
 
+  /// Churn-awareness: (segment, round) evaluations skipped because the
+  /// round straddled a route change on the monitored segment (or the
+  /// segment is off the live path after a reroute). Invalidated rounds
+  /// never become suspicions; detection resumes on the new path the next
+  /// settled round.
+  [[nodiscard]] std::uint64_t rounds_invalidated() const { return rounds_invalidated_; }
+
  private:
   void run_round(std::int64_t round);
   void disseminate(std::int64_t round);
@@ -85,7 +92,9 @@ class Pi2Engine {
 
   sim::Network& net_;
   const crypto::KeyRegistry& keys_;
+  const PathCache& paths_;
   Pi2Config config_;
+  std::uint64_t rounds_invalidated_ = 0;
   std::unique_ptr<ReliableChannel> channel_;  ///< null unless reliable.enabled
   std::unique_ptr<FloodService> flood_;
   std::vector<std::unique_ptr<SummaryGenerator>> generators_;  // per router id (may be null)

@@ -15,7 +15,7 @@ constexpr const char* kComponent = "pik2";
 
 Pik2Engine::Pik2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
                        const std::vector<util::NodeId>& terminals, Pik2Config config)
-    : net_(net), keys_(keys), config_(config) {
+    : net_(net), keys_(keys), paths_(paths), config_(config) {
   const auto used_paths = paths.tables().all_paths(terminals);
   const routing::SegmentIndex index(used_paths, config_.k);
   segments_ = index.all_pik2_segments();
@@ -54,8 +54,14 @@ Pik2Engine::Pik2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const
       if (stopped_) return;
       // The sender could not get its summary through within the retry
       // budget: degrade to a suspicion of the exchange segment now rather
-      // than stalling until the peer's timeout fires.
+      // than stalling until the peer's timeout fires — unless the delivery
+      // failure is explained by a route change underneath the exchange, in
+      // which case the round is invalidated, not accused.
       const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
+      if (churn_invalidated(p.summary.segment, p.summary.round)) {
+        ++rounds_invalidated_;
+        return;
+      }
       suspect(from, p.summary.segment, p.summary.round, "exchange-undeliverable");
     });
   }
@@ -163,9 +169,33 @@ void Pik2Engine::on_summary(util::NodeId at, const SegmentSummaryPayload& payloa
   peer_[{at, seg, payload.summary.round}] = payload.summary;
 }
 
+bool Pik2Engine::churn_invalidated(const routing::PathSegment& seg, std::int64_t round) const {
+  const auto interval = config_.clock.interval_of(round);
+  const auto now = net_.sim().now();
+  // Whole-fabric test, not per-segment path stability: recorders judge
+  // packets against the end-to-end path at creation time, so a reroute of
+  // a flow contaminates summaries even on segments whose own endpoints
+  // kept their path (the flow's source records packets "into" a segment
+  // they now detour around).
+  if (paths_.changed_during(interval.begin, now)) return true;
+  // After a reroute the exchange segment may simply no longer carry the
+  // traffic (or the exchange itself): off-path segments are parked, not
+  // judged. Only applies once churn has actually produced an epoch.
+  return paths_.epoch_count() > 1 &&
+         !seg.within(paths_.path_at(seg.front(), seg.back(), now));
+}
+
 void Pik2Engine::evaluate(std::int64_t round) {
   if (stopped_) return;
   for (const auto& seg : segments_) {
+    // Churn awareness: rounds straddling a route change on the exchange
+    // segment are invalidated (the transient mixes blackholed and detoured
+    // traffic with honest forwarding); detection resumes the first settled
+    // round on the new path.
+    if (churn_invalidated(seg, round)) {
+      ++rounds_invalidated_;
+      continue;
+    }
     for (const util::NodeId r : {seg.front(), seg.back()}) {
       if (generators_[r] == nullptr) continue;
       const auto own_it = own_.find({r, seg, round});

@@ -85,6 +85,11 @@ class Pik2Engine {
   /// Total control bytes shipped by the exchange so far (overhead bench).
   [[nodiscard]] std::uint64_t exchange_bytes() const { return exchange_bytes_; }
 
+  /// Churn-awareness: (segment, round) evaluations skipped because the
+  /// round straddled a route change on the exchange segment. Never counted
+  /// as suspicions.
+  [[nodiscard]] std::uint64_t rounds_invalidated() const { return rounds_invalidated_; }
+
  private:
   void run_round(std::int64_t round);
   void exchange(std::int64_t round);
@@ -92,10 +97,16 @@ class Pik2Engine {
   void on_summary(util::NodeId at, const SegmentSummaryPayload& payload);
   void suspect(util::NodeId reporter, const routing::PathSegment& segment, std::int64_t round,
                const char* cause, double confidence = 1.0);
+  /// True iff the round's verdict on `seg` would be contaminated by a
+  /// route change (round interval through `now` overlaps a transition
+  /// affecting the segment, or the segment is off the live path).
+  [[nodiscard]] bool churn_invalidated(const routing::PathSegment& seg, std::int64_t round) const;
 
   sim::Network& net_;
   const crypto::KeyRegistry& keys_;
+  const PathCache& paths_;
   Pik2Config config_;
+  std::uint64_t rounds_invalidated_ = 0;
   std::unique_ptr<ReliableChannel> channel_;  ///< null unless reliable.enabled
   std::vector<std::unique_ptr<SummaryGenerator>> generators_;
   std::vector<routing::PathSegment> segments_;

@@ -1,0 +1,48 @@
+#include "detection/route_epochs.hpp"
+
+#include <memory>
+
+#include "routing/graph.hpp"
+
+namespace fatih::detection {
+
+RouteEpochKeeper::RouteEpochKeeper(sim::Network& net, routing::LinkStateRouting& lsr,
+                                   PathCache& cache, util::Duration lookback)
+    : net_(net), cache_(cache), lookback_(lookback) {
+  last_signature_ = topology_signature();
+  lsr.add_route_change_hook(
+      [this](util::NodeId, util::SimTime when) { on_route_change(when); });
+}
+
+void RouteEpochKeeper::on_route_change(util::SimTime when) {
+  const auto sig = topology_signature();
+  if (sig == last_signature_) {
+    // Same physical topology as the last epoch: either startup convergence
+    // (no epoch pushed yet — nothing to do) or a staggered SPF catching up
+    // with an already-pushed change — widen the settling window.
+    cache_.extend_transition(when);
+    return;
+  }
+  last_signature_ = sig;
+  ++epochs_pushed_;
+  auto tables =
+      std::make_shared<const routing::RoutingTables>(routing::Topology::from_network(net_));
+  auto unstable_from = when - lookback_;
+  if (unstable_from < util::SimTime::origin()) unstable_from = util::SimTime::origin();
+  cache_.push_epoch(std::move(tables), when, unstable_from);
+}
+
+std::uint64_t RouteEpochKeeper::topology_signature() const {
+  // FNV-1a over the usable subset of the physical adjacency list. The
+  // list's order is fixed at wiring time, so the signature is stable
+  // across identical physical states.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& adj : net_.adjacencies()) {
+    if (!net_.link_usable(adj.from, adj.to)) continue;
+    h ^= (static_cast<std::uint64_t>(adj.from) << 32) | adj.to;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace fatih::detection

@@ -1,0 +1,47 @@
+// Bridges the routing layer's route-change notifications into PathCache
+// epochs.
+//
+// Every router runs SPF on its own (staggered) schedule, so one physical
+// failure produces a burst of route-change hook firings. The keeper
+// collapses the burst into at most one new PathCache epoch per physical
+// topology change: the first firing after the usable-link set changes
+// pushes fresh tables (with the transition window backdated by `lookback`,
+// covering the blackholing between the physical failure and the SPF that
+// reacted to it); subsequent firings for the same physical state merely
+// widen the transition window until the last router has converged.
+#pragma once
+
+#include <cstdint>
+
+#include "detection/path_cache.hpp"
+#include "routing/link_state.hpp"
+#include "sim/network.hpp"
+#include "util/time.hpp"
+
+namespace fatih::detection {
+
+class RouteEpochKeeper {
+ public:
+  /// `lookback` should cover failure detection plus SPF delay — the span
+  /// before a table install during which traffic may already have been
+  /// blackholed (dead_interval + spf_delay, plus slack, for hello-detected
+  /// failures).
+  RouteEpochKeeper(sim::Network& net, routing::LinkStateRouting& lsr, PathCache& cache,
+                   util::Duration lookback);
+
+  /// How many distinct physical-topology epochs were pushed (excludes the
+  /// cache's initial epoch).
+  [[nodiscard]] std::size_t epochs_pushed() const { return epochs_pushed_; }
+
+ private:
+  void on_route_change(util::SimTime when);
+  [[nodiscard]] std::uint64_t topology_signature() const;
+
+  sim::Network& net_;
+  PathCache& cache_;
+  util::Duration lookback_;
+  std::uint64_t last_signature_ = 0;
+  std::size_t epochs_pushed_ = 0;
+};
+
+}  // namespace fatih::detection

@@ -12,6 +12,14 @@ void GroundTruth::mark_protocol_faulty(util::NodeId r, util::SimTime since) {
   protocol_.push_back({r, since});
 }
 
+void GroundTruth::mark_churn(const util::TimeInterval& window) { churn_.push_back(window); }
+
+bool GroundTruth::overlaps_churn(const util::TimeInterval& during) const {
+  return std::any_of(churn_.begin(), churn_.end(), [&](const util::TimeInterval& w) {
+    return w.begin < during.end && during.begin < w.end;
+  });
+}
+
 bool GroundTruth::is_faulty(util::NodeId r, const util::TimeInterval& during) const {
   const auto hit = [&](const std::vector<Mark>& marks) {
     return std::any_of(marks.begin(), marks.end(), [&](const Mark& m) {
@@ -57,6 +65,7 @@ SpecReport check_accuracy(const std::vector<Suspicion>& suspicions, const Ground
       ++report.accurate;
     } else {
       ++report.violations;
+      if (truth.overlaps_churn(s.interval)) ++report.churn_violations;
     }
   }
   return report;
@@ -65,6 +74,13 @@ SpecReport check_accuracy(const std::vector<Suspicion>& suspicions, const Ground
 bool check_completeness_for(const std::vector<Suspicion>& suspicions, util::NodeId faulty) {
   return std::any_of(suspicions.begin(), suspicions.end(),
                      [&](const Suspicion& s) { return s.segment.contains(faulty); });
+}
+
+bool check_completeness_for_after(const std::vector<Suspicion>& suspicions, util::NodeId faulty,
+                                  util::SimTime after) {
+  return std::any_of(suspicions.begin(), suspicions.end(), [&](const Suspicion& s) {
+    return s.interval.begin >= after && s.segment.contains(faulty);
+  });
 }
 
 }  // namespace fatih::detection

@@ -25,11 +25,22 @@ class GroundTruth {
   void mark_traffic_faulty(util::NodeId r, util::SimTime since);
   /// Declares `r` protocol-faulty from `since`.
   void mark_protocol_faulty(util::NodeId r, util::SimTime since);
+  /// Declares a churn window: from a topology fault until the routing
+  /// fabric re-stabilized (typically from ChurnSchedule::churn_intervals).
+  /// Suspicions are NEVER excused by churn — accuracy must hold throughout
+  /// — but violations overlapping a window are attributed to it so tests
+  /// can assert reconvergence produced zero false accusations.
+  void mark_churn(const util::TimeInterval& window);
 
   [[nodiscard]] bool is_faulty(util::NodeId r, const util::TimeInterval& during) const;
   [[nodiscard]] bool is_faulty_ever(util::NodeId r) const;
   [[nodiscard]] bool is_traffic_faulty_ever(util::NodeId r) const;
   [[nodiscard]] std::vector<util::NodeId> faulty_routers() const;
+  [[nodiscard]] const std::vector<util::TimeInterval>& churn_intervals() const {
+    return churn_;
+  }
+  /// True iff `during` overlaps any declared churn window.
+  [[nodiscard]] bool overlaps_churn(const util::TimeInterval& during) const;
 
  private:
   struct Mark {
@@ -38,6 +49,7 @@ class GroundTruth {
   };
   std::vector<Mark> traffic_;
   std::vector<Mark> protocol_;
+  std::vector<util::TimeInterval> churn_;
 };
 
 /// Result of checking a batch of suspicions against ground truth.
@@ -46,6 +58,10 @@ struct SpecReport {
   std::size_t accurate = 0;    ///< contain a faulty router, length within precision
   std::size_t violations = 0;  ///< suspicions naming only correct routers
   std::size_t oversized = 0;   ///< suspicions longer than the precision bound
+  /// Subset of `violations` whose interval overlaps a declared churn
+  /// window: false accusations born of reconvergence. A churn-resilient
+  /// detector keeps this zero (the rounds are invalidated instead).
+  std::size_t churn_violations = 0;
   [[nodiscard]] bool accuracy_holds() const { return violations == 0 && oversized == 0; }
 };
 
@@ -61,5 +77,12 @@ struct SpecReport {
 /// neighborhood, fault-connected reduces to "the segment contains f".
 [[nodiscard]] bool check_completeness_for(const std::vector<Suspicion>& suspicions,
                                           util::NodeId faulty);
+
+/// Completeness restricted to suspicions whose interval starts at or after
+/// `after`: asserts detection RESUMES once the paths re-stabilize
+/// following churn (invalidated rounds do not satisfy completeness; the
+/// rounds after them must).
+[[nodiscard]] bool check_completeness_for_after(const std::vector<Suspicion>& suspicions,
+                                                util::NodeId faulty, util::SimTime after);
 
 }  // namespace fatih::detection

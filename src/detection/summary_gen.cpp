@@ -39,8 +39,10 @@ bool SummaryGenerator::applies(const Role& role, const sim::Packet& p, util::Nod
   if (i > 0 && prev != seg[i - 1]) return false;
   // The packet's stable path must contain the segment, i.e. this traffic
   // genuinely traverses pi (mis-addressed or fabricated traffic that does
-  // not belong to pi is not charged to it).
-  const auto& path = paths_.path(p.hdr.src, p.hdr.dst);
+  // not belong to pi is not charged to it). The path is the one in force
+  // when the packet was created: under churn, traffic launched onto the
+  // old path is judged against the old path, not the post-reroute one.
+  const auto& path = paths_.path_at(p.hdr.src, p.hdr.dst, p.created);
   return role.segment.within(path);
 }
 

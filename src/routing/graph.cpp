@@ -55,6 +55,10 @@ Topology Topology::from_network(const sim::Network& net) {
   Topology t;
   if (net.node_count() > 0) t.ensure_node(static_cast<util::NodeId>(net.node_count() - 1));
   for (const auto& adj : net.adjacencies()) {
+    // Live view: links that are admin-down or touch a crashed node are not
+    // part of the topology (identical to the old behavior when nothing has
+    // failed).
+    if (!net.link_usable(adj.from, adj.to)) continue;
     t.add_edge(adj.from, adj.to, adj.metric);
   }
   return t;

@@ -45,7 +45,8 @@ class Topology {
   /// Out-degree of n.
   [[nodiscard]] std::size_t degree(util::NodeId n) const;
 
-  /// Snapshot of the simulated network's adjacencies.
+  /// Snapshot of the simulated network's *usable* adjacencies: links that
+  /// are admin-down or touch a crashed router are excluded.
   [[nodiscard]] static Topology from_network(const sim::Network& net);
 
  private:

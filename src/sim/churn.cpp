@@ -1,0 +1,112 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace fatih::sim {
+
+ChurnSchedule& ChurnSchedule::link_down(util::NodeId a, util::NodeId b, util::SimTime at) {
+  events_.push_back({ChurnEvent::Kind::kLinkDown, at, a, b});
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::link_up(util::NodeId a, util::NodeId b, util::SimTime at) {
+  events_.push_back({ChurnEvent::Kind::kLinkUp, at, a, b});
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::link_flap(util::NodeId a, util::NodeId b, util::SimTime first_down,
+                                        util::Duration down_for, util::Duration period,
+                                        std::size_t count) {
+  util::SimTime down_at = first_down;
+  for (std::size_t i = 0; i < count; ++i) {
+    link_down(a, b, down_at);
+    link_up(a, b, down_at + down_for);
+    down_at = down_at + period;
+  }
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::router_crash(util::NodeId id, util::SimTime at) {
+  events_.push_back({ChurnEvent::Kind::kRouterCrash, at, id, id});
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::router_restart(util::NodeId id, util::SimTime at) {
+  events_.push_back({ChurnEvent::Kind::kRouterRestart, at, id, id});
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::srlg(
+    const std::vector<std::pair<util::NodeId, util::NodeId>>& links, util::SimTime at,
+    util::SimTime up_at) {
+  for (const auto& [a, b] : links) {
+    link_down(a, b, at);
+    if (up_at > at) link_up(a, b, up_at);
+  }
+  return *this;
+}
+
+void ChurnSchedule::arm(Network& net) const {
+  for (const auto& ev : events_) {
+    net.sim().schedule_at(ev.at, [&net, ev] {
+      switch (ev.kind) {
+        case ChurnEvent::Kind::kLinkDown:
+          net.set_link_up(ev.a, ev.b, false);
+          break;
+        case ChurnEvent::Kind::kLinkUp:
+          net.set_link_up(ev.a, ev.b, true);
+          break;
+        case ChurnEvent::Kind::kRouterCrash:
+          net.crash_router(ev.a);
+          break;
+        case ChurnEvent::Kind::kRouterRestart:
+          net.restart_router(ev.a);
+          break;
+      }
+    });
+  }
+}
+
+std::vector<util::TimeInterval> ChurnSchedule::churn_intervals(util::Duration settle,
+                                                               util::SimTime horizon) const {
+  // Pair each failure with the next repair of the same element, in time
+  // order; unrepaired failures stay open until the horizon.
+  std::vector<ChurnEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ChurnEvent& x, const ChurnEvent& y) { return x.at < y.at; });
+
+  const auto element_key = [](const ChurnEvent& ev) -> std::uint64_t {
+    if (ev.kind == ChurnEvent::Kind::kRouterCrash || ev.kind == ChurnEvent::Kind::kRouterRestart) {
+      return (static_cast<std::uint64_t>(1) << 63) | ev.a;
+    }
+    auto a = ev.a, b = ev.b;
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+
+  std::vector<util::TimeInterval> out;
+  std::map<std::uint64_t, util::SimTime> open;  // element -> failure time
+  for (const auto& ev : sorted) {
+    const bool failure = ev.kind == ChurnEvent::Kind::kLinkDown ||
+                         ev.kind == ChurnEvent::Kind::kRouterCrash;
+    const auto key = element_key(ev);
+    if (failure) {
+      open.emplace(key, ev.at);  // keep the earliest open failure
+    } else if (auto it = open.find(key); it != open.end()) {
+      out.push_back({it->second, ev.at + settle});
+      open.erase(it);
+    }
+  }
+  for (const auto& [key, began] : open) {
+    (void)key;
+    out.push_back({began, horizon});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const util::TimeInterval& x, const util::TimeInterval& y) {
+              return x.begin < y.begin;
+            });
+  return out;
+}
+
+}  // namespace fatih::sim

@@ -1,0 +1,70 @@
+// Scripted topology-churn injector.
+//
+// Experiments describe failures declaratively — one-shot link cuts,
+// periodic flaps, router crash/restart, correlated SRLG (shared-risk link
+// group) failures — and arm() turns the script into simulator events
+// against a Network. The schedule also exports the churn intervals it
+// induces so the spec layer (GroundTruth) can exempt reconvergence
+// transients from the a-Accuracy check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace fatih::sim {
+
+/// One scripted churn event (already expanded: flaps and SRLG groups
+/// become several of these).
+struct ChurnEvent {
+  enum class Kind { kLinkDown, kLinkUp, kRouterCrash, kRouterRestart };
+  Kind kind;
+  util::SimTime at;
+  util::NodeId a = 0;  ///< link endpoint / router id
+  util::NodeId b = 0;  ///< link endpoint (unused for router events)
+};
+
+/// Builder for a deterministic churn script. All times are absolute sim
+/// times; arming twice (or on two networks) replays the same script.
+class ChurnSchedule {
+ public:
+  /// One-shot failure / repair of the duplex link a—b.
+  ChurnSchedule& link_down(util::NodeId a, util::NodeId b, util::SimTime at);
+  ChurnSchedule& link_up(util::NodeId a, util::NodeId b, util::SimTime at);
+
+  /// Periodic flap: the link goes down at `first_down`, comes back after
+  /// `down_for`, and repeats every `period` for `count` cycles.
+  ChurnSchedule& link_flap(util::NodeId a, util::NodeId b, util::SimTime first_down,
+                           util::Duration down_for, util::Duration period, std::size_t count);
+
+  /// Router crash (optionally followed by a restart).
+  ChurnSchedule& router_crash(util::NodeId id, util::SimTime at);
+  ChurnSchedule& router_restart(util::NodeId id, util::SimTime at);
+
+  /// Correlated failure: every link in the shared-risk group fails at the
+  /// same instant (fiber-cut model); repaired together at `up_at` if
+  /// `up_at > at`.
+  ChurnSchedule& srlg(const std::vector<std::pair<util::NodeId, util::NodeId>>& links,
+                      util::SimTime at, util::SimTime up_at = util::SimTime::origin());
+
+  /// Schedules every scripted event on the network's simulator.
+  void arm(Network& net) const;
+
+  /// The intervals during which the topology is perturbed, for
+  /// GroundTruth::mark_churn. Each failure event opens an interval that
+  /// closes `settle` after the matching repair (or at `horizon` if the
+  /// failure is never repaired); `settle` should cover detection of the
+  /// failure plus SPF reconvergence.
+  [[nodiscard]] std::vector<util::TimeInterval> churn_intervals(util::Duration settle,
+                                                               util::SimTime horizon) const;
+
+  [[nodiscard]] const std::vector<ChurnEvent>& events() const { return events_; }
+
+ private:
+  std::vector<ChurnEvent> events_;
+};
+
+}  // namespace fatih::sim

@@ -41,6 +41,57 @@ void Network::connect(util::NodeId a, util::NodeId b, const LinkConfig& cfg) {
   adjacencies_.push_back(Adjacency{b, a, cfg.metric, link});
 }
 
+void Network::apply_interface_states(util::NodeId id) {
+  Node& n = *nodes_.at(id);
+  for (std::size_t i = 0; i < n.interface_count(); ++i) {
+    Interface& iface = n.interface(i);
+    iface.set_up(n.up() && link_admin_up(id, iface.peer()));
+  }
+}
+
+void Network::set_link_up(util::NodeId a, util::NodeId b, bool up) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  const auto key = link_key(a, b);
+  const bool currently_up = link_admin_down_.find(key) == link_admin_down_.end();
+  if (currently_up == up) return;
+  if (up) {
+    link_admin_down_.erase(key);
+  } else {
+    link_admin_down_[key] = true;
+  }
+  if (Interface* ab = nodes_[a]->interface_to(b)) ab->set_up(up && nodes_[a]->up());
+  if (Interface* ba = nodes_[b]->interface_to(a)) ba->set_up(up && nodes_[b]->up());
+  for (const auto& hook : link_hooks_) hook(a, b, up, sim_.now());
+}
+
+bool Network::link_admin_up(util::NodeId a, util::NodeId b) const {
+  return link_admin_down_.find(link_key(a, b)) == link_admin_down_.end();
+}
+
+bool Network::link_usable(util::NodeId a, util::NodeId b) const {
+  return link_admin_up(a, b) && nodes_.at(a)->up() && nodes_.at(b)->up();
+}
+
+void Network::crash_router(util::NodeId id) {
+  Router& r = router(id);
+  if (!r.up()) return;
+  r.set_up(false);
+  apply_interface_states(id);
+  // Forwarding tables are soft state: gone with the crash. Policy routes
+  // (the response mechanism's exclusions) go with them — a restarted
+  // router must re-learn them from re-flooded alerts.
+  r.clear_routes();
+  for (const auto& hook : node_hooks_) hook(id, false, sim_.now());
+}
+
+void Network::restart_router(util::NodeId id) {
+  Router& r = router(id);
+  if (r.up()) return;
+  r.set_up(true);
+  apply_interface_states(id);
+  for (const auto& hook : node_hooks_) hook(id, true, sim_.now());
+}
+
 Router& Network::router(util::NodeId id) {
   if (!is_router(id)) throw std::logic_error("node is not a router");
   return static_cast<Router&>(*nodes_.at(id));

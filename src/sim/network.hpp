@@ -6,8 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/node.hpp"
@@ -42,6 +45,13 @@ struct Adjacency {
 /// Container and factory for a simulated network.
 class Network {
  public:
+  /// Observer of duplex-link administrative state changes (both simplex
+  /// directions change together).
+  using LinkStatusHook =
+      std::function<void(util::NodeId a, util::NodeId b, bool up, util::SimTime)>;
+  /// Observer of router crash/restart.
+  using NodeStatusHook = std::function<void(util::NodeId node, bool up, util::SimTime)>;
+
   explicit Network(std::uint64_t seed);
 
   [[nodiscard]] Simulator& sim() { return sim_; }
@@ -63,8 +73,36 @@ class Network {
   [[nodiscard]] Host& host(util::NodeId id);
   [[nodiscard]] bool is_router(util::NodeId id) const;
 
-  /// All simplex adjacencies, for routing computations.
+  /// All simplex adjacencies, for routing computations. Includes down
+  /// links; filter with link_usable() for a live view.
   [[nodiscard]] const std::vector<Adjacency>& adjacencies() const { return adjacencies_; }
+
+  // ----------------------------------------------------------- topology churn
+  //
+  // Links have an administrative state (set_link_up) and nodes a crash
+  // state; the effective state of a simplex interface a→b is
+  // admin(a,b) && up(a). Packets reaching a crashed node die there.
+
+  /// Takes the duplex link a—b down or up. Down flushes both queues and
+  /// loses in-flight packets. No-op if already in the requested state.
+  void set_link_up(util::NodeId a, util::NodeId b, bool up);
+  /// Administrative state of the duplex link a—b (true if never touched).
+  [[nodiscard]] bool link_admin_up(util::NodeId a, util::NodeId b) const;
+  /// True iff the link is admin-up AND both endpoints are alive — the
+  /// condition under which a→b traffic can actually get through.
+  [[nodiscard]] bool link_usable(util::NodeId a, util::NodeId b) const;
+
+  /// Crashes a router: it black-holes everything, its interfaces drop
+  /// their queues, and its forwarding table (soft state) is erased.
+  void crash_router(util::NodeId id);
+  /// Restarts a crashed router with empty soft state; links that were
+  /// admin-down stay down.
+  void restart_router(util::NodeId id);
+  [[nodiscard]] bool node_up(util::NodeId id) const { return nodes_.at(id)->up(); }
+
+  /// Status observers (fire synchronously from the mutators above).
+  void add_link_status_hook(LinkStatusHook h) { link_hooks_.push_back(std::move(h)); }
+  void add_node_status_hook(NodeStatusHook h) { node_hooks_.push_back(std::move(h)); }
 
   /// Creates a packet with a fresh uid and creation timestamp.
   [[nodiscard]] Packet make_packet(PacketHeader hdr, std::uint32_t payload_bytes);
@@ -74,6 +112,13 @@ class Network {
 
  private:
   std::unique_ptr<OutputQueue> make_queue(const LinkConfig& cfg);
+  static std::uint64_t link_key(util::NodeId a, util::NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  /// Re-derives the effective up state of every interface on `id` after a
+  /// node or link state change.
+  void apply_interface_states(util::NodeId id);
 
   std::uint64_t seed_;
   Simulator sim_;
@@ -81,6 +126,10 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<bool> node_is_router_;
   std::vector<Adjacency> adjacencies_;
+  /// Duplex links that are administratively down (absent == up).
+  std::map<std::uint64_t, bool> link_admin_down_;
+  std::vector<LinkStatusHook> link_hooks_;
+  std::vector<NodeStatusHook> node_hooks_;
   std::uint64_t next_uid_ = 1;
 };
 

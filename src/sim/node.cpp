@@ -26,6 +26,10 @@ double Interface::fill_fraction() const {
 }
 
 EnqueueResult Interface::send(const Packet& p) {
+  if (!up_) {
+    notify_drop(p, DropReason::kLinkDown);
+    return EnqueueResult::kDroppedLinkDown;
+  }
   const auto result = queue_->enqueue(p, sim_.now());
   switch (result) {
     case EnqueueResult::kAccepted:
@@ -38,8 +42,26 @@ EnqueueResult Interface::send(const Packet& p) {
     case EnqueueResult::kDroppedRedEarly:
       notify_drop(p, DropReason::kRedEarly);
       break;
+    case EnqueueResult::kDroppedLinkDown:
+      notify_drop(p, DropReason::kLinkDown);
+      break;
   }
   return result;
+}
+
+void Interface::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (!up_) {
+    // Invalidate the in-flight serialization/propagation events and lose
+    // everything waiting in the queue: a cut link keeps nothing.
+    ++down_epoch_;
+    while (auto popped = queue_->dequeue(sim_.now())) {
+      notify_drop(*popped, DropReason::kLinkDown);
+    }
+  } else if (!busy_) {
+    try_transmit();
+  }
 }
 
 void Interface::notify_drop(const Packet& p, DropReason reason) {
@@ -47,7 +69,7 @@ void Interface::notify_drop(const Packet& p, DropReason reason) {
 }
 
 void Interface::try_transmit() {
-  if (busy_) return;
+  if (busy_ || !up_) return;
   auto popped = queue_->dequeue(sim_.now());
   if (!popped) return;
   busy_ = true;
@@ -56,19 +78,30 @@ void Interface::try_transmit() {
   const auto tx = link_.tx_time(p.size_bytes);
   // End of serialization: the transmitter frees up and the packet begins
   // propagating to the peer. The packet is moved (never copied) through
-  // the serialization and propagation events.
-  sim_.schedule_in(tx, [this, p = std::move(p)]() mutable {
+  // the serialization and propagation events. Both events carry the
+  // down-epoch observed at schedule time: if the link fails underneath
+  // them, the packet is lost instead of delivered (interfaces are never
+  // destroyed before the simulator, so capturing `this` is safe).
+  sim_.schedule_in(tx, [this, epoch = down_epoch_, p = std::move(p)]() mutable {
     busy_ = false;
+    if (epoch != down_epoch_) {
+      notify_drop(p, DropReason::kLinkDown);
+      try_transmit();
+      return;
+    }
     LinkFault fault;
     if (fault_injector_) fault = fault_injector_(p, sim_.now());
     if (fault.drop) {
       notify_drop(p, DropReason::kLinkFault);
     } else {
-      Node* peer_node = peer_node_;
       const util::NodeId from = owner_.id();
       sim_.schedule_in(link_.delay + fault.extra_delay,
-                       [peer_node, p = std::move(p), from]() mutable {
-                         if (peer_node != nullptr) peer_node->receive(std::move(p), from);
+                       [this, epoch, p = std::move(p), from]() mutable {
+                         if (epoch != down_epoch_) {
+                           notify_drop(p, DropReason::kLinkDown);
+                           return;
+                         }
+                         if (peer_node_ != nullptr) peer_node_->receive(std::move(p), from);
                        });
     }
     try_transmit();
@@ -144,9 +177,18 @@ void Router::set_processing_delay(util::Duration base, util::Duration max_jitter
   proc_jitter_ = max_jitter;
 }
 
-void Router::originate(const Packet& p) { do_forward(p, id_); }
+void Router::originate(const Packet& p) {
+  if (!up_) return;
+  do_forward(p, id_);
+}
 
 void Router::receive(Packet p, util::NodeId prev) {
+  if (!up_) {
+    // A crashed router is a black hole: no taps, no forwarding — only the
+    // ground-truth drop record.
+    notify_router_drop(p, DropReason::kNodeDown);
+    return;
+  }
   fire_receive_taps(p, prev);
   if (p.hdr.dst == id_) {
     deliver_locally(p, prev);
@@ -164,6 +206,11 @@ void Router::receive(Packet p, util::NodeId prev) {
 }
 
 void Router::do_forward(Packet p, util::NodeId prev) {
+  if (!up_) {
+    // Crash landed between receive and the processing-delay event.
+    notify_router_drop(p, DropReason::kNodeDown);
+    return;
+  }
   if (p.hdr.ttl == 0 || --p.hdr.ttl == 0) {
     notify_router_drop(p, DropReason::kTtlExpired);
     return;
@@ -224,6 +271,7 @@ void Router::notify_router_drop(const Packet& p, DropReason reason) {
 Host::Host(Simulator& sim, util::NodeId id, std::string name) : Node(sim, id, std::move(name)) {}
 
 void Host::send(const Packet& p) {
+  if (!up_) return;
   if (p.hdr.dst == id_) {
     deliver_locally(p, id_);
     return;
@@ -233,6 +281,7 @@ void Host::send(const Packet& p) {
 }
 
 void Host::receive(Packet p, util::NodeId prev) {
+  if (!up_) return;
   fire_receive_taps(p, prev);
   if (p.hdr.dst == id_) {
     deliver_locally(p, prev);

@@ -41,6 +41,8 @@ enum class DropReason {
   kTtlExpired,
   kNoRoute,
   kLinkFault,   ///< lost on the wire by an injected link fault
+  kLinkDown,    ///< link administratively / physically down (churn)
+  kNodeDown,    ///< delivered to or forwarded by a crashed node
 };
 
 /// Simplex link properties.
@@ -107,6 +109,13 @@ class Interface {
   /// Ground-truth drop notification used by Router for non-queue drops.
   void notify_drop(const Packet& p, DropReason reason);
 
+  /// Brings the simplex link up or down. Taking it down flushes the queue
+  /// (drops fire the taps with kLinkDown) and loses any packet currently
+  /// serializing or propagating; bringing it back up restarts the
+  /// transmitter. Driven by Network::set_link_up / crash_router.
+  void set_up(bool up);
+  [[nodiscard]] bool up() const { return up_; }
+
  private:
   void try_transmit();
 
@@ -118,6 +127,11 @@ class Interface {
   std::unique_ptr<OutputQueue> queue_;
   Node* peer_node_ = nullptr;
   bool busy_ = false;
+  bool up_ = true;
+  /// Incremented every time the link goes down; serialization/propagation
+  /// events capture the epoch at schedule time and discard themselves if
+  /// the link failed underneath them.
+  std::uint64_t down_epoch_ = 0;
 
   std::vector<EnqueueTap> enqueue_taps_;
   std::vector<DropTap> drop_taps_;
@@ -193,6 +207,11 @@ class Node {
   /// two shared_ptr refcounts).
   virtual void receive(Packet p, util::NodeId prev) = 0;
 
+  /// Crash / restart state. A down node drops everything it receives and
+  /// originates nothing. Driven by Network::crash_router / restart_router.
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool up() const { return up_; }
+
  protected:
   void fire_receive_taps(const Packet& p, util::NodeId prev);
   void deliver_locally(const Packet& p, util::NodeId prev);
@@ -204,6 +223,7 @@ class Node {
   std::vector<LocalHandler> local_handlers_;
   std::vector<ControlSink> control_sinks_;
   std::vector<ReceiveTap> receive_taps_;
+  bool up_ = true;
 };
 
 /// A router: hop-by-hop forwarder with (prev, dst)-keyed policy routes,

@@ -20,6 +20,7 @@ enum class EnqueueResult {
   kAccepted,
   kDroppedFull,      ///< hard byte-limit overflow (drop-tail)
   kDroppedRedEarly,  ///< RED probabilistic early drop
+  kDroppedLinkDown,  ///< interface refused the packet: link is down
 };
 
 /// FIFO output queue abstraction.

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "sim/churn.hpp"
 #include "sim/node.hpp"
 
 namespace fatih::sim {
@@ -288,6 +289,130 @@ TEST(Network, MakePacketAssignsUniqueUids) {
   std::set<std::uint64_t> uids;
   for (int i = 0; i < 100; ++i) uids.insert(net.make_packet(hdr, 0).uid);
   EXPECT_EQ(uids.size(), 100U);
+}
+
+TEST(Network, LinkDownDropsQueuedAndInFlight) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e5;  // 100 kB/s: 1000B takes 10 ms to serialize
+  cfg.delay = Duration::millis(5);
+  Pair p(cfg);
+  int delivered = 0;
+  int link_drops = 0;
+  p.b->add_local_handler([&](const Packet&, NodeId, SimTime) { ++delivered; });
+  p.a->interface(0).add_drop_tap([&](const Packet&, SimTime, DropReason r) {
+    if (r == DropReason::kLinkDown) ++link_drops;
+  });
+  p.net.sim().schedule_at(SimTime::origin(), [&] {
+    for (int i = 0; i < 4; ++i) p.a->originate(p.make(p.a->id(), p.b->id(), 960));
+  });
+  // Cut while the first packet is still serializing: it and the queued
+  // three all die with kLinkDown; nothing crosses.
+  p.net.sim().schedule_at(SimTime::origin() + Duration::millis(2),
+                          [&] { p.net.set_link_up(p.a->id(), p.b->id(), false); });
+  p.net.sim().run_until(SimTime::from_seconds(1));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link_drops, 4);
+  EXPECT_FALSE(p.net.link_usable(p.a->id(), p.b->id()));
+
+  // Repair; traffic flows again.
+  p.net.set_link_up(p.a->id(), p.b->id(), true);
+  p.net.sim().schedule_at(SimTime::from_seconds(1.1),
+                          [&] { p.a->originate(p.make(p.a->id(), p.b->id(), 960)); });
+  p.net.sim().run_until(SimTime::from_seconds(2));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(p.net.link_usable(p.a->id(), p.b->id()));
+}
+
+TEST(Network, CrashedRouterBlackholesAndLosesSoftState) {
+  // a - b - c: crash b mid-run; transit traffic dies at b, and a restarted
+  // b has lost its routing state (packets die with kNoRoute until routes
+  // are reinstalled).
+  Network net(9);
+  auto& a = net.add_router("a");
+  auto& b = net.add_router("b");
+  auto& c = net.add_router("c");
+  net.connect(a.id(), b.id(), {});
+  net.connect(b.id(), c.id(), {});
+  a.set_route(c.id(), 0);
+  b.set_route(c.id(), b.interface_to(c.id())->index());
+  int delivered = 0;
+  int node_drops = 0;
+  int no_route = 0;
+  c.add_local_handler([&](const Packet&, NodeId, SimTime) { ++delivered; });
+  b.add_drop_tap([&](const Packet&, SimTime, DropReason r) {
+    if (r == DropReason::kNodeDown) ++node_drops;
+    if (r == DropReason::kNoRoute) ++no_route;
+  });
+  auto send = [&](double at) {
+    PacketHeader hdr;
+    hdr.src = a.id();
+    hdr.dst = c.id();
+    const Packet pkt = net.make_packet(hdr, 100);
+    net.sim().schedule_at(SimTime::from_seconds(at), [&a, pkt] { a.originate(pkt); });
+  };
+  send(0.1);  // delivered
+  net.sim().schedule_at(SimTime::from_seconds(0.5), [&] { net.crash_router(b.id()); });
+  send(0.6);  // dies at crashed b
+  net.sim().schedule_at(SimTime::from_seconds(1.0), [&] { net.restart_router(b.id()); });
+  send(1.1);  // b is up but amnesiac: no route to c
+  net.sim().run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(node_drops, 1);
+  EXPECT_EQ(no_route, 1);
+  EXPECT_TRUE(net.node_up(b.id()));
+}
+
+TEST(Network, StatusHooksFireOnChurn) {
+  Pair p;
+  std::vector<std::pair<bool, SimTime>> link_events;
+  std::vector<std::pair<bool, SimTime>> node_events;
+  p.net.add_link_status_hook([&](NodeId, NodeId, bool up, SimTime at) {
+    link_events.emplace_back(up, at);
+  });
+  p.net.add_node_status_hook(
+      [&](NodeId, bool up, SimTime at) { node_events.emplace_back(up, at); });
+  p.net.sim().schedule_at(SimTime::from_seconds(1),
+                          [&] { p.net.set_link_up(p.a->id(), p.b->id(), false); });
+  p.net.sim().schedule_at(SimTime::from_seconds(2),
+                          [&] { p.net.set_link_up(p.a->id(), p.b->id(), true); });
+  p.net.sim().schedule_at(SimTime::from_seconds(3), [&] { p.net.crash_router(p.a->id()); });
+  p.net.sim().schedule_at(SimTime::from_seconds(4), [&] { p.net.restart_router(p.a->id()); });
+  p.net.sim().run();
+  ASSERT_EQ(link_events.size(), 2U);
+  EXPECT_FALSE(link_events[0].first);
+  EXPECT_EQ(link_events[0].second, SimTime::from_seconds(1));
+  EXPECT_TRUE(link_events[1].first);
+  ASSERT_EQ(node_events.size(), 2U);
+  EXPECT_FALSE(node_events[0].first);
+  EXPECT_TRUE(node_events[1].first);
+}
+
+TEST(Network, ChurnScheduleArmsAndExportsIntervals) {
+  Pair p;
+  ChurnSchedule churn;
+  churn.link_flap(p.a->id(), p.b->id(), SimTime::from_seconds(1), Duration::seconds(1),
+                  Duration::seconds(4), 2);
+  churn.router_crash(p.a->id(), SimTime::from_seconds(10));
+  churn.arm(p.net);
+  p.net.sim().run_until(SimTime::from_seconds(1.5));
+  EXPECT_FALSE(p.net.link_usable(p.a->id(), p.b->id()));
+  p.net.sim().run_until(SimTime::from_seconds(2.5));
+  EXPECT_TRUE(p.net.link_usable(p.a->id(), p.b->id()));
+  p.net.sim().run_until(SimTime::from_seconds(5.5));
+  EXPECT_FALSE(p.net.link_usable(p.a->id(), p.b->id()));  // second flap cycle
+  p.net.sim().run_until(SimTime::from_seconds(11));
+  EXPECT_FALSE(p.net.node_up(p.a->id()));
+
+  // Two flap cycles pair up; the unrepaired crash runs to the horizon.
+  const auto intervals =
+      churn.churn_intervals(Duration::seconds(1), SimTime::from_seconds(20));
+  ASSERT_EQ(intervals.size(), 3U);
+  EXPECT_EQ(intervals[0].begin, SimTime::from_seconds(1));
+  EXPECT_EQ(intervals[0].end, SimTime::from_seconds(3));  // repair at 2 + settle 1
+  EXPECT_EQ(intervals[1].begin, SimTime::from_seconds(5));
+  EXPECT_EQ(intervals[1].end, SimTime::from_seconds(7));
+  EXPECT_EQ(intervals[2].begin, SimTime::from_seconds(10));
+  EXPECT_EQ(intervals[2].end, SimTime::from_seconds(20));  // never repaired
 }
 
 TEST(Network, AdjacencyExportMatchesLinks) {

@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 
 BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
-  BENCHES=(perf_core reliable_control)
+  BENCHES=(perf_core reliable_control churn)
 fi
 
 cmake --preset release
