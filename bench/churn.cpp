@@ -21,6 +21,9 @@
 #include "detection/pik2.hpp"
 #include "detection/route_epochs.hpp"
 #include "detection/spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "routing/link_state.hpp"
 #include "routing/topologies.hpp"
 #include "sim/churn.hpp"
@@ -54,6 +57,18 @@ Outcome run() {
   using namespace fatih::routing;
   sim::Network net{77};
   crypto::KeyRegistry keys{2025};
+
+  // The bench is a thin consumer of the trace sink: reconvergence comes
+  // from kRouteChange events, detection latency from kSuspicion events.
+  // Per-packet categories are disabled so the ring retains the control-
+  // plane story end to end.
+  obs::TraceConfig tcfg;
+  tcfg.capacity = 1 << 16;
+  tcfg.enabled[static_cast<std::size_t>(obs::TraceCategory::kQueue)] = false;
+  tcfg.enabled[static_cast<std::size_t>(obs::TraceCategory::kDrop)] = false;
+  obs::TraceSink sink(tcfg);
+  obs::MetricsRegistry metrics;
+  net.attach_observability(&sink, &metrics);
   for (NodeId n = 0; n <= kNewYork; ++n) net.add_router(abilene_name(n));
   for (const auto& l : abilene_links()) {
     sim::LinkConfig link;
@@ -78,10 +93,13 @@ Outcome run() {
   PathCache paths(tables);
   RouteEpochKeeper keeper(net, lsr, paths, Duration::millis(1300));
 
-  // Route-change log, for the reconvergence measurements.
-  std::vector<double> changes;
+  std::vector<double> changes;  ///< route-change times (s), for reconvergence
+#if !FATIH_TRACE
+  // Instrumentation compiled out: fall back to the direct hook so the
+  // smoke invariants stay checkable in a -DFATIH_TRACE=0 build.
   lsr.add_route_change_hook(
       [&changes](NodeId, SimTime when) { changes.push_back(when.seconds()); });
+#endif
   lsr.start();
 
   Pik2Config cfg;
@@ -95,12 +113,9 @@ Outcome run() {
   Pik2Engine engine(net, keys, paths, {kSunnyvale, kNewYork}, cfg);
 
   Outcome out;
+#if !FATIH_TRACE
   engine.set_suspicion_handler([&out, &net](const Suspicion& s) {
-    if (!s.segment.contains(kKansasCity)) {
-      ++out.false_suspicions;
-      std::printf("false suspicion: %s\n", s.to_string().c_str());
-      return;
-    }
+    if (!s.segment.contains(kKansasCity)) return;
     const double now = net.sim().now().seconds();
     if (out.detection_latency_before_s < 0 && now < kFlapDownS) {
       out.detection_latency_before_s = now - kAttackStartS;
@@ -109,6 +124,7 @@ Outcome run() {
       out.detection_latency_after_s = now - kFlapUpS;
     }
   });
+#endif
   engine.start();
 
   // Coast-to-coast traffic over the northern path, through Kansas City.
@@ -141,6 +157,38 @@ Outcome run() {
 
   net.sim().run_until(SimTime::from_seconds(kEndS));
 
+#if FATIH_TRACE
+  // Replay the trace instead of having installed bespoke hooks: route
+  // changes carry the reconvergence story, and the i-th kSuspicion event
+  // carries the raise time of the i-th engine suspicion (both append in
+  // emit order, so the zip is exact).
+  const obs::Timeline timeline(sink, routing::abilene_name);
+  for (const auto& ev :
+       timeline.select(obs::TraceCategory::kRoute, obs::TraceCode::kRouteChange)) {
+    changes.push_back(ev.at.seconds());
+  }
+  const auto raised = timeline.select(obs::TraceCategory::kSuspicion);
+#endif
+  const auto& suspicions = engine.suspicions();
+  for (std::size_t i = 0; i < suspicions.size(); ++i) {
+    const Suspicion& s = suspicions[i];
+    if (!s.segment.contains(kKansasCity)) {
+      ++out.false_suspicions;
+      std::printf("false suspicion: %s\n", s.to_string().c_str());
+      continue;
+    }
+#if FATIH_TRACE
+    if (i >= raised.size()) continue;
+    const double when = raised[i].at.seconds();
+    if (out.detection_latency_before_s < 0 && when < kFlapDownS) {
+      out.detection_latency_before_s = when - kAttackStartS;
+    }
+    if (out.detection_latency_after_s < 0 && when > kFlapUpS) {
+      out.detection_latency_after_s = when - kFlapUpS;
+    }
+#endif
+  }
+
   const auto reconv = [&changes](double event, double window_end) {
     double last = -1.0;
     for (double t : changes) {
@@ -150,9 +198,9 @@ Outcome run() {
   };
   out.reconvergence_down_s = reconv(kFlapDownS, kFlapDownS + 2.0);
   out.reconvergence_up_s = reconv(kFlapUpS, kFlapUpS + 2.0);
-  out.rounds_invalidated = engine.rounds_invalidated();
+  out.rounds_invalidated = engine.counters().rounds_invalidated;
   out.epochs_pushed = keeper.epochs_pushed();
-  out.suspicions_total = engine.suspicions().size();
+  out.suspicions_total = suspicions.size();
   return out;
 }
 

@@ -21,6 +21,9 @@
 
 #include "attacks/attacks.hpp"
 #include "fatih/fatih.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "routing/topologies.hpp"
 #include "traffic/sources.hpp"
 #include "util/log.hpp"
@@ -36,6 +39,19 @@ int main() {
 
   sim::Network net{20250707};
   crypto::KeyRegistry keys{555};
+
+  // One recorder for the whole experiment: detections, alerts, reroutes
+  // and the storyline markers all land in the trace sink, and the printed
+  // timeline is a filtered replay (obs::Timeline) instead of bespoke
+  // hook-built event vectors. Per-packet categories stay off so the ring
+  // keeps the 200-second control-plane story.
+  obs::TraceConfig tcfg;
+  tcfg.capacity = 1 << 16;
+  tcfg.enabled[static_cast<std::size_t>(obs::TraceCategory::kQueue)] = false;
+  tcfg.enabled[static_cast<std::size_t>(obs::TraceCategory::kDrop)] = false;
+  obs::TraceSink sink(tcfg);
+  obs::MetricsRegistry metrics;
+  net.attach_observability(&sink, &metrics);
   for (NodeId n = 0; n <= routing::kNewYork; ++n) net.add_router(routing::abilene_name(n));
   for (const auto& l : routing::abilene_links()) {
     sim::LinkConfig link;
@@ -61,39 +77,13 @@ int main() {
   fcfg.detection.thresholds.max_lost_packets = 2;
   system::FatihSystem fatih(net, keys, lsr, fcfg);
 
-  struct Event {
-    double t;
-    std::string what;
-  };
-  std::vector<Event> events;
-
-  fatih.set_suspicion_observer([&](const detection::Suspicion& s) {
-    events.push_back({net.sim().now().seconds(),
-                      util::strfmt("DETECT  %s", s.to_string().c_str())});
-  });
-  lsr.set_alert_hook([&](NodeId r, const routing::AlertPayload& alert, SimTime t) {
-    if (r == routing::kSunnyvale) {  // report one representative router
-      events.push_back({t.seconds(), util::strfmt("ALERT   %s accepted at %s",
-                                                  alert.segment.to_string().c_str(),
-                                                  routing::abilene_name(r).c_str())});
-    }
-  });
-  std::map<NodeId, std::size_t> spf_seen;
-  lsr.set_route_change_hook([&](NodeId r, SimTime t) {
-    // Log post-alert reroutes at the key routers.
-    if ((r == routing::kSunnyvale || r == routing::kDenver) && t > SimTime::from_seconds(100)) {
-      events.push_back({t.seconds(), util::strfmt("REROUTE %s installed new tables",
-                                                  routing::abilene_name(r).c_str())});
-    }
-  });
-
   lsr.start();
   net.sim().schedule_at(SimTime::from_seconds(60), [&] {
     auto tables = std::make_shared<routing::RoutingTables>(routing::abilene_topology());
     std::vector<NodeId> terminals;
     for (NodeId n = 0; n <= routing::kNewYork; ++n) terminals.push_back(n);
     fatih.commission(tables, terminals);
-    events.push_back({60.0, "COMMISSION Fatih (tau=5s, k=1)"});
+    sink.annotate(net.sim().now(), "COMMISSION Fatih (tau=5s, k=1)");
   });
 
   // Coast-to-coast traffic crossing Kansas City.
@@ -124,7 +114,7 @@ int main() {
     net.router(routing::kKansasCity)
         .set_forward_filter(std::make_shared<attacks::RateDropAttack>(
             match, 0.20, SimTime::from_seconds(117), 99));
-    events.push_back({117.0, "ATTACK  KansasCity drops 20% of transit traffic"});
+    sink.annotate(net.sim().now(), "ATTACK KansasCity drops 20% transit");
   });
 
   net.sim().run_until(SimTime::from_seconds(200));
@@ -136,13 +126,44 @@ int main() {
   }
   std::printf("routing converged on all 11 PoPs: %s\n\n", all_converged ? "yes" : "NO");
 
-  // Event log (deduplicated detections make it readable).
+  // Filtered replay of the trace: every detection and storyline marker,
+  // alerts at one representative router (Sunnyvale), and the post-alert
+  // reroutes at the key western routers.
+  std::vector<obs::TraceEvent> picked;
+  for (const auto& ev : sink.events()) {
+    switch (ev.category) {
+      case obs::TraceCategory::kSuspicion:
+      case obs::TraceCategory::kAnnotation:
+        picked.push_back(ev);
+        break;
+      case obs::TraceCategory::kRoute:
+        if (ev.code == obs::TraceCode::kAlertAccepted && ev.a == routing::kSunnyvale) {
+          picked.push_back(ev);
+        }
+        if (ev.code == obs::TraceCode::kRouteChange &&
+            (ev.a == routing::kSunnyvale || ev.a == routing::kDenver) &&
+            ev.at > SimTime::from_seconds(100)) {
+          picked.push_back(ev);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  const obs::Timeline timeline(picked, routing::abilene_name);
+  const auto entries = timeline.entries({obs::TraceCategory::kSuspicion,
+                                         obs::TraceCategory::kAnnotation,
+                                         obs::TraceCategory::kRoute});
+
   std::printf("-- event timeline --\n");
+#if !FATIH_TRACE
+  std::printf("  (tracing compiled out: timeline empty)\n");
+#endif
   std::size_t printed = 0;
-  for (const auto& ev : events) {
-    std::printf("t=%8.3fs  %s\n", ev.t, ev.what.c_str());
+  for (const auto& ev : entries) {
+    std::printf("t=%8.3fs  %s\n", ev.at.seconds(), ev.label.c_str());
     if (++printed > 40) {
-      std::printf("  ... (%zu more events)\n", events.size() - printed);
+      std::printf("  ... (%zu more events)\n", entries.size() - printed);
       break;
     }
   }
@@ -158,15 +179,12 @@ int main() {
     std::printf("%-10d %10.2f %8zu\n", t, stats.mean(), stats.count());
   }
 
-  // Headline numbers.
-  double detect_t = -1;
-  for (const auto& ev : events) {
-    if (detect_t < 0 && ev.what.rfind("DETECT", 0) == 0) detect_t = ev.t;
-  }
-  double reroute_t = -1;
-  for (const auto& ev : events) {
-    if (ev.what.rfind("REROUTE", 0) == 0) reroute_t = ev.t;
-  }
+  // Headline numbers, straight off the timeline.
+  const auto first_detect = timeline.first(obs::TraceCategory::kSuspicion);
+  const auto last_reroute =
+      timeline.last(obs::TraceCategory::kRoute, obs::TraceCode::kRouteChange);
+  const double detect_t = first_detect ? first_detect->at.seconds() : -1;
+  const double reroute_t = last_reroute ? last_reroute->at.seconds() : -1;
   double rtt_before = 0;
   double rtt_after = 0;
   for (const auto& [t, stats] : buckets) {

@@ -31,6 +31,8 @@
 #include "bench/legacy_simulator.hpp"
 #include "bench/perf_scenarios.hpp"
 #include "crypto/siphash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "validation/fingerprint.hpp"
 
@@ -150,8 +152,19 @@ void print_micro(const char* name, const char* width_label, const std::vector<Mi
   }
 }
 
+/// Tracing-enabled rerun of the macro: same scenario with a full TraceSink
+/// and MetricsRegistry attached, so BENCH_perf_core.json carries the cost
+/// of observation alongside the plain number.
+struct TraceOverhead {
+  MacroResult macro;
+  std::uint64_t events_offered = 0;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t metric_enqueued = 0;
+};
+
 void write_json(const std::vector<MicroRow>& dispatch, const std::vector<MicroRow>& cancel,
-                const FingerprintResult& fp, const MacroResult& macro, bool counts_match) {
+                const FingerprintResult& fp, const MacroResult& macro,
+                const TraceOverhead& traced, bool counts_match) {
   std::ofstream f("BENCH_perf_core.json");
   f << "{\n"
     << "  \"bench\": \"perf_core\",\n"
@@ -188,7 +201,20 @@ void write_json(const std::vector<MicroRow>& dispatch, const std::vector<MicroRo
     << "    \"speedup\": " << macro.forwards_per_sec() / (kSeedMacroForwarded / kSeedMacroWallS)
     << ",\n"
     << "    \"counts_match_seed\": " << (counts_match ? "true" : "false") << "\n"
-    << "  }\n}\n";
+    << "  },\n"
+    << "  \"macro_trace_overhead\": {\n"
+    << "    \"note\": \"same macro with a TraceSink + MetricsRegistry attached (all "
+       "categories on); untraced builds/runs pay only a null-pointer test per touch-point\",\n"
+    << "    \"wall_s\": " << traced.macro.wall_s
+    << ",\n    \"delta_vs_untraced\": " << (traced.macro.wall_s / macro.wall_s - 1.0)
+    << ",\n    \"events_offered\": " << traced.events_offered
+    << ",\n    \"events_recorded\": " << traced.events_recorded
+    << ",\n    \"counts_match_untraced\": "
+    << ((traced.macro.forwarded == macro.forwarded && traced.macro.delivered == macro.delivered &&
+         traced.macro.dispatched == macro.dispatched)
+            ? "true"
+            : "false")
+    << "\n  }\n}\n";
 }
 
 int run(bool smoke) {
@@ -264,6 +290,41 @@ int run(bool smoke) {
               static_cast<unsigned long long>(macro.dispatched), macro.wall_s,
               macro.forwards_per_sec(), macro.events_per_sec());
 
+  // Tracing-enabled rerun: identical scenario with the full observability
+  // layer attached. The macro counts MUST come out identical — attaching a
+  // sink may cost wall time but never changes what the simulation does.
+  TraceOverhead traced;
+#if !FATIH_TRACE
+  traced.macro = macro;  // compiled out: nothing to attach, delta is zero
+  std::printf("traced macro: skipped (FATIH_TRACE compiled out)\n");
+#else
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::TraceSink sink;
+    obs::MetricsRegistry metrics;
+    const MacroResult m = abilene_no_attack_macro(macro_sim_s, &sink, &metrics);
+    if (rep == 0 || m.wall_s < traced.macro.wall_s) {
+      traced.macro = m;
+      traced.events_offered = sink.offered();
+      traced.events_recorded = sink.recorded();
+      traced.metric_enqueued = metrics.counter_value("sim.enqueued");
+    }
+  }
+  if (traced.macro.forwarded != macro.forwarded || traced.macro.delivered != macro.delivered ||
+      traced.macro.dispatched != macro.dispatched) {
+    std::fprintf(stderr, "FATAL: attaching the trace sink changed the macro counts\n");
+    return 1;
+  }
+  if (traced.metric_enqueued == 0 || traced.events_offered == 0) {
+    std::fprintf(stderr, "FATAL: traced macro recorded no observability data\n");
+    return 1;
+  }
+  std::printf("traced macro: wall=%.3fs (%+.1f%% vs untraced), %llu trace events offered, "
+              "%llu retained\n",
+              traced.macro.wall_s, (traced.macro.wall_s / macro.wall_s - 1.0) * 100.0,
+              static_cast<unsigned long long>(traced.events_offered),
+              static_cast<unsigned long long>(traced.events_recorded));
+#endif
+
   bool counts_match = true;
   if (!smoke) {
     counts_match = macro.forwarded == kSeedMacroForwarded &&
@@ -277,10 +338,11 @@ int run(bool smoke) {
     }
     std::printf("macro counts byte-identical to seed baseline; seed wall %.3fs -> %.2fx\n",
                 kSeedMacroWallS, kSeedMacroWallS / macro.wall_s);
-    write_json(dispatch, cancel, fp, macro, counts_match);
+    write_json(dispatch, cancel, fp, macro, traced, counts_match);
     std::printf("\nwrote BENCH_perf_core.json\n");
   } else {
-    std::printf("\nsmoke OK (engines agree, fingerprint paths bit-identical)\n");
+    std::printf("\nsmoke OK (engines agree, fingerprint paths bit-identical, "
+                "tracing count-neutral)\n");
   }
   return 0;
 }

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/install.hpp"
 #include "routing/spf.hpp"
 #include "routing/topologies.hpp"
@@ -115,7 +117,12 @@ struct MacroResult {
 /// routes, bidirectional coast-to-coast and regional CBR flows, forward
 /// taps installed on every router (the summary-generator attachment shape)
 /// so the tap chain is part of what is measured.
-inline MacroResult abilene_no_attack_macro(double sim_seconds) {
+///
+/// Passing a sink/registry attaches the observability layer for the whole
+/// run (the tracing-overhead measurement); the macro counts must come out
+/// identical either way — tracing observes, it never perturbs.
+inline MacroResult abilene_no_attack_macro(double sim_seconds, obs::TraceSink* sink = nullptr,
+                                           obs::MetricsRegistry* metrics = nullptr) {
   sim::Network net{20260805};
   for (util::NodeId n = 0; n <= routing::kNewYork; ++n) {
     net.add_router(routing::abilene_name(n));
@@ -133,6 +140,7 @@ inline MacroResult abilene_no_attack_macro(double sim_seconds) {
   for (util::NodeId n = 0; n <= routing::kNewYork; ++n) {
     net.router(n).set_processing_delay(util::Duration::micros(20), util::Duration::micros(10));
   }
+  if (sink != nullptr || metrics != nullptr) net.attach_observability(sink, metrics);
 
   MacroResult out;
   for (util::NodeId n = 0; n <= routing::kNewYork; ++n) {

@@ -222,6 +222,11 @@ void QueueValidator::on_report(const ChiReportPayload& payload) {
 void QueueValidator::validate(std::int64_t round) {
   RoundStats stats;
   stats.round = round;
+  ++counters_.rounds_opened;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   round_event(net_.sim().now(), obs::TraceSource::kChi,
+                               obs::TraceCode::kRoundOpen, round));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("chi.rounds_opened").inc());
 
   // Churn awareness: a route change anywhere in [round start, now) can
   // redirect the flows feeding Q mid-round and eat reports/acks in the
@@ -232,7 +237,11 @@ void QueueValidator::validate(std::int64_t round) {
   const bool churned = paths_.changed_during(config_.clock.interval_of(round).begin, now);
   if (churned) {
     stats.invalidated = true;
-    ++rounds_invalidated_;
+    ++counters_.rounds_invalidated;
+    FATIH_TRACE_EMIT(net_.sim().trace(),
+                     round_event(now, obs::TraceSource::kChi,
+                                 obs::TraceCode::kRoundInvalidated, round));
+    FATIH_METRIC_REG(net_.sim().metrics(), counter("chi.rounds_invalidated").inc());
   }
 
   bool all_reports = true;
@@ -273,6 +282,11 @@ void QueueValidator::validate(std::int64_t round) {
 
   finish_round(round, stats);
   round_stats_.push_back(stats);
+  ++counters_.rounds_evaluated;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   round_event(net_.sim().now(), obs::TraceSource::kChi,
+                               obs::TraceCode::kRoundClose, round));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("chi.rounds_evaluated").inc());
 
   if (config_.rounds == 0 || round + 1 < config_.rounds) {
     const auto next = config_.clock.interval_of(round + 1).end + config_.settle;
@@ -625,6 +639,11 @@ void QueueValidator::suspect(std::int64_t round, const char* cause, double confi
   s.cause = cause;
   s.confidence = confidence;
   util::log(util::LogLevel::kInfo, kComponent, "%s", s.to_string().c_str());
+  ++counters_.suspicions;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   suspicion(net_.sim().now(), obs::TraceSource::kChi, peer_, owner_, peer_, 2,
+                             round, confidence, cause));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("chi.suspicions").inc());
   suspicions_.push_back(s);
   if (handler_) handler_(suspicions_.back());
 }
@@ -689,6 +708,18 @@ std::vector<Suspicion> ChiEngine::all_suspicions() const {
 std::uint64_t ChiEngine::rounds_invalidated() const {
   std::uint64_t total = 0;
   for (const auto& v : validators_) total += v->rounds_invalidated();
+  return total;
+}
+
+DetectorCounters ChiEngine::counters() const {
+  DetectorCounters total;
+  for (const auto& v : validators_) {
+    const DetectorCounters& c = v->counters();
+    total.rounds_opened += c.rounds_opened;
+    total.rounds_evaluated += c.rounds_evaluated;
+    total.rounds_invalidated += c.rounds_invalidated;
+    total.suspicions += c.suspicions;
+  }
   return total;
 }
 

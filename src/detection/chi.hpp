@@ -120,7 +120,11 @@ class QueueValidator {
 
   /// Churn-awareness: rounds whose replay was skipped because a route
   /// change straddled them. Never counted as suspicions.
-  [[nodiscard]] std::uint64_t rounds_invalidated() const { return rounds_invalidated_; }
+  [[nodiscard]] std::uint64_t rounds_invalidated() const {
+    return counters_.rounds_invalidated;
+  }
+  /// Uniform engine introspection (same struct across pi2/pik2/chi).
+  [[nodiscard]] const DetectorCounters& counters() const { return counters_; }
 
   /// Makes router r's self-report lie (protocol-fault injection): the
   /// mutator may add/remove records or return false to suppress entirely.
@@ -233,7 +237,7 @@ class QueueValidator {
   double sigma_ = 1.0;
 
   std::vector<RoundStats> round_stats_;
-  std::uint64_t rounds_invalidated_ = 0;
+  DetectorCounters counters_;
   std::vector<Suspicion> suspicions_;
   SuspicionHandler handler_;
   SelfReportMutator self_mutator_;
@@ -256,6 +260,8 @@ class ChiEngine {
   [[nodiscard]] std::vector<Suspicion> all_suspicions() const;
   /// Sum of rounds_invalidated over all validators.
   [[nodiscard]] std::uint64_t rounds_invalidated() const;
+  /// Uniform engine introspection: the validators' counters, summed.
+  [[nodiscard]] DetectorCounters counters() const;
   void set_suspicion_handler(SuspicionHandler h);
 
   [[nodiscard]] const std::vector<std::unique_ptr<QueueValidator>>& validators() const {

@@ -96,6 +96,11 @@ std::vector<routing::PathSegment> Pi2Engine::monitored_by(util::NodeId r) const 
 }
 
 void Pi2Engine::run_round(std::int64_t round) {
+  ++counters_.rounds_opened;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   round_event(net_.sim().now(), obs::TraceSource::kPi2,
+                               obs::TraceCode::kRoundOpen, round));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("pi2.rounds_opened").inc());
   disseminate(round);
   net_.sim().schedule_in(config_.evaluate_settle, [this, round] { evaluate(round); });
   if (config_.rounds == 0 || round + 1 < config_.rounds) {
@@ -142,6 +147,7 @@ void Pi2Engine::evaluate(std::int64_t round) {
   const auto now = net_.sim().now();
   const bool churned = paths_.changed_during(interval.begin, now);
   std::vector<bool> invalid(segments_.size(), false);
+  std::uint64_t invalidated_here = 0;
   for (std::size_t sid = 0; sid < segments_.size(); ++sid) {
     const auto& nodes = segments_[sid].nodes();
     const bool off_path =
@@ -149,8 +155,16 @@ void Pi2Engine::evaluate(std::int64_t round) {
         !segments_[sid].within(paths_.path_at(nodes.front(), nodes.back(), now));
     if (churned || off_path) {
       invalid[sid] = true;
-      ++rounds_invalidated_;
+      ++counters_.rounds_invalidated;
+      ++invalidated_here;
     }
+  }
+  if (invalidated_here > 0) {
+    FATIH_TRACE_EMIT(net_.sim().trace(),
+                     round_event(now, obs::TraceSource::kPi2, obs::TraceCode::kRoundInvalidated,
+                                 round, invalidated_here));
+    FATIH_METRIC_REG(net_.sim().metrics(),
+                     counter("pi2.rounds_invalidated").inc(invalidated_here));
   }
 
   // Every correct router evaluates every monitored segment: the summary
@@ -196,6 +210,11 @@ void Pi2Engine::evaluate(std::int64_t round) {
   }
   // Garbage-collect this round's state.
   received_.erase_if([round](const auto& kv) { return std::get<3>(kv.first) <= round; });
+  ++counters_.rounds_evaluated;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   round_event(net_.sim().now(), obs::TraceSource::kPi2,
+                               obs::TraceCode::kRoundClose, round));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("pi2.rounds_evaluated").inc());
 }
 
 void Pi2Engine::suspect(util::NodeId reporter, const routing::PathSegment& pair,
@@ -207,6 +226,12 @@ void Pi2Engine::suspect(util::NodeId reporter, const routing::PathSegment& pair,
   s.interval = config_.clock.interval_of(round);
   s.cause = cause;
   util::log(util::LogLevel::kInfo, kComponent, "%s", s.to_string().c_str());
+  ++counters_.suspicions;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   suspicion(net_.sim().now(), obs::TraceSource::kPi2, reporter,
+                             pair.nodes().front(), pair.nodes().back(), pair.length(), round,
+                             s.confidence, cause));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("pi2.suspicions").inc());
   suspicions_.push_back(s);
   if (handler_) handler_(suspicions_.back());
 }

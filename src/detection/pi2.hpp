@@ -81,7 +81,11 @@ class Pi2Engine {
   /// segment is off the live path after a reroute). Invalidated rounds
   /// never become suspicions; detection resumes on the new path the next
   /// settled round.
-  [[nodiscard]] std::uint64_t rounds_invalidated() const { return rounds_invalidated_; }
+  [[nodiscard]] std::uint64_t rounds_invalidated() const {
+    return counters_.rounds_invalidated;
+  }
+  /// Uniform engine introspection (same struct across pi2/pik2/chi).
+  [[nodiscard]] const DetectorCounters& counters() const { return counters_; }
 
  private:
   void run_round(std::int64_t round);
@@ -94,7 +98,7 @@ class Pi2Engine {
   const crypto::KeyRegistry& keys_;
   const PathCache& paths_;
   Pi2Config config_;
-  std::uint64_t rounds_invalidated_ = 0;
+  DetectorCounters counters_;
   std::unique_ptr<ReliableChannel> channel_;  ///< null unless reliable.enabled
   std::unique_ptr<FloodService> flood_;
   std::vector<std::unique_ptr<SummaryGenerator>> generators_;  // per router id (may be null)

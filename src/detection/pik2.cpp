@@ -59,7 +59,8 @@ Pik2Engine::Pik2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const
       // which case the round is invalidated, not accused.
       const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
       if (churn_invalidated(p.summary.segment, p.summary.round)) {
-        ++rounds_invalidated_;
+        ++counters_.rounds_invalidated;
+        FATIH_METRIC_REG(net_.sim().metrics(), counter("pik2.rounds_invalidated").inc());
         return;
       }
       suspect(from, p.summary.segment, p.summary.round, "exchange-undeliverable");
@@ -96,6 +97,11 @@ std::vector<routing::PathSegment> Pik2Engine::monitored_by(util::NodeId r) const
 
 void Pik2Engine::run_round(std::int64_t round) {
   if (stopped_) return;
+  ++counters_.rounds_opened;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   round_event(net_.sim().now(), obs::TraceSource::kPik2,
+                               obs::TraceCode::kRoundOpen, round));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("pik2.rounds_opened").inc());
   exchange(round);
   net_.sim().schedule_in(config_.exchange_timeout, [this, round] { evaluate(round); });
   if (config_.rounds == 0 || round + 1 < config_.rounds) {
@@ -141,6 +147,9 @@ void Pik2Engine::exchange(std::int64_t round) {
       payload->summary = std::move(summary);
       const std::uint32_t bytes = payload->summary.wire_bytes();
       exchange_bytes_ += sim::kHeaderBytes + bytes;
+      FATIH_TRACE_EMIT(net_.sim().trace(),
+                       exchange(net_.sim().now(), obs::TraceSource::kPik2,
+                                obs::TraceCode::kExchangeSend, r, peer, round, bytes));
       // The exchange is routed normally; the stable route between the two
       // ends IS the segment (subpaths of shortest paths), so a faulty
       // interior router sits on the exchange path and can only cause a
@@ -187,13 +196,15 @@ bool Pik2Engine::churn_invalidated(const routing::PathSegment& seg, std::int64_t
 
 void Pik2Engine::evaluate(std::int64_t round) {
   if (stopped_) return;
+  std::uint64_t invalidated_here = 0;
   for (const auto& seg : segments_) {
     // Churn awareness: rounds straddling a route change on the exchange
     // segment are invalidated (the transient mixes blackholed and detoured
     // traffic with honest forwarding); detection resumes the first settled
     // round on the new path.
     if (churn_invalidated(seg, round)) {
-      ++rounds_invalidated_;
+      ++counters_.rounds_invalidated;
+      ++invalidated_here;
       continue;
     }
     for (const util::NodeId r : {seg.front(), seg.back()}) {
@@ -202,6 +213,10 @@ void Pik2Engine::evaluate(std::int64_t round) {
       if (own_it == own_.end()) continue;
       const auto peer_it = peer_.find({r, seg, round});
       if (peer_it == peer_.end()) {
+        FATIH_TRACE_EMIT(net_.sim().trace(),
+                         exchange(net_.sim().now(), obs::TraceSource::kPik2,
+                                  obs::TraceCode::kExchangeTimeout, r,
+                                  r == seg.front() ? seg.back() : seg.front(), round));
         suspect(r, seg, round, "exchange-timeout");
         continue;
       }
@@ -237,7 +252,7 @@ void Pik2Engine::evaluate(std::int64_t round) {
         const std::vector<std::uint64_t> local(own_elems.begin(), own_elems.end());
         const auto points = validation::evaluation_points(config_.reconcile_bound + 4);
         const auto result = validation::reconcile(
-            local, peer_it->second.recon_evals,
+            net_.sim().metrics(), local, peer_it->second.recon_evals,
             static_cast<std::size_t>(peer_it->second.counters.packets), points,
             config_.reconcile_bound);
         TvOutcome outcome;
@@ -272,6 +287,18 @@ void Pik2Engine::evaluate(std::int64_t round) {
   }
   own_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
   peer_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
+  if (invalidated_here > 0) {
+    FATIH_TRACE_EMIT(net_.sim().trace(),
+                     round_event(net_.sim().now(), obs::TraceSource::kPik2,
+                                 obs::TraceCode::kRoundInvalidated, round, invalidated_here));
+    FATIH_METRIC_REG(net_.sim().metrics(),
+                     counter("pik2.rounds_invalidated").inc(invalidated_here));
+  }
+  ++counters_.rounds_evaluated;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   round_event(net_.sim().now(), obs::TraceSource::kPik2,
+                               obs::TraceCode::kRoundClose, round));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("pik2.rounds_evaluated").inc());
 }
 
 void Pik2Engine::suspect(util::NodeId reporter, const routing::PathSegment& segment,
@@ -284,6 +311,12 @@ void Pik2Engine::suspect(util::NodeId reporter, const routing::PathSegment& segm
   s.cause = cause;
   s.confidence = confidence;
   util::log(util::LogLevel::kInfo, kComponent, "%s", s.to_string().c_str());
+  ++counters_.suspicions;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   suspicion(net_.sim().now(), obs::TraceSource::kPik2, reporter,
+                             segment.front(), segment.back(), segment.length(), round,
+                             confidence, cause));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("pik2.suspicions").inc());
   suspicions_.push_back(s);
   if (handler_) handler_(suspicions_.back());
 }

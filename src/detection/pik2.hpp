@@ -88,7 +88,14 @@ class Pik2Engine {
   /// Churn-awareness: (segment, round) evaluations skipped because the
   /// round straddled a route change on the exchange segment. Never counted
   /// as suspicions.
-  [[nodiscard]] std::uint64_t rounds_invalidated() const { return rounds_invalidated_; }
+  [[nodiscard]] std::uint64_t rounds_invalidated() const {
+    return counters_.rounds_invalidated;
+  }
+  /// Uniform engine introspection (same struct across pi2/pik2/chi).
+  [[nodiscard]] const DetectorCounters& counters() const { return counters_; }
+
+  /// The reliable transport, or null when `reliable.enabled` is off.
+  [[nodiscard]] const ReliableChannel* channel() const { return channel_.get(); }
 
  private:
   void run_round(std::int64_t round);
@@ -106,7 +113,7 @@ class Pik2Engine {
   const crypto::KeyRegistry& keys_;
   const PathCache& paths_;
   Pik2Config config_;
-  std::uint64_t rounds_invalidated_ = 0;
+  DetectorCounters counters_;
   std::unique_ptr<ReliableChannel> channel_;  ///< null unless reliable.enabled
   std::vector<std::unique_ptr<SummaryGenerator>> generators_;
   std::vector<routing::PathSegment> segments_;

@@ -34,6 +34,21 @@ struct Suspicion {
 /// Callback fired when an engine raises a suspicion (response layer).
 using SuspicionHandler = std::function<void(const Suspicion&)>;
 
+/// Uniform introspection snapshot every engine (pi2, pik2, chi) exposes as
+/// `counters()`. One struct with one set of names so tests and benches read
+/// any engine the same way; engines also mirror these into the attached
+/// MetricsRegistry under "<engine>.<field>".
+struct DetectorCounters {
+  /// Rounds whose evaluation was scheduled (round timer fired).
+  std::uint64_t rounds_opened = 0;
+  /// Rounds that reached evaluation (including partially invalidated ones).
+  std::uint64_t rounds_evaluated = 0;
+  /// (segment, round) evaluations skipped for churn; see rounds_invalidated().
+  std::uint64_t rounds_invalidated = 0;
+  /// Suspicions raised (post-dedup).
+  std::uint64_t suspicions = 0;
+};
+
 /// Identifies one traffic-validation round: rounds partition time into
 /// intervals of length tau starting at the epoch.
 struct RoundClock {

@@ -1,0 +1,111 @@
+#include "obs/metrics.hpp"
+
+#include "util/log.hpp"
+
+namespace fatih::obs {
+
+namespace {
+
+template <typename Store, typename Make>
+auto& get_or_make(Store& store, std::string_view name, Make make) {
+  auto it = store.find(name);
+  if (it == store.end()) {
+    it = store.emplace(std::string(name), make()).first;
+  }
+  return *it->second;
+}
+
+template <typename Store>
+auto* find_in(const Store& store, std::string_view name) {
+  const auto it = store.find(name);
+  return it == store.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_make(counters_, name, [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_make(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+util::Ewma& MetricsRegistry::ewma(std::string_view name, double alpha) {
+  return get_or_make(ewmas_, name, [alpha] { return std::make_unique<util::Ewma>(alpha); });
+}
+
+util::Histogram& MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                            std::size_t bins) {
+  return get_or_make(histograms_, name,
+                     [&] { return std::make_unique<util::Histogram>(lo, hi, bins); });
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_in(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_in(gauges_, name);
+}
+
+const util::Ewma* MetricsRegistry::find_ewma(std::string_view name) const {
+  return find_in(ewmas_, name);
+}
+
+const util::Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  return find_in(histograms_, name);
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const auto* c = find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += util::strfmt("%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                        static_cast<unsigned long long>(c->value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += util::strfmt("%s\n    \"%s\": %.9g", first ? "" : ",", name.c_str(), g->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"ewmas\": {";
+  first = true;
+  for (const auto& [name, e] : ewmas_) {
+    out += util::strfmt("%s\n    \"%s\": {\"value\": %.9g, \"count\": %llu, \"alpha\": %.9g}",
+                        first ? "" : ",", name.c_str(), e->value(),
+                        static_cast<unsigned long long>(e->count()), e->alpha());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += util::strfmt("%s\n    \"%s\": {\"total\": %llu, \"underflow\": %llu, "
+                        "\"overflow\": %llu, \"bins\": [",
+                        first ? "" : ",", name.c_str(),
+                        static_cast<unsigned long long>(h->total()),
+                        static_cast<unsigned long long>(h->underflow()),
+                        static_cast<unsigned long long>(h->overflow()));
+    for (std::size_t i = 0; i < h->bins(); ++i) {
+      out += util::strfmt("%s%llu", i == 0 ? "" : ", ",
+                          static_cast<unsigned long long>(h->bin_count(i)));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace fatih::obs

@@ -1,0 +1,125 @@
+#include "obs/timeline.hpp"
+
+#include "util/log.hpp"
+
+namespace fatih::obs {
+
+Timeline::Timeline(const TraceSink& sink, NameFn names)
+    : events_(sink.events()), names_(std::move(names)) {}
+
+Timeline::Timeline(std::vector<TraceEvent> events, NameFn names)
+    : events_(std::move(events)), names_(std::move(names)) {}
+
+std::string Timeline::name(util::NodeId n) const {
+  if (n == util::kInvalidNode) return "-";
+  return names_ ? names_(n) : util::node_name(n);
+}
+
+std::vector<TraceEvent> Timeline::select(TraceCategory cat,
+                                         std::optional<TraceCode> code) const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.category != cat) continue;
+    if (code.has_value() && ev.code != *code) continue;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+std::optional<TraceEvent> Timeline::first(TraceCategory cat,
+                                          std::optional<TraceCode> code) const {
+  for (const auto& ev : events_) {
+    if (ev.category == cat && (!code.has_value() || ev.code == *code)) return ev;
+  }
+  return std::nullopt;
+}
+
+std::optional<TraceEvent> Timeline::last(TraceCategory cat,
+                                         std::optional<TraceCode> code) const {
+  std::optional<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.category == cat && (!code.has_value() || ev.code == *code)) out = ev;
+  }
+  return out;
+}
+
+std::string Timeline::describe(const TraceEvent& ev) const {
+  switch (ev.category) {
+    case TraceCategory::kSuspicion: {
+      const auto seg_back = static_cast<util::NodeId>(ev.value & 0xFFFFFFFFu);
+      const auto seg_len = static_cast<std::size_t>(ev.value >> 32);
+      if (seg_len <= 1) {
+        return util::strfmt("DETECT  %s suspects [%s] (%s, conf=%.2f)", name(ev.a).c_str(),
+                            name(ev.b).c_str(), ev.note_c_str(), ev.real);
+      }
+      return util::strfmt("DETECT  %s suspects [%s..%s] (len %zu, %s, conf=%.2f)",
+                          name(ev.a).c_str(), name(ev.b).c_str(), name(seg_back).c_str(),
+                          seg_len, ev.note_c_str(), ev.real);
+    }
+    case TraceCategory::kRoute:
+      switch (ev.code) {
+        case TraceCode::kRouteChange:
+          return util::strfmt("REROUTE %s installed new tables", name(ev.a).c_str());
+        case TraceCode::kAlertAccepted:
+          return util::strfmt("ALERT   accepted at %s (reporter %s)", name(ev.a).c_str(),
+                              name(ev.b).c_str());
+        case TraceCode::kSpfRun:
+          return util::strfmt("SPF     run #%llu at %s",
+                              static_cast<unsigned long long>(ev.value), name(ev.a).c_str());
+        case TraceCode::kSpfScheduled:
+          return util::strfmt("SPF     scheduled at %s", name(ev.a).c_str());
+        case TraceCode::kLinkUp:
+        case TraceCode::kLinkDown:
+          return util::strfmt("LINK    %s—%s %s", name(ev.a).c_str(), name(ev.b).c_str(),
+                              ev.code == TraceCode::kLinkUp ? "up" : "down");
+        case TraceCode::kNodeUp:
+        case TraceCode::kNodeDown:
+          return util::strfmt("NODE    %s %s", name(ev.a).c_str(),
+                              ev.code == TraceCode::kNodeUp ? "restarted" : "crashed");
+        default: break;
+      }
+      break;
+    case TraceCategory::kRound:
+      return util::strfmt("ROUND   %s %s round %lld", to_string(ev.source),
+                          to_string(ev.code), static_cast<long long>(ev.round));
+    case TraceCategory::kExchange:
+      return util::strfmt("EXCHG   %s %s %s -> %s round %lld", to_string(ev.source),
+                          to_string(ev.code), name(ev.a).c_str(), name(ev.b).c_str(),
+                          static_cast<long long>(ev.round));
+    case TraceCategory::kDrop:
+      return util::strfmt("DROP    %s at %s -> %s", to_string(ev.code), name(ev.a).c_str(),
+                          name(ev.b).c_str());
+    case TraceCategory::kQueue:
+      return util::strfmt("QUEUE   %s -> %s %llu B (%.0f%%)", name(ev.a).c_str(),
+                          name(ev.b).c_str(), static_cast<unsigned long long>(ev.value),
+                          ev.real * 100.0);
+    case TraceCategory::kAnnotation:
+      return ev.note_c_str();
+  }
+  return util::strfmt("%s/%s", to_string(ev.category), to_string(ev.code));
+}
+
+std::vector<Timeline::Entry> Timeline::entries(std::initializer_list<TraceCategory> cats) const {
+  std::vector<Entry> out;
+  for (const auto& ev : events_) {
+    for (const TraceCategory c : cats) {
+      if (ev.category == c) {
+        out.push_back({ev.at, describe(ev)});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Timeline::to_json(const std::vector<Entry>& entries) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out += util::strfmt("%s\n  {\"t\": %.6f, \"event\": \"%s\"}", i == 0 ? "" : ",",
+                        entries[i].at.seconds(), entries[i].label.c_str());
+  }
+  out += entries.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace fatih::obs

@@ -1,0 +1,65 @@
+// Timeline exporter: replays a TraceSink into the time-ordered,
+// human-readable event timeline (and JSON) the figure benches emit.
+//
+// The benches used to install bespoke hooks and build ad-hoc event
+// vectors; with the trace sink as the single recorder they become thin
+// consumers: select the categories of interest, filter, describe. Bench
+// storyline markers (attack activation, commissioning) enter the same
+// stream via TraceSink::annotate, so one sorted record holds the whole
+// experiment.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace fatih::obs {
+
+/// Read-only view over a sink's retained events with query and rendering
+/// helpers. Copies the events out once; the sink may keep recording.
+class Timeline {
+ public:
+  /// Resolves node ids to display names; defaults to util::node_name.
+  using NameFn = std::function<std::string(util::NodeId)>;
+
+  explicit Timeline(const TraceSink& sink, NameFn names = {});
+  explicit Timeline(std::vector<TraceEvent> events, NameFn names = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Events of one category (optionally one code), in time order.
+  [[nodiscard]] std::vector<TraceEvent> select(TraceCategory cat,
+                                               std::optional<TraceCode> code = {}) const;
+  [[nodiscard]] std::optional<TraceEvent> first(TraceCategory cat,
+                                                std::optional<TraceCode> code = {}) const;
+  [[nodiscard]] std::optional<TraceEvent> last(TraceCategory cat,
+                                               std::optional<TraceCode> code = {}) const;
+
+  /// One rendered timeline line.
+  struct Entry {
+    util::SimTime at;
+    std::string label;
+  };
+
+  /// Human-readable label for one event ("DETECT r5 suspects [r2..r4] ...").
+  [[nodiscard]] std::string describe(const TraceEvent& ev) const;
+
+  /// Renders the selected categories into one merged, time-ordered list.
+  [[nodiscard]] std::vector<Entry> entries(std::initializer_list<TraceCategory> cats) const;
+
+  /// JSON array in the shape the figure benches emit:
+  ///   [{"t": 117.000, "event": "ATTACK ..."}, ...]
+  [[nodiscard]] static std::string to_json(const std::vector<Entry>& entries);
+
+ private:
+  [[nodiscard]] std::string name(util::NodeId n) const;
+
+  std::vector<TraceEvent> events_;
+  NameFn names_;
+};
+
+}  // namespace fatih::obs

@@ -228,6 +228,8 @@ void LinkStateRouting::schedule_spf(util::NodeId n) {
   if (d.spf_ran_once && d.last_spf + config_.spf_hold > when) {
     when = d.last_spf + config_.spf_hold;
   }
+  FATIH_TRACE_EMIT(net_.sim().trace(), route(now, obs::TraceCode::kSpfScheduled, n,
+                                             util::kInvalidNode, when.nanos()));
   net_.sim().schedule_at(when, [this, n] { run_spf(n); });
 }
 
@@ -246,6 +248,9 @@ void LinkStateRouting::run_spf(util::NodeId n) {
   d.spf_ran_once = true;
   d.last_spf = net_.sim().now();
   ++d.spf_count;
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   route(d.last_spf, obs::TraceCode::kSpfRun, n, util::kInvalidNode, d.spf_count));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("routing.spf_runs").inc());
 
   // Build this router's topology view from its LSDB. Router-router edges
   // require two-way confirmation (both origins advertise each other) so a
@@ -320,6 +325,9 @@ void LinkStateRouting::run_spf(util::NodeId n) {
     d.route_signature = sig;
     d.last_route_change = d.last_spf;
     ++d.route_change_count;
+    FATIH_TRACE_EMIT(net_.sim().trace(), route(d.last_spf, obs::TraceCode::kRouteChange, n,
+                                               util::kInvalidNode, d.route_change_count));
+    FATIH_METRIC_REG(net_.sim().metrics(), counter("routing.route_changes").inc());
     for (const auto& hook : route_change_hooks_) hook(n, d.last_spf);
   }
 }
@@ -338,6 +346,9 @@ void LinkStateRouting::accept_alert(util::NodeId n, const AlertPayload& alert) {
   util::log(util::LogLevel::kInfo, kComponent, "%s accepts alert %s from %s",
             net_.node(n).name().c_str(), alert.segment.to_string().c_str(),
             util::node_name(alert.reporter).c_str());
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   route(net_.sim().now(), obs::TraceCode::kAlertAccepted, n, alert.reporter));
+  FATIH_METRIC_REG(net_.sim().metrics(), counter("routing.alerts_accepted").inc());
   if (alert_hook_) alert_hook_(n, alert, net_.sim().now());
   schedule_spf(n);
 }

@@ -61,6 +61,9 @@ void Network::set_link_up(util::NodeId a, util::NodeId b, bool up) {
   }
   if (Interface* ab = nodes_[a]->interface_to(b)) ab->set_up(up && nodes_[a]->up());
   if (Interface* ba = nodes_[b]->interface_to(a)) ba->set_up(up && nodes_[b]->up());
+  FATIH_TRACE_EMIT(sim_.trace(),
+                   route(sim_.now(), up ? obs::TraceCode::kLinkUp : obs::TraceCode::kLinkDown,
+                         a, b));
   for (const auto& hook : link_hooks_) hook(a, b, up, sim_.now());
 }
 
@@ -81,6 +84,7 @@ void Network::crash_router(util::NodeId id) {
   // (the response mechanism's exclusions) go with them — a restarted
   // router must re-learn them from re-flooded alerts.
   r.clear_routes();
+  FATIH_TRACE_EMIT(sim_.trace(), route(sim_.now(), obs::TraceCode::kNodeDown, id));
   for (const auto& hook : node_hooks_) hook(id, false, sim_.now());
 }
 
@@ -89,6 +93,7 @@ void Network::restart_router(util::NodeId id) {
   if (r.up()) return;
   r.set_up(true);
   apply_interface_states(id);
+  FATIH_TRACE_EMIT(sim_.trace(), route(sim_.now(), obs::TraceCode::kNodeUp, id));
   for (const auto& hook : node_hooks_) hook(id, true, sim_.now());
 }
 
@@ -103,6 +108,27 @@ Host& Network::host(util::NodeId id) {
 }
 
 bool Network::is_router(util::NodeId id) const { return node_is_router_.at(id); }
+
+void Network::attach_observability(obs::TraceSink* trace, obs::MetricsRegistry* metrics) {
+  sim_.set_trace(trace);
+  sim_.set_metrics(metrics);
+  obs::PacketCounters& pc = sim_.packet_counters();
+  pc = obs::PacketCounters{};
+  if (metrics == nullptr) return;
+  // Index order mirrors sim::DropReason (asserted in tests/obs).
+  static constexpr const char* kDropNames[obs::PacketCounters::kDropKinds] = {
+      "sim.drop.congestion", "sim.drop.red_early",  "sim.drop.malicious",
+      "sim.drop.ttl_expired", "sim.drop.no_route",  "sim.drop.link_fault",
+      "sim.drop.link_down",   "sim.drop.node_down",
+  };
+  for (std::size_t i = 0; i < obs::PacketCounters::kDropKinds; ++i) {
+    pc.drops[i] = &metrics->counter(kDropNames[i]);
+  }
+  pc.enqueued = &metrics->counter("sim.enqueued");
+  pc.transmitted = &metrics->counter("sim.transmitted");
+  pc.forwarded = &metrics->counter("sim.forwarded");
+  pc.queue_fill = &metrics->ewma("sim.queue.fill_ewma", 0.05);
+}
 
 Packet Network::make_packet(PacketHeader hdr, std::uint32_t payload_bytes) {
   Packet p;

@@ -104,6 +104,15 @@ class Network {
   void add_link_status_hook(LinkStatusHook h) { link_hooks_.push_back(std::move(h)); }
   void add_node_status_hook(NodeStatusHook h) { node_hooks_.push_back(std::move(h)); }
 
+  // ---------------------------------------------------------- observability
+
+  /// Attaches (or detaches, with nulls) the trace sink and metrics
+  /// registry: wires both onto the simulator and pre-resolves the sim
+  /// layer's per-packet counter handles ("sim.drop.*", "sim.enqueued",
+  /// ...). Attach before constructing detection engines so their handles
+  /// resolve too; both objects must outlive the run.
+  void attach_observability(obs::TraceSink* trace, obs::MetricsRegistry* metrics);
+
   /// Creates a packet with a fresh uid and creation timestamp.
   [[nodiscard]] Packet make_packet(PacketHeader hdr, std::uint32_t payload_bytes);
 

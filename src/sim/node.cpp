@@ -6,6 +6,26 @@
 
 namespace fatih::sim {
 
+namespace {
+
+/// DropReason -> TraceCode, exhaustively (the kDrop block mirrors the enum,
+/// but the switch keeps the mapping honest if either side is reordered).
+[[maybe_unused]] obs::TraceCode drop_code(DropReason reason) {
+  switch (reason) {
+    case DropReason::kCongestion: return obs::TraceCode::kDropCongestion;
+    case DropReason::kRedEarly: return obs::TraceCode::kDropRedEarly;
+    case DropReason::kMalicious: return obs::TraceCode::kDropMalicious;
+    case DropReason::kTtlExpired: return obs::TraceCode::kDropTtlExpired;
+    case DropReason::kNoRoute: return obs::TraceCode::kDropNoRoute;
+    case DropReason::kLinkFault: return obs::TraceCode::kDropLinkFault;
+    case DropReason::kLinkDown: return obs::TraceCode::kDropLinkDown;
+    case DropReason::kNodeDown: return obs::TraceCode::kDropNodeDown;
+  }
+  return obs::TraceCode::kNone;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- Interface
 
 Interface::Interface(Simulator& sim, Node& owner, std::size_t index, util::NodeId peer,
@@ -32,10 +52,16 @@ EnqueueResult Interface::send(const Packet& p) {
   }
   const auto result = queue_->enqueue(p, sim_.now());
   switch (result) {
-    case EnqueueResult::kAccepted:
+    case EnqueueResult::kAccepted: {
+      [[maybe_unused]] obs::PacketCounters& pc = sim_.packet_counters();
+      FATIH_METRIC(pc.enqueued, inc());
+      FATIH_METRIC(pc.queue_fill, add(fill_fraction()));
+      FATIH_TRACE_EMIT(sim_.trace(), queue_depth(sim_.now(), owner_.id(), peer_,
+                                                 queue_->byte_length(), fill_fraction()));
       for (const auto& tap : enqueue_taps_) tap(p, sim_.now());
       try_transmit();
       break;
+    }
     case EnqueueResult::kDroppedFull:
       notify_drop(p, DropReason::kCongestion);
       break;
@@ -65,6 +91,9 @@ void Interface::set_up(bool up) {
 }
 
 void Interface::notify_drop(const Packet& p, DropReason reason) {
+  FATIH_METRIC(sim_.packet_counters().drops[static_cast<std::size_t>(reason)], inc());
+  FATIH_TRACE_EMIT(sim_.trace(),
+                   drop(sim_.now(), drop_code(reason), owner_.id(), peer_, p.uid));
   for (const auto& tap : drop_taps_) tap(p, sim_.now(), reason);
 }
 
@@ -74,6 +103,7 @@ void Interface::try_transmit() {
   if (!popped) return;
   busy_ = true;
   Packet p = *std::move(popped);
+  FATIH_METRIC(sim_.packet_counters().transmitted, inc());
   for (const auto& tap : transmit_taps_) tap(p, sim_.now());
   const auto tx = link_.tx_time(p.size_bytes);
   // End of serialization: the transmitter frees up and the packet begins
@@ -251,6 +281,7 @@ void Router::do_forward(Packet p, util::NodeId prev) {
     if (decision.extra_delay > util::Duration{}) {
       const auto d = decision.extra_delay;
       sim_.schedule_in(d, [this, p = std::move(p), prev, out_iface]() mutable {
+        FATIH_METRIC(sim_.packet_counters().forwarded, inc());
         for (const auto& tap : forward_taps_) tap(p, prev, out_iface, sim_.now());
         interfaces_[out_iface]->send(p);
       });
@@ -258,11 +289,15 @@ void Router::do_forward(Packet p, util::NodeId prev) {
     }
   }
 
+  FATIH_METRIC(sim_.packet_counters().forwarded, inc());
   for (const auto& tap : forward_taps_) tap(p, prev, out_iface, sim_.now());
   interfaces_[out_iface]->send(p);
 }
 
 void Router::notify_router_drop(const Packet& p, DropReason reason) {
+  FATIH_METRIC(sim_.packet_counters().drops[static_cast<std::size_t>(reason)], inc());
+  FATIH_TRACE_EMIT(sim_.trace(),
+                   drop(sim_.now(), drop_code(reason), id_, util::kInvalidNode, p.uid));
   for (const auto& tap : drop_taps_) tap(p, sim_.now(), reason);
 }
 

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/time.hpp"
 
 namespace fatih::sim {
@@ -84,6 +86,17 @@ class Simulator {
 
   /// Number of events dispatched so far (for tests / sanity checks).
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Observability attach points. Every layer reaches the simulator, so
+  /// the trace sink and metrics registry hang here; null = disabled at
+  /// runtime (instrumented call sites pay one load + branch). Prefer
+  /// Network::attach_observability, which also pre-resolves the per-packet
+  /// counter handles.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace() const { return trace_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] obs::PacketCounters& packet_counters() { return packet_counters_; }
 
   /// Callables at most this large (and max_align_t-aligned) are stored in
   /// the record itself. Sized to fit a lambda capturing a Packet plus a
@@ -256,6 +269,10 @@ class Simulator {
   util::SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::PacketCounters packet_counters_;
 
   std::vector<std::unique_ptr<EventRecord[]>> chunks_;
   std::uint32_t slot_count_ = 0;   ///< slots materialized across all chunks

@@ -11,6 +11,7 @@
 #include "detection/pi2.hpp"
 #include "detection/pik2.hpp"
 #include "detection/spec.hpp"
+#include "obs/metrics.hpp"
 #include "tests/detection/test_net.hpp"
 
 namespace fatih::detection {
@@ -131,6 +132,106 @@ TEST(ReliableChannel, AckOnlyLossDeliversExactlyOnce) {
   EXPECT_EQ(h.channel->stats().failures, 0U);
   EXPECT_EQ(h.channel->in_flight(), 0U);
 }
+
+TEST(ReliableChannel, AckArrivingAfterRetryExhaustionIsStale) {
+  // Acks crawl: every ack is held back 2 s, far beyond the whole retry
+  // schedule. The sender exhausts its budget and reports a failure even
+  // though every copy was DELIVERED — the documented ambiguity of a
+  // one-way failure report. When the crawling acks finally land, the
+  // pending entry is long gone: they must hit the stale-ack early return,
+  // not resurrect state or double-count.
+  ReliableConfig cfg = fast_reliable();
+  cfg.jitter = 0.0;
+  cfg.max_retries = 2;
+  ChannelHarness h(cfg);
+  auto faults = uniform_control_loss(0.0);
+  faults.match.kinds = {kKindControlAck};
+  faults.delay_fraction = 1.0;
+  faults.delay = Duration::seconds(2);
+  attacks::ControlLinkFaults injector(h.line.net, faults);
+  h.send_at(0.1, 0, 1, 9);
+  h.run(5.0);  // well past the delayed-ack arrivals
+  EXPECT_EQ((h.delivered[{1, 9}]), 1);  // payload got through, once
+  ASSERT_EQ(h.failed.size(), 1U);       // ... but the sender gave up first
+  const auto& s = h.channel->stats();
+  EXPECT_EQ(s.transmissions, 1U + cfg.max_retries);
+  EXPECT_EQ(s.failures, 1U);
+  EXPECT_GE(s.acks_sent, 1U);
+  // The late acks found nothing pending: none settled a send.
+  EXPECT_EQ(s.acks_received, 0U);
+  EXPECT_EQ(h.channel->in_flight(), 0U);
+}
+
+TEST(ReliableChannel, BackoffCapsAtMaxRto) {
+  // Total loss, zero jitter: the retransmit times are exactly the backoff
+  // schedule, and the exponential doubling must clamp at max_rto.
+  ReliableConfig cfg = fast_reliable();  // rto 25 ms, cap 100 ms
+  cfg.jitter = 0.0;
+  ChannelHarness h(cfg);
+  attacks::ControlLinkFaults injector(h.line.net, uniform_control_loss(1.0));
+  std::vector<SimTime> sends;
+  h.line.net.router(0).interface_to(1)->add_transmit_tap(
+      [&](const sim::Packet& p, SimTime at) {
+        if (p.control != nullptr && p.control->kind() == kTestKind) sends.push_back(at);
+      });
+  h.send_at(0.1, 0, 1, 4);
+  h.run(3.0);
+  ASSERT_EQ(sends.size(), 1U + cfg.max_retries);
+  // Gaps: 25, 50, then pinned to the 100 ms cap.
+  EXPECT_EQ(sends[1] - sends[0], Duration::millis(25));
+  EXPECT_EQ(sends[2] - sends[1], Duration::millis(50));
+  for (std::size_t i = 3; i < sends.size(); ++i) {
+    EXPECT_EQ(sends[i] - sends[i - 1], cfg.max_rto) << "gap " << i;
+  }
+}
+
+TEST(ReliableChannel, DuplicateAckSettlesOnceThenIgnored) {
+  // Acks are delayed to 30 ms while the RTO is 25 ms: the sender
+  // retransmits once, the receiver dedups the copy but (by design) acks
+  // it anyway, so TWO acks for the same key come home. The first settles
+  // the send; the second must take the stale-ack path.
+  ReliableConfig cfg = fast_reliable();
+  cfg.jitter = 0.0;
+  ChannelHarness h(cfg);
+  auto faults = uniform_control_loss(0.0);
+  faults.match.kinds = {kKindControlAck};
+  faults.delay_fraction = 1.0;
+  faults.delay = Duration::millis(30);
+  attacks::ControlLinkFaults injector(h.line.net, faults);
+  h.send_at(0.1, 0, 1, 6);
+  h.run(2.0);
+  EXPECT_EQ((h.delivered[{1, 6}]), 1);
+  const auto& s = h.channel->stats();
+  EXPECT_EQ(s.retransmits, 1U);
+  EXPECT_EQ(s.duplicates, 1U);
+  EXPECT_EQ(s.acks_sent, 2U);
+  EXPECT_EQ(s.acks_received, 1U);  // only the first ack settled anything
+  EXPECT_EQ(s.failures, 0U);
+  EXPECT_EQ(h.channel->in_flight(), 0U);
+}
+
+#if FATIH_TRACE
+TEST(ReliableChannel, RegistryCountersMirrorChannelStats) {
+  // The observability layer counts what the channel counts: after a lossy
+  // run, every reliable.* registry counter equals the Stats field the
+  // channel kept itself.
+  ChannelHarness h;
+  obs::MetricsRegistry metrics;
+  h.line.net.attach_observability(nullptr, &metrics);
+  attacks::ControlLinkFaults faults(h.line.net, uniform_control_loss(0.4));
+  for (std::uint64_t i = 0; i < 20; ++i) h.send_at(0.1 + 0.05 * i, 0, 2, i);
+  h.run(6.0);
+  const auto& s = h.channel->stats();
+  EXPECT_GT(s.retransmits, 0U);  // the fault script really bit
+  EXPECT_EQ(metrics.counter_value("reliable.messages"), s.messages);
+  EXPECT_EQ(metrics.counter_value("reliable.transmissions"), s.transmissions);
+  EXPECT_EQ(metrics.counter_value("reliable.retransmits"), s.retransmits);
+  EXPECT_EQ(metrics.counter_value("reliable.failures"), s.failures);
+  EXPECT_EQ(metrics.counter_value("reliable.acks_sent"), s.acks_sent);
+  EXPECT_EQ(metrics.counter_value("reliable.acks_received"), s.acks_received);
+  EXPECT_EQ(metrics.counter_value("reliable.duplicates"), s.duplicates);
+}
+#endif  // FATIH_TRACE
 
 TEST(ReliableChannel, RtoAdaptsDownOnFastLinks) {
   ChannelHarness h;

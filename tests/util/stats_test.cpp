@@ -63,6 +63,41 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.0);
 }
 
+TEST(Ewma, FirstSampleInitializesDirectly) {
+  Ewma e(0.1);
+  EXPECT_EQ(e.count(), 0U);
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+  e.add(5.0);
+  // No zero-bias warmup: the first sample IS the average.
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  EXPECT_EQ(e.count(), 1U);
+  EXPECT_DOUBLE_EQ(e.alpha(), 0.1);
+}
+
+TEST(Ewma, FollowsRecursion) {
+  Ewma e(0.25);
+  e.add(4.0);
+  e.add(8.0);  // 0.75*4 + 0.25*8 = 5
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(5.0);  // already at 5: fixed point
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  EXPECT_EQ(e.count(), 3U);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.2);
+  e.add(0.0);
+  for (int i = 0; i < 200; ++i) e.add(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-9);
+}
+
+TEST(Ewma, AlphaOneTracksLastSample) {
+  Ewma e(1.0);
+  e.add(3.0);
+  e.add(-7.5);
+  EXPECT_DOUBLE_EQ(e.value(), -7.5);
+}
+
 TEST(NormalCdf, StandardValues) {
   EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
   EXPECT_NEAR(normal_cdf(1.0), 0.8413447, 1e-6);
@@ -107,6 +142,46 @@ TEST(Histogram, BinningAndClamping) {
   EXPECT_EQ(h.overflow(), 1U);
   EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
   EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // Ranks at 0/25/50/75/100 for 5 sorted points; p=60 lands 0.4 of the
+  // way between the 2nd and 3rd element (linear interpolation).
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(*percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(*percentile(xs, 60.0), 34.0);
+  EXPECT_DOUBLE_EQ(*percentile(xs, 90.0), 46.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(*percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(*percentile({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(*percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Histogram, BinEdgesAreHalfOpen) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.0);  // lo is inclusive -> bin 0
+  h.add(1.0);  // exact edge -> bin 1
+  h.add(4.0);  // hi is exclusive -> overflow, clamped to last bin
+  EXPECT_EQ(h.bin_count(0), 1U);
+  EXPECT_EQ(h.bin_count(1), 1U);
+  EXPECT_EQ(h.bin_count(3), 1U);
+  EXPECT_EQ(h.overflow(), 1U);
+  EXPECT_EQ(h.underflow(), 0U);
+  EXPECT_EQ(h.total(), 3U);
+}
+
+TEST(Histogram, SingleBinSwallowsEverything) {
+  Histogram h(-1.0, 1.0, 1);
+  h.add(-5.0);
+  h.add(0.0);
+  h.add(5.0);
+  EXPECT_EQ(h.bins(), 1U);
+  EXPECT_EQ(h.bin_count(0), 3U);
+  EXPECT_EQ(h.underflow(), 1U);
+  EXPECT_EQ(h.overflow(), 1U);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.0);
 }
 
 TEST(NormalFit, GaussianSampleFitsWell) {
