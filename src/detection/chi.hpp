@@ -194,7 +194,7 @@ class QueueValidator {
   // across rounds: a departure later than this round's horizon must not be
   // applied before next round's earlier arrivals.
   struct ReplayEvent {
-    util::SimTime ts;
+    util::SimTime ts{};
     bool departure = false;
     bool matched = false;
     bool control = false;

@@ -17,8 +17,8 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "routing/spf.hpp"
 #include "util/time.hpp"
@@ -109,7 +109,11 @@ class PathCache {
     util::SimTime start;          ///< tables authoritative from here on
     util::SimTime unstable_from;  ///< transient may have begun this early
     std::shared_ptr<const routing::RoutingTables> tables;
-    mutable std::unordered_map<std::uint64_t, routing::Path> memo;
+    // std::map, not a hash map or FlatMap: path() hands out references that
+    // must stay valid for the cache's lifetime, so the memo needs node
+    // stability across later inserts — and its iteration order (if anyone
+    // ever walks it) is key order, not hash order.
+    mutable std::map<std::uint64_t, routing::Path> memo;
   };
 
   [[nodiscard]] const Epoch& epoch_at(util::SimTime when) const {

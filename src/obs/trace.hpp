@@ -125,7 +125,7 @@ enum class TraceSource : std::uint8_t {
 /// `note` carries a short tag (suspicion cause, annotation text) truncated
 /// to fit.
 struct TraceEvent {
-  util::SimTime at;
+  util::SimTime at{};
   std::uint64_t seq = 0;  ///< emit order; the deterministic tiebreak
   TraceCategory category = TraceCategory::kAnnotation;
   TraceCode code = TraceCode::kNone;

@@ -1,7 +1,7 @@
 #include "routing/segments.hpp"
 
 #include <algorithm>
-#include <unordered_set>
+#include <set>
 
 namespace fatih::routing {
 
@@ -49,8 +49,12 @@ std::vector<PathSegment> windows(const Path& path, std::size_t x) {
 }
 
 SegmentIndex::SegmentIndex(const std::vector<Path>& used_paths, std::size_t k) : k_(k) {
-  std::unordered_set<PathSegment, PathSegmentHash> pi2;
-  std::unordered_set<PathSegment, PathSegmentHash> pik2;
+  // Ordered sets: iteration below is in lexicographic segment order, so the
+  // assigned vectors are deterministically sorted with no post-pass (the
+  // unordered_set + sort this replaces left a hash-ordered walk in the
+  // build, which fatih-lint's no-unordered-iteration rule bans).
+  std::set<PathSegment> pi2;
+  std::set<PathSegment> pik2;
   const std::size_t target = k + 2;
 
   for (const Path& path : used_paths) {
@@ -71,8 +75,6 @@ SegmentIndex::SegmentIndex(const std::vector<Path>& used_paths, std::size_t k) :
 
   pi2_.assign(pi2.begin(), pi2.end());
   pik2_.assign(pik2.begin(), pik2.end());
-  std::sort(pi2_.begin(), pi2_.end());
-  std::sort(pik2_.begin(), pik2_.end());
 }
 
 std::vector<PathSegment> SegmentIndex::pr_pi2(util::NodeId r) const {

@@ -21,8 +21,8 @@ namespace fatih::sim {
 /// become several of these).
 struct ChurnEvent {
   enum class Kind { kLinkDown, kLinkUp, kRouterCrash, kRouterRestart };
-  Kind kind;
-  util::SimTime at;
+  Kind kind = Kind::kLinkDown;
+  util::SimTime at{};
   util::NodeId a = 0;  ///< link endpoint / router id
   util::NodeId b = 0;  ///< link endpoint (unused for router events)
 };

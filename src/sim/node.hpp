@@ -16,12 +16,12 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/packet.hpp"
 #include "sim/queue.hpp"
 #include "sim/simulator.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
@@ -283,8 +283,11 @@ class Router final : public Node {
 
   static constexpr std::size_t kDropRouteSentinel = static_cast<std::size_t>(-1);
 
-  std::unordered_map<util::NodeId, std::size_t> routes_;
-  std::unordered_map<std::uint64_t, std::size_t> policy_routes_;
+  // Sorted flat maps, not hash maps: route lookups binary-search a
+  // cache-dense array, and any future walk over the tables is in key order
+  // (fatih-lint: no-unordered-iteration keeps it that way).
+  util::FlatMap<util::NodeId, std::size_t> routes_;
+  util::FlatMap<std::uint64_t, std::size_t> policy_routes_;
   util::Duration proc_base_ = util::Duration::micros(20);
   util::Duration proc_jitter_{};
   util::Rng rng_;

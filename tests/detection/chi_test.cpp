@@ -18,7 +18,7 @@ using util::SimTime;
 // Fig. 6.4's "simple topology": two source routers feeding r, whose output
 // queue toward rd is the bottleneck being validated.
 //
-//   s1(0) \
+//   s1(0) \.
 //           r(2) ---bottleneck--- rd(3)
 //   s2(1) /
 struct ChiNet {
@@ -268,7 +268,9 @@ TEST(Chi, RoundStatsAccounting) {
   for (const auto& rs : v.rounds()) {
     // Clean network: every entry eventually exits.
     EXPECT_EQ(rs.drops, 0U) << "round " << rs.round;
-    if (rs.round >= 1 && rs.round < 7) EXPECT_NEAR(rs.entries, 500.0, 30.0);
+    if (rs.round >= 1 && rs.round < 7) {
+      EXPECT_NEAR(rs.entries, 500.0, 30.0);
+    }
   }
 }
 

@@ -1,0 +1,8 @@
+// Fixture: a suppression comment with no justification is itself a
+// violation, and does NOT silence the rule it names.
+#include <iostream>
+
+void fixture_unjustified() {
+  // fatih-lint: allow(no-iostream-in-hot-path)
+  std::cout << "still flagged\n";
+}

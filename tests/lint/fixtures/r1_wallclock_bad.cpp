@@ -1,0 +1,14 @@
+// Fixture: R1 no-wallclock positives. Linted under a virtual src/ path;
+// every marked line must fire.
+#include <chrono>
+#include <ctime>
+
+double fixture_elapsed() {
+  auto t0 = std::chrono::steady_clock::now();            // fires: steady_clock
+  auto t1 = std::chrono::system_clock::now();            // fires: system_clock
+  std::time_t raw = time(nullptr);                       // fires: bare time()
+  long ticks = clock();                                  // fires: bare clock()
+  (void)t1;
+  (void)raw;
+  return std::chrono::duration<double>(t0.time_since_epoch()).count() + double(ticks);
+}

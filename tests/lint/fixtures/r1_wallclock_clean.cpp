@@ -1,0 +1,17 @@
+// Fixture: R1 no-wallclock negatives — none of this is a wall-clock read.
+#include <cstdint>
+
+struct FixtureSimTime {
+  std::int64_t ns = 0;
+};
+
+// A function *named* clock is a declaration, not a call.
+struct FixtureClockApi {
+  static std::int64_t clock() { return 0; }
+  std::int64_t time_ns = 0;
+};
+
+std::int64_t fixture_deterministic_now(FixtureSimTime t) {
+  // Qualified calls are someone else's deterministic API.
+  return t.ns + FixtureClockApi::clock();
+}

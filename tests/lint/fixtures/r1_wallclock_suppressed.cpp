@@ -1,0 +1,8 @@
+// Fixture: R1 suppression — justified allow() silences the violation.
+#include <chrono>
+
+double fixture_wall_probe() {
+  // fatih-lint: allow(no-wallclock) fixture: wall reading never enters simulation state
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

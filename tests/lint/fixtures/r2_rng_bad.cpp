@@ -1,0 +1,11 @@
+// Fixture: R2 no-ambient-rng positives.
+#include <cstdlib>
+#include <random>
+
+int fixture_bad_rng() {
+  std::random_device rd;                          // fires: hardware entropy
+  std::mt19937 gen;                               // fires: default-seeded engine
+  std::default_random_engine eng(rd());           // fires: impl-defined engine
+  srand(42);                                      // fires: ambient global seed
+  return rand() + int(gen()) + int(eng());        // fires: rand()
+}

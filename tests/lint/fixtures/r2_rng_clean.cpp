@@ -1,0 +1,16 @@
+// Fixture: R2 negatives — explicitly seeded generators are reproducible.
+#include <cstdint>
+#include <random>
+
+struct FixtureRng {
+  explicit FixtureRng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005ULL + 1442695040888963407ULL; }
+};
+
+std::uint64_t fixture_good_rng(std::uint64_t seed) {
+  FixtureRng rng(seed);
+  std::mt19937 seeded(static_cast<unsigned>(seed));  // explicit seed: allowed
+  std::mt19937_64 seeded64{seed};                    // explicit seed: allowed
+  return rng.next() + seeded() + seeded64();
+}

@@ -1,0 +1,8 @@
+// Fixture: R2 suppression.
+#include <random>
+
+unsigned fixture_entropy_probe() {
+  // fatih-lint: allow(no-ambient-rng) fixture: one-shot entropy probe outside any reproducible path
+  std::random_device rd;
+  return rd();
+}

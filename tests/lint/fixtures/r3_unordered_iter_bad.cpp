@@ -1,0 +1,19 @@
+// Fixture: R3 no-unordered-iteration positives.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+std::size_t fixture_bad_iteration() {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<int> seen;
+  counts[1] = 2;
+  seen.insert(3);
+  std::size_t total = 0;
+  for (const auto& [k, v] : counts) {  // fires: range-for over hash map
+    total += std::size_t(k + v);
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // fires: begin()
+    total += std::size_t(*it);
+  }
+  return total;
+}

@@ -1,0 +1,18 @@
+// Fixture: R3 negatives — hash-container *lookups* are fine, and ordered
+// containers may be iterated freely.
+#include <map>
+#include <unordered_map>
+
+int fixture_clean_lookups(int key) {
+  std::unordered_map<int, int> cache;  // lookups only: allowed
+  cache[key] = key * 2;
+  auto it = cache.find(key);
+  int out = it != cache.end() ? it->second : 0;
+  cache.erase(key);
+
+  std::map<int, int> ordered;  // deterministic order: iteration allowed
+  ordered[1] = 1;
+  for (const auto& [k, v] : ordered) out += k + v;
+  for (auto oit = ordered.begin(); oit != ordered.end(); ++oit) out += oit->first;
+  return out;
+}

@@ -1,0 +1,12 @@
+// Fixture: R3 suppression.
+#include <cstddef>
+#include <unordered_map>
+
+std::size_t fixture_commutative_sum() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  std::size_t total = 0;
+  // fatih-lint: allow(no-unordered-iteration) fixture: commutative sum, visit order cannot change the result
+  for (const auto& [k, v] : counts) total += std::size_t(k + v);
+  return total;
+}

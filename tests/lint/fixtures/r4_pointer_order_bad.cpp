@@ -1,0 +1,19 @@
+// Fixture: R4 no-pointer-keyed-order positives.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct FixtureThing {
+  int id = 0;
+};
+
+int fixture_bad_pointer_order(std::vector<FixtureThing*>& things) {
+  std::map<FixtureThing*, int> by_ptr;   // fires: pointer-keyed map
+  std::set<const FixtureThing*> seen;    // fires: pointer-keyed set
+  std::sort(things.begin(), things.end(),
+            [](const FixtureThing* a, const FixtureThing* b) { return a < b; });  // fires
+  (void)by_ptr;
+  (void)seen;
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fixture: R4 negatives — stable keys and field-based comparators.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+struct FixtureThing {
+  int id = 0;
+};
+
+int fixture_clean_order(std::vector<FixtureThing*>& things) {
+  std::map<int, FixtureThing*> by_id;  // pointer *values* are fine; pointer *keys* are not
+  std::sort(things.begin(), things.end(),
+            [](const FixtureThing* a, const FixtureThing* b) { return a->id < b->id; });
+  return by_id.empty() ? 0 : 1;
+}

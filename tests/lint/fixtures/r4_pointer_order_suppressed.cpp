@@ -1,0 +1,12 @@
+// Fixture: R4 suppression.
+#include <set>
+
+struct FixtureThing {
+  int id = 0;
+};
+
+bool fixture_identity_set(FixtureThing* t) {
+  // fatih-lint: allow(no-pointer-keyed-order) fixture: membership-only set, never iterated or serialized
+  std::set<FixtureThing*> seen;
+  return seen.count(t) > 0;
+}

@@ -1,0 +1,7 @@
+// Fixture: R5 no-iostream-in-hot-path positives (under a virtual src/ path).
+#include <iostream>
+
+void fixture_bad_print(int x) {
+  std::cout << "value: " << x << "\n";  // fires
+  std::cerr << "oops\n";                // fires
+}

@@ -1,0 +1,10 @@
+// Fixture: R5 negatives — string building and ostream objects that are not
+// the process-global console streams.
+#include <sstream>
+#include <string>
+
+std::string fixture_render(int x) {
+  std::ostringstream os;
+  os << "value: " << x;
+  return os.str();
+}

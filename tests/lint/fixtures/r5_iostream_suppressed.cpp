@@ -1,0 +1,7 @@
+// Fixture: R5 suppression.
+#include <iostream>
+
+void fixture_fatal_banner() {
+  // fatih-lint: allow(no-iostream-in-hot-path) fixture: one-shot fatal diagnostics before abort
+  std::cerr << "fatal: fixture\n";
+}

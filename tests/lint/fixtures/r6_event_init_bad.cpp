@@ -1,0 +1,14 @@
+// Fixture: R6 trace-event-init positives — event structs whose fields lack
+// brace-or-equal initializers, and partial aggregate init at use sites.
+#include <cstdint>
+#include <string>
+
+struct FixtureTraceEvent {
+  std::uint64_t seq;   // fires: no initializer
+  std::string kind{};  // clean: explicitly initialized
+  int node;            // fires: no initializer
+};
+
+FixtureTraceEvent fixture_make_partial() {
+  return FixtureTraceEvent{1, "send"};  // fires: 2 of 3 fields initialized
+}

@@ -1,0 +1,21 @@
+// Fixture: R6 negatives — fully initialized event struct, full aggregate
+// init and value-init at use sites, and non-event structs ignored entirely.
+#include <cstdint>
+#include <string>
+
+struct FixtureCleanEvent {
+  std::uint64_t seq = 0;
+  std::string kind{};
+  int node = -1;
+};
+
+struct FixturePlainRecord {  // not *Event: R6 does not apply
+  int a;
+  int b;
+};
+
+FixtureCleanEvent fixture_make_full() {
+  FixtureCleanEvent zeroed{};                  // value-init: clean
+  (void)zeroed;
+  return FixtureCleanEvent{7, "recv", 3};      // all fields: clean
+}

@@ -1,0 +1,8 @@
+// Fixture: R6 suppression.
+#include <cstdint>
+
+struct FixtureWireEvent {
+  // fatih-lint: allow(trace-event-init) fixture: overwritten wholesale by deserialization before any read
+  std::uint64_t seq;
+  int node = -1;
+};

@@ -1,0 +1,7 @@
+// Fixture: R7 negative — linted under a virtual src/detection/ path, where
+// depending on sim/ and util/ follows the module DAG.
+#pragma once
+#include "sim/net.hpp"
+#include "util/time.hpp"
+
+inline int fixture_layering_clean() { return 4; }

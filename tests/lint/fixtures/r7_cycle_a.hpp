@@ -1,0 +1,5 @@
+// Fixture: R7 include-cycle half A (pairs with r7_cycle_b.hpp).
+#pragma once
+#include "lintfix/r7_cycle_b.hpp"
+
+inline int fixture_cycle_a() { return 1; }

@@ -1,0 +1,5 @@
+// Fixture: R7 include-cycle half B (pairs with r7_cycle_a.hpp).
+#pragma once
+#include "lintfix/r7_cycle_a.hpp"
+
+inline int fixture_cycle_b() { return 2; }

@@ -1,0 +1,6 @@
+// Fixture: R7 layering violation — linted under a virtual src/sim/ path,
+// where including detection/ headers inverts the module DAG.
+#pragma once
+#include "detection/chi.hpp"
+
+inline int fixture_layering_bad() { return 3; }

@@ -1,0 +1,6 @@
+// Fixture: R7 suppression on a layering violation.
+#pragma once
+// fatih-lint: allow(no-include-cycles) fixture: transitional include pending module split
+#include "detection/chi.hpp"
+
+inline int fixture_layering_suppressed() { return 5; }

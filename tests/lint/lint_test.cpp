@@ -1,0 +1,400 @@
+// Self-test for tools/fatih-lint against the fixture corpus in
+// tests/lint/fixtures/. Every rule gets at least one known-bad, one
+// known-clean, and one suppressed case; the JSON report shape is pinned
+// byte-for-byte so downstream consumers (CI annotations, tools/lint.sh)
+// can rely on it.
+//
+// Fixtures are read from disk but linted under *virtual* repo-relative
+// paths (src/lintfix/...), because the rules scope by path: R1/R2 have
+// util/time / util/rng exemptions, R5 applies to src/ only, and R7 keys
+// module layering off the first directory under src/.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint.hpp"
+
+namespace fatih::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Lints one fixture file under a virtual path.
+Report lint_fixture(const std::string& name, const std::string& virtual_path,
+                    const Config& cfg = Config{}) {
+  return lint_files({{virtual_path, read_fixture(name)}}, cfg);
+}
+
+std::vector<std::size_t> lines_of(const Report& r, Rule rule) {
+  std::vector<std::size_t> out;
+  for (const Diagnostic& d : r.diagnostics)
+    if (d.rule == rule) out.push_back(d.line);
+  return out;
+}
+
+bool all_rule(const Report& r, Rule rule) {
+  for (const Diagnostic& d : r.diagnostics)
+    if (d.rule != rule) return false;
+  return true;
+}
+
+// ------------------------------------------------------------ rule metadata
+
+TEST(RuleMeta, NamesAndIdsRoundTrip) {
+  for (std::size_t i = 0; i < kRuleCount; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    Rule parsed;
+    ASSERT_TRUE(parse_rule(rule_name(r), parsed)) << rule_name(r);
+    EXPECT_EQ(parsed, r);
+    ASSERT_TRUE(parse_rule(rule_id(r), parsed)) << rule_id(r);
+    EXPECT_EQ(parsed, r);
+  }
+  Rule parsed;
+  EXPECT_TRUE(parse_rule("R3", parsed));  // ids are case-insensitive
+  EXPECT_EQ(parsed, Rule::kNoUnorderedIteration);
+  EXPECT_FALSE(parse_rule("not-a-rule", parsed));
+}
+
+// ------------------------------------------------------------------- R1
+
+TEST(R1Wallclock, FlagsEveryWallclockRead) {
+  const Report r = lint_fixture("r1_wallclock_bad.cpp", "src/lintfix/r1_wallclock_bad.cpp");
+  EXPECT_TRUE(all_rule(r, Rule::kNoWallclock));
+  EXPECT_EQ(lines_of(r, Rule::kNoWallclock), (std::vector<std::size_t>{7, 8, 9, 10}));
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(R1Wallclock, IgnoresDeclarationsAndQualifiedCalls) {
+  const Report r = lint_fixture("r1_wallclock_clean.cpp", "src/lintfix/r1_wallclock_clean.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R1Wallclock, JustifiedSuppressionSilences) {
+  const Report r =
+      lint_fixture("r1_wallclock_suppressed.cpp", "src/lintfix/r1_wallclock_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(R1Wallclock, BenchAndTimeUtilAreExempt) {
+  const std::string content = read_fixture("r1_wallclock_bad.cpp");
+  EXPECT_TRUE(lint_files({{"bench/lintfix/r1.cpp", content}}, Config{}).diagnostics.empty());
+  EXPECT_TRUE(lint_files({{"src/util/time.cpp", content}}, Config{}).diagnostics.empty());
+}
+
+// ------------------------------------------------------------------- R2
+
+TEST(R2AmbientRng, FlagsEveryAmbientSource) {
+  const Report r = lint_fixture("r2_rng_bad.cpp", "src/lintfix/r2_rng_bad.cpp");
+  EXPECT_TRUE(all_rule(r, Rule::kNoAmbientRng));
+  EXPECT_EQ(lines_of(r, Rule::kNoAmbientRng), (std::vector<std::size_t>{6, 7, 8, 9, 10}));
+}
+
+TEST(R2AmbientRng, AllowsExplicitlySeededEngines) {
+  const Report r = lint_fixture("r2_rng_clean.cpp", "src/lintfix/r2_rng_clean.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R2AmbientRng, JustifiedSuppressionSilences) {
+  const Report r = lint_fixture("r2_rng_suppressed.cpp", "src/lintfix/r2_rng_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ------------------------------------------------------------------- R3
+
+TEST(R3UnorderedIteration, FlagsRangeForAndBegin) {
+  const Report r =
+      lint_fixture("r3_unordered_iter_bad.cpp", "src/lintfix/r3_unordered_iter_bad.cpp");
+  EXPECT_TRUE(all_rule(r, Rule::kNoUnorderedIteration));
+  EXPECT_EQ(lines_of(r, Rule::kNoUnorderedIteration), (std::vector<std::size_t>{12, 15}));
+}
+
+TEST(R3UnorderedIteration, AllowsLookupsAndOrderedContainers) {
+  const Report r =
+      lint_fixture("r3_unordered_iter_clean.cpp", "src/lintfix/r3_unordered_iter_clean.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R3UnorderedIteration, JustifiedSuppressionSilences) {
+  const Report r = lint_fixture("r3_unordered_iter_suppressed.cpp",
+                                "src/lintfix/r3_unordered_iter_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(R3UnorderedIteration, HeaderDeclarationCoversSourceIteration) {
+  // A member declared unordered in foo.hpp is tracked when foo.cpp
+  // iterates it (same stem).
+  const Report r = lint_files(
+      {{"src/lintfix/pair.hpp",
+        "#pragma once\n#include <unordered_map>\nstruct P { std::unordered_map<int,int> m_; };\n"},
+       {"src/lintfix/pair.cpp",
+        "#include \"lintfix/pair.hpp\"\nint f(P& p) {\n  int t = 0;\n  for (auto& kv : p.m_) t "
+        "+= kv.second;\n  return t;\n}\n"}},
+      Config{});
+  ASSERT_EQ(r.diagnostics.size(), 1u) << to_text(r);
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::kNoUnorderedIteration);
+  EXPECT_EQ(r.diagnostics[0].file, "src/lintfix/pair.cpp");
+}
+
+// ------------------------------------------------------------------- R4
+
+TEST(R4PointerKeyedOrder, FlagsPointerKeysAndComparators) {
+  const Report r = lint_fixture("r4_pointer_order_bad.cpp", "src/lintfix/r4_pointer_order_bad.cpp");
+  EXPECT_TRUE(all_rule(r, Rule::kNoPointerKeyedOrder));
+  EXPECT_EQ(lines_of(r, Rule::kNoPointerKeyedOrder), (std::vector<std::size_t>{12, 13, 15}));
+}
+
+TEST(R4PointerKeyedOrder, AllowsStableKeysAndFieldComparators) {
+  const Report r =
+      lint_fixture("r4_pointer_order_clean.cpp", "src/lintfix/r4_pointer_order_clean.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R4PointerKeyedOrder, JustifiedSuppressionSilences) {
+  const Report r = lint_fixture("r4_pointer_order_suppressed.cpp",
+                                "src/lintfix/r4_pointer_order_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ------------------------------------------------------------------- R5
+
+TEST(R5Iostream, FlagsConsoleStreamsUnderSrc) {
+  const Report r = lint_fixture("r5_iostream_bad.cpp", "src/lintfix/r5_iostream_bad.cpp");
+  EXPECT_TRUE(all_rule(r, Rule::kNoIostream));
+  EXPECT_EQ(lines_of(r, Rule::kNoIostream), (std::vector<std::size_t>{5, 6}));
+}
+
+TEST(R5Iostream, OnlyAppliesToSrc) {
+  const std::string content = read_fixture("r5_iostream_bad.cpp");
+  EXPECT_TRUE(lint_files({{"tests/lintfix/r5.cpp", content}}, Config{}).diagnostics.empty());
+  EXPECT_TRUE(lint_files({{"bench/lintfix/r5.cpp", content}}, Config{}).diagnostics.empty());
+}
+
+TEST(R5Iostream, AllowsStringStreams) {
+  const Report r = lint_fixture("r5_iostream_clean.cpp", "src/lintfix/r5_iostream_clean.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R5Iostream, JustifiedSuppressionSilences) {
+  const Report r =
+      lint_fixture("r5_iostream_suppressed.cpp", "src/lintfix/r5_iostream_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ------------------------------------------------------------------- R6
+
+TEST(R6TraceEventInit, FlagsUninitFieldsAndPartialBraceInit) {
+  const Report r = lint_fixture("r6_event_init_bad.cpp", "src/lintfix/r6_event_init_bad.cpp");
+  EXPECT_TRUE(all_rule(r, Rule::kTraceEventInit));
+  // Lines 7 and 9: fields without initializers; line 13: FixtureTraceEvent{1, "send"}
+  // initializes 2 of 3 fields.
+  EXPECT_EQ(lines_of(r, Rule::kTraceEventInit), (std::vector<std::size_t>{7, 9, 13}));
+}
+
+TEST(R6TraceEventInit, AllowsFullInitAndIgnoresNonEventStructs) {
+  const Report r = lint_fixture("r6_event_init_clean.cpp", "src/lintfix/r6_event_init_clean.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R6TraceEventInit, JustifiedSuppressionSilences) {
+  const Report r =
+      lint_fixture("r6_event_init_suppressed.cpp", "src/lintfix/r6_event_init_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ------------------------------------------------------------------- R7
+
+TEST(R7IncludeGraph, DetectsTwoFileCycle) {
+  const Report r = lint_files({{"src/lintfix/r7_cycle_a.hpp", read_fixture("r7_cycle_a.hpp")},
+                               {"src/lintfix/r7_cycle_b.hpp", read_fixture("r7_cycle_b.hpp")}},
+                              Config{});
+  ASSERT_EQ(r.diagnostics.size(), 1u) << to_text(r);
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::kNoIncludeCycles);
+  // Anchored on the lexicographically first member's offending include.
+  EXPECT_EQ(r.diagnostics[0].file, "src/lintfix/r7_cycle_a.hpp");
+  EXPECT_EQ(r.diagnostics[0].line, 3u);
+  EXPECT_NE(r.diagnostics[0].message.find("include cycle"), std::string::npos);
+}
+
+TEST(R7IncludeGraph, FlagsLayeringInversion) {
+  // sim/ sits below detection/ in the module DAG, so a sim/ header must
+  // not include detection/.
+  const Report r = lint_fixture("r7_layering_bad.hpp", "src/sim/r7_layering_bad.hpp");
+  ASSERT_EQ(r.diagnostics.size(), 1u) << to_text(r);
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::kNoIncludeCycles);
+  EXPECT_EQ(r.diagnostics[0].line, 4u);
+  EXPECT_NE(r.diagnostics[0].message.find("layering violation"), std::string::npos);
+}
+
+TEST(R7IncludeGraph, AllowsDagRespectingIncludes) {
+  const Report r = lint_fixture("r7_clean.hpp", "src/detection/r7_clean.hpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R7IncludeGraph, JustifiedSuppressionSilences) {
+  const Report r = lint_fixture("r7_suppressed.hpp", "src/sim/r7_suppressed.hpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// -------------------------------------------------------- suppression rules
+
+TEST(Suppression, BareAllowIsAViolationAndDoesNotSuppress) {
+  const Report r = lint_fixture("bare_suppression.cpp", "src/lintfix/bare_suppression.cpp");
+  ASSERT_EQ(r.diagnostics.size(), 2u) << to_text(r);
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::kBareSuppression);
+  EXPECT_EQ(r.diagnostics[0].line, 6u);
+  EXPECT_EQ(r.diagnostics[1].rule, Rule::kNoIostream);  // still fires
+  EXPECT_EQ(r.diagnostics[1].line, 7u);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(Suppression, UnknownRuleNameIsFlagged) {
+  const Report r = lint_files(
+      {{"src/lintfix/unknown.cpp",
+        "// fatih-lint: allow(no-such-rule) justified but meaningless\nint x = 0;\n"}},
+      Config{});
+  ASSERT_EQ(r.diagnostics.size(), 1u) << to_text(r);
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::kBareSuppression);
+  EXPECT_NE(r.diagnostics[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(Suppression, CoversOwnLineOnly) {
+  // The suppression window is the comment's line and the next line — a
+  // violation two lines down still fires.
+  const Report r = lint_files(
+      {{"src/lintfix/window.cpp",
+        "#include <iostream>\n"
+        "// fatih-lint: allow(no-iostream-in-hot-path) only covers the next line\n"
+        "int pad = 0;\n"
+        "void f() { std::cout << pad; }\n"}},
+      Config{});
+  ASSERT_EQ(r.diagnostics.size(), 1u) << to_text(r);
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::kNoIostream);
+  EXPECT_EQ(r.diagnostics[0].line, 4u);
+}
+
+// --------------------------------------------------------------- rule toggles
+
+TEST(Config, DisabledRuleDoesNotFire) {
+  Config cfg;
+  cfg.set(Rule::kNoWallclock, false);
+  const Report r =
+      lint_fixture("r1_wallclock_bad.cpp", "src/lintfix/r1_wallclock_bad.cpp", cfg);
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(Config, TogglesAreIndependent) {
+  Config cfg;
+  cfg.set(Rule::kNoIostream, false);
+  const Report r = lint_fixture("bare_suppression.cpp", "src/lintfix/bare_suppression.cpp", cfg);
+  // The iostream hit is gone but the bare-suppression meta-rule still fires.
+  ASSERT_EQ(r.diagnostics.size(), 1u) << to_text(r);
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::kBareSuppression);
+}
+
+// ------------------------------------------------------------- output shape
+
+TEST(Output, JsonShapeIsPinned) {
+  const Report r = lint_files(
+      {{"src/lintfix/one.cpp", "#include <iostream>\nvoid f() { std::cerr << 1; }\n"}}, Config{});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  const std::string expected =
+      "{\n"
+      "  \"tool\": \"fatih-lint\",\n"
+      "  \"schema_version\": 1,\n"
+      "  \"files_scanned\": 1,\n"
+      "  \"violation_count\": 1,\n"
+      "  \"suppressed_count\": 0,\n"
+      "  \"violations\": [\n"
+      "    {\"file\": \"src/lintfix/one.cpp\", \"line\": 2, \"rule\": "
+      "\"no-iostream-in-hot-path\", \"id\": \"R5\", \"message\": \"'std::cerr' in src/: library "
+      "code must stay silent on hot paths; route output through util::log or the obs trace "
+      "sink\"}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(to_json(r), expected);
+}
+
+TEST(Output, JsonEmptyViolationsShape) {
+  const Report r = lint_files({{"src/lintfix/empty.cpp", "int x = 0;\n"}}, Config{});
+  const std::string expected =
+      "{\n"
+      "  \"tool\": \"fatih-lint\",\n"
+      "  \"schema_version\": 1,\n"
+      "  \"files_scanned\": 1,\n"
+      "  \"violation_count\": 0,\n"
+      "  \"suppressed_count\": 0,\n"
+      "  \"violations\": []\n"
+      "}\n";
+  EXPECT_EQ(to_json(r), expected);
+}
+
+TEST(Output, TextFormat) {
+  const Report r = lint_files(
+      {{"src/lintfix/one.cpp", "#include <iostream>\nvoid f() { std::cerr << 1; }\n"}}, Config{});
+  const std::string text = to_text(r);
+  EXPECT_NE(text.find("src/lintfix/one.cpp:2: [no-iostream-in-hot-path]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fatih-lint: 1 violation(s), 0 suppressed, 1 file(s) scanned"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Output, DiagnosticsAreSorted) {
+  // Two files given in reverse order still report sorted by (file, line).
+  const Report r = lint_files(
+      {{"src/lintfix/zz.cpp", "#include <iostream>\nvoid g() { std::cout << 2; }\n"},
+       {"src/lintfix/aa.cpp", "#include <iostream>\nvoid f() { std::cout << 1; }\n"}},
+      Config{});
+  ASSERT_EQ(r.diagnostics.size(), 2u);
+  EXPECT_EQ(r.diagnostics[0].file, "src/lintfix/aa.cpp");
+  EXPECT_EQ(r.diagnostics[1].file, "src/lintfix/zz.cpp");
+}
+
+// -------------------------------------------------------------- determinism
+
+TEST(Determinism, SameInputSameReport) {
+  std::vector<SourceFile> files;
+  for (const char* name :
+       {"r1_wallclock_bad.cpp", "r2_rng_bad.cpp", "r3_unordered_iter_bad.cpp",
+        "r4_pointer_order_bad.cpp", "r5_iostream_bad.cpp", "r6_event_init_bad.cpp",
+        "bare_suppression.cpp"}) {
+    files.push_back({std::string("src/lintfix/") + name, read_fixture(name)});
+  }
+  const std::string a = to_json(lint_files(files, Config{}));
+  const std::string b = to_json(lint_files(files, Config{}));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+// Comment/string stripping: rule tokens inside comments and string
+// literals must not fire.
+TEST(Stripping, CommentsAndStringsAreInert) {
+  const Report r = lint_files(
+      {{"src/lintfix/inert.cpp",
+        "// std::cout << system_clock::now(); rand();\n"
+        "/* std::cerr << random_device */\n"
+        "const char* s = \"std::cout rand() steady_clock\";\n"
+        "const char* raw = R\"(std::cerr srand(1))\";\n"
+        "int big = 1'000'000;\n"}},
+      Config{});
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+}  // namespace
+}  // namespace fatih::lint

@@ -1,0 +1,1058 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace fatih::lint {
+
+namespace {
+
+// ------------------------------------------------------------------ lexical
+
+bool ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+bool space_char(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && space_char(s[b])) ++b;
+  while (e > b && space_char(s[e - 1])) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// ------------------------------------------------------- per-file structures
+
+struct Suppression {
+  std::uint32_t rules = 0;  ///< bitmask over Rule values
+  bool justified = false;
+};
+
+/// A source file after lexical preprocessing: comments and string/char
+/// literal *contents* blanked to spaces (line structure and code offsets
+/// preserved), suppression comments and #include targets extracted.
+struct FileCtx {
+  const SourceFile* src = nullptr;
+  std::string code;
+  std::vector<std::size_t> line_start;               ///< offset of each line
+  std::map<std::size_t, Suppression> suppressions;   ///< by 1-based line
+  std::vector<std::pair<std::size_t, std::string>> includes;  ///< (line, target)
+  std::vector<Diagnostic> pre_diags;  ///< bare/unknown suppression findings
+
+  [[nodiscard]] std::size_t line_of(std::size_t pos) const {
+    auto it = std::upper_bound(line_start.begin(), line_start.end(), pos);
+    return static_cast<std::size_t>(it - line_start.begin());
+  }
+};
+
+void parse_suppression_comment(FileCtx& ctx, std::size_t line, std::string_view comment) {
+  // comment is the text after "//". Syntax:
+  //   fatih-lint: allow(rule[,rule...]) <justification>
+  const std::string_view tag = "fatih-lint:";
+  std::size_t at = comment.find(tag);
+  if (at == std::string_view::npos) return;
+  std::string_view rest = comment.substr(at + tag.size());
+  std::size_t open = rest.find("allow(");
+  if (open == std::string_view::npos) return;
+  std::size_t close = rest.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view list = rest.substr(open + 6, close - open - 6);
+  std::string justification = trim(rest.substr(close + 1));
+
+  Suppression supp;
+  supp.justified = !justification.empty();
+  std::size_t start = 0;
+  bool any_unknown = false;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    std::string_view item = comma == std::string_view::npos ? list.substr(start)
+                                                            : list.substr(start, comma - start);
+    const std::string name = trim(item);
+    if (!name.empty()) {
+      Rule r;
+      if (parse_rule(name, r)) {
+        supp.rules |= 1u << static_cast<unsigned>(r);
+      } else {
+        any_unknown = true;
+        ctx.pre_diags.push_back({ctx.src->path, line, Rule::kBareSuppression,
+                                 "suppression names unknown rule '" + name + "'"});
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (!supp.justified) {
+    ctx.pre_diags.push_back({ctx.src->path, line, Rule::kBareSuppression,
+                             "suppression without a justification: write "
+                             "'// fatih-lint: allow(<rule>) <why this is safe>'"});
+    return;  // a bare allow() does not suppress anything
+  }
+  if (any_unknown && supp.rules == 0) return;
+  auto [it, inserted] = ctx.suppressions.emplace(line, supp);
+  if (!inserted) {
+    it->second.rules |= supp.rules;
+    it->second.justified = it->second.justified && supp.justified;
+  }
+}
+
+/// Blanks comments and the contents of string/char literals (keeping the
+/// quotes), records suppression comments and #include targets.
+FileCtx preprocess(const SourceFile& src) {
+  FileCtx ctx;
+  ctx.src = &src;
+  const std::string& in = src.content;
+  std::string out = in;
+  ctx.line_start.push_back(0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '\n') ctx.line_start.push_back(i + 1);
+  }
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State st = State::kCode;
+  std::string raw_delim;           // for R"delim( ... )delim"
+  std::size_t comment_begin = 0;   // offset where current // comment started
+  auto blank = [&](std::size_t i) {
+    if (out[i] != '\n') out[i] = ' ';
+  };
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && n == '/') {
+          st = State::kLineComment;
+          comment_begin = i + 2;
+          blank(i);
+        } else if (c == '/' && n == '*') {
+          st = State::kBlockComment;
+          blank(i);
+        } else if (c == '"') {
+          // Raw string literal? Preceded by R (with optional encoding prefix).
+          if (i > 0 && in[i - 1] == 'R' && (i < 2 || !ident_char(in[i - 2]))) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < in.size() && in[j] != '(') raw_delim += in[j++];
+            st = State::kRawString;
+            // keep the opening quote; blank from i+1 handled by state
+          } else {
+            st = State::kString;
+          }
+        } else if (c == '\'') {
+          // Digit separator (1'000'000) is not a char literal.
+          if (i > 0 && ident_char(in[i - 1]) && i + 1 < in.size() && ident_char(in[i + 1])) {
+            break;
+          }
+          st = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          const std::size_t line = ctx.line_of(comment_begin);
+          parse_suppression_comment(
+              ctx, line, std::string_view(in).substr(comment_begin, i - comment_begin));
+          st = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && n == '/') {
+          blank(i);
+          blank(i + 1);
+          ++i;
+          st = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < in.size()) blank(++i);
+        } else if (c == '"') {
+          st = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < in.size()) blank(++i);
+        } else if (c == '\'') {
+          st = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      case State::kRawString: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (in.compare(i, closer.size(), closer) == 0) {
+          i += closer.size() - 1;
+          st = State::kCode;
+        } else {
+          blank(i);
+        }
+        break;
+      }
+    }
+  }
+  if (st == State::kLineComment) {
+    const std::size_t line = ctx.line_of(comment_begin);
+    parse_suppression_comment(ctx, line,
+                              std::string_view(in).substr(comment_begin));
+  }
+  ctx.code = std::move(out);
+
+  // #include "..." targets, from the raw content (string stripping above
+  // blanks the path, so read the original).
+  for (std::size_t li = 0; li < ctx.line_start.size(); ++li) {
+    const std::size_t b = ctx.line_start[li];
+    const std::size_t e = li + 1 < ctx.line_start.size() ? ctx.line_start[li + 1] : in.size();
+    std::string_view lv = std::string_view(in).substr(b, e - b);
+    std::size_t p = 0;
+    while (p < lv.size() && (lv[p] == ' ' || lv[p] == '\t')) ++p;
+    if (p >= lv.size() || lv[p] != '#') continue;
+    ++p;
+    while (p < lv.size() && (lv[p] == ' ' || lv[p] == '\t')) ++p;
+    if (!starts_with(lv.substr(p), "include")) continue;
+    p += 7;
+    while (p < lv.size() && (lv[p] == ' ' || lv[p] == '\t')) ++p;
+    if (p >= lv.size() || lv[p] != '"') continue;
+    const std::size_t q = lv.find('"', p + 1);
+    if (q == std::string_view::npos) continue;
+    ctx.includes.emplace_back(li + 1, std::string(lv.substr(p + 1, q - p - 1)));
+  }
+  return ctx;
+}
+
+// ----------------------------------------------------------- token scanning
+
+std::size_t find_word(const std::string& s, std::string_view w, std::size_t from) {
+  while (true) {
+    const std::size_t p = s.find(w.data(), from, w.size());
+    if (p == std::string::npos) return std::string::npos;
+    const bool left_ok = p == 0 || !ident_char(s[p - 1]);
+    const bool right_ok = p + w.size() >= s.size() || !ident_char(s[p + w.size()]);
+    if (left_ok && right_ok) return p;
+    from = p + 1;
+  }
+}
+
+std::size_t next_nonspace(const std::string& s, std::size_t p) {
+  while (p < s.size() && space_char(s[p])) ++p;
+  return p;
+}
+
+std::size_t prev_nonspace(const std::string& s, std::size_t p) {
+  // Returns the index of the previous non-space char, or npos.
+  while (p > 0) {
+    --p;
+    if (!space_char(s[p])) return p;
+  }
+  return std::string::npos;
+}
+
+enum class Qual { kNone, kStd, kOther };
+
+/// How the identifier starting at `pos` is qualified: `std::x`, `y::x` /
+/// `obj.x` / `ptr->x`, or unqualified.
+Qual qualifier_before(const std::string& s, std::size_t pos) {
+  std::size_t p = prev_nonspace(s, pos);
+  if (p == std::string::npos) return Qual::kNone;
+  if (s[p] == '.') return Qual::kOther;
+  if (s[p] == '>' && p > 0 && s[p - 1] == '-') return Qual::kOther;
+  if (s[p] == ':' && p > 0 && s[p - 1] == ':') {
+    std::size_t q = prev_nonspace(s, p - 1);
+    if (q == std::string::npos) return Qual::kOther;
+    std::size_t e = q + 1;
+    while (q > 0 && ident_char(s[q - 1])) --q;
+    return s.substr(q, e - q) == "std" ? Qual::kStd : Qual::kOther;
+  }
+  return Qual::kNone;
+}
+
+/// `pos` points at '<'; returns the offset just past the matching '>', or
+/// npos if unbalanced.
+std::size_t skip_template_args(const std::string& s, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    else if (s[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    } else if (s[i] == ';') {
+      return std::string::npos;  // statement ended: was a comparison
+    }
+  }
+  return std::string::npos;
+}
+
+/// `pos` points at an opener ('(' / '{' / '['); returns offset of matching
+/// closer, or npos.
+std::size_t match_bracket(const std::string& s, std::size_t pos) {
+  const char open = s[pos];
+  const char close = open == '(' ? ')' : open == '{' ? '}' : ']';
+  int depth = 0;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    if (s[i] == open) ++depth;
+    else if (s[i] == close) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+std::string read_ident(const std::string& s, std::size_t pos) {
+  std::size_t e = pos;
+  while (e < s.size() && ident_char(s[e])) ++e;
+  return s.substr(pos, e - pos);
+}
+
+/// Reads the identifier ending at `end` (exclusive), scanning backwards.
+std::string read_ident_before(const std::string& s, std::size_t end) {
+  std::size_t b = end;
+  while (b > 0 && ident_char(s[b - 1])) --b;
+  return s.substr(b, end - b);
+}
+
+// ------------------------------------------------------------------- linter
+
+class Linter {
+ public:
+  Linter(const std::vector<SourceFile>& files, const Config& cfg) : cfg_(cfg) {
+    ctxs_.reserve(files.size());
+    for (const SourceFile& f : files) ctxs_.push_back(preprocess(f));
+  }
+
+  Report run() {
+    for (FileCtx& ctx : ctxs_) {
+      if (cfg_.on(Rule::kBareSuppression))
+        for (Diagnostic& d : ctx.pre_diags) report_.diagnostics.push_back(std::move(d));
+      if (cfg_.on(Rule::kNoWallclock)) rule_wallclock(ctx);
+      if (cfg_.on(Rule::kNoAmbientRng)) rule_ambient_rng(ctx);
+      if (cfg_.on(Rule::kNoPointerKeyedOrder)) rule_pointer_keyed(ctx);
+      if (cfg_.on(Rule::kNoIostream)) rule_iostream(ctx);
+    }
+    if (cfg_.on(Rule::kNoUnorderedIteration)) rule_unordered_iteration();
+    if (cfg_.on(Rule::kTraceEventInit)) rule_trace_event_init();
+    if (cfg_.on(Rule::kNoIncludeCycles)) rule_include_graph();
+
+    report_.files_scanned = ctxs_.size();
+    std::sort(report_.diagnostics.begin(), report_.diagnostics.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                if (a.rule != b.rule) return a.rule < b.rule;
+                return a.message < b.message;
+              });
+    return std::move(report_);
+  }
+
+ private:
+  void emit(const FileCtx& ctx, std::size_t line, Rule rule, std::string msg) {
+    // A suppression comment covers its own line and the one below it.
+    const std::uint32_t bit = 1u << static_cast<unsigned>(rule);
+    for (std::size_t l = line > 1 ? line - 1 : line; l <= line; ++l) {
+      auto it = ctx.suppressions.find(l);
+      if (it != ctx.suppressions.end() && (it->second.rules & bit) != 0 && it->second.justified) {
+        ++report_.suppressed;
+        return;
+      }
+    }
+    report_.diagnostics.push_back({ctx.src->path, line, rule, std::move(msg)});
+  }
+
+  // R1 ----------------------------------------------------------------------
+  void rule_wallclock(const FileCtx& ctx) {
+    const std::string& path = ctx.src->path;
+    if (starts_with(path, "bench/") || starts_with(path, "src/util/time.")) return;
+    const std::string& s = ctx.code;
+    static constexpr std::string_view kClockNames[] = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime", "timespec_get", "localtime", "gmtime"};
+    for (std::string_view w : kClockNames) {
+      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+           p = find_word(s, w, p + 1)) {
+        emit(ctx, ctx.line_of(p), Rule::kNoWallclock,
+             "wall-clock source '" + std::string(w) +
+                 "' is banned outside src/util/time and bench/; drive everything from "
+                 "util::SimTime");
+      }
+    }
+    // Bare (or std::) C calls time(...) / clock(...). Qualified calls like
+    // ChurnNet::clock() or sim.time() are someone else's deterministic API.
+    for (std::string_view w : {std::string_view("time"), std::string_view("clock")}) {
+      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+           p = find_word(s, w, p + 1)) {
+        if (next_nonspace(s, p + w.size()) >= s.size() ||
+            s[next_nonspace(s, p + w.size())] != '(')
+          continue;
+        const Qual q = qualifier_before(s, p);
+        if (q == Qual::kOther) continue;
+        if (q == Qual::kNone) {
+          // `RoundClock clock()` is a function *declaration* named clock,
+          // not a call: a preceding identifier that isn't a statement
+          // keyword means a return type.
+          const std::size_t before = prev_nonspace(s, p);
+          if (before != std::string::npos && ident_char(s[before])) {
+            const std::string prev = read_ident_before(s, before + 1);
+            if (prev != "return" && prev != "else" && prev != "case" && prev != "co_return")
+              continue;
+          }
+        }
+        emit(ctx, ctx.line_of(p), Rule::kNoWallclock,
+             "call to '" + std::string(w) +
+                 "()' reads the wall clock; banned outside src/util/time and bench/");
+      }
+    }
+  }
+
+  // R2 ----------------------------------------------------------------------
+  void rule_ambient_rng(const FileCtx& ctx) {
+    const std::string& path = ctx.src->path;
+    if (starts_with(path, "src/util/rng.")) return;
+    const std::string& s = ctx.code;
+    for (std::string_view w : {std::string_view("rand"), std::string_view("srand")}) {
+      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+           p = find_word(s, w, p + 1)) {
+        const std::size_t after = next_nonspace(s, p + w.size());
+        if (after >= s.size() || s[after] != '(') continue;
+        if (qualifier_before(s, p) == Qual::kOther) continue;
+        emit(ctx, ctx.line_of(p), Rule::kNoAmbientRng,
+             "'" + std::string(w) +
+                 "()' draws from ambient global state; use an explicitly seeded util::Rng");
+      }
+    }
+    for (std::string_view w :
+         {std::string_view("random_device"), std::string_view("default_random_engine")}) {
+      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+           p = find_word(s, w, p + 1)) {
+        emit(ctx, ctx.line_of(p), Rule::kNoAmbientRng,
+             "'" + std::string(w) +
+                 "' is nondeterministic (or implementation-defined); use util::Rng with an "
+                 "explicit seed");
+      }
+    }
+    static constexpr std::string_view kEngines[] = {
+        "mt19937",       "mt19937_64",    "minstd_rand", "minstd_rand0", "ranlux24_base",
+        "ranlux48_base", "ranlux24",      "ranlux48",    "knuth_b"};
+    for (std::string_view w : kEngines) {
+      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+           p = find_word(s, w, p + 1)) {
+        std::size_t after = next_nonspace(s, p + w.size());
+        if (after >= s.size()) continue;
+        bool default_seeded = false;
+        if (s[after] == '(' || s[after] == '{') {
+          const std::size_t close = match_bracket(s, after);
+          default_seeded =
+              close != std::string::npos && trim(s.substr(after + 1, close - after - 1)).empty();
+        } else if (ident_char(s[after])) {
+          const std::string var = read_ident(s, after);
+          std::size_t q = next_nonspace(s, after + var.size());
+          if (q < s.size()) {
+            if (s[q] == ';' || s[q] == ',' || s[q] == ')') {
+              default_seeded = true;  // declaration with no seed argument
+            } else if (s[q] == '(' || s[q] == '{') {
+              const std::size_t close = match_bracket(s, q);
+              default_seeded =
+                  close != std::string::npos && trim(s.substr(q + 1, close - q - 1)).empty();
+            }
+          }
+        }
+        if (default_seeded) {
+          emit(ctx, ctx.line_of(p), Rule::kNoAmbientRng,
+               "default-seeded '" + std::string(w) +
+                   "' produces an unpinned stream; seed it explicitly (prefer util::Rng)");
+        }
+      }
+    }
+  }
+
+  // R3 ----------------------------------------------------------------------
+  /// Stem (path minus extension) so declarations in foo.hpp cover the
+  /// iterations in foo.cpp.
+  static std::string stem_of(const std::string& path) {
+    const std::size_t dot = path.rfind('.');
+    const std::size_t slash = path.rfind('/');
+    if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) return path;
+    return path.substr(0, dot);
+  }
+
+  void rule_unordered_iteration() {
+    // Pass 1: variables/members declared with an unordered container type,
+    // grouped by file stem.
+    std::map<std::string, std::set<std::string>> tracked_by_stem;
+    static constexpr std::string_view kUnordered[] = {
+        "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+    for (const FileCtx& ctx : ctxs_) {
+      const std::string& s = ctx.code;
+      std::set<std::string>& tracked = tracked_by_stem[stem_of(ctx.src->path)];
+      for (std::string_view w : kUnordered) {
+        for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+             p = find_word(s, w, p + 1)) {
+          std::size_t q = next_nonspace(s, p + w.size());
+          if (q >= s.size() || s[q] != '<') continue;
+          q = skip_template_args(s, q);
+          if (q == std::string::npos) continue;
+          q = next_nonspace(s, q);
+          while (q < s.size() && (s[q] == '&' || s[q] == '*')) q = next_nonspace(s, q + 1);
+          if (q >= s.size() || !ident_char(s[q])) continue;
+          const std::string name = read_ident(s, q);
+          const std::size_t after = next_nonspace(s, q + name.size());
+          if (after < s.size() && s[after] == '(') continue;  // function declarator
+          tracked.insert(name);
+        }
+      }
+    }
+    // Pass 2: iteration over a tracked name.
+    for (const FileCtx& ctx : ctxs_) {
+      const std::string& s = ctx.code;
+      const std::set<std::string>& tracked = tracked_by_stem[stem_of(ctx.src->path)];
+      if (tracked.empty()) continue;
+      // Range-for: for (decl : expr)
+      for (std::size_t p = find_word(s, "for", 0); p != std::string::npos;
+           p = find_word(s, "for", p + 1)) {
+        const std::size_t open = next_nonspace(s, p + 3);
+        if (open >= s.size() || s[open] != '(') continue;
+        const std::size_t close = match_bracket(s, open);
+        if (close == std::string::npos) continue;
+        // find ':' at paren depth 1 that is not part of '::'
+        std::size_t colon = std::string::npos;
+        int depth = 0;
+        for (std::size_t i = open; i <= close; ++i) {
+          if (s[i] == '(' || s[i] == '[' || s[i] == '{') ++depth;
+          else if (s[i] == ')' || s[i] == ']' || s[i] == '}') --depth;
+          else if (s[i] == ':' && depth == 1) {
+            const bool dbl = (i > 0 && s[i - 1] == ':') || (i + 1 < s.size() && s[i + 1] == ':');
+            if (!dbl) {
+              colon = i;
+              break;
+            }
+          }
+        }
+        if (colon == std::string::npos) continue;
+        const std::string expr = trim(s.substr(colon + 1, close - colon - 1));
+        if (expr.empty() || !ident_char(expr.back())) continue;  // call result etc.
+        const std::string name = read_ident_before(expr, expr.size());
+        if (!tracked.count(name)) continue;
+        emit(ctx, ctx.line_of(p), Rule::kNoUnorderedIteration,
+             "range-for over unordered container '" + name +
+                 "': iteration order is hash/pointer dependent; use util::FlatMap / std::map "
+                 "or iterate a sorted snapshot");
+      }
+      // Explicit iterator walks. Only the begin() family: iteration always
+      // needs a begin, while a lone end() is the idiomatic find() != end()
+      // lookup — which the rule explicitly allows.
+      static constexpr std::string_view kIters[] = {"begin", "cbegin", "rbegin"};
+      for (std::string_view w : kIters) {
+        for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+             p = find_word(s, w, p + 1)) {
+          const std::size_t after = next_nonspace(s, p + w.size());
+          if (after >= s.size() || s[after] != '(') continue;
+          std::size_t q = prev_nonspace(s, p);
+          if (q == std::string::npos) continue;
+          if (s[q] == '.') {
+            // fallthrough
+          } else if (s[q] == '>' && q > 0 && s[q - 1] == '-') {
+            --q;
+          } else {
+            continue;
+          }
+          const std::size_t recv_end = prev_nonspace(s, q);
+          if (recv_end == std::string::npos || !ident_char(s[recv_end])) continue;
+          const std::string name = read_ident_before(s, recv_end + 1);
+          if (!tracked.count(name)) continue;
+          emit(ctx, ctx.line_of(p), Rule::kNoUnorderedIteration,
+               "'" + name + "." + std::string(w) +
+                   "()' iterates an unordered container: order is hash/pointer dependent; use "
+                   "util::FlatMap / std::map or a sorted snapshot");
+        }
+      }
+    }
+  }
+
+  // R4 ----------------------------------------------------------------------
+  void rule_pointer_keyed(const FileCtx& ctx) {
+    const std::string& s = ctx.code;
+    struct Container {
+      std::string_view name;
+      bool need_std;
+    };
+    static constexpr Container kOrdered[] = {
+        {"map", true},     {"set", true},     {"multimap", true},
+        {"multiset", true}, {"FlatMap", false}, {"FlatSet", false}};
+    for (const Container& c : kOrdered) {
+      for (std::size_t p = find_word(s, c.name, 0); p != std::string::npos;
+           p = find_word(s, c.name, p + 1)) {
+        if (c.need_std && qualifier_before(s, p) != Qual::kStd) continue;
+        std::size_t q = next_nonspace(s, p + c.name.size());
+        if (q >= s.size() || s[q] != '<') continue;
+        // First template argument at depth 1.
+        int depth = 0;
+        std::size_t arg_begin = q + 1, arg_end = std::string::npos;
+        for (std::size_t i = q; i < s.size(); ++i) {
+          if (s[i] == '<') ++depth;
+          else if (s[i] == '>') {
+            --depth;
+            if (depth == 0) {
+              arg_end = i;
+              break;
+            }
+          } else if (s[i] == ',' && depth == 1) {
+            arg_end = i;
+            break;
+          } else if (s[i] == ';') {
+            break;  // comparison, not a template
+          }
+        }
+        if (arg_end == std::string::npos) continue;
+        const std::string key = trim(s.substr(arg_begin, arg_end - arg_begin));
+        if (key.find('*') == std::string::npos) continue;
+        emit(ctx, ctx.line_of(p), Rule::kNoPointerKeyedOrder,
+             "ordered container keyed on a raw pointer ('" + std::string(c.name) + "<" + key +
+                 ", ...>'): allocation addresses vary run to run; key on a stable id instead");
+      }
+    }
+    // sort(..., [](T* a, T* b) { return a < b; }) style comparators.
+    static constexpr std::string_view kSorts[] = {"sort", "stable_sort", "partial_sort",
+                                                  "nth_element"};
+    for (std::string_view w : kSorts) {
+      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+           p = find_word(s, w, p + 1)) {
+        const std::size_t open = next_nonspace(s, p + w.size());
+        if (open >= s.size() || s[open] != '(') continue;
+        const std::size_t close = match_bracket(s, open);
+        if (close == std::string::npos) continue;
+        // Lambda inside the call argument list.
+        for (std::size_t lb = s.find('[', open); lb != std::string::npos && lb < close;
+             lb = s.find('[', lb + 1)) {
+          const std::size_t rb = match_bracket(s, lb);
+          if (rb == std::string::npos || rb > close) break;
+          const std::size_t lp = next_nonspace(s, rb + 1);
+          if (lp >= s.size() || s[lp] != '(') continue;
+          const std::size_t rp = match_bracket(s, lp);
+          if (rp == std::string::npos || rp > close) continue;
+          // Pointer-typed parameter names.
+          std::set<std::string> ptr_params;
+          std::size_t start = lp + 1;
+          for (std::size_t i = lp + 1; i <= rp; ++i) {
+            if (s[i] == ',' || i == rp) {
+              const std::string param = trim(s.substr(start, i - start));
+              if (param.find('*') != std::string::npos && !param.empty() &&
+                  ident_char(param.back())) {
+                ptr_params.insert(read_ident_before(param, param.size()));
+              }
+              start = i + 1;
+            }
+          }
+          if (ptr_params.empty()) continue;
+          std::size_t bb = next_nonspace(s, rp + 1);
+          while (bb < s.size() && s[bb] != '{' && s[bb] != ';' && s[bb] != ')') ++bb;
+          if (bb >= s.size() || s[bb] != '{') continue;
+          const std::size_t be = match_bracket(s, bb);
+          if (be == std::string::npos) continue;
+          // name < name / name > name between two pointer params.
+          for (std::size_t i = bb + 1; i < be; ++i) {
+            if (s[i] != '<' && s[i] != '>') continue;
+            if (i + 1 < s.size() && (s[i + 1] == s[i] || s[i + 1] == '=')) continue;
+            if (s[i] == '>' && s[i - 1] == '-') continue;
+            const std::size_t le = prev_nonspace(s, i);
+            if (le == std::string::npos || !ident_char(s[le])) continue;
+            const std::string lhs = read_ident_before(s, le + 1);
+            const std::size_t rb2 = next_nonspace(s, i + 1);
+            if (rb2 >= s.size() || !ident_char(s[rb2])) continue;
+            const std::string rhs = read_ident(s, rb2);
+            if (ptr_params.count(lhs) && ptr_params.count(rhs)) {
+              emit(ctx, ctx.line_of(i), Rule::kNoPointerKeyedOrder,
+                   "sort comparator orders by raw pointer value ('" + lhs + " " + s[i] + " " +
+                       rhs + "'): allocation addresses vary run to run; compare a stable key");
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // R5 ----------------------------------------------------------------------
+  void rule_iostream(const FileCtx& ctx) {
+    const std::string& path = ctx.src->path;
+    if (!starts_with(path, "src/") || starts_with(path, "src/util/log.")) return;
+    const std::string& s = ctx.code;
+    for (std::string_view w :
+         {std::string_view("cout"), std::string_view("cerr"), std::string_view("clog")}) {
+      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+           p = find_word(s, w, p + 1)) {
+        if (qualifier_before(s, p) != Qual::kStd) continue;
+        emit(ctx, ctx.line_of(p), Rule::kNoIostream,
+             "'std::" + std::string(w) +
+                 "' in src/: library code must stay silent on hot paths; route output through "
+                 "util::log or the obs trace sink");
+      }
+    }
+  }
+
+  // R6 ----------------------------------------------------------------------
+  /// Struct names ending in "Event" (with a non-empty prefix) are treated
+  /// as serialized trace/metric event aggregates: every field needs an
+  /// initializer and brace-constructions must not be partial, or the
+  /// uninitialized bytes/fields break byte-identical serialization.
+  void rule_trace_event_init() {
+    std::map<std::string, std::size_t> field_count;
+    for (const FileCtx& ctx : ctxs_) {
+      const std::string& s = ctx.code;
+      for (std::size_t p = find_word(s, "struct", 0); p != std::string::npos;
+           p = find_word(s, "struct", p + 1)) {
+        const std::size_t np = next_nonspace(s, p + 6);
+        if (np >= s.size() || !ident_char(s[np])) continue;
+        const std::string name = read_ident(s, np);
+        if (name == "Event" || !ends_with(name, "Event")) continue;
+        std::size_t q = next_nonspace(s, np + name.size());
+        if (q < s.size() && s[q] == ':') {  // base clause
+          while (q < s.size() && s[q] != '{' && s[q] != ';') ++q;
+        }
+        if (q >= s.size() || s[q] != '{') continue;  // forward declaration
+        const std::size_t body_end = match_bracket(s, q);
+        if (body_end == std::string::npos) continue;
+        std::size_t fields = 0;
+        // Statements at depth 0 inside the body.
+        int depth = 0, parens = 0;
+        std::size_t stmt_begin = q + 1;
+        for (std::size_t i = q + 1; i < body_end; ++i) {
+          const char c = s[i];
+          if (c == '{') ++depth;
+          else if (c == '}') {
+            --depth;
+            // End of a function body not followed by ';' starts a fresh
+            // statement; a '};' (enum / nested type / brace-init field)
+            // keeps its statement text so the keyword filters see it.
+            if (depth == 0 && (next_nonspace(s, i + 1) >= body_end || s[next_nonspace(s, i + 1)] != ';'))
+              stmt_begin = i + 1;
+          } else if (c == '(') ++parens;
+          else if (c == ')') --parens;
+          else if (c == ':' && depth == 0 && parens == 0) {
+            const bool dbl = s[i - 1] == ':' || s[i + 1] == ':';
+            if (!dbl) {
+              // access specifier "public:" etc. — restart statement
+              stmt_begin = i + 1;
+            }
+          } else if (c == ';' && depth == 0 && parens == 0) {
+            const std::string stmt = trim(s.substr(stmt_begin, i - stmt_begin));
+            stmt_begin = i + 1;
+            if (stmt.empty()) continue;
+            const std::string first = read_ident(stmt, 0);
+            if (first == "using" || first == "typedef" || first == "static" ||
+                first == "friend" || first == "struct" || first == "class" ||
+                first == "enum" || first == "template" || first == "virtual" ||
+                first == "explicit" || first == "operator" || first == "public" ||
+                first == "private" || first == "protected")
+              continue;
+            if (stmt.find('(') != std::string::npos) continue;  // function decl
+            ++fields;
+            if (stmt.find('=') != std::string::npos || stmt.find('{') != std::string::npos)
+              continue;  // brace-or-equal initializer present
+            std::string decl = stmt;
+            while (!decl.empty() && (decl.back() == ']' || decl.back() == ')')) {
+              const std::size_t ob = decl.rfind(decl.back() == ']' ? '[' : '(');
+              if (ob == std::string::npos) break;
+              decl = trim(decl.substr(0, ob));
+            }
+            const std::string fname =
+                decl.empty() || !ident_char(decl.back()) ? stmt : read_ident_before(decl, decl.size());
+            emit(ctx, ctx.line_of(stmt_begin - 1), Rule::kTraceEventInit,
+                 "field '" + fname + "' of event struct '" + name +
+                     "' has no initializer: uninitialized bytes break byte-identical "
+                     "serialization; add '{}' or a default value");
+          }
+        }
+        auto [it, inserted] = field_count.emplace(name, fields);
+        if (!inserted) it->second = std::max(it->second, fields);
+      }
+    }
+    // Partial brace constructions: Name{a, b} with fewer initializers than
+    // fields ({}/full init are fine — value-init is deterministic).
+    for (const FileCtx& ctx : ctxs_) {
+      const std::string& s = ctx.code;
+      for (const auto& [name, fields] : field_count) {
+        if (fields == 0) continue;
+        for (std::size_t p = find_word(s, name, 0); p != std::string::npos;
+             p = find_word(s, name, p + 1)) {
+          const std::size_t before = prev_nonspace(s, p);
+          if (before != std::string::npos && ident_char(s[before])) {
+            const std::string prev = read_ident_before(s, before + 1);
+            if (prev == "struct" || prev == "class" || prev == "enum") continue;
+          }
+          std::size_t q = next_nonspace(s, p + name.size());
+          if (q < s.size() && ident_char(s[q])) {  // TraceEvent ev{...}
+            const std::string var = read_ident(s, q);
+            q = next_nonspace(s, q + var.size());
+          }
+          if (q >= s.size() || s[q] != '{') continue;
+          const std::size_t close = match_bracket(s, q);
+          if (close == std::string::npos) continue;
+          const std::string inner = trim(s.substr(q + 1, close - q - 1));
+          if (inner.empty()) continue;  // value-init: all fields zeroed
+          std::size_t count = 1;
+          int depth = 0;
+          for (std::size_t i = q + 1; i < close; ++i) {
+            if (s[i] == '{' || s[i] == '(' || s[i] == '[' || s[i] == '<') ++depth;
+            else if (s[i] == '}' || s[i] == ')' || s[i] == ']' || s[i] == '>') --depth;
+            else if (s[i] == ',' && depth == 0) ++count;
+          }
+          if (count >= fields) continue;
+          emit(ctx, ctx.line_of(p), Rule::kTraceEventInit,
+               "'" + name + "{...}' initializes " + std::to_string(count) + " of " +
+                   std::to_string(fields) +
+                   " fields; partial aggregate init of an event struct invites divergence — "
+                   "initialize every field (or use {})");
+        }
+      }
+    }
+  }
+
+  // R7 ----------------------------------------------------------------------
+  static std::string module_of(const std::string& path) {
+    if (!starts_with(path, "src/")) return {};
+    const std::size_t slash = path.find('/', 4);
+    if (slash == std::string::npos) return {};
+    return path.substr(4, slash - 4);
+  }
+
+  void rule_include_graph() {
+    // Layering contract for src/ modules. A module may include itself and
+    // anything in its allow-list; everything else is a violation. The table
+    // mirrors DESIGN.md "Static analysis & determinism enforcement".
+    static const std::map<std::string, std::set<std::string>> kAllowed = {
+        {"util", {}},
+        {"obs", {"util"}},
+        {"crypto", {"util"}},
+        {"sim", {"util", "obs"}},
+        {"routing", {"util", "obs", "crypto", "sim"}},
+        {"traffic", {"util", "obs", "sim"}},
+        {"attacks", {"util", "obs", "sim"}},
+        {"validation", {"util", "obs", "crypto", "sim"}},
+        {"detection",
+         {"util", "obs", "crypto", "sim", "routing", "traffic", "validation", "attacks"}},
+        {"fatih",
+         {"util", "obs", "crypto", "sim", "routing", "traffic", "validation", "detection",
+          "attacks"}},
+    };
+    std::map<std::string, const FileCtx*> by_path;
+    for (const FileCtx& ctx : ctxs_) by_path[ctx.src->path] = &ctx;
+
+    // Layering: every offending include line is reported (suppressible
+    // individually).
+    for (const FileCtx& ctx : ctxs_) {
+      const std::string mod = module_of(ctx.src->path);
+      if (mod.empty()) continue;
+      auto allowed = kAllowed.find(mod);
+      for (const auto& [line, target] : ctx.includes) {
+        const std::size_t slash = target.find('/');
+        if (slash == std::string::npos) continue;
+        const std::string tmod = target.substr(0, slash);
+        if (tmod == mod || !kAllowed.count(tmod)) continue;
+        if (allowed != kAllowed.end() && allowed->second.count(tmod)) continue;
+        if (allowed == kAllowed.end()) continue;  // unknown module: no contract
+        emit(ctx, line, Rule::kNoIncludeCycles,
+             "layering violation: " + mod + "/ must not include " + tmod + "/ (" + target +
+                 "); the " + mod + "/ layer sits below " + tmod + "/ in the module DAG");
+      }
+    }
+
+    // File-level include cycles (covers within-module cycles the layering
+    // table cannot see). DFS over the resolved graph, files in sorted order
+    // for deterministic reporting; each cycle reported once.
+    std::map<std::string, std::vector<std::pair<std::size_t, std::string>>> edges;
+    for (const FileCtx& ctx : ctxs_) {
+      if (!starts_with(ctx.src->path, "src/")) continue;
+      for (const auto& [line, target] : ctx.includes) {
+        const std::string resolved = "src/" + target;
+        if (by_path.count(resolved)) edges[ctx.src->path].emplace_back(line, resolved);
+      }
+    }
+    std::set<std::string> done;
+    std::set<std::set<std::string>> reported_cycles;
+    for (const auto& [root, _] : edges) {
+      if (done.count(root)) continue;
+      // Iterative DFS with an explicit path for cycle reconstruction.
+      std::vector<std::string> path_stack;
+      std::set<std::string> on_stack;
+      std::vector<std::pair<std::string, std::size_t>> work;  // node, next edge idx
+      work.emplace_back(root, 0);
+      path_stack.push_back(root);
+      on_stack.insert(root);
+      while (!work.empty()) {
+        auto& [node, idx] = work.back();
+        const auto eit = edges.find(node);
+        if (eit == edges.end() || idx >= eit->second.size()) {
+          done.insert(node);
+          on_stack.erase(node);
+          path_stack.pop_back();
+          work.pop_back();
+          continue;
+        }
+        const auto& [line, next] = eit->second[idx++];
+        if (on_stack.count(next)) {
+          // Cycle: next .. path_stack.back()
+          auto begin = std::find(path_stack.begin(), path_stack.end(), next);
+          std::set<std::string> members(begin, path_stack.end());
+          if (reported_cycles.insert(members).second) {
+            const std::string& first = *members.begin();
+            std::string chain;
+            for (auto it = begin; it != path_stack.end(); ++it) chain += *it + " -> ";
+            chain += next;
+            // Anchor the diagnostic on the lexicographically first member's
+            // offending include line so suppression placement is stable.
+            const FileCtx* fctx = by_path.at(node);
+            std::size_t at_line = line;
+            if (by_path.count(first)) {
+              for (const auto& [l, t] : edges[first]) {
+                if (members.count(t) || t == next) {
+                  fctx = by_path.at(first);
+                  at_line = l;
+                  break;
+                }
+              }
+            }
+            emit(*fctx, at_line, Rule::kNoIncludeCycles, "include cycle: " + chain);
+          }
+          continue;
+        }
+        if (done.count(next)) continue;
+        work.emplace_back(next, 0);
+        path_stack.push_back(next);
+        on_stack.insert(next);
+      }
+    }
+  }
+
+  const Config& cfg_;
+  std::vector<FileCtx> ctxs_;
+  Report report_;
+};
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* rule_name(Rule r) {
+  switch (r) {
+    case Rule::kNoWallclock: return "no-wallclock";
+    case Rule::kNoAmbientRng: return "no-ambient-rng";
+    case Rule::kNoUnorderedIteration: return "no-unordered-iteration";
+    case Rule::kNoPointerKeyedOrder: return "no-pointer-keyed-order";
+    case Rule::kNoIostream: return "no-iostream-in-hot-path";
+    case Rule::kTraceEventInit: return "trace-event-init";
+    case Rule::kNoIncludeCycles: return "no-include-cycles";
+    case Rule::kBareSuppression: return "bare-suppression";
+  }
+  return "?";
+}
+
+const char* rule_id(Rule r) {
+  switch (r) {
+    case Rule::kNoWallclock: return "R1";
+    case Rule::kNoAmbientRng: return "R2";
+    case Rule::kNoUnorderedIteration: return "R3";
+    case Rule::kNoPointerKeyedOrder: return "R4";
+    case Rule::kNoIostream: return "R5";
+    case Rule::kTraceEventInit: return "R6";
+    case Rule::kNoIncludeCycles: return "R7";
+    case Rule::kBareSuppression: return "R0";
+  }
+  return "?";
+}
+
+bool parse_rule(std::string_view s, Rule& out) {
+  const std::string n = lower(s);
+  for (std::size_t i = 0; i < kRuleCount; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    if (n == rule_name(r) || n == lower(rule_id(r))) {
+      out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+Report lint_files(const std::vector<SourceFile>& files, const Config& cfg) {
+  return Linter(files, cfg).run();
+}
+
+std::string to_json(const Report& r) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"fatih-lint\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"files_scanned\": " << r.files_scanned << ",\n";
+  os << "  \"violation_count\": " << r.diagnostics.size() << ",\n";
+  os << "  \"suppressed_count\": " << r.suppressed << ",\n";
+  os << "  \"violations\": [";
+  for (std::size_t i = 0; i < r.diagnostics.size(); ++i) {
+    const Diagnostic& d = r.diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"file\": \"" << json_escape(d.file) << "\", \"line\": " << d.line
+       << ", \"rule\": \"" << rule_name(d.rule) << "\", \"id\": \"" << rule_id(d.rule)
+       << "\", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  os << (r.diagnostics.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_text(const Report& r) {
+  std::ostringstream os;
+  for (const Diagnostic& d : r.diagnostics) {
+    os << d.file << ":" << d.line << ": [" << rule_name(d.rule) << "] " << d.message << "\n";
+  }
+  os << "fatih-lint: " << r.diagnostics.size() << " violation(s), " << r.suppressed
+     << " suppressed, " << r.files_scanned << " file(s) scanned\n";
+  return os.str();
+}
+
+}  // namespace fatih::lint

@@ -1,0 +1,99 @@
+// fatih-lint — determinism and invariant static analysis.
+//
+// Every reproducibility claim this repo makes (byte-identical suspicion
+// sets, byte-identical trace/metrics artifacts, byte-identical BENCH_*
+// regeneration) rests on the codebase never smuggling in a nondeterminism
+// source. This tool makes those invariants machine-checked: it tokenizes
+// the C++ sources (comments and string literals blanked, line structure
+// preserved) and applies seven rules, each individually toggleable:
+//
+//   R1 no-wallclock          wall-clock time sources outside util/time
+//   R2 no-ambient-rng        ambient / default-seeded randomness
+//   R3 no-unordered-iteration  iterating hash containers (order is
+//                              pointer/seed dependent; lookups are fine)
+//   R4 no-pointer-keyed-order  ordered containers / sort comparators
+//                              keyed on raw pointer values
+//   R5 no-iostream           std::cout/cerr in src/ (use util/log or the
+//                              trace sink)
+//   R6 trace-event-init      trace/metric event structs with fields that
+//                              lack initializers, or partial brace-inits
+//                              (uninit bytes break byte-identical output)
+//   R7 no-include-cycles     #include cycles and module layering
+//                              violations across src/
+//
+// Inline suppression:  // fatih-lint: allow(<rule>) <justification>
+// applies to its own line and the next line. A suppression without a
+// justification is itself a violation (bare-suppression).
+//
+// The analysis is lexical by design: no compiler, no new dependencies,
+// deterministic output. Heuristics err toward silence (a named rule fires
+// only on patterns it can prove lexically); the suppression mechanism
+// covers the rest.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fatih::lint {
+
+enum class Rule : std::uint8_t {
+  kNoWallclock = 0,       // R1
+  kNoAmbientRng,          // R2
+  kNoUnorderedIteration,  // R3
+  kNoPointerKeyedOrder,   // R4
+  kNoIostream,            // R5
+  kTraceEventInit,        // R6
+  kNoIncludeCycles,       // R7
+  kBareSuppression,       // meta-rule: allow() without a justification
+};
+inline constexpr std::size_t kRuleCount = 8;
+
+/// Stable kebab-case rule name ("no-wallclock").
+[[nodiscard]] const char* rule_name(Rule r);
+/// Short id ("R1".."R7", "R0" for the suppression meta-rule).
+[[nodiscard]] const char* rule_id(Rule r);
+/// Accepts a name or id, case-insensitive. Returns false on unknown.
+[[nodiscard]] bool parse_rule(std::string_view s, Rule& out);
+
+struct Config {
+  std::array<bool, kRuleCount> enabled{};
+  Config() { enabled.fill(true); }
+  [[nodiscard]] bool on(Rule r) const { return enabled[static_cast<std::size_t>(r)]; }
+  void set(Rule r, bool v) { enabled[static_cast<std::size_t>(r)] = v; }
+};
+
+/// One input file. `path` is repo-relative with '/' separators; the rule
+/// scoping (src/ vs bench/ vs tests/, util/time exemptions, module
+/// layering) keys off it.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  Rule rule = Rule::kNoWallclock;
+  std::string message;
+};
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;  ///< sorted by (file, line, rule)
+  std::size_t suppressed = 0;           ///< justified-suppression hits
+  std::size_t files_scanned = 0;
+};
+
+/// Runs every enabled rule over the file set. Deterministic: output
+/// depends only on (files, cfg), never on filesystem or iteration order.
+[[nodiscard]] Report lint_files(const std::vector<SourceFile>& files, const Config& cfg);
+
+/// Machine-readable report; shape pinned by tests/lint/lint_test.cpp.
+[[nodiscard]] std::string to_json(const Report& r);
+/// Human-readable "file:line: [rule] message" lines plus a summary.
+[[nodiscard]] std::string to_text(const Report& r);
+
+}  // namespace fatih::lint
