@@ -1,0 +1,88 @@
+#include "detection/byzantine.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace fatih::detection {
+
+const char* to_string(ControlVerdict v) {
+  switch (v) {
+    case ControlVerdict::kOk: return "ok";
+    case ControlVerdict::kBadMac: return "bad-mac";
+    case ControlVerdict::kSignerMismatch: return "signer-mismatch";
+    case ControlVerdict::kMalformed: return "malformed";
+    case ControlVerdict::kStale: return "stale-replay";
+    case ControlVerdict::kFuture: return "future-round";
+  }
+  return "?";
+}
+
+ControlGuard::ControlGuard(sim::Network& net, const crypto::KeyRegistry& keys,
+                           obs::TraceSource source, std::string metric_prefix)
+    : net_(net), keys_(keys), source_(source), metric_prefix_(std::move(metric_prefix)) {}
+
+ControlVerdict ControlGuard::check_summary(const crypto::SignedEnvelope& env,
+                                           std::optional<SegmentSummary>& out) const {
+  if (!crypto::verify(keys_, env)) return ControlVerdict::kBadMac;
+  auto decoded = SegmentSummary::from_bytes(env.payload);
+  if (!decoded.has_value()) return ControlVerdict::kMalformed;
+  if (decoded->reporter != env.signer) return ControlVerdict::kSignerMismatch;
+  out = std::move(*decoded);
+  return ControlVerdict::kOk;
+}
+
+ControlVerdict ControlGuard::check_report(const crypto::SignedEnvelope& env,
+                                          std::optional<ChiReport>& out) const {
+  if (!crypto::verify(keys_, env)) return ControlVerdict::kBadMac;
+  auto decoded = ChiReport::from_bytes(env.payload);
+  if (!decoded.has_value()) return ControlVerdict::kMalformed;
+  if (decoded->reporter != env.signer) return ControlVerdict::kSignerMismatch;
+  out = std::move(*decoded);
+  return ControlVerdict::kOk;
+}
+
+ControlVerdict ControlGuard::check_accusation(const crypto::SignedEnvelope& env,
+                                              std::optional<Accusation>& out) const {
+  if (!crypto::verify(keys_, env)) return ControlVerdict::kBadMac;
+  auto decoded = Accusation::from_bytes(env.payload);
+  if (!decoded.has_value()) return ControlVerdict::kMalformed;
+  if (decoded->accuser != env.signer) return ControlVerdict::kSignerMismatch;
+  out = std::move(*decoded);
+  return ControlVerdict::kOk;
+}
+
+ControlVerdict ControlGuard::admit_round(std::int64_t round, std::int64_t closed_round,
+                                         std::int64_t current_round,
+                                         std::int64_t* margin) const {
+  if (round <= closed_round) {
+    if (margin != nullptr) *margin = closed_round - round;
+    return ControlVerdict::kStale;
+  }
+  if (round > current_round + 1) return ControlVerdict::kFuture;
+  return ControlVerdict::kOk;
+}
+
+void ControlGuard::accept() {
+  ++stats_.accepted;
+  FATIH_METRIC_REG(net_.sim().metrics(),
+                   counter("byzantine." + metric_prefix_ + ".accepted").inc());
+}
+
+void ControlGuard::reject(util::NodeId at, util::NodeId from, std::int64_t round,
+                          ControlVerdict v, const char* note) {
+  switch (v) {
+    case ControlVerdict::kOk: return;  // not a rejection
+    case ControlVerdict::kBadMac: ++stats_.rejected_bad_mac; break;
+    case ControlVerdict::kSignerMismatch: ++stats_.rejected_signer_mismatch; break;
+    case ControlVerdict::kMalformed: ++stats_.rejected_malformed; break;
+    case ControlVerdict::kStale: ++stats_.rejected_stale; break;
+    case ControlVerdict::kFuture: ++stats_.rejected_future; break;
+  }
+  FATIH_TRACE_EMIT(net_.sim().trace(),
+                   byzantine(net_.sim().now(), source_, obs::TraceCode::kControlRejected, at,
+                             from, round, static_cast<std::uint64_t>(v),
+                             note != nullptr ? note : to_string(v)));
+  FATIH_METRIC_REG(net_.sim().metrics(),
+                   counter("byzantine." + metric_prefix_ + ".rejected." + to_string(v)).inc());
+}
+
+}  // namespace fatih::detection

@@ -1,0 +1,100 @@
+// Byzantine control-plane verification (the hardening layer of PR 6).
+//
+// Every control message a detection engine consumes passes through a
+// ControlGuard before any protocol state changes: MAC verification against
+// the key registry, strict canonical decode (messages.hpp from_bytes), a
+// signer/reporter identity match, and a monotone round watermark that
+// rejects stale replays and far-future rounds. Rejected messages are
+// dropped, counted (byzantine.* metrics), traced (kByzantine category) and
+// — where the rejection is attributable — converted into sender suspicion
+// by the calling engine. Rounds never stall on a rejection: evaluation
+// proceeds on whatever verified summaries arrived.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/mac.hpp"
+#include "detection/messages.hpp"
+#include "obs/trace.hpp"
+#include "sim/network.hpp"
+
+namespace fatih::detection {
+
+/// Why a control message was rejected (kOk = accepted).
+enum class ControlVerdict : std::uint8_t {
+  kOk = 0,
+  kBadMac,          ///< envelope MAC does not verify (tampered or forged)
+  kSignerMismatch,  ///< envelope signer != claimed reporter/accuser
+  kMalformed,       ///< payload fails the strict canonical decode
+  kStale,           ///< round at/below the receiver's closed watermark
+  kFuture,          ///< round beyond the next open round
+};
+[[nodiscard]] const char* to_string(ControlVerdict v);
+
+/// Verification counters, mirrored into the metrics registry as
+/// byzantine.<prefix>.*.
+struct ByzantineStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_bad_mac = 0;
+  std::uint64_t rejected_signer_mismatch = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t rejected_stale = 0;
+  std::uint64_t rejected_future = 0;
+
+  [[nodiscard]] std::uint64_t rejected() const {
+    return rejected_bad_mac + rejected_signer_mismatch + rejected_malformed + rejected_stale +
+           rejected_future;
+  }
+};
+
+/// The shared verification front-end. One guard per engine; the engine
+/// calls a check_* primitive, then accept() or reject() so every drop is
+/// counted and traced uniformly.
+class ControlGuard {
+ public:
+  /// `source` tags the trace events; `metric_prefix` scopes the metric
+  /// names ("pi2" -> "byzantine.pi2.rejected.bad-mac", ...).
+  ControlGuard(sim::Network& net, const crypto::KeyRegistry& keys, obs::TraceSource source,
+               std::string metric_prefix);
+
+  /// Decode-and-verify primitives. On any failure the optional stays empty
+  /// and the verdict names the first check that failed; the caller then
+  /// reject()s with whatever hop attribution it has. The envelope payload
+  /// is authoritative — callers must use the decoded value, never a
+  /// convenience copy that rode alongside it.
+  [[nodiscard]] ControlVerdict check_summary(const crypto::SignedEnvelope& env,
+                                             std::optional<SegmentSummary>& out) const;
+  [[nodiscard]] ControlVerdict check_report(const crypto::SignedEnvelope& env,
+                                            std::optional<ChiReport>& out) const;
+  [[nodiscard]] ControlVerdict check_accusation(const crypto::SignedEnvelope& env,
+                                                std::optional<Accusation>& out) const;
+
+  /// Anti-replay admission: accepts rounds in (closed_round, current+1].
+  /// On kStale, *margin (when non-null) is how far below the watermark the
+  /// round fell — margin >= kSuspectMargin cannot be a late retransmit of
+  /// the retry schedule and warrants suspicion; smaller margins only count.
+  [[nodiscard]] ControlVerdict admit_round(std::int64_t round, std::int64_t closed_round,
+                                           std::int64_t current_round,
+                                           std::int64_t* margin = nullptr) const;
+  static constexpr std::int64_t kSuspectMargin = 2;
+
+  /// Counts an accepted message.
+  void accept();
+  /// Counts, traces and attributes a rejection: `at` observed it, `from`
+  /// handed over the bad message (kInvalidNode when unattributable).
+  void reject(util::NodeId at, util::NodeId from, std::int64_t round, ControlVerdict v,
+              const char* note);
+
+  [[nodiscard]] const ByzantineStats& stats() const { return stats_; }
+
+ private:
+  sim::Network& net_;
+  const crypto::KeyRegistry& keys_;
+  obs::TraceSource source_;
+  std::string metric_prefix_;
+  ByzantineStats stats_;
+};
+
+}  // namespace fatih::detection

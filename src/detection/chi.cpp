@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "crypto/siphash.hpp"
+#include "detection/evidence.hpp"
 #include "util/log.hpp"
 #include "validation/fingerprint.hpp"
 
@@ -26,6 +27,7 @@ QueueValidator::QueueValidator(sim::Network& net, const crypto::KeyRegistry& key
       owner_(queue_owner),
       peer_(queue_peer),
       config_(config),
+      guard_(net, keys, obs::TraceSource::kChi, "chi"),
       fp_(keys.fingerprint_key(queue_owner, queue_peer)) {
   auto& owner_node = net_.router(owner_);
   auto* iface = owner_node.interface_to(peer_);
@@ -145,8 +147,8 @@ void QueueValidator::ship_reports(std::int64_t round) {
     whole.queue_peer = peer_;
     whole.round = round;
     whole.records = std::move(records);
-    if (reporter == owner_ && self_mutator_) {
-      if (!self_mutator_(whole)) continue;  // protocol-faulty: withheld
+    if (auto it = mutators_.find(reporter); it != mutators_.end()) {
+      if (!it->second(whole)) continue;  // protocol-faulty: withheld
     }
     const auto parts = static_cast<std::uint32_t>(
         std::max<std::size_t>(1, (whole.records.size() + kRecordsPerPart - 1) /
@@ -201,15 +203,81 @@ void QueueValidator::ship_reports(std::int64_t round) {
   }
 }
 
+void QueueValidator::inject_report(util::NodeId from, const ChiReport& report) {
+  auto payload = std::make_shared<ChiReportPayload>();
+  payload->envelope = crypto::sign(keys_, from, report.to_bytes());
+  payload->report = report;
+  if (channel_ != nullptr) {
+    channel_->send(from, peer_, payload, payload->report.wire_bytes(),
+                   ReliableChannel::Via::kRouted);
+    return;
+  }
+  sim::PacketHeader hdr;
+  hdr.src = from;
+  hdr.dst = peer_;
+  hdr.proto = sim::Protocol::kControl;
+  sim::Packet p = net_.make_packet(hdr, payload->report.wire_bytes());
+  p.control = payload;
+  if (net_.is_router(from)) {
+    net_.router(from).originate(p);
+  } else {
+    net_.host(from).send(p);
+  }
+}
+
 void QueueValidator::on_report(const ChiReportPayload& payload) {
-  if (!crypto::verify(keys_, payload.envelope)) return;
-  const ChiReport& rep = payload.report;
-  if (payload.envelope.signer != rep.reporter) return;
-  if (rep.queue_owner != owner_ || rep.queue_peer != peer_) return;
-  if (rep.parts == 0 || rep.part >= rep.parts) return;
+  // Full admission: MAC + strict canonical decode + reporter identity. The
+  // envelope payload is authoritative — the convenience struct riding in
+  // the packet is never trusted past routing. Reports arrive as routed
+  // unicast, so a rejection has no hop to pin (interior forwarders are
+  // opaque); it is counted, and the withheld-report consequence surfaces
+  // through missing-report at evaluation.
+  std::optional<ChiReport> decoded;
+  if (const ControlVerdict v = guard_.check_report(payload.envelope, decoded);
+      v != ControlVerdict::kOk) {
+    guard_.reject(peer_, util::kInvalidNode, payload.report.round, v, "report");
+    return;
+  }
+  const ChiReport& rep = *decoded;
+  if (rep.queue_owner != owner_ || rep.queue_peer != peer_) return;  // other validator's
+  if (rep.parts == 0 || rep.part >= rep.parts) {
+    guard_.reject(peer_, util::kInvalidNode, rep.round, ControlVerdict::kMalformed,
+                  "report-bad-part");
+    return;
+  }
+  // Anti-replay watermark: reports for validated rounds are replays. A
+  // small margin can still be a late retransmit of the retry schedule, so
+  // staleness only counts — the signer may be honest and the replayer is
+  // unattributable on a routed path.
+  if (const ControlVerdict v =
+          guard_.admit_round(rep.round, closed_round_, config_.clock.round_of(net_.sim().now()));
+      v != ControlVerdict::kOk) {
+    guard_.reject(peer_, util::kInvalidNode, rep.round, v, "report-replay");
+    return;
+  }
+  // Equivocation ledger: a second MAC-valid part with the same (reporter,
+  // round, part) identity but different content is a self-incriminating
+  // proof — only the signer can produce the pair.
+  const auto stmt = std::make_tuple(rep.reporter, rep.round, rep.part);
+  const auto [led, fresh] = part_envelope_.emplace(stmt, payload.envelope);
+  if (!fresh && led->second.payload != payload.envelope.payload) {
+    FATIH_TRACE_EMIT(net_.sim().trace(),
+                     byzantine(net_.sim().now(), obs::TraceSource::kChi,
+                               obs::TraceCode::kEquivocationProven, peer_, rep.reporter,
+                               rep.round, rep.part, "conflicting-report-parts"));
+    FATIH_METRIC_REG(net_.sim().metrics(), counter("byzantine.chi.equivocations").inc());
+    if (conviction_ != nullptr && proof_filed_.insert({rep.reporter, rep.round}).second) {
+      conviction_->accuse(peer_, static_cast<std::uint8_t>(obs::TraceSource::kChi),
+                          routing::PathSegment{rep.reporter}, rep.round, "equivocation",
+                          {led->second, payload.envelope});
+    }
+    suspect(rep.round, "equivocation", 1.0, routing::PathSegment{rep.reporter});
+    return;
+  }
   if (reports_seen_.contains({rep.reporter, rep.round})) return;
   auto& got = parts_seen_[{rep.reporter, rep.round}];
-  if (!got.insert(rep.part).second) return;  // duplicate part
+  if (!got.insert(rep.part).second) return;  // duplicate part (identical bytes)
+  guard_.accept();
   for (const ChiRecord& rec : rep.records) {
     pending_entries_.push_back(Entry{rec, rep.reporter});
   }
@@ -222,6 +290,7 @@ void QueueValidator::on_report(const ChiReportPayload& payload) {
 void QueueValidator::validate(std::int64_t round) {
   RoundStats stats;
   stats.round = round;
+  suspicious_by_.clear();
   ++counters_.rounds_opened;
   FATIH_TRACE_EMIT(net_.sim().trace(),
                    round_event(net_.sim().now(), obs::TraceSource::kChi,
@@ -249,7 +318,15 @@ void QueueValidator::validate(std::int64_t round) {
     for (util::NodeId reporter : it->second) {
       if (!reports_seen_.contains({reporter, round})) {
         all_reports = false;
-        if (learned_ && !churned) suspect(round, "missing-report", 1.0);
+        // The report was either withheld by `reporter` or eaten en route
+        // (a neighbor's report to rd normally transits r itself), so the
+        // faulty router is within {reporter, r} — blaming the queue pair
+        // would miss a withholding neighbor entirely.
+        if (learned_ && !churned) {
+          suspect(round, "missing-report", 1.0,
+                  reporter == owner_ ? routing::PathSegment{owner_, peer_}
+                                     : routing::PathSegment{reporter, owner_});
+        }
       }
     }
     reports_due_.erase(it);
@@ -279,6 +356,16 @@ void QueueValidator::validate(std::int64_t round) {
     exits_.erase_if([&](const auto& kv) { return kv.second.ts <= horizon; });
     qpred_ = 0.0;
   }
+
+  // Close the anti-replay window: report parts for this round (or older)
+  // arriving from now on are replays, rejected at admission. Closed rounds
+  // can no longer gain equivocation conflicts either, so their ledger and
+  // part-bookkeeping entries are dropped.
+  closed_round_ = std::max(closed_round_, round);
+  part_envelope_.erase_if([round](const auto& kv) { return std::get<1>(kv.first) <= round; });
+  proof_filed_.erase_if([round](const auto& k) { return k.second <= round; });
+  reports_seen_.erase_if([round](const auto& k) { return k.second <= round; });
+  parts_seen_.erase_if([round](const auto& kv) { return kv.first.second <= round; });
 
   finish_round(round, stats);
   round_stats_.push_back(stats);
@@ -317,6 +404,7 @@ void QueueValidator::stage_ready_entries(util::SimTime upto, RoundStats& stats) 
     arrival.ps = e.rec.size_bytes;
     arrival.flow = e.rec.flow_id;
     arrival.fp = e.rec.fp;
+    arrival.from = e.from;
     arrival.seq = event_seq_++;
     auto it = exits_.find(e.rec.fp);
     if (it != exits_.end()) {
@@ -383,6 +471,7 @@ void QueueValidator::replay_droptail(util::SimTime upto, RoundStats& stats) {
         ++stats.congestive;
       } else {
         ++stats.suspicious;
+        ++suspicious_by_[ev.from];
       }
       // The prediction error is bounded below by one departing packet (a
       // probe and a departure can straddle the same instant), so a single
@@ -468,6 +557,7 @@ void QueueValidator::replay_red(util::SimTime upto, RoundStats& stats) {
       } else {
         ++stats.drops;
         ++stats.suspicious;
+        ++suspicious_by_[ev.from];
       }
       continue;
     }
@@ -508,11 +598,13 @@ void QueueValidator::replay_red(util::SimTime upto, RoundStats& stats) {
         stats.max_single_confidence = std::max(stats.max_single_confidence, csingle);
         const double guard = max_entry_ps_ + 4.0 * sigma_;
         if (csingle >= config_.single_threshold && headroom - mu_ >= guard) {
+          ++stats.suspicious;
+          ++suspicious_by_[ev.from];
           suspect(stats.round, "red-single-loss-test", csingle);
           stats.alarmed = true;
-          ++stats.suspicious;
         } else if (csingle >= 0.5) {
           ++stats.suspicious;
+          ++suspicious_by_[ev.from];
         } else {
           ++stats.congestive;
         }
@@ -627,25 +719,45 @@ void QueueValidator::finish_round(std::int64_t round, RoundStats& stats) {
   }
 }
 
-void QueueValidator::suspect(std::int64_t round, const char* cause, double confidence) {
+routing::PathSegment QueueValidator::attributed_segment() const {
+  // Framing defense: when every unexplained drop this round was claimed by
+  // a single reporter rs != r, the evidence is exactly as consistent with
+  // "rs fabricated entries" as with "r dropped rs's packets" — the
+  // precision-2 segment is {rs, r}. Blaming the queue pair {r, rd} would
+  // let one lying neighbor steer suspicion onto two honest routers.
+  if (suspicious_by_.size() == 1) {
+    const util::NodeId rs = suspicious_by_.begin()->first;
+    if (rs != owner_ && rs != util::kInvalidNode) {
+      return routing::PathSegment{rs, owner_};
+    }
+  }
+  return routing::PathSegment{owner_, peer_};
+}
+
+void QueueValidator::suspect(std::int64_t round, const char* cause, double confidence,
+                             routing::PathSegment segment) {
   // One suspicion per (round, cause).
   for (const Suspicion& s : suspicions_) {
     if (s.cause == cause && s.interval == config_.clock.interval_of(round)) return;
   }
   Suspicion s;
   s.reporter = peer_;
-  s.segment = routing::PathSegment{owner_, peer_};
+  s.segment = segment.empty() ? attributed_segment() : std::move(segment);
   s.interval = config_.clock.interval_of(round);
   s.cause = cause;
   s.confidence = confidence;
   util::log(util::LogLevel::kInfo, kComponent, "%s", s.to_string().c_str());
   ++counters_.suspicions;
   FATIH_TRACE_EMIT(net_.sim().trace(),
-                   suspicion(net_.sim().now(), obs::TraceSource::kChi, peer_, owner_, peer_, 2,
-                             round, confidence, cause));
+                   suspicion(net_.sim().now(), obs::TraceSource::kChi, peer_, s.segment.front(),
+                             s.segment.back(), s.segment.length(), round, confidence, cause));
   FATIH_METRIC_REG(net_.sim().metrics(), counter("chi.suspicions").inc());
   suspicions_.push_back(s);
   if (handler_) handler_(suspicions_.back());
+  if (conviction_ != nullptr) {
+    conviction_->accuse(peer_, static_cast<std::uint8_t>(obs::TraceSource::kChi), s.segment,
+                        round, cause);
+  }
 }
 
 // -------------------------------------------------------------- ChiEngine
@@ -659,7 +771,7 @@ ChiEngine::ChiEngine(sim::Network& net, const crypto::KeyRegistry& keys, const P
     // still happens through the validators' existing control sinks (the
     // channel does not wrap payloads), and on_report's part bookkeeping
     // absorbs the duplicates that ack loss can produce.
-    channel_ = std::make_unique<ReliableChannel>(net_, kKindChiReport, config_.reliable);
+    channel_ = std::make_unique<ReliableChannel>(net_, keys_, kKindChiReport, config_.reliable);
     channel_->set_key_fn([](const sim::ControlPayload& payload) {
       const auto& p = static_cast<const ChiReportPayload&>(payload);
       constexpr crypto::SipKey kKey{0x6368692D7265706FULL, 0x72742D6465647570ULL};
@@ -679,6 +791,7 @@ QueueValidator& ChiEngine::monitor_queue(util::NodeId owner, util::NodeId peer) 
   validators_.push_back(
       std::make_unique<QueueValidator>(net_, keys_, paths_, owner, peer, config_));
   if (channel_ != nullptr) validators_.back()->set_channel(channel_.get());
+  if (conviction_ != nullptr) validators_.back()->set_conviction_engine(conviction_);
   return *validators_.back();
 }
 
@@ -724,5 +837,24 @@ DetectorCounters ChiEngine::counters() const {
 }
 
 void ChiEngine::set_suspicion_handler(SuspicionHandler h) { handler_ = std::move(h); }
+
+void ChiEngine::set_conviction_engine(ConvictionEngine* c) {
+  conviction_ = c;
+  for (auto& v : validators_) v->set_conviction_engine(c);
+}
+
+ByzantineStats ChiEngine::guard_stats() const {
+  ByzantineStats total;
+  for (const auto& v : validators_) {
+    const ByzantineStats& s = v->guard_stats();
+    total.accepted += s.accepted;
+    total.rejected_bad_mac += s.rejected_bad_mac;
+    total.rejected_signer_mismatch += s.rejected_signer_mismatch;
+    total.rejected_malformed += s.rejected_malformed;
+    total.rejected_stale += s.rejected_stale;
+    total.rejected_future += s.rejected_future;
+  }
+  return total;
+}
 
 }  // namespace fatih::detection

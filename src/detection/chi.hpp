@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "crypto/keys.hpp"
+#include "detection/byzantine.hpp"
 #include "detection/messages.hpp"
 #include "detection/path_cache.hpp"
 #include "detection/reliable.hpp"
@@ -47,6 +48,8 @@
 #include "util/stats.hpp"
 
 namespace fatih::detection {
+
+class ConvictionEngine;
 
 struct ChiConfig {
   RoundClock clock;
@@ -126,10 +129,26 @@ class QueueValidator {
   /// Uniform engine introspection (same struct across pi2/pik2/chi).
   [[nodiscard]] const DetectorCounters& counters() const { return counters_; }
 
-  /// Makes router r's self-report lie (protocol-fault injection): the
+  /// Makes a reporter's shipped report lie (protocol-fault injection): the
   /// mutator may add/remove records or return false to suppress entirely.
+  /// Works for the owner's self-report AND for any neighbor — a lying
+  /// neighbor is how the framing tests try to pin drops on an honest r.
   using SelfReportMutator = std::function<bool(ChiReport&)>;
-  void set_self_report_mutator(SelfReportMutator m) { self_mutator_ = std::move(m); }
+  void set_report_mutator(util::NodeId reporter, SelfReportMutator m) {
+    mutators_[reporter] = std::move(m);
+  }
+  void set_self_report_mutator(SelfReportMutator m) { mutators_[owner_] = std::move(m); }
+
+  /// Adversarial entry: signs `report` with `from`'s own key and ships it
+  /// to rd. A second, conflicting part for an already-shipped (reporter,
+  /// round, part) is an equivocation rd can prove with the two envelopes.
+  void inject_report(util::NodeId from, const ChiReport& report);
+
+  /// Optional conviction layer (see Pi2Engine::set_conviction_engine).
+  void set_conviction_engine(ConvictionEngine* c) { conviction_ = c; }
+
+  /// Control-plane verification counters (rejected reports, replays, ...).
+  [[nodiscard]] const ByzantineStats& guard_stats() const { return guard_.stats(); }
 
   /// Ground-truth error samples observed during learning (tests).
   [[nodiscard]] const util::RunningStats& error_stats() const { return error_stats_; }
@@ -159,7 +178,14 @@ class QueueValidator {
   void replay_droptail(util::SimTime upto, RoundStats& stats);
   void replay_red(util::SimTime upto, RoundStats& stats);
   void finish_round(std::int64_t round, RoundStats& stats);
-  void suspect(std::int64_t round, const char* cause, double confidence);
+  /// Raises a suspicion. An empty `segment` means "attribute the round's
+  /// unexplained drops": when every suspicious drop was fed by a single
+  /// reporter rs != r, the segment is {rs, r} (either r dropped rs's
+  /// packets or rs lied about sending them); otherwise the queue pair
+  /// {r, rd}.
+  void suspect(std::int64_t round, const char* cause, double confidence,
+               routing::PathSegment segment = {});
+  [[nodiscard]] routing::PathSegment attributed_segment() const;
 
   sim::Network& net_;
   const crypto::KeyRegistry& keys_;
@@ -167,6 +193,9 @@ class QueueValidator {
   util::NodeId owner_;  ///< r
   util::NodeId peer_;   ///< rd
   ChiConfig config_;
+  ControlGuard guard_;
+  ConvictionEngine* conviction_ = nullptr;
+  std::int64_t closed_round_ = -1;  ///< highest validated round (watermark)
   ReliableChannel* channel_ = nullptr;
   validation::FingerprintHasher fp_{crypto::SipKey{}};
   sim::LinkParams link_;           ///< the r -> rd link
@@ -189,6 +218,13 @@ class QueueValidator {
   util::FlatMap<std::int64_t, util::FlatSet<util::NodeId>> reports_due_;
   util::FlatSet<std::pair<util::NodeId, std::int64_t>> reports_seen_;  // all parts arrived
   util::FlatMap<std::pair<util::NodeId, std::int64_t>, util::FlatSet<std::uint32_t>> parts_seen_;
+  // Equivocation ledger: first MAC-valid envelope per (reporter, round,
+  // part); a second, different one completes a self-incriminating proof.
+  util::FlatMap<std::tuple<util::NodeId, std::int64_t, std::uint32_t>, crypto::SignedEnvelope>
+      part_envelope_;
+  util::FlatSet<std::pair<util::NodeId, std::int64_t>> proof_filed_;
+  // Per-reporter tally of this round's unexplained drops (framing defense).
+  util::FlatMap<util::NodeId, std::uint64_t> suspicious_by_;
 
   // Replay state. Events are merged into a time-ordered set that persists
   // across rounds: a departure later than this round's horizon must not be
@@ -201,6 +237,7 @@ class QueueValidator {
     std::uint32_t ps = 0;
     std::uint32_t flow = 0;
     validation::Fingerprint fp = 0;
+    util::NodeId from = util::kInvalidNode;  ///< reporter that claimed the entry
     std::uint64_t seq = 0;  // insertion tie-break
 
     bool operator<(const ReplayEvent& o) const {
@@ -240,7 +277,7 @@ class QueueValidator {
   DetectorCounters counters_;
   std::vector<Suspicion> suspicions_;
   SuspicionHandler handler_;
-  SelfReportMutator self_mutator_;
+  util::FlatMap<util::NodeId, SelfReportMutator> mutators_;
 };
 
 /// Convenience wrapper: a fleet of QueueValidators covering every
@@ -264,6 +301,12 @@ class ChiEngine {
   [[nodiscard]] DetectorCounters counters() const;
   void set_suspicion_handler(SuspicionHandler h);
 
+  /// Optional conviction layer, forwarded to every validator (existing and
+  /// future).
+  void set_conviction_engine(ConvictionEngine* c);
+  /// Control-plane verification counters, summed over the validators.
+  [[nodiscard]] ByzantineStats guard_stats() const;
+
   [[nodiscard]] const std::vector<std::unique_ptr<QueueValidator>>& validators() const {
     return validators_;
   }
@@ -273,6 +316,7 @@ class ChiEngine {
   const crypto::KeyRegistry& keys_;
   const PathCache& paths_;
   ChiConfig config_;
+  ConvictionEngine* conviction_ = nullptr;
   std::unique_ptr<ReliableChannel> channel_;  ///< shared; null unless enabled
   std::vector<std::unique_ptr<QueueValidator>> validators_;
   SuspicionHandler handler_;

@@ -25,6 +25,10 @@ void FloodService::originate(util::NodeId from, std::shared_ptr<const sim::Contr
 
 void FloodService::on_control(util::NodeId at, const sim::Packet& p, util::NodeId prev) {
   if (p.control == nullptr || p.control->kind() != kind_) return;
+  if (validate_fn_ && !validate_fn_(at, *p.control)) {
+    if (invalid_fn_) invalid_fn_(at, prev, *p.control, net_.sim().now());
+    return;
+  }
   const std::uint64_t key = key_fn_(*p.control);
   if (!seen_[at].insert(key).second) return;  // duplicate
   if (delivery_fn_) delivery_fn_(at, *p.control, net_.sim().now());

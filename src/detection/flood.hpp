@@ -38,6 +38,21 @@ class FloodService {
       std::function<void(util::NodeId at, const sim::ControlPayload&, util::SimTime)>;
   void set_delivery_fn(DeliveryFn fn) { delivery_fn_ = std::move(fn); }
 
+  /// Verify-before-reflood: when set, every arriving hop copy is validated
+  /// BEFORE delivery and re-flood. A failing copy is dropped — honest
+  /// routers never propagate unverifiable control traffic — and invalid_fn
+  /// (if set) fires with the hop that handed it over, which in the
+  /// simulation is ground truth and therefore supports a precision-1
+  /// suspicion of that hop. Locally originated payloads skip validation
+  /// (the originator vouches for its own messages). Rejected copies are
+  /// not marked seen, so the same content arriving over a clean path is
+  /// still judged on its own merits.
+  using ValidateFn = std::function<bool(util::NodeId at, const sim::ControlPayload&)>;
+  void set_validate_fn(ValidateFn fn) { validate_fn_ = std::move(fn); }
+  using InvalidFn = std::function<void(util::NodeId at, util::NodeId prev,
+                                       const sim::ControlPayload&, util::SimTime)>;
+  void set_invalid_fn(InvalidFn fn) { invalid_fn_ = std::move(fn); }
+
   /// Originates a flood at `from`.
   void originate(util::NodeId from, std::shared_ptr<const sim::ControlPayload> payload,
                  std::uint32_t wire_bytes);
@@ -65,6 +80,8 @@ class FloodService {
   std::uint16_t kind_;
   KeyFn key_fn_;
   DeliveryFn delivery_fn_;
+  ValidateFn validate_fn_;
+  InvalidFn invalid_fn_;
   ReliableChannel* channel_ = nullptr;
   std::set<util::NodeId> suppressed_;
   std::vector<std::set<std::uint64_t>> seen_;  // per node

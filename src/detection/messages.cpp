@@ -2,6 +2,18 @@
 
 namespace fatih::detection {
 
+namespace {
+/// True iff `count` elements of `elem_bytes` each can still fit in the
+/// remaining input — checked BEFORE any allocation, so a forged length
+/// field can never drive an oversized reserve.
+bool count_fits(std::span<const std::byte> in, std::size_t offset, std::uint64_t count,
+                std::size_t elem_bytes, std::uint64_t cap) {
+  if (count > cap) return false;
+  if (offset > in.size()) return false;
+  return count * elem_bytes <= in.size() - offset;
+}
+}  // namespace
+
 std::vector<std::byte> SegmentSummary::to_bytes() const {
   std::vector<std::byte> out;
   crypto::append_bytes(out, reporter);
@@ -17,6 +29,62 @@ std::vector<std::byte> SegmentSummary::to_bytes() const {
   crypto::append_bytes(out, static_cast<std::uint64_t>(bloom_words.size()));
   for (std::uint64_t w : bloom_words) crypto::append_bytes(out, w);
   crypto::append_bytes(out, bloom_hashes);
+  return out;
+}
+
+std::optional<SegmentSummary> SegmentSummary::from_bytes(std::span<const std::byte> in) {
+  SegmentSummary out;
+  std::size_t off = 0;
+  if (!crypto::read_bytes(in, off, out.reporter)) return std::nullopt;
+  std::uint32_t seg_len = 0;
+  if (!crypto::read_bytes(in, off, seg_len)) return std::nullopt;
+  if (!count_fits(in, off, seg_len, sizeof(util::NodeId), kMaxSegmentNodes)) return std::nullopt;
+  std::vector<util::NodeId> nodes;
+  nodes.reserve(seg_len);
+  for (std::uint32_t i = 0; i < seg_len; ++i) {
+    util::NodeId n = util::kInvalidNode;
+    if (!crypto::read_bytes(in, off, n)) return std::nullopt;
+    nodes.push_back(n);
+  }
+  out.segment = routing::PathSegment{std::move(nodes)};
+  if (!crypto::read_bytes(in, off, out.round)) return std::nullopt;
+  if (!crypto::read_bytes(in, off, out.counters.packets)) return std::nullopt;
+  if (!crypto::read_bytes(in, off, out.counters.bytes)) return std::nullopt;
+  std::uint64_t content_n = 0;
+  if (!crypto::read_bytes(in, off, content_n)) return std::nullopt;
+  if (!count_fits(in, off, content_n, sizeof(validation::Fingerprint), kMaxSummaryElements)) {
+    return std::nullopt;
+  }
+  out.content.reserve(content_n);
+  for (std::uint64_t i = 0; i < content_n; ++i) {
+    validation::Fingerprint fp = 0;
+    if (!crypto::read_bytes(in, off, fp)) return std::nullopt;
+    out.content.push_back(fp);
+  }
+  std::uint64_t recon_n = 0;
+  if (!crypto::read_bytes(in, off, recon_n)) return std::nullopt;
+  if (!count_fits(in, off, recon_n, sizeof(std::uint64_t), kMaxSummaryElements)) {
+    return std::nullopt;
+  }
+  out.recon_evals.reserve(recon_n);
+  for (std::uint64_t i = 0; i < recon_n; ++i) {
+    std::uint64_t ev = 0;
+    if (!crypto::read_bytes(in, off, ev)) return std::nullopt;
+    out.recon_evals.push_back(ev);
+  }
+  std::uint64_t bloom_n = 0;
+  if (!crypto::read_bytes(in, off, bloom_n)) return std::nullopt;
+  if (!count_fits(in, off, bloom_n, sizeof(std::uint64_t), kMaxSummaryElements)) {
+    return std::nullopt;
+  }
+  out.bloom_words.reserve(bloom_n);
+  for (std::uint64_t i = 0; i < bloom_n; ++i) {
+    std::uint64_t w = 0;
+    if (!crypto::read_bytes(in, off, w)) return std::nullopt;
+    out.bloom_words.push_back(w);
+  }
+  if (!crypto::read_bytes(in, off, out.bloom_hashes)) return std::nullopt;
+  if (off != in.size()) return std::nullopt;  // trailing bytes: not canonical
   return out;
 }
 
@@ -48,6 +116,110 @@ std::vector<std::byte> ChiReport::to_bytes() const {
 
 std::uint32_t ChiReport::wire_bytes() const {
   return 64 + 24 * static_cast<std::uint32_t>(records.size());
+}
+
+std::optional<ChiReport> ChiReport::from_bytes(std::span<const std::byte> in) {
+  ChiReport out;
+  std::size_t off = 0;
+  if (!crypto::read_bytes(in, off, out.reporter)) return std::nullopt;
+  if (!crypto::read_bytes(in, off, out.queue_owner)) return std::nullopt;
+  if (!crypto::read_bytes(in, off, out.queue_peer)) return std::nullopt;
+  if (!crypto::read_bytes(in, off, out.round)) return std::nullopt;
+  if (!crypto::read_bytes(in, off, out.part)) return std::nullopt;
+  if (!crypto::read_bytes(in, off, out.parts)) return std::nullopt;
+  std::uint64_t n = 0;
+  if (!crypto::read_bytes(in, off, n)) return std::nullopt;
+  // One serialized record is fp(8) + size(4) + flow(4) + control(1) + ts(8).
+  constexpr std::size_t kRecordBytes = 25;
+  if (!count_fits(in, off, n, kRecordBytes, kMaxChiRecords)) return std::nullopt;
+  out.records.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ChiRecord rec;
+    std::int64_t ts_nanos = 0;
+    if (!crypto::read_bytes(in, off, rec.fp)) return std::nullopt;
+    if (!crypto::read_bytes(in, off, rec.size_bytes)) return std::nullopt;
+    if (!crypto::read_bytes(in, off, rec.flow_id)) return std::nullopt;
+    if (!crypto::read_bytes(in, off, rec.control)) return std::nullopt;
+    if (!crypto::read_bytes(in, off, ts_nanos)) return std::nullopt;
+    rec.ts = util::SimTime::from_nanos(ts_nanos);
+    out.records.push_back(rec);
+  }
+  if (off != in.size()) return std::nullopt;
+  return out;
+}
+
+std::vector<std::byte> Accusation::to_bytes() const {
+  std::vector<std::byte> out;
+  crypto::append_bytes(out, accuser);
+  crypto::append_bytes(out, detector);
+  crypto::append_bytes(out, static_cast<std::uint32_t>(accused.length()));
+  for (util::NodeId n : accused.nodes()) crypto::append_bytes(out, n);
+  crypto::append_bytes(out, round);
+  crypto::append_bytes(out, static_cast<std::uint32_t>(cause.size()));
+  for (char c : cause) crypto::append_bytes(out, c);
+  crypto::append_bytes(out, static_cast<std::uint32_t>(evidence.size()));
+  for (const crypto::SignedEnvelope& env : evidence) {
+    crypto::append_bytes(out, env.signer);
+    crypto::append_bytes(out, static_cast<std::uint32_t>(env.payload.size()));
+    out.insert(out.end(), env.payload.begin(), env.payload.end());
+    crypto::append_bytes(out, env.tag);
+  }
+  return out;
+}
+
+std::uint32_t Accusation::wire_bytes() const {
+  std::uint32_t bytes = 48 + 4 * static_cast<std::uint32_t>(accused.length()) +
+                        static_cast<std::uint32_t>(cause.size());
+  for (const crypto::SignedEnvelope& env : evidence) {
+    bytes += 16 + static_cast<std::uint32_t>(env.payload.size());
+  }
+  return bytes;
+}
+
+std::optional<Accusation> Accusation::from_bytes(std::span<const std::byte> in) {
+  Accusation out;
+  std::size_t off = 0;
+  if (!crypto::read_bytes(in, off, out.accuser)) return std::nullopt;
+  if (!crypto::read_bytes(in, off, out.detector)) return std::nullopt;
+  std::uint32_t seg_len = 0;
+  if (!crypto::read_bytes(in, off, seg_len)) return std::nullopt;
+  if (!count_fits(in, off, seg_len, sizeof(util::NodeId), kMaxSegmentNodes)) return std::nullopt;
+  std::vector<util::NodeId> nodes;
+  nodes.reserve(seg_len);
+  for (std::uint32_t i = 0; i < seg_len; ++i) {
+    util::NodeId n = util::kInvalidNode;
+    if (!crypto::read_bytes(in, off, n)) return std::nullopt;
+    nodes.push_back(n);
+  }
+  out.accused = routing::PathSegment{std::move(nodes)};
+  if (!crypto::read_bytes(in, off, out.round)) return std::nullopt;
+  std::uint32_t cause_len = 0;
+  if (!crypto::read_bytes(in, off, cause_len)) return std::nullopt;
+  if (!count_fits(in, off, cause_len, 1, kMaxCauseBytes)) return std::nullopt;
+  out.cause.reserve(cause_len);
+  for (std::uint32_t i = 0; i < cause_len; ++i) {
+    char c = 0;
+    if (!crypto::read_bytes(in, off, c)) return std::nullopt;
+    out.cause.push_back(c);
+  }
+  std::uint32_t ev_n = 0;
+  if (!crypto::read_bytes(in, off, ev_n)) return std::nullopt;
+  if (ev_n > kMaxEvidence) return std::nullopt;
+  out.evidence.reserve(ev_n);
+  for (std::uint32_t i = 0; i < ev_n; ++i) {
+    crypto::SignedEnvelope env;
+    if (!crypto::read_bytes(in, off, env.signer)) return std::nullopt;
+    std::uint32_t payload_len = 0;
+    if (!crypto::read_bytes(in, off, payload_len)) return std::nullopt;
+    if (!count_fits(in, off, payload_len, 1, kMaxEvidencePayload)) return std::nullopt;
+    env.payload.assign(in.begin() + static_cast<std::ptrdiff_t>(off),
+                       in.begin() + static_cast<std::ptrdiff_t>(off + payload_len));
+    off += payload_len;
+    if (!crypto::read_bytes(in, off, env.tag)) return std::nullopt;
+    out.evidence.push_back(std::move(env));
+  }
+  if (off != in.size()) return std::nullopt;
+  return out;
 }
 
 }  // namespace fatih::detection

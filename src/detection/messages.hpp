@@ -8,6 +8,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "crypto/mac.hpp"
@@ -22,7 +25,16 @@ namespace fatih::detection {
 inline constexpr std::uint16_t kKindSegmentSummary = 0x2001;  ///< Pi(k+2) end-to-end exchange
 inline constexpr std::uint16_t kKindSummaryFlood = 0x2002;    ///< Pi2 consensus dissemination
 inline constexpr std::uint16_t kKindChiReport = 0x2003;       ///< chi neighbor reports
+inline constexpr std::uint16_t kKindAccusation = 0x2004;      ///< evidence-layer accusations
 inline constexpr std::uint16_t kKindControlAck = 0x20A0;      ///< reliable-transport acks
+
+/// Decoder caps: every length field read off the wire is validated against
+/// the bytes actually present before any allocation, so a malformed count
+/// can never trigger an unbounded reserve. These are additional absolute
+/// ceilings far above anything a legitimate message carries.
+inline constexpr std::uint64_t kMaxSummaryElements = 1u << 20;
+inline constexpr std::uint64_t kMaxChiRecords = 1u << 20;
+inline constexpr std::uint32_t kMaxSegmentNodes = 1u << 10;
 
 /// info(r, pi, tau): everything router r tells others about the traffic it
 /// handled on segment `segment` during round `round`.
@@ -52,6 +64,11 @@ struct SegmentSummary {
   [[nodiscard]] std::vector<std::byte> to_bytes() const;
   /// Wire size estimate for the simulated control packet.
   [[nodiscard]] std::uint32_t wire_bytes() const;
+  /// Strict inverse of to_bytes(): nullopt on truncation, trailing bytes,
+  /// or any length field inconsistent with the bytes present. Never throws
+  /// and never allocates more than the input size admits.
+  [[nodiscard]] static std::optional<SegmentSummary> from_bytes(
+      std::span<const std::byte> in);
 };
 
 /// A signed SegmentSummary in flight (both the Pi(k+2) unicast exchange
@@ -90,12 +107,44 @@ struct ChiReport {
 
   [[nodiscard]] std::vector<std::byte> to_bytes() const;
   [[nodiscard]] std::uint32_t wire_bytes() const;
+  /// Strict inverse of to_bytes(); same contract as SegmentSummary's.
+  [[nodiscard]] static std::optional<ChiReport> from_bytes(std::span<const std::byte> in);
 };
 
 struct ChiReportPayload final : sim::ControlPayload {
   ChiReport report;
   crypto::SignedEnvelope envelope;
   [[nodiscard]] std::uint16_t kind() const override { return kKindChiReport; }
+};
+
+/// A signed statement that some router within `accused` misbehaved during
+/// `round` — the input of the evidence-based conviction layer. Evidence is
+/// either empty (a witness vote, convicting only by quorum) or a pair of
+/// conflicting signed envelopes proving equivocation by their signer.
+struct Accusation {
+  util::NodeId accuser = util::kInvalidNode;
+  /// Which detector raised the underlying suspicion (obs::TraceSource
+  /// value, carried as a raw byte to keep the wire format layer-free).
+  std::uint8_t detector = 0;
+  routing::PathSegment accused{};
+  std::int64_t round = 0;
+  std::string cause{};  ///< suspicion cause tag; capped at kMaxCauseBytes
+  std::vector<crypto::SignedEnvelope> evidence{};
+
+  static constexpr std::uint32_t kMaxCauseBytes = 64;
+  static constexpr std::uint32_t kMaxEvidence = 4;
+  static constexpr std::uint32_t kMaxEvidencePayload = 1u << 16;
+
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  [[nodiscard]] std::uint32_t wire_bytes() const;
+  /// Strict inverse of to_bytes(); same contract as SegmentSummary's.
+  [[nodiscard]] static std::optional<Accusation> from_bytes(std::span<const std::byte> in);
+};
+
+struct AccusationPayload final : sim::ControlPayload {
+  Accusation accusation;
+  crypto::SignedEnvelope envelope;  ///< signed by the accuser over to_bytes()
+  [[nodiscard]] std::uint16_t kind() const override { return kKindAccusation; }
 };
 
 }  // namespace fatih::detection

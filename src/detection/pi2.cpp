@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/siphash.hpp"
+#include "detection/evidence.hpp"
 #include "util/log.hpp"
 
 namespace fatih::detection {
@@ -22,7 +23,11 @@ std::uint64_t payload_key(const sim::ControlPayload& payload) {
 
 Pi2Engine::Pi2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
                      const std::vector<util::NodeId>& terminals, Pi2Config config)
-    : net_(net), keys_(keys), paths_(paths), config_(config) {
+    : net_(net),
+      keys_(keys),
+      paths_(paths),
+      config_(config),
+      guard_(net, keys, obs::TraceSource::kPi2, "pi2") {
   // Enumerate the in-use paths and the monitored segments.
   const auto used_paths = paths.tables().all_paths(terminals);
   const routing::SegmentIndex index(used_paths, config_.k);
@@ -53,26 +58,95 @@ Pi2Engine::Pi2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const P
   flood_ = std::make_unique<FloodService>(net_, kKindSummaryFlood);
   flood_->set_key_fn(payload_key);
   if (config_.reliable.enabled) {
-    channel_ = std::make_unique<ReliableChannel>(net_, kKindSummaryFlood, config_.reliable);
+    channel_ =
+        std::make_unique<ReliableChannel>(net_, keys_, kKindSummaryFlood, config_.reliable);
     channel_->set_key_fn(payload_key);
     flood_->set_channel(channel_.get());
   }
-  flood_->set_delivery_fn([this](util::NodeId at, const sim::ControlPayload& payload,
-                                 util::SimTime) {
-    const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
-    if (!crypto::verify(keys_, p.envelope)) return;
-    if (p.envelope.signer != p.summary.reporter) return;
-    if (p.envelope.payload != p.summary.to_bytes()) return;  // signature covers content
-    auto it = segment_ids_.find(p.summary.segment);
-    if (it == segment_ids_.end()) return;
-    // Store per receiving router; equivocation poisons the slot.
-    Slot& slot = received_[{at, it->second, p.summary.reporter, p.summary.round}];
-    if (slot.summary.has_value()) {
-      if (!(slot.summary->to_bytes() == p.summary.to_bytes())) slot.poisoned = true;
-      return;
-    }
-    slot.summary = p.summary;
+  // Verify-before-reflood: an unverifiable copy is dropped at the first
+  // honest hop and attributed to the hop that handed it over.
+  flood_->set_validate_fn([this](util::NodeId, const sim::ControlPayload& payload) {
+    std::optional<SegmentSummary> decoded;
+    return vet(payload, decoded) == ControlVerdict::kOk;
   });
+  flood_->set_invalid_fn([this](util::NodeId at, util::NodeId prev,
+                                const sim::ControlPayload& payload, util::SimTime) {
+    on_invalid(at, prev, payload);
+  });
+  flood_->set_delivery_fn(
+      [this](util::NodeId at, const sim::ControlPayload& payload, util::SimTime) {
+        on_delivery(at, payload);
+      });
+}
+
+ControlVerdict Pi2Engine::vet(const sim::ControlPayload& payload,
+                              std::optional<SegmentSummary>& out, std::int64_t* margin) const {
+  const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
+  const ControlVerdict verdict = guard_.check_summary(p.envelope, out);
+  if (verdict != ControlVerdict::kOk) return verdict;
+  return guard_.admit_round(out->round, closed_round_,
+                            config_.clock.round_of(net_.sim().now()), margin);
+}
+
+void Pi2Engine::on_invalid(util::NodeId at, util::NodeId prev,
+                           const sim::ControlPayload& payload) {
+  std::optional<SegmentSummary> decoded;
+  std::int64_t margin = 0;
+  const ControlVerdict verdict = vet(payload, decoded, &margin);
+  guard_.reject(at, prev, decoded.has_value() ? decoded->round : -1, verdict, nullptr);
+  if (verdict == ControlVerdict::kStale && margin < ControlGuard::kSuspectMargin) {
+    return;  // plausibly a late retransmission from the retry schedule
+  }
+  // The hop that handed over the bad copy is ground truth in the sim:
+  // honest routers verify before re-flooding, so `prev` forged, tampered
+  // or replayed it — precision 1, no ambiguity.
+  const char* cause =
+      verdict == ControlVerdict::kStale ? "stale-replay" : "invalid-control";
+  suspect(at, routing::PathSegment{prev}, config_.clock.round_of(net_.sim().now()), cause);
+}
+
+void Pi2Engine::on_delivery(util::NodeId at, const sim::ControlPayload& payload) {
+  const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
+  std::optional<SegmentSummary> decoded;
+  if (vet(payload, decoded) != ControlVerdict::kOk) return;  // originator-local copies
+  guard_.accept();
+  const auto it = segment_ids_.find(decoded->segment);
+  if (it == segment_ids_.end()) return;
+  const std::size_t sid = it->second;
+  // Equivocation ledger: the flood keys on full signed content, so two
+  // conflicting signed summaries for one (segment, reporter, round) BOTH
+  // circulate — the first router to hold the pair files it as a proof.
+  const std::tuple<std::size_t, util::NodeId, std::int64_t> stmt{sid, decoded->reporter,
+                                                                 decoded->round};
+  const auto [fit, fresh] = first_envelope_.emplace(stmt, p.envelope);
+  if (!fresh && fit->second.payload != p.envelope.payload) {
+    FATIH_TRACE_EMIT(net_.sim().trace(),
+                     byzantine(net_.sim().now(), obs::TraceSource::kPi2,
+                               obs::TraceCode::kEquivocationProven, at, decoded->reporter,
+                               decoded->round, sid, "conflicting-summaries"));
+    FATIH_METRIC_REG(net_.sim().metrics(), counter("byzantine.pi2.equivocations").inc());
+    if (conviction_ != nullptr && proof_filed_.insert(stmt).second) {
+      conviction_->accuse(at, static_cast<std::uint8_t>(obs::TraceSource::kPi2),
+                          routing::PathSegment{decoded->reporter}, decoded->round,
+                          "equivocation", {fit->second, p.envelope});
+    }
+  }
+  // Store per receiving router; equivocation poisons the slot.
+  Slot& slot = received_[{at, sid, decoded->reporter, decoded->round}];
+  if (slot.summary.has_value()) {
+    if (slot.summary->to_bytes() != p.envelope.payload) slot.poisoned = true;
+    return;
+  }
+  slot.summary = std::move(*decoded);
+}
+
+void Pi2Engine::inject_summary(util::NodeId from, const SegmentSummary& summary) {
+  auto payload = std::make_shared<SegmentSummaryPayload>();
+  payload->kind_tag = kKindSummaryFlood;
+  payload->envelope = crypto::sign(keys_, from, summary.to_bytes());
+  payload->summary = summary;
+  const std::uint32_t bytes = payload->summary.wire_bytes();
+  flood_->originate(from, std::move(payload), bytes);
 }
 
 void Pi2Engine::start() {
@@ -208,8 +282,14 @@ void Pi2Engine::evaluate(std::int64_t round) {
       }
     }
   }
-  // Garbage-collect this round's state.
+  // Close the anti-replay window: copies for this round (or older)
+  // arriving from now on are replays, dropped at the first honest hop.
+  closed_round_ = std::max(closed_round_, round);
+  // Garbage-collect this round's state (closed rounds can no longer gain
+  // equivocation conflicts either — the watermark rejects their copies).
   received_.erase_if([round](const auto& kv) { return std::get<3>(kv.first) <= round; });
+  first_envelope_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
+  proof_filed_.erase_if([round](const auto& k) { return std::get<2>(k) <= round; });
   ++counters_.rounds_evaluated;
   FATIH_TRACE_EMIT(net_.sim().trace(),
                    round_event(net_.sim().now(), obs::TraceSource::kPi2,
@@ -234,6 +314,12 @@ void Pi2Engine::suspect(util::NodeId reporter, const routing::PathSegment& pair,
   FATIH_METRIC_REG(net_.sim().metrics(), counter("pi2.suspicions").inc());
   suspicions_.push_back(s);
   if (handler_) handler_(suspicions_.back());
+  if (conviction_ != nullptr) {
+    // Evidence-free witness vote; only precision-1 votes can ever combine
+    // into a conviction, and only with a quorum of distinct reporters.
+    conviction_->accuse(reporter, static_cast<std::uint8_t>(obs::TraceSource::kPi2), pair,
+                        round, cause);
+  }
 }
 
 }  // namespace fatih::detection

@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "detection/byzantine.hpp"
 #include "detection/flood.hpp"
 #include "detection/reliable.hpp"
 #include "detection/summary_gen.hpp"
@@ -29,6 +30,8 @@
 #include "util/flat_map.hpp"
 
 namespace fatih::detection {
+
+class ConvictionEngine;
 
 struct Pi2Config {
   RoundClock clock;
@@ -68,6 +71,20 @@ class Pi2Engine {
   using ReportMutator = std::function<bool(SegmentSummary&)>;
   void set_report_mutator(util::NodeId r, ReportMutator m) { mutators_[r] = std::move(m); }
 
+  /// Adversarial entry: signs `summary` with `from`'s own key and floods
+  /// it. Attacks use this to equivocate — emit a second, conflicting
+  /// summary for a (segment, round) already disseminated. The attacker
+  /// cannot sign as anyone else, so the conflicting pair convicts `from`.
+  void inject_summary(util::NodeId from, const SegmentSummary& summary);
+
+  /// Optional conviction layer: when attached, every suspicion is also
+  /// filed as a signed accusation and proven equivocations ship both
+  /// envelopes as evidence. Engines never convict on their own.
+  void set_conviction_engine(ConvictionEngine* c) { conviction_ = c; }
+
+  /// Control-plane verification counters (rejected floods, replays, ...).
+  [[nodiscard]] const ByzantineStats& guard_stats() const { return guard_.stats(); }
+
   /// The segments router r monitors.
   [[nodiscard]] std::vector<routing::PathSegment> monitored_by(util::NodeId r) const;
 
@@ -93,11 +110,20 @@ class Pi2Engine {
   void evaluate(std::int64_t round);
   void suspect(util::NodeId reporter, const routing::PathSegment& pair, std::int64_t round,
                const char* cause);
+  /// Full admission check for one arriving flood copy: MAC + canonical
+  /// decode + signer identity (guard) and the anti-replay round window.
+  ControlVerdict vet(const sim::ControlPayload& payload, std::optional<SegmentSummary>& out,
+                     std::int64_t* margin = nullptr) const;
+  void on_invalid(util::NodeId at, util::NodeId prev, const sim::ControlPayload& payload);
+  void on_delivery(util::NodeId at, const sim::ControlPayload& payload);
 
   sim::Network& net_;
   const crypto::KeyRegistry& keys_;
   const PathCache& paths_;
   Pi2Config config_;
+  ControlGuard guard_;
+  ConvictionEngine* conviction_ = nullptr;
+  std::int64_t closed_round_ = -1;  ///< highest evaluated round (watermark)
   DetectorCounters counters_;
   std::unique_ptr<ReliableChannel> channel_;  ///< null unless reliable.enabled
   std::unique_ptr<FloodService> flood_;
@@ -117,6 +143,11 @@ class Pi2Engine {
   util::FlatMap<std::tuple<util::NodeId, std::size_t, util::NodeId, std::int64_t>, Slot>
       received_;
   util::FlatMap<util::NodeId, ReportMutator> mutators_;
+  // Equivocation ledger: first MAC-valid envelope per (segment id,
+  // reporter, round); a second, different one completes a proof.
+  util::FlatMap<std::tuple<std::size_t, util::NodeId, std::int64_t>, crypto::SignedEnvelope>
+      first_envelope_;
+  util::FlatSet<std::tuple<std::size_t, util::NodeId, std::int64_t>> proof_filed_;
   std::vector<Suspicion> suspicions_;
   util::FlatSet<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>> raised_;
   SuspicionHandler handler_;

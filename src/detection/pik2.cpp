@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "detection/evidence.hpp"
 #include "util/log.hpp"
 #include "validation/bloom.hpp"
 #include "validation/reconcile.hpp"
@@ -15,7 +16,11 @@ constexpr const char* kComponent = "pik2";
 
 Pik2Engine::Pik2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const PathCache& paths,
                        const std::vector<util::NodeId>& terminals, Pik2Config config)
-    : net_(net), keys_(keys), paths_(paths), config_(config) {
+    : net_(net),
+      keys_(keys),
+      paths_(paths),
+      config_(config),
+      guard_(net, keys, obs::TraceSource::kPik2, "pik2") {
   const auto used_paths = paths.tables().all_paths(terminals);
   const routing::SegmentIndex index(used_paths, config_.k);
   segments_ = index.all_pik2_segments();
@@ -43,7 +48,8 @@ Pik2Engine::Pik2Engine(sim::Network& net, const crypto::KeyRegistry& keys, const
   }
 
   if (config_.reliable.enabled) {
-    channel_ = std::make_unique<ReliableChannel>(net_, kKindSegmentSummary, config_.reliable);
+    channel_ =
+        std::make_unique<ReliableChannel>(net_, keys_, kKindSegmentSummary, config_.reliable);
     channel_->set_key_fn([](const sim::ControlPayload& payload) {
       const auto& p = static_cast<const SegmentSummaryPayload&>(payload);
       return summary_dedup_key(p.summary.reporter, p.summary.segment, p.summary.round,
@@ -170,12 +176,47 @@ void Pik2Engine::exchange(std::int64_t round) {
 }
 
 void Pik2Engine::on_summary(util::NodeId at, const SegmentSummaryPayload& payload) {
-  if (!crypto::verify(keys_, payload.envelope)) return;
-  if (payload.envelope.signer != payload.summary.reporter) return;
-  if (payload.envelope.payload != payload.summary.to_bytes()) return;
-  const auto& seg = payload.summary.segment;
-  if (!seg.is_end(at) || !seg.is_end(payload.summary.reporter)) return;
-  peer_[{at, seg, payload.summary.round}] = payload.summary;
+  std::optional<SegmentSummary> decoded;
+  ControlVerdict verdict = guard_.check_summary(payload.envelope, decoded);
+  if (verdict == ControlVerdict::kOk) {
+    verdict = guard_.admit_round(decoded->round, closed_round_,
+                                 config_.clock.round_of(net_.sim().now()));
+  }
+  if (verdict != ControlVerdict::kOk) {
+    // Unicast exchange: honest interior routers forward blindly, so a bad
+    // summary has no attributable hop — drop and count. An interior
+    // tamperer starves the exchange instead, which surfaces as the
+    // whole-segment timeout suspicion (§5.2 semantics); a stale replay is
+    // inert because the round it argues about is already closed.
+    guard_.reject(at, util::kInvalidNode, decoded.has_value() ? decoded->round : -1, verdict,
+                  nullptr);
+    return;
+  }
+  const auto& seg = decoded->segment;
+  if (!seg.is_end(at) || !seg.is_end(decoded->reporter) || decoded->reporter == at) return;
+  const std::tuple<util::NodeId, routing::PathSegment, std::int64_t> key{at, seg,
+                                                                         decoded->round};
+  const auto [env_it, fresh] = peer_envelope_.emplace(key, payload.envelope);
+  if (!fresh) {
+    if (env_it->second.payload != payload.envelope.payload) {
+      // Two MAC-valid, conflicting summaries from the same end for the
+      // same (segment, round): a self-incriminating equivocation proof.
+      FATIH_TRACE_EMIT(net_.sim().trace(),
+                       byzantine(net_.sim().now(), obs::TraceSource::kPik2,
+                                 obs::TraceCode::kEquivocationProven, at, decoded->reporter,
+                                 decoded->round, 0, "conflicting-summaries"));
+      FATIH_METRIC_REG(net_.sim().metrics(), counter("byzantine.pik2.equivocations").inc());
+      if (conviction_ != nullptr && proof_filed_.insert(key).second) {
+        conviction_->accuse(at, static_cast<std::uint8_t>(obs::TraceSource::kPik2),
+                            routing::PathSegment{decoded->reporter}, decoded->round,
+                            "equivocation", {env_it->second, payload.envelope});
+      }
+      suspect(at, routing::PathSegment{decoded->reporter}, decoded->round, "equivocation");
+    }
+    return;  // first verified summary stays authoritative
+  }
+  guard_.accept();
+  peer_[key] = std::move(*decoded);
 }
 
 bool Pik2Engine::churn_invalidated(const routing::PathSegment& seg, std::int64_t round) const {
@@ -285,8 +326,14 @@ void Pik2Engine::evaluate(std::int64_t round) {
       if (!outcome.ok) suspect(r, seg, round, "tv-failed");
     }
   }
+  // Close the anti-replay window, then drop the round's state (closed
+  // rounds can no longer gain equivocation conflicts — the watermark
+  // rejects their copies at arrival).
+  closed_round_ = std::max(closed_round_, round);
   own_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
   peer_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
+  peer_envelope_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
+  proof_filed_.erase_if([round](const auto& k) { return std::get<2>(k) <= round; });
   if (invalidated_here > 0) {
     FATIH_TRACE_EMIT(net_.sim().trace(),
                      round_event(net_.sim().now(), obs::TraceSource::kPik2,
@@ -319,6 +366,34 @@ void Pik2Engine::suspect(util::NodeId reporter, const routing::PathSegment& segm
   FATIH_METRIC_REG(net_.sim().metrics(), counter("pik2.suspicions").inc());
   suspicions_.push_back(s);
   if (handler_) handler_(suspicions_.back());
+  if (conviction_ != nullptr) {
+    // Evidence-free witness vote; whole-segment suspicions never convict
+    // (precision > 1), only a precision-1 quorum or a proof does.
+    conviction_->accuse(reporter, static_cast<std::uint8_t>(obs::TraceSource::kPik2), segment,
+                        round, cause);
+  }
+}
+
+void Pik2Engine::inject_summary(util::NodeId from, const SegmentSummary& summary) {
+  const auto& seg = summary.segment;
+  const util::NodeId peer = (from == seg.front()) ? seg.back() : seg.front();
+  auto payload = std::make_shared<SegmentSummaryPayload>();
+  payload->kind_tag = kKindSegmentSummary;
+  payload->envelope = crypto::sign(keys_, from, summary.to_bytes());
+  payload->summary = summary;
+  const std::uint32_t bytes = payload->summary.wire_bytes();
+  exchange_bytes_ += sim::kHeaderBytes + bytes;
+  if (channel_ != nullptr) {
+    channel_->send(from, peer, std::move(payload), bytes, ReliableChannel::Via::kRouted);
+    return;
+  }
+  sim::PacketHeader hdr;
+  hdr.src = from;
+  hdr.dst = peer;
+  hdr.proto = sim::Protocol::kControl;
+  sim::Packet p = net_.make_packet(hdr, bytes);
+  p.control = std::move(payload);
+  net_.router(from).originate(p);
 }
 
 }  // namespace fatih::detection

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "detection/byzantine.hpp"
 #include "detection/reliable.hpp"
 #include "detection/summary_gen.hpp"
 #include "detection/tv.hpp"
@@ -24,6 +25,8 @@
 #include "util/flat_map.hpp"
 
 namespace fatih::detection {
+
+class ConvictionEngine;
 
 /// How summaries travel between the segment ends.
 enum class SummaryCompression {
@@ -79,6 +82,18 @@ class Pik2Engine {
   using ReportMutator = std::function<bool(SegmentSummary&)>;
   void set_report_mutator(util::NodeId r, ReportMutator m) { mutators_[r] = std::move(m); }
 
+  /// Adversarial entry: signs `summary` with `from`'s own key and sends it
+  /// to the far end of its segment — a second, conflicting summary for an
+  /// already-exchanged (segment, round) is an equivocation the receiver
+  /// can prove with the two envelopes.
+  void inject_summary(util::NodeId from, const SegmentSummary& summary);
+
+  /// Optional conviction layer (see Pi2Engine::set_conviction_engine).
+  void set_conviction_engine(ConvictionEngine* c) { conviction_ = c; }
+
+  /// Control-plane verification counters (rejected exchanges, replays...).
+  [[nodiscard]] const ByzantineStats& guard_stats() const { return guard_.stats(); }
+
   /// Segments with r as an end (its Pr).
   [[nodiscard]] std::vector<routing::PathSegment> monitored_by(util::NodeId r) const;
 
@@ -113,6 +128,9 @@ class Pik2Engine {
   const crypto::KeyRegistry& keys_;
   const PathCache& paths_;
   Pik2Config config_;
+  ControlGuard guard_;
+  ConvictionEngine* conviction_ = nullptr;
+  std::int64_t closed_round_ = -1;  ///< highest evaluated round (watermark)
   DetectorCounters counters_;
   std::unique_ptr<ReliableChannel> channel_;  ///< null unless reliable.enabled
   std::vector<std::unique_ptr<SummaryGenerator>> generators_;
@@ -121,9 +139,16 @@ class Pik2Engine {
   // Flat sorted-vector stores: std::map iteration order, dense lookups.
   util::FlatMap<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, SegmentSummary>
       own_;
-  // Peer summaries received, keyed by (receiver, segment, round).
+  // Peer summaries received, keyed by (receiver, segment, round). First
+  // verified summary wins; a later conflicting one is an equivocation.
   util::FlatMap<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, SegmentSummary>
       peer_;
+  // The envelope backing each peer_ entry, kept so a conflicting second
+  // summary can be filed as a two-envelope equivocation proof.
+  util::FlatMap<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>,
+                crypto::SignedEnvelope>
+      peer_envelope_;
+  util::FlatSet<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>> proof_filed_;
   util::FlatMap<util::NodeId, ReportMutator> mutators_;
   std::uint64_t exchange_bytes_ = 0;
   bool stopped_ = false;

@@ -29,8 +29,20 @@ std::uint64_t summary_dedup_key(util::NodeId reporter, const routing::PathSegmen
   return crypto::siphash24(kKey, bytes.data(), bytes.size());
 }
 
-ReliableChannel::ReliableChannel(sim::Network& net, std::uint16_t kind, ReliableConfig config)
-    : net_(net), kind_(kind), config_(config), rng_(net.seed() ^ kChannelSeedTag ^ kind) {
+crypto::MacTag ack_tag(const crypto::KeyRegistry& keys, std::uint16_t acked_kind,
+                       std::uint64_t msg_key, util::NodeId acker, util::NodeId addressee) {
+  std::vector<std::byte> bytes;
+  crypto::append_bytes(bytes, acked_kind);
+  crypto::append_bytes(bytes, msg_key);
+  crypto::append_bytes(bytes, acker);
+  crypto::append_bytes(bytes, addressee);
+  return crypto::compute_mac(keys.pairwise_key(acker, addressee), bytes);
+}
+
+ReliableChannel::ReliableChannel(sim::Network& net, const crypto::KeyRegistry& keys,
+                                 std::uint16_t kind, ReliableConfig config)
+    : net_(net), keys_(keys), kind_(kind), config_(config),
+      rng_(net.seed() ^ kChannelSeedTag ^ kind) {
   seen_.resize(net_.node_count());
   for (util::NodeId n = 0; n < net_.node_count(); ++n) {
     net_.node(n).add_control_sink(
@@ -127,6 +139,7 @@ void ReliableChannel::on_message(util::NodeId at, const sim::Packet& p) {
   ack->acked_kind = kind_;
   ack->msg_key = key;
   ack->acker = at;
+  ack->tag = ack_tag(keys_, kind_, key, at, p.hdr.src);
   ++stats_.acks_sent;
   FATIH_METRIC_REG(net_.sim().metrics(), counter("reliable.acks_sent").inc());
   stats_.ack_bytes += sim::kHeaderBytes + config_.ack_bytes;
@@ -140,6 +153,19 @@ void ReliableChannel::on_message(util::NodeId at, const sim::Packet& p) {
 }
 
 void ReliableChannel::on_ack(util::NodeId at, const ControlAckPayload& ack) {
+  // Mandatory ack authentication: the tag must verify under the pairwise
+  // key of the claimed acker and this node, so a spoofed ack (forged
+  // acker, or a replayed tag spliced onto a different msg_key) can never
+  // settle an exchange the forger was not a party to.
+  if (ack.tag != ack_tag(keys_, kind_, ack.msg_key, ack.acker, at)) {
+    ++stats_.acks_rejected;
+    FATIH_METRIC_REG(net_.sim().metrics(), counter("reliable.acks_rejected").inc());
+    FATIH_TRACE_EMIT(net_.sim().trace(),
+                     byzantine(net_.sim().now(), obs::TraceSource::kReliable,
+                               obs::TraceCode::kControlRejected, at, ack.acker, -1,
+                               ack.msg_key, "ack-bad-mac"));
+    return;
+  }
   const auto it = pending_.find({at, ack.acker, ack.msg_key});
   if (it == pending_.end()) return;  // duplicate or stale ack
   Pending& p = it->second;

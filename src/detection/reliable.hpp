@@ -35,13 +35,23 @@ namespace fatih::detection {
 
 /// Ack for one reliably-sent control message. `msg_key` is the channel's
 /// dedup key of the acked payload; `acked_kind` routes the ack to the
-/// right channel when several coexist.
+/// right channel when several coexist. `tag` authenticates the ack: a MAC
+/// over (acked_kind, msg_key, acker, addressee) under the pairwise key of
+/// acker and addressee, so only the genuine receiver of a message can
+/// settle the sender's retransmission state — a third router spoofing
+/// acks cannot make an exchange look delivered.
 struct ControlAckPayload final : sim::ControlPayload {
   std::uint16_t acked_kind = 0;
   std::uint64_t msg_key = 0;
   util::NodeId acker = util::kInvalidNode;
+  crypto::MacTag tag = 0;
   [[nodiscard]] std::uint16_t kind() const override { return kKindControlAck; }
 };
+
+/// The ack MAC (exposed so tests can forge tags for the negative cases).
+[[nodiscard]] crypto::MacTag ack_tag(const crypto::KeyRegistry& keys, std::uint16_t acked_kind,
+                                     std::uint64_t msg_key, util::NodeId acker,
+                                     util::NodeId addressee);
 
 /// Retransmission policy of a ReliableChannel. Defaults are tuned for the
 /// millisecond-scale links of the evaluation topologies; `enabled = false`
@@ -93,7 +103,8 @@ class ReliableChannel {
   using FailureFn = std::function<void(util::NodeId from, util::NodeId to,
                                        const sim::ControlPayload&, util::SimTime)>;
 
-  ReliableChannel(sim::Network& net, std::uint16_t kind, ReliableConfig config);
+  ReliableChannel(sim::Network& net, const crypto::KeyRegistry& keys, std::uint16_t kind,
+                  ReliableConfig config);
 
   void set_key_fn(KeyFn f) { key_fn_ = std::move(f); }
   void set_delivery_fn(DeliveryFn f) { delivery_fn_ = std::move(f); }
@@ -120,6 +131,7 @@ class ReliableChannel {
     std::uint64_t failures = 0;       ///< retry budget exhausted
     std::uint64_t acks_sent = 0;
     std::uint64_t acks_received = 0;  ///< acks that settled a pending send
+    std::uint64_t acks_rejected = 0;  ///< acks failing MAC verification
     std::uint64_t duplicates = 0;     ///< receiver-side duplicate payloads
     std::uint64_t payload_bytes = 0;  ///< wire bytes of all transmissions
     std::uint64_t ack_bytes = 0;      ///< wire bytes of all acks
@@ -166,6 +178,7 @@ class ReliableChannel {
   }
 
   sim::Network& net_;
+  const crypto::KeyRegistry& keys_;
   std::uint16_t kind_;
   ReliableConfig config_;
   util::Rng rng_;

@@ -20,13 +20,13 @@ namespace fatih::detection {
 /// manner during `interval`.
 struct Suspicion {
   util::NodeId reporter = util::kInvalidNode;
-  routing::PathSegment segment;
-  util::TimeInterval interval;
+  routing::PathSegment segment{};
+  util::TimeInterval interval{};
   /// Detector-specific confidence in [0,1]; 1 for deterministic detectors.
   double confidence = 1.0;
   /// Free-form cause tag ("content-mismatch", "exchange-timeout",
   /// "queue-single", "queue-combined", ...) for forensics.
-  std::string cause;
+  std::string cause{};
 
   [[nodiscard]] std::string to_string() const;
 };

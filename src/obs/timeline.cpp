@@ -95,6 +95,10 @@ std::string Timeline::describe(const TraceEvent& ev) const {
                           ev.real * 100.0);
     case TraceCategory::kAnnotation:
       return ev.note_c_str();
+    case TraceCategory::kByzantine:
+      return util::strfmt("BYZNT   %s %s %s -> %s round %lld (%s)", to_string(ev.source),
+                          to_string(ev.code), name(ev.a).c_str(), name(ev.b).c_str(),
+                          static_cast<long long>(ev.round), ev.note_c_str());
   }
   return util::strfmt("%s/%s", to_string(ev.category), to_string(ev.code));
 }

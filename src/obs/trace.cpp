@@ -15,6 +15,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kExchange: return "exchange";
     case TraceCategory::kSuspicion: return "suspicion";
     case TraceCategory::kAnnotation: return "annotation";
+    case TraceCategory::kByzantine: return "byzantine";
   }
   return "?";
 }
@@ -49,6 +50,10 @@ const char* to_string(TraceCode c) {
     case TraceCode::kExchangeFailed: return "exchange-failed";
     case TraceCode::kSuspicionRaised: return "suspicion-raised";
     case TraceCode::kAnnotation: return "annotation";
+    case TraceCode::kControlRejected: return "control-rejected";
+    case TraceCode::kEquivocationProven: return "equivocation-proven";
+    case TraceCode::kAccusation: return "accusation";
+    case TraceCode::kConviction: return "conviction";
   }
   return "?";
 }
@@ -64,6 +69,7 @@ const char* to_string(TraceSource s) {
     case TraceSource::kReliable: return "reliable";
     case TraceSource::kValidation: return "validation";
     case TraceSource::kBench: return "bench";
+    case TraceSource::kConviction: return "conviction";
   }
   return "?";
 }
@@ -192,6 +198,22 @@ void TraceSink::annotate(util::SimTime at, const char* label) {
   ev.code = TraceCode::kAnnotation;
   ev.source = TraceSource::kBench;
   ev.set_note(label);
+  emit(ev);
+}
+
+void TraceSink::byzantine(util::SimTime at, TraceSource src, TraceCode code, util::NodeId a,
+                          util::NodeId b, std::int64_t round, std::uint64_t value,
+                          const char* note) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.category = TraceCategory::kByzantine;
+  ev.code = code;
+  ev.source = src;
+  ev.a = a;
+  ev.b = b;
+  ev.round = round;
+  ev.value = value;
+  ev.set_note(note);
   emit(ev);
 }
 

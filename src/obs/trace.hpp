@@ -60,8 +60,9 @@ enum class TraceCategory : std::uint8_t {
   kExchange,    ///< summary exchange send / ack / timeout / failure
   kSuspicion,   ///< a detector raised a suspicion
   kAnnotation,  ///< free-form experiment markers (attack on, commission)
+  kByzantine,   ///< control-plane verification: rejects, proofs, convictions
 };
-inline constexpr std::size_t kTraceCategoryCount = 7;
+inline constexpr std::size_t kTraceCategoryCount = 8;
 [[nodiscard]] const char* to_string(TraceCategory c);
 
 /// Category-specific event codes (one flat enum so a code renders the same
@@ -103,6 +104,11 @@ enum class TraceCode : std::uint16_t {
   kSuspicionRaised,
   // kAnnotation
   kAnnotation,
+  // kByzantine
+  kControlRejected,     ///< a control message failed verification (note = reason)
+  kEquivocationProven,  ///< two conflicting signed statements for one key
+  kAccusation,          ///< a signed accusation was accepted into the ledger
+  kConviction,          ///< the evidence layer convicted a router
 };
 [[nodiscard]] const char* to_string(TraceCode c);
 
@@ -118,6 +124,7 @@ enum class TraceSource : std::uint8_t {
   kReliable,
   kValidation,
   kBench,
+  kConviction,  ///< the evidence-based conviction layer
 };
 [[nodiscard]] const char* to_string(TraceSource s);
 
@@ -186,6 +193,8 @@ class TraceSink {
                  std::size_t segment_len, std::int64_t round, double confidence,
                  const char* cause);
   void annotate(util::SimTime at, const char* label);
+  void byzantine(util::SimTime at, TraceSource src, TraceCode code, util::NodeId a,
+                 util::NodeId b, std::int64_t round, std::uint64_t value, const char* note);
 
   /// Events offered to emit() (enabled categories only).
   [[nodiscard]] std::uint64_t offered() const { return offered_; }

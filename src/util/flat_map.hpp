@@ -149,6 +149,12 @@ class FlatSet {
     return 1;
   }
 
+  /// Bulk removal in one pass; surviving order is preserved.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    return std::erase_if(v_, pred);
+  }
+
  private:
   std::vector<Key> v_;
 };

@@ -16,7 +16,13 @@ using NodeId = std::uint32_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
-/// Renders a node id as "r<id>" for logs.
-[[nodiscard]] inline std::string node_name(NodeId id) { return "r" + std::to_string(id); }
+/// Renders a node id as "r<id>" for logs. Built by append rather than
+/// operator+ — GCC 12's -Wrestrict false-positives on the char*+string&&
+/// overload when fully inlined at -O3, and the tree builds with -Werror.
+[[nodiscard]] inline std::string node_name(NodeId id) {
+  std::string out("r");
+  out += std::to_string(id);
+  return out;
+}
 
 }  // namespace fatih::util

@@ -1,0 +1,472 @@
+// Byzantine control-plane hardening: the ControlGuard verdicts, the
+// evidence-based conviction rules (single liar / colluding pair soundness,
+// witness quorum, equivocation and forged-evidence proofs), and the
+// per-protocol framing acceptance scenarios on a diamond topology.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "attacks/byzantine.hpp"
+#include "detection/chi.hpp"
+#include "detection/evidence.hpp"
+#include "detection/pi2.hpp"
+#include "detection/pik2.hpp"
+#include "obs/trace.hpp"
+#include "routing/install.hpp"
+#include "routing/spf.hpp"
+#include "tests/detection/test_net.hpp"
+
+namespace fatih::detection {
+namespace {
+
+using testing::LineNet;
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+// ----------------------------------------------------------- ControlGuard
+
+struct GuardHarness {
+  sim::Network net{3};
+  crypto::KeyRegistry keys{501};
+  ControlGuard guard{net, keys, obs::TraceSource::kPi2, "test"};
+
+  GuardHarness() {
+    net.add_router("a");
+    net.add_router("b");
+  }
+
+  SegmentSummary sample() const {
+    SegmentSummary s;
+    s.reporter = 0;
+    s.segment = routing::PathSegment{0, 1};
+    s.round = 3;
+    s.counters.packets = 5;
+    s.counters.bytes = 500;
+    s.content = {11, 22, 33};
+    return s;
+  }
+};
+
+TEST(ControlGuard, AcceptsWellSignedSummary) {
+  GuardHarness h;
+  const SegmentSummary s = h.sample();
+  const auto env = crypto::sign(h.keys, 0, s.to_bytes());
+  std::optional<SegmentSummary> out;
+  EXPECT_EQ(h.guard.check_summary(env, out), ControlVerdict::kOk);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->reporter, 0U);
+  EXPECT_EQ(out->content, s.content);
+}
+
+TEST(ControlGuard, TamperedPayloadIsBadMac) {
+  GuardHarness h;
+  auto env = crypto::sign(h.keys, 0, h.sample().to_bytes());
+  env.payload[env.payload.size() / 2] ^= std::byte{0x40};
+  std::optional<SegmentSummary> out;
+  EXPECT_EQ(h.guard.check_summary(env, out), ControlVerdict::kBadMac);
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST(ControlGuard, ForgedTagIsBadMac) {
+  GuardHarness h;
+  auto env = crypto::sign(h.keys, 0, h.sample().to_bytes());
+  env.tag ^= 1;
+  std::optional<SegmentSummary> out;
+  EXPECT_EQ(h.guard.check_summary(env, out), ControlVerdict::kBadMac);
+}
+
+TEST(ControlGuard, WrongSignerIsSignerMismatch) {
+  GuardHarness h;
+  // Well-signed by router 1 — but the payload claims reporter 0. An
+  // attacker can always sign with its OWN key; it must not be able to
+  // speak for another router.
+  const auto env = crypto::sign(h.keys, 1, h.sample().to_bytes());
+  std::optional<SegmentSummary> out;
+  EXPECT_EQ(h.guard.check_summary(env, out), ControlVerdict::kSignerMismatch);
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST(ControlGuard, GarbagePayloadIsMalformed) {
+  GuardHarness h;
+  const std::vector<std::byte> junk{std::byte{0xFF}, std::byte{0xEE}, std::byte{0x01}};
+  const auto env = crypto::sign(h.keys, 0, junk);  // MAC verifies, decode cannot
+  std::optional<SegmentSummary> out;
+  EXPECT_EQ(h.guard.check_summary(env, out), ControlVerdict::kMalformed);
+}
+
+TEST(ControlGuard, RoundWindowRejectsStaleAndFuture) {
+  GuardHarness h;
+  std::int64_t margin = -1;
+  EXPECT_EQ(h.guard.admit_round(5, 4, 5), ControlVerdict::kOk);
+  EXPECT_EQ(h.guard.admit_round(6, 4, 5), ControlVerdict::kOk);  // next open round
+  EXPECT_EQ(h.guard.admit_round(4, 4, 5, &margin), ControlVerdict::kStale);
+  EXPECT_EQ(margin, 0);  // at the watermark: plausibly a late retransmit
+  EXPECT_EQ(h.guard.admit_round(1, 4, 5, &margin), ControlVerdict::kStale);
+  EXPECT_EQ(margin, 3);  // far below: warrants suspicion
+  EXPECT_GE(margin, ControlGuard::kSuspectMargin);
+  EXPECT_EQ(h.guard.admit_round(7, 4, 5), ControlVerdict::kFuture);
+}
+
+TEST(ControlGuard, RejectionsAreCountedPerVerdict) {
+  GuardHarness h;
+  h.guard.accept();
+  h.guard.reject(0, 1, 3, ControlVerdict::kBadMac, "t");
+  h.guard.reject(0, 1, 3, ControlVerdict::kBadMac, "t");
+  h.guard.reject(0, util::kInvalidNode, 3, ControlVerdict::kStale, "t");
+  h.guard.reject(0, 1, 3, ControlVerdict::kMalformed, "t");
+  const ByzantineStats& s = h.guard.stats();
+  EXPECT_EQ(s.accepted, 1U);
+  EXPECT_EQ(s.rejected_bad_mac, 2U);
+  EXPECT_EQ(s.rejected_stale, 1U);
+  EXPECT_EQ(s.rejected_malformed, 1U);
+  EXPECT_EQ(s.rejected(), 4U);
+}
+
+// ------------------------------------------------------- conviction rules
+
+/// Diamond r0-(r1|r2)-r3: two disjoint two-hop paths, enough honest
+/// routers for a quorum, and the shape of the sandwich-frame counterexample.
+struct DiamondNet {
+  sim::Network net{11};
+  crypto::KeyRegistry keys{777};
+  std::shared_ptr<routing::RoutingTables> tables;
+  std::unique_ptr<PathCache> paths;
+  std::unique_ptr<ConvictionEngine> conviction;
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+
+  explicit DiamondNet(ConvictionConfig ccfg = {}) {
+    for (int i = 0; i < 4; ++i) net.add_router("r" + std::to_string(i));
+    for (auto [a, b] : {std::pair<NodeId, NodeId>{0, 1}, {0, 2}, {1, 3}, {2, 3}}) {
+      net.connect(a, b, testing::fast_link());
+    }
+    tables = std::make_shared<routing::RoutingTables>(routing::Topology::from_network(net));
+    routing::install_static_routes(net, *tables);
+    paths = std::make_unique<PathCache>(tables);
+    for (NodeId i = 0; i < 4; ++i) {
+      net.router(i).set_processing_delay(Duration::micros(20), Duration::micros(10));
+    }
+    conviction = std::make_unique<ConvictionEngine>(net, keys, ccfg);
+  }
+
+  /// Files an evidence-free accusation inside the simulation.
+  void vote_at(double t, NodeId accuser, const routing::PathSegment& accused,
+               std::int64_t round = 1) {
+    net.sim().schedule_at(SimTime::from_seconds(t), [this, accuser, accused, round] {
+      conviction->accuse(accuser, static_cast<std::uint8_t>(obs::TraceSource::kPi2), accused,
+                         round, "test-vote");
+    });
+  }
+
+  void run(double seconds = 2.0) { net.sim().run_until(SimTime::from_seconds(seconds)); }
+};
+
+TEST(ConvictionEngine, SingleLiarCannotConvict) {
+  DiamondNet d;
+  for (int i = 0; i < 5; ++i) d.vote_at(0.1 + 0.1 * i, 2, routing::PathSegment{1}, i);
+  d.run();
+  // Five rounds of lies are still ONE distinct witness.
+  EXPECT_GT(d.conviction->accusations_accepted(), 0U);
+  EXPECT_FALSE(d.conviction->convicted(1));
+  EXPECT_TRUE(d.conviction->convictions().empty());
+}
+
+TEST(ConvictionEngine, ColludingPairCannotConvict) {
+  DiamondNet d;
+  for (int i = 0; i < 3; ++i) {
+    d.vote_at(0.1 + 0.1 * i, 0, routing::PathSegment{3}, i);
+    d.vote_at(0.12 + 0.1 * i, 2, routing::PathSegment{3}, i);
+  }
+  d.run();
+  EXPECT_FALSE(d.conviction->convicted(3));
+  EXPECT_TRUE(d.conviction->convictions().empty());
+}
+
+TEST(ConvictionEngine, SelfVoteDoesNotCountTowardQuorum) {
+  DiamondNet d;
+  d.vote_at(0.1, 0, routing::PathSegment{3});
+  d.vote_at(0.2, 1, routing::PathSegment{3});
+  d.vote_at(0.3, 3, routing::PathSegment{3});  // the accused "confessing" a vote
+  d.run();
+  // Two distinct third-party witnesses plus a self-vote: below quorum.
+  EXPECT_FALSE(d.conviction->convicted(3));
+}
+
+TEST(ConvictionEngine, WitnessQuorumConvicts) {
+  DiamondNet d;
+  d.vote_at(0.1, 0, routing::PathSegment{3});
+  d.vote_at(0.2, 1, routing::PathSegment{3});
+  d.vote_at(0.3, 2, routing::PathSegment{3});
+  d.run();
+  ASSERT_TRUE(d.conviction->convicted(3));
+  ASSERT_EQ(d.conviction->convictions().size(), 1U);
+  const Conviction& c = d.conviction->convictions().front();
+  EXPECT_EQ(c.basis, "witness-quorum");
+  EXPECT_EQ(c.witnesses.size(), 3U);
+}
+
+TEST(ConvictionEngine, Precision2AccusationsNeverConvict) {
+  // The sandwich frame: colluders r0 and r3 sandwich honest r1 and make
+  // both adjacent pairs look faulty. Any rule intersecting pair
+  // accusations would convict r1 — so pairs must carry zero conviction
+  // weight no matter how many accusers repeat them.
+  DiamondNet d;
+  for (int i = 0; i < 4; ++i) {
+    d.vote_at(0.1 + 0.1 * i, 0, routing::PathSegment{0, 1}, i);
+    d.vote_at(0.12 + 0.1 * i, 3, routing::PathSegment{1, 3}, i);
+    d.vote_at(0.14 + 0.1 * i, 2, routing::PathSegment{0, 1}, i);
+  }
+  d.run();
+  EXPECT_GT(d.conviction->accusations_accepted(), 0U);
+  EXPECT_TRUE(d.conviction->convictions().empty());
+}
+
+TEST(ConvictionEngine, EquivocationProofConvictsSigner) {
+  DiamondNet d;
+  // Two genuinely signed, conflicting statements for the same (reporter,
+  // segment, round): only router 1's key can produce this pair, so it is
+  // self-incriminating no matter who files it.
+  SegmentSummary a;
+  a.reporter = 1;
+  a.segment = routing::PathSegment{0, 1, 3};
+  a.round = 2;
+  a.counters.packets = 10;
+  SegmentSummary b = a;
+  b.counters.packets = 99;
+  std::vector<crypto::SignedEnvelope> proof{crypto::sign(d.keys, 1, a.to_bytes()),
+                                            crypto::sign(d.keys, 1, b.to_bytes())};
+  NodeId culprit = util::kInvalidNode;
+  EXPECT_TRUE(valid_equivocation_proof(d.keys, proof, &culprit));
+  EXPECT_EQ(culprit, 1U);
+  d.net.sim().schedule_at(SimTime::from_seconds(0.1), [&d, proof] {
+    d.conviction->accuse(0, static_cast<std::uint8_t>(obs::TraceSource::kPi2),
+                         routing::PathSegment{1}, 2, "equivocation", proof);
+  });
+  d.run();
+  ASSERT_TRUE(d.conviction->convicted(1));
+  EXPECT_EQ(d.conviction->convictions().front().basis, "equivocation-proof");
+}
+
+TEST(ConvictionEngine, FabricatedProofConvictsTheAccuser) {
+  DiamondNet d;
+  // r2 ships an "equivocation proof" it cannot actually sign: envelopes
+  // under r1's name with invented tags. The accusation itself is signed by
+  // r2, so the bad proof convicts r2 — and never r1.
+  std::vector<crypto::SignedEnvelope> fake(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    fake[i].signer = 1;
+    fake[i].payload = {std::byte{static_cast<unsigned char>(i)}, std::byte{0xBA}};
+    fake[i].tag = 0xFA4EFA4E;
+  }
+  NodeId culprit = util::kInvalidNode;
+  EXPECT_FALSE(valid_equivocation_proof(d.keys, fake, &culprit));
+  d.net.sim().schedule_at(SimTime::from_seconds(0.1), [&d, fake] {
+    d.conviction->accuse(2, static_cast<std::uint8_t>(obs::TraceSource::kPi2),
+                         routing::PathSegment{1}, 2, "framed", fake);
+  });
+  d.run();
+  EXPECT_FALSE(d.conviction->convicted(1));
+  ASSERT_TRUE(d.conviction->convicted(2));
+  EXPECT_EQ(d.conviction->convictions().front().basis, "forged-evidence");
+}
+
+TEST(ConvictionEngine, UnsignedAccusationNeverEntersLedger) {
+  DiamondNet d;
+  d.net.sim().schedule_at(SimTime::from_seconds(0.1), [&d] {
+    Accusation acc;
+    acc.accuser = 2;
+    acc.detector = static_cast<std::uint8_t>(obs::TraceSource::kPi2);
+    acc.accused = routing::PathSegment{1};
+    acc.round = 1;
+    acc.cause = "forged";
+    crypto::SignedEnvelope env;  // fabricated tag, never signed
+    env.signer = 2;
+    env.payload = acc.to_bytes();
+    env.tag = 0xDEADC0DE;
+    d.conviction->originate_raw(2, acc, std::move(env));
+  });
+  d.run();
+  EXPECT_EQ(d.conviction->accusations_accepted(), 0U);
+  EXPECT_GT(d.conviction->stats().rejected_bad_mac, 0U);
+  EXPECT_TRUE(d.conviction->convictions().empty());
+}
+
+// ----------------------------------------------- framing acceptance suite
+
+/// Diamond + Pi(k+2) with clean traffic and one liar r2 framing honest r1
+/// with fabricated proofs. Returns a comparable run snapshot.
+struct FramingSnapshot {
+  std::vector<std::tuple<NodeId, std::int64_t, std::string>> convictions;
+  std::uint64_t accusations_accepted = 0;
+  std::uint64_t filed = 0;
+  std::size_t suspicions = 0;
+  bool honest_convicted = false;
+
+  bool operator==(const FramingSnapshot&) const = default;
+};
+
+FramingSnapshot run_pik2_framing() {
+  DiamondNet d;
+  Pik2Config cfg;
+  cfg.clock = RoundClock{SimTime::from_seconds(1), Duration::seconds(1)};
+  cfg.k = 1;
+  cfg.collect_settle = Duration::millis(150);
+  cfg.exchange_timeout = Duration::millis(400);
+  cfg.policy = TvPolicy::kContentOrder;
+  cfg.thresholds.max_lost_packets = 2;
+  cfg.rounds = 4;
+  Pik2Engine engine(d.net, d.keys, *d.paths, {0, 3}, cfg);
+  engine.set_conviction_engine(d.conviction.get());
+  engine.start();
+  for (auto [src, dst, flow] :
+       {std::tuple<NodeId, NodeId, std::uint32_t>{0, 3, 1}, {3, 0, 2}}) {
+    traffic::CbrSource::Config c;
+    c.src = src;
+    c.dst = dst;
+    c.flow_id = flow;
+    c.rate_pps = 120;
+    c.start = SimTime::from_seconds(1);
+    c.stop = SimTime::from_seconds(4.8);
+    d.sources.push_back(std::make_unique<traffic::CbrSource>(d.net, c));
+  }
+  attacks::FalseAccusationAttack::Config fc;
+  fc.accusers = {2};
+  fc.victim = 1;
+  fc.detector = static_cast<std::uint8_t>(obs::TraceSource::kPik2);
+  fc.clock = cfg.clock;
+  fc.start = SimTime::from_seconds(2.1);
+  fc.period = Duration::seconds(1);
+  fc.shots = 2;
+  fc.forge_evidence = true;
+  attacks::FalseAccusationAttack framing(d.net, d.keys, *d.conviction, fc);
+  d.run(6.5);
+
+  FramingSnapshot snap;
+  for (const Conviction& c : d.conviction->convictions()) {
+    snap.convictions.emplace_back(c.accused, c.round, c.basis);
+    snap.honest_convicted |= c.accused != 2;
+  }
+  snap.accusations_accepted = d.conviction->accusations_accepted();
+  snap.filed = framing.filed();
+  snap.suspicions = engine.suspicions().size();
+  return snap;
+}
+
+TEST(FramingAcceptance, Pik2FramedHonestRouterNeverConvictedAttackerIs) {
+  const FramingSnapshot snap = run_pik2_framing();
+  EXPECT_EQ(snap.filed, 2U);
+  EXPECT_FALSE(snap.honest_convicted);
+  ASSERT_FALSE(snap.convictions.empty());
+  EXPECT_EQ(std::get<0>(snap.convictions.front()), 2U);
+  EXPECT_EQ(std::get<2>(snap.convictions.front()), "forged-evidence");
+  // Clean traffic: the framing never leaks into the detector's own output.
+  EXPECT_EQ(snap.suspicions, 0U);
+}
+
+TEST(FramingAcceptance, RunTwiceIsDeterministic) {
+  EXPECT_EQ(run_pik2_framing(), run_pik2_framing());
+}
+
+TEST(FramingAcceptance, Pi2ForgedFloodConvictsForgerNotVictim) {
+  // Diamond + Pi2: r2 floods summaries under honest r1's name with a
+  // fabricated MAC. Every honest neighbor rejects the copy and votes
+  // against the hop that delivered it; the claimed victim stays clean.
+  DiamondNet d;
+  Pi2Config cfg;
+  cfg.clock = RoundClock{SimTime::from_seconds(1), Duration::seconds(1)};
+  cfg.k = 1;
+  cfg.collect_settle = Duration::millis(150);
+  cfg.evaluate_settle = Duration::millis(400);
+  cfg.policy = TvPolicy::kContentOrder;
+  cfg.thresholds.max_lost_packets = 2;
+  cfg.rounds = 4;
+  Pi2Engine engine(d.net, d.keys, *d.paths, {0, 3}, cfg);
+  engine.set_conviction_engine(d.conviction.get());
+  engine.start();
+  for (auto [src, dst, flow] :
+       {std::tuple<NodeId, NodeId, std::uint32_t>{0, 3, 1}, {3, 0, 2}}) {
+    traffic::CbrSource::Config c;
+    c.src = src;
+    c.dst = dst;
+    c.flow_id = flow;
+    c.rate_pps = 120;
+    c.start = SimTime::from_seconds(1);
+    c.stop = SimTime::from_seconds(4.8);
+    d.sources.push_back(std::make_unique<traffic::CbrSource>(d.net, c));
+  }
+  attacks::ForgedControlInjector::Config fc;
+  fc.at = 2;
+  fc.victim = 1;
+  fc.kind = kKindSummaryFlood;
+  fc.segment = engine.monitored_by(1).empty() ? routing::PathSegment{0, 1, 3}
+                                              : engine.monitored_by(1).front();
+  fc.clock = cfg.clock;
+  fc.start = SimTime::from_seconds(2.05);
+  fc.period = Duration::seconds(1);
+  fc.shots = 3;
+  attacks::ForgedControlInjector inj(d.net, d.keys, fc);
+  d.run(6.5);
+
+  EXPECT_GT(inj.injected(), 0U);
+  EXPECT_GT(engine.guard_stats().rejected_bad_mac, 0U);
+  EXPECT_FALSE(d.conviction->convicted(1));  // the claimed victim
+  for (const Conviction& c : d.conviction->convictions()) {
+    EXPECT_EQ(c.accused, 2U) << c.basis;
+  }
+  // Every suspicion the rejects raised names the forger, precision 1.
+  bool forger_named = false;
+  for (const Suspicion& s : engine.suspicions()) {
+    if (s.segment == routing::PathSegment{2}) forger_named = true;
+    EXPECT_FALSE(s.segment.contains(1) && s.segment.length() == 1)
+        << "victim suspected alone: " << s.to_string();
+  }
+  EXPECT_TRUE(forger_named);
+}
+
+TEST(FramingAcceptance, ChiLyingNeighborAttributedNotTheOwner) {
+  // chi's framing defense: neighbor r0 pads its report with phantom
+  // entries to pin "drops" on honest queue owner r1. Every unexplained
+  // drop traces to r0's report alone, so suspicions name the {r0, r1}
+  // pair — never r1 by itself — and a single witness cannot convict.
+  LineNet line{3};
+  std::unique_ptr<ConvictionEngine> conviction =
+      std::make_unique<ConvictionEngine>(line.net, line.keys);
+  ChiConfig cfg;
+  cfg.clock = RoundClock{SimTime::origin(), Duration::seconds(1)};
+  cfg.settle = Duration::millis(400);
+  cfg.grace = Duration::millis(200);
+  cfg.learning_rounds = 2;
+  cfg.rounds = 6;
+  ChiEngine engine(line.net, line.keys, *line.paths, cfg);
+  QueueValidator& validator = engine.monitor_queue(1, 2);
+  engine.set_conviction_engine(conviction.get());
+  const RoundClock clock = cfg.clock;
+  validator.set_report_mutator(0, [clock](ChiReport& r) {
+    if (r.round < 3 || r.part != 0) return true;
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      ChiRecord phantom;
+      phantom.fp = 0xF00D0000ULL + i;
+      phantom.size_bytes = 900;
+      phantom.flow_id = 7;
+      phantom.ts = clock.interval_of(r.round).begin + Duration::millis(5 * (i + 1));
+      r.records.push_back(phantom);
+    }
+    return true;
+  });
+  line.add_cbr(0, 2, 1, 250, SimTime::from_seconds(0.05), SimTime::from_seconds(6.9));
+  engine.start();
+  line.net.sim().run_until(SimTime::from_seconds(8));
+
+  const auto& suspicions = validator.suspicions();
+  ASSERT_FALSE(suspicions.empty());
+  for (const Suspicion& s : suspicions) {
+    EXPECT_TRUE(s.segment.contains(0U)) << "liar not named: " << s.to_string();
+  }
+  EXPECT_FALSE(conviction->convicted(1));
+  EXPECT_TRUE(conviction->convictions().empty());
+}
+
+}  // namespace
+}  // namespace fatih::detection

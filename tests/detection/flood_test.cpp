@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "attacks/attacks.hpp"
+#include "crypto/keys.hpp"
 #include "detection/reliable.hpp"
 #include "routing/topologies.hpp"
 
@@ -23,6 +24,7 @@ struct TestPayload final : sim::ControlPayload {
 
 struct FloodNet {
   sim::Network net{5};
+  crypto::KeyRegistry keys{777};
   std::unique_ptr<FloodService> service;
   std::map<NodeId, std::size_t> deliveries;
   std::map<std::uint64_t, std::size_t> per_payload;
@@ -145,7 +147,7 @@ TEST(FloodService, ExactlyOnceDeliveryOverReliableChannelUnderLoss) {
   rcfg.min_rto = Duration::millis(10);
   rcfg.max_rto = Duration::millis(100);
   rcfg.max_retries = 7;
-  ReliableChannel channel(f.net, 0x2F01, rcfg);
+  ReliableChannel channel(f.net, f.keys, 0x2F01, rcfg);
   channel.set_key_fn(
       [](const sim::ControlPayload& p) { return static_cast<const TestPayload&>(p).id; });
   f.service->set_channel(&channel);
@@ -170,7 +172,7 @@ TEST(FloodService, ReliableLossyFloodIsDeterministic) {
     ReliableConfig rcfg;
     rcfg.enabled = true;
     rcfg.max_retries = 7;
-    ReliableChannel channel(f.net, 0x2F01, rcfg);
+    ReliableChannel channel(f.net, f.keys, 0x2F01, rcfg);
     channel.set_key_fn(
         [](const sim::ControlPayload& p) { return static_cast<const TestPayload&>(p).id; });
     f.service->set_channel(&channel);

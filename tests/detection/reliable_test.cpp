@@ -55,7 +55,7 @@ struct ChannelHarness {
   std::vector<std::uint64_t> failed;
 
   explicit ChannelHarness(ReliableConfig cfg = fast_reliable()) {
-    channel = std::make_unique<ReliableChannel>(line.net, kTestKind, cfg);
+    channel = std::make_unique<ReliableChannel>(line.net, line.keys, kTestKind, cfg);
     channel->set_key_fn(
         [](const sim::ControlPayload& p) { return static_cast<const MsgPayload&>(p).id; });
     channel->set_delivery_fn([this](NodeId at, const sim::ControlPayload& p, SimTime) {
@@ -210,6 +210,77 @@ TEST(ReliableChannel, DuplicateAckSettlesOnceThenIgnored) {
   EXPECT_EQ(h.channel->in_flight(), 0U);
 }
 
+TEST(ReliableChannel, SpoofedAckCannotSettleExchange) {
+  // The payload path 0 -> 2 is fully blocked, so ONLY an ack could make the
+  // exchange look delivered. A malicious r1 spoofs acks claiming r2
+  // received the message — one with a garbage tag, one MAC'd under r1's
+  // own pairwise key. Neither verifies under (acker=2, addressee=0): the
+  // sender must keep retransmitting to budget exhaustion and report the
+  // failure, never a phantom delivery.
+  ChannelHarness h;
+  auto loss = uniform_control_loss(1.0);
+  loss.match.kinds = {kTestKind};
+  attacks::ControlLinkFaults faults(h.line.net, loss);
+  h.send_at(0.1, 0, 2, 5);
+  for (double t : {0.15, 0.3, 0.6}) {
+    h.line.net.sim().schedule_at(SimTime::from_seconds(t), [&h] {
+      const auto forge = [&h](crypto::MacTag tag) {
+        auto ack = std::make_shared<ControlAckPayload>();
+        ack->acked_kind = kTestKind;
+        ack->msg_key = 5;
+        ack->acker = 2;
+        ack->tag = tag;
+        sim::PacketHeader hdr;
+        hdr.src = 2;  // spoofed source address, to match the claimed acker
+        hdr.dst = 0;
+        hdr.proto = sim::Protocol::kControl;
+        sim::Packet p = h.line.net.make_packet(hdr, 48);
+        p.control = std::move(ack);
+        h.line.net.router(1).interface_to(0)->send(p);
+      };
+      forge(0xBADC0DE);
+      forge(ack_tag(h.line.keys, kTestKind, 5, 1, 0));  // r1's own key, wrong identity
+    });
+  }
+  h.run(4.0);
+  const auto& s = h.channel->stats();
+  EXPECT_TRUE(h.delivered.empty());
+  EXPECT_EQ(s.acks_rejected, 6U);  // every forged ack counted and dropped
+  EXPECT_EQ(s.acks_received, 0U);  // none settled the pending send
+  EXPECT_EQ(s.failures, 1U);
+  EXPECT_EQ(s.transmissions, 1U + h.channel->config().max_retries);
+  EXPECT_EQ(h.channel->in_flight(), 0U);
+}
+
+TEST(ReliableChannel, GenuineAckSettlesDespiteSpoofingNoise) {
+  // Same spoofing, healthy network: the genuine receiver's MAC-valid ack
+  // settles the exchange exactly once while the forgeries only bump the
+  // reject counter.
+  ChannelHarness h;
+  h.send_at(0.1, 0, 2, 9);
+  h.line.net.sim().schedule_at(SimTime::from_seconds(0.11), [&h] {
+    auto ack = std::make_shared<ControlAckPayload>();
+    ack->acked_kind = kTestKind;
+    ack->msg_key = 9;
+    ack->acker = 2;
+    ack->tag = 0xFEEDFACE;
+    sim::PacketHeader hdr;
+    hdr.src = 2;
+    hdr.dst = 0;
+    hdr.proto = sim::Protocol::kControl;
+    sim::Packet p = h.line.net.make_packet(hdr, 48);
+    p.control = std::move(ack);
+    h.line.net.router(1).interface_to(0)->send(p);
+  });
+  h.run(2.0);
+  const auto& s = h.channel->stats();
+  EXPECT_EQ((h.delivered[{2, 9}]), 1);
+  EXPECT_EQ(s.acks_rejected, 1U);
+  EXPECT_EQ(s.acks_received, 1U);
+  EXPECT_EQ(s.failures, 0U);
+  EXPECT_EQ(h.channel->in_flight(), 0U);
+}
+
 #if FATIH_TRACE
 TEST(ReliableChannel, RegistryCountersMirrorChannelStats) {
   // The observability layer counts what the channel counts: after a lossy
@@ -261,7 +332,8 @@ TEST(ReliableChannel, DirectModeNeedsNoRoutes) {
   net.add_router("a");
   net.add_router("b");
   net.connect(0, 1, testing::fast_link());
-  ReliableChannel channel(net, kTestKind, fast_reliable());
+  crypto::KeyRegistry keys{777};
+  ReliableChannel channel(net, keys, kTestKind, fast_reliable());
   channel.set_key_fn(
       [](const sim::ControlPayload& p) { return static_cast<const MsgPayload&>(p).id; });
   int delivered = 0;

@@ -12,3 +12,12 @@ struct FixtureTraceEvent {
 FixtureTraceEvent fixture_make_partial() {
   return FixtureTraceEvent{1, "send"};  // fires: 2 of 3 fields initialized
 }
+
+struct FixtureForgeryEvidence {
+  std::uint64_t round;  // fires: *Evidence structs are R6-covered too
+  std::string basis{};  // clean
+};
+
+struct Conviction {
+  int accused;  // fires: evidence-layer verdict record, matched by name
+};

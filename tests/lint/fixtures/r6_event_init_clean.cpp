@@ -19,3 +19,15 @@ FixtureCleanEvent fixture_make_full() {
   (void)zeroed;
   return FixtureCleanEvent{7, "recv", 3};      // all fields: clean
 }
+
+struct FixtureCleanEvidence {
+  std::uint64_t round = 0;  // clean: initialized
+};
+
+struct Evidence {  // bare "Evidence" (no prefix): R6 does not apply
+  int x;
+};
+
+struct SuspicionLike {  // prefix-extended name, not the exact record: ignored
+  int y;
+};

@@ -717,8 +717,17 @@ class Linter {
   }
 
   // R6 ----------------------------------------------------------------------
-  /// Struct names ending in "Event" (with a non-empty prefix) are treated
-  /// as serialized trace/metric event aggregates: every field needs an
+  /// R6 name predicate: structs ending in "Event" or "Evidence" (with a
+  /// non-empty prefix) plus the evidence-layer verdict records. All of
+  /// them end up serialized — trace sinks, signed control payloads, the
+  /// conviction ledger — so uninitialized bytes break byte-identical runs.
+  static bool event_like(const std::string& name) {
+    if (name != "Event" && ends_with(name, "Event")) return true;
+    if (name != "Evidence" && ends_with(name, "Evidence")) return true;
+    return name == "Suspicion" || name == "Conviction" || name == "Accusation";
+  }
+
+  /// Event-like structs are serialized aggregates: every field needs an
   /// initializer and brace-constructions must not be partial, or the
   /// uninitialized bytes/fields break byte-identical serialization.
   void rule_trace_event_init() {
@@ -730,7 +739,7 @@ class Linter {
         const std::size_t np = next_nonspace(s, p + 6);
         if (np >= s.size() || !ident_char(s[np])) continue;
         const std::string name = read_ident(s, np);
-        if (name == "Event" || !ends_with(name, "Event")) continue;
+        if (!event_like(name)) continue;
         std::size_t q = next_nonspace(s, np + name.size());
         if (q < s.size() && s[q] == ':') {  // base clause
           while (q < s.size() && s[q] != '{' && s[q] != ';') ++q;
@@ -853,10 +862,13 @@ class Linter {
         {"sim", {"util", "obs"}},
         {"routing", {"util", "obs", "crypto", "sim"}},
         {"traffic", {"util", "obs", "sim"}},
-        {"attacks", {"util", "obs", "sim"}},
+        // attacks/ sits ABOVE detection/ since the Byzantine control-plane
+        // families forge signed detection payloads (keys + wire formats).
+        {"attacks",
+         {"util", "obs", "crypto", "sim", "routing", "traffic", "validation", "detection"}},
         {"validation", {"util", "obs", "crypto", "sim"}},
         {"detection",
-         {"util", "obs", "crypto", "sim", "routing", "traffic", "validation", "attacks"}},
+         {"util", "obs", "crypto", "sim", "routing", "traffic", "validation"}},
         {"fatih",
          {"util", "obs", "crypto", "sim", "routing", "traffic", "validation", "detection",
           "attacks"}},
