@@ -6,12 +6,18 @@
 // same interface works). SipHash gives us a compact, fast, well-studied
 // keyed hash without external dependencies.
 //
-// Two entry points: the general `siphash24(key, data)` for variable-length
-// messages, and a fixed-length fast path — `SipSchedule` caches the
-// key-mixed initial state once, and `siphash24_fixed<N>` hashes an N-byte
-// message with the block loop unrolled at compile time. Both produce
-// bit-identical output to the general routine; the fast path is what the
-// per-packet fingerprint uses.
+// Three entry points: the general `siphash24(key, data)` for
+// variable-length messages; a fixed-length fast path — `SipSchedule`
+// caches the key-mixed initial state once, and `siphash24_fixed<N>` hashes
+// an N-byte message with the block loop unrolled at compile time; and a
+// batch path — `siphash24_fixed_batch<N>` hashes `count` contiguous
+// N-byte messages at once, running 4 (SSE2) or 8 (AVX2) independent
+// SipHash lanes per instruction where the CPU allows it. The dispatch
+// level is detected once at startup and can be capped at runtime
+// (set_simd_level_cap) to force the narrower paths. Every path — scalar,
+// SSE2, AVX2 — produces bit-identical digests: the kernels perform the
+// same 64-bit adds, rotates and xors on independent lanes, so there is no
+// reassociation, no rounding, and no lane interaction to diverge.
 #pragma once
 
 #include <array>
@@ -19,6 +25,18 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+
+/// Compile-time gate for the SIMD batch kernels: configure the build with
+/// -DFATIH_SIMD=OFF (CMake) to compile them out and force the scalar path
+/// everywhere — the sanitizer CI job builds this way.
+#ifndef FATIH_SIMD
+#define FATIH_SIMD 1
+#endif
+#if FATIH_SIMD && defined(__x86_64__) && defined(__GNUC__)
+#define FATIH_SIPHASH_SIMD 1
+#else
+#define FATIH_SIPHASH_SIMD 0
+#endif
 
 namespace fatih::crypto {
 
@@ -115,5 +133,74 @@ template <std::size_t N>
 
 /// Convenience overload for raw buffers.
 [[nodiscard]] std::uint64_t siphash24(SipKey key, const void* data, std::size_t len);
+
+/// Vector width the batch path dispatches to. Ordered: every level
+/// includes the capabilities of the narrower ones, and the dispatcher
+/// falls through level by level (AVX2 groups of 8, then SSE2 groups of 4,
+/// then scalar for the tail).
+enum class SimdLevel : int {
+  kScalar = 0,  ///< plain 64-bit integer code (always available)
+  kSse2 = 1,    ///< 4 lanes: two 2x64-bit states interleaved
+  kAvx2 = 2,    ///< 8 lanes: two 4x64-bit states interleaved
+  kAvx512 = 3,  ///< 8/16 lanes: single-uop rotates (vprolq) carry the round
+};
+
+/// Widest batch the current dispatch level fills in one kernel call
+/// (16 / 8 / 4 / 1). Callers that accumulate packets into lane-width
+/// batches size their buffers with this.
+[[nodiscard]] std::size_t simd_batch_width();
+
+/// Effective dispatch level: min(detected CPU capability, configured
+/// cap). Detection runs once; builds with FATIH_SIMD off (or non-x86-64
+/// targets) always report kScalar.
+[[nodiscard]] SimdLevel simd_level();
+
+/// Caps the dispatch level and returns the previous cap. Tests use this to
+/// run the same inputs through scalar, SSE2 and AVX2 and diff the digests;
+/// it can only narrow what the CPU supports, never exceed it.
+SimdLevel set_simd_level_cap(SimdLevel cap);
+
+#if FATIH_SIPHASH_SIMD
+namespace detail {
+/// Batch kernels (siphash.cpp — the only translation unit with vector
+/// intrinsics, enforced by fatih-lint simd-containment). Each hashes
+/// `lane count` contiguous msg_bytes-sized messages starting at `in`
+/// (message i at in + i * msg_bytes); msg_bytes must be a multiple of 8.
+void sip4_sse2(const SipSchedule& sched, const std::uint8_t* in, std::size_t msg_bytes,
+               std::uint64_t* out);
+void sip8_avx2(const SipSchedule& sched, const std::uint8_t* in, std::size_t msg_bytes,
+               std::uint64_t* out);
+void sip8_avx512(const SipSchedule& sched, const std::uint8_t* in, std::size_t msg_bytes,
+                 std::uint64_t* out);
+void sip16_avx512(const SipSchedule& sched, const std::uint8_t* in, std::size_t msg_bytes,
+                  std::uint64_t* out);
+}  // namespace detail
+#endif
+
+/// SipHash-2-4 of `count` contiguous N-byte messages (message i at
+/// data + i*N), digests written to out[0..count). Bit-identical to
+/// calling siphash24_fixed<N> per message on every dispatch path; the
+/// scalar tail (count % lane width) always exercises the scalar code, so
+/// no batch size hides a divergent kernel.
+template <std::size_t N>
+inline void siphash24_fixed_batch(const SipSchedule& sched, const void* data, std::size_t count,
+                                  std::uint64_t* out) {
+  static_assert(N % 8 == 0, "fixed-path messages must be whole 8-byte blocks");
+  const auto* in = static_cast<const std::uint8_t*>(data);
+  std::size_t i = 0;
+#if FATIH_SIPHASH_SIMD
+  const SimdLevel level = simd_level();
+  if (level == SimdLevel::kAvx512) {
+    for (; i + 16 <= count; i += 16) detail::sip16_avx512(sched, in + i * N, N, out + i);
+    for (; i + 8 <= count; i += 8) detail::sip8_avx512(sched, in + i * N, N, out + i);
+  } else if (level == SimdLevel::kAvx2) {
+    for (; i + 8 <= count; i += 8) detail::sip8_avx2(sched, in + i * N, N, out + i);
+  }
+  if (level >= SimdLevel::kSse2) {
+    for (; i + 4 <= count; i += 4) detail::sip4_sse2(sched, in + i * N, N, out + i);
+  }
+#endif
+  for (; i < count; ++i) out[i] = siphash24_fixed<N>(sched, in + i * N);
+}
 
 }  // namespace fatih::crypto

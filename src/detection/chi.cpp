@@ -109,8 +109,11 @@ void QueueValidator::install_taps() {
   iface->add_enqueue_tap([this](const sim::Packet& p, util::SimTime now) {
     if (learned_) return;
     if (config_.clock.round_of(now) >= config_.learning_rounds) return;
-    const auto& q = net_.router(owner_).interface_to(peer_)->queue();
-    const double qact_before = static_cast<double>(q.byte_length()) - p.size_bytes;
+    // last_admit_depth_bytes, not queue().byte_length(): the pass-through
+    // fast path never parks the packet in the queue object.
+    const auto* out = net_.router(owner_).interface_to(peer_);
+    const double qact_before =
+        static_cast<double>(out->last_admit_depth_bytes()) - p.size_bytes;
     qact_probe_[fp_(p)] = qact_before;
   });
 }
@@ -338,9 +341,10 @@ void QueueValidator::validate(std::int64_t round) {
     // already-staged replay events, and restart the occupancy prediction.
     std::erase_if(pending_entries_, [&](const Entry& e) { return e.rec.ts <= horizon; });
     exits_.erase_if([&](const auto& kv) { return kv.second.ts <= horizon; });
-    while (!events_.empty() && events_.begin()->ts <= horizon) {
-      events_.erase(events_.begin());
+    while (events_head_ < events_.size() && events_[events_head_].ts <= horizon) {
+      ++events_head_;
     }
+    compact_events();
     qpred_ = 0.0;
   } else if (all_reports) {
     if (red_.has_value()) {
@@ -381,6 +385,15 @@ void QueueValidator::validate(std::int64_t round) {
   }
 }
 
+void QueueValidator::compact_events() {
+  // Reclaim the consumed prefix once it dominates the buffer; amortized
+  // O(1) per event, and the unconsumed tail keeps its order.
+  if (events_head_ >= 64 && events_head_ * 2 >= events_.size()) {
+    events_.erase(events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(events_head_));
+    events_head_ = 0;
+  }
+}
+
 void QueueValidator::stage_ready_entries(util::SimTime upto, RoundStats& stats) {
   // Move entries with predicted time inside the horizon into the event
   // set, pairing each with its observed departure when one exists.
@@ -397,6 +410,10 @@ void QueueValidator::stage_ready_entries(util::SimTime upto, RoundStats& stats) 
       util::Duration::from_seconds(drain_seconds * config_.delay_slack) +
       util::Duration::millis(10);
 
+  // Append the round's events then restore order with one sort +
+  // inplace_merge against the unconsumed tail — same comparator, so the
+  // resulting sequence matches what per-event std::set inserts produced.
+  const std::size_t merge_from = events_.size();
   for (const Entry& e : batch) {
     ReplayEvent arrival;
     arrival.ts = e.rec.ts;
@@ -416,12 +433,15 @@ void QueueValidator::stage_ready_entries(util::SimTime upto, RoundStats& stats) 
       if (!e.rec.control && departure.ts > arrival.ts + max_sojourn) {
         ++stats.delayed;  // held far beyond any queueing explanation
       }
-      events_.insert(departure);
+      events_.push_back(departure);
       exits_.erase(it);
     }
-    events_.insert(arrival);
+    events_.push_back(arrival);
     ++stats.entries;
   }
+  std::sort(events_.begin() + static_cast<std::ptrdiff_t>(merge_from), events_.end());
+  std::inplace_merge(events_.begin() + static_cast<std::ptrdiff_t>(events_head_),
+                     events_.begin() + static_cast<std::ptrdiff_t>(merge_from), events_.end());
   if (learned_ && stats.delayed >= config_.delayed_packets_min) {
     suspect(stats.round, "delay-test", 1.0);
     stats.alarmed = true;
@@ -438,9 +458,8 @@ void QueueValidator::replay_droptail(util::SimTime upto, RoundStats& stats) {
   util::RunningStats drop_qpred;
   util::RunningStats drop_ps;
 
-  while (!events_.empty() && events_.begin()->ts <= upto) {
-    const ReplayEvent ev = *events_.begin();
-    events_.erase(events_.begin());
+  while (events_head_ < events_.size() && events_[events_head_].ts <= upto) {
+    const ReplayEvent ev = events_[events_head_++];
     if (ev.departure) {
       qpred_ -= ev.ps;
       ++stats.exits;
@@ -489,6 +508,7 @@ void QueueValidator::replay_droptail(util::SimTime upto, RoundStats& stats) {
       ++stats.congestive;
     }
   }
+  compact_events();
 
   if (std::getenv("CHI_DEBUG") && drop_qpred.count() >= 2) {
     std::fprintf(stderr, "DBG round=%lld n=%zu mean_qpred=%.0f mean_ps=%.0f headroom=%.0f min_qpred=%.0f max_qpred=%.0f\n",
@@ -541,9 +561,8 @@ void QueueValidator::replay_red(util::SimTime upto, RoundStats& stats) {
   util::FlatMap<std::uint32_t, FlowAcc> flows;
   FlowAcc global;
 
-  while (!events_.empty() && events_.begin()->ts <= upto) {
-    const ReplayEvent ev = *events_.begin();
-    events_.erase(events_.begin());
+  while (events_head_ < events_.size() && events_[events_head_].ts <= upto) {
+    const ReplayEvent ev = events_[events_head_++];
     if (ev.departure) {
       qpred_ -= ev.ps;
       ++stats.exits;
@@ -615,6 +634,7 @@ void QueueValidator::replay_red(util::SimTime upto, RoundStats& stats) {
       ++stats.congestive;
     }
   }
+  compact_events();
 
   stats.red_expected_drops = global.expected;
   if (learned_) {

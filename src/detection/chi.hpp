@@ -32,7 +32,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "crypto/keys.hpp"
@@ -206,8 +205,7 @@ class QueueValidator {
   // Staging at the neighbors (per neighbor, per round) before shipping.
   // Accounting stores are flat sorted-vector containers (util/flat_map.hpp):
   // std::map iteration order — determinism is load-bearing — with dense
-  // lookups. events_ stays a std::set: it is an ordered queue popped from
-  // the front, where a flat vector would shift its tail on every pop.
+  // lookups.
   util::FlatMap<std::pair<util::NodeId, std::int64_t>, std::vector<ChiRecord>> neighbor_staged_;
   // Arrived reports, merged; all entries not yet replayed, time-ordered.
   std::vector<Entry> pending_entries_;
@@ -226,9 +224,15 @@ class QueueValidator {
   // Per-reporter tally of this round's unexplained drops (framing defense).
   util::FlatMap<util::NodeId, std::uint64_t> suspicious_by_;
 
-  // Replay state. Events are merged into a time-ordered set that persists
-  // across rounds: a departure later than this round's horizon must not be
-  // applied before next round's earlier arrivals.
+  // Replay state. Events are merged into a time-ordered queue that
+  // persists across rounds: a departure later than this round's horizon
+  // must not be applied before next round's earlier arrivals. The queue is
+  // a flat struct-of-rounds store: a vector kept sorted from events_head_
+  // onward (each round's batch is sorted then inplace_merged against the
+  // unconsumed tail) and consumed by advancing the head cursor — no
+  // node allocations and no tail shifting, with the exact ordering the
+  // old std::set comparator produced (ts, arrivals-before-departures,
+  // insertion seq), so replay order is unchanged.
   struct ReplayEvent {
     util::SimTime ts{};
     bool departure = false;
@@ -246,8 +250,11 @@ class QueueValidator {
       return seq < o.seq;
     }
   };
-  std::set<ReplayEvent> events_;
+  std::vector<ReplayEvent> events_;  ///< sorted from events_head_ on
+  std::size_t events_head_ = 0;      ///< first unconsumed event
   std::uint64_t event_seq_ = 0;
+  /// Drops the consumed prefix once it dominates the buffer.
+  void compact_events();
   double qpred_ = 0.0;
   double max_entry_ps_ = 0.0;  ///< largest packet seen; bounds the race error
   // Cumulative per-flow drop accounting for the RED variant.

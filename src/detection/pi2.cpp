@@ -131,13 +131,31 @@ void Pi2Engine::on_delivery(util::NodeId at, const sim::ControlPayload& payload)
                           "equivocation", {fit->second, p.envelope});
     }
   }
-  // Store per receiving router; equivocation poisons the slot.
+  // Dedup into the canonical variant store (payload bytes are the
+  // canonical serialization, so equal bytes == equal summary); the
+  // per-router slot just records which variant this router holds.
+  auto& vars = variants_[stmt];
+  std::uint32_t vidx = kNoVariant;
+  for (std::uint32_t i = 0; i < vars.size(); ++i) {
+    if (vars[i].payload == p.envelope.payload) {
+      vidx = i;
+      break;
+    }
+  }
+  if (vidx == kNoVariant) {
+    Variant v;
+    v.counters = decoded->counters;
+    v.content = std::move(decoded->content);
+    v.payload = p.envelope.payload;
+    vidx = static_cast<std::uint32_t>(vars.size());
+    vars.push_back(std::move(v));
+  }
   Slot& slot = received_[{at, sid, decoded->reporter, decoded->round}];
-  if (slot.summary.has_value()) {
-    if (slot.summary->to_bytes() != p.envelope.payload) slot.poisoned = true;
+  if (slot.variant != kNoVariant) {
+    if (slot.variant != vidx) slot.poisoned = true;  // conflicting signed copies
     return;
   }
-  slot.summary = std::move(*decoded);
+  slot.variant = vidx;
 }
 
 void Pi2Engine::inject_summary(util::NodeId from, const SegmentSummary& summary) {
@@ -258,24 +276,33 @@ void Pi2Engine::evaluate(std::int64_t round) {
       // precision 1, strictly tighter than the pair bound. Equivocation
       // (two conflicting signed summaries for one key) likewise convicts
       // the signer alone.
-      std::vector<const Slot*> slots(nodes.size(), nullptr);
+      // Resolve each reporter's slot to its shared variant; the TV sweep
+      // then reads spans out of the variant store, sorting each distinct
+      // summary at most once for ALL routers and pairs.
+      auto tv_view = [this](Variant& v) {
+        if (config_.policy != TvPolicy::kFlow && v.sorted.size() != v.content.size()) {
+          v.sorted = v.content;
+          std::sort(v.sorted.begin(), v.sorted.end());
+        }
+        return TvView{v.content, v.sorted, v.counters.packets};
+      };
+      std::vector<Variant*> vars(nodes.size(), nullptr);
       for (std::size_t i = 0; i < nodes.size(); ++i) {
         const auto it = received_.find({r, sid, nodes[i], round});
-        if (it != received_.end()) slots[i] = &it->second;
-        if (it == received_.end() || !it->second.summary.has_value()) {
+        if (it == received_.end() || it->second.variant == kNoVariant) {
           suspect(r, routing::PathSegment{nodes[i]}, round, "withheld-summary");
         } else if (it->second.poisoned) {
           suspect(r, routing::PathSegment{nodes[i]}, round, "equivocation");
+        } else {
+          vars[i] = &variants_.at({sid, nodes[i], round})[it->second.variant];
         }
       }
       for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
-        const Slot* up = slots[i];
-        const Slot* down = slots[i + 1];
-        const bool up_ok = up != nullptr && up->summary && !up->poisoned;
-        const bool down_ok = down != nullptr && down->summary && !down->poisoned;
-        if (!up_ok || !down_ok) continue;  // the per-reporter verdict covered it
+        Variant* up = vars[i];
+        Variant* down = vars[i + 1];
+        if (up == nullptr || down == nullptr) continue;  // per-reporter verdict covered it
         const auto outcome =
-            evaluate_tv(config_.policy, config_.thresholds, *up->summary, *down->summary);
+            evaluate_tv(config_.policy, config_.thresholds, tv_view(*up), tv_view(*down));
         if (!outcome.ok) {
           suspect(r, routing::PathSegment{nodes[i], nodes[i + 1]}, round, "tv-failed");
         }
@@ -288,6 +315,7 @@ void Pi2Engine::evaluate(std::int64_t round) {
   // Garbage-collect this round's state (closed rounds can no longer gain
   // equivocation conflicts either — the watermark rejects their copies).
   received_.erase_if([round](const auto& kv) { return std::get<3>(kv.first) <= round; });
+  variants_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
   first_envelope_.erase_if([round](const auto& kv) { return std::get<2>(kv.first) <= round; });
   proof_filed_.erase_if([round](const auto& k) { return std::get<2>(k) <= round; });
   ++counters_.rounds_evaluated;

@@ -133,15 +133,33 @@ class Pi2Engine {
   // vector) containers: same iteration order as std::map, so the suspicion
   // output stays byte-identical while round evaluation walks dense memory.
   util::FlatMap<routing::PathSegment, std::size_t> segment_ids_;
-  // received[(router, segment id, reporter, round)] -> summary (one per key;
-  // a second, different summary for the same key marks the reporter
-  // equivocating and poisons the entry).
+  // Per-round store, struct-of-arrays. The flood hands every router the
+  // same signed copy, so summary contents are NOT stored per receiver:
+  // variants_ dedups the distinct signed summaries per statement key
+  // (segment id, reporter, round) and received_ maps each (router, key) to
+  // a POD {variant index, poisoned} slot — the dense per-receiver array
+  // over shared out-of-line content. A slot whose router saw two different
+  // signed copies for one key is poisoned (the reporter equivocated).
+  static constexpr std::uint32_t kNoVariant = 0xFFFFFFFFu;
   struct Slot {
-    std::optional<SegmentSummary> summary;
+    std::uint32_t variant = kNoVariant;
     bool poisoned = false;
   };
   util::FlatMap<std::tuple<util::NodeId, std::size_t, util::NodeId, std::int64_t>, Slot>
       received_;
+  /// One distinct signed summary: the canonical payload bytes (the
+  /// equivocation compare), the counters, the content fingerprints in
+  /// forwarding order, and a sorted copy built on first TV use and then
+  /// shared by every evaluating router (previously each router re-sorted
+  /// the same content for every adjacent pair).
+  struct Variant {
+    validation::CounterSummary counters;
+    std::vector<validation::Fingerprint> content;
+    std::vector<std::byte> payload;
+    std::vector<validation::Fingerprint> sorted;
+  };
+  util::FlatMap<std::tuple<std::size_t, util::NodeId, std::int64_t>, std::vector<Variant>>
+      variants_;
   util::FlatMap<util::NodeId, ReportMutator> mutators_;
   // Equivocation ledger: first MAC-valid envelope per (segment id,
   // reporter, round); a second, different one completes a proof.

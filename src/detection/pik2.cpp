@@ -121,7 +121,7 @@ void Pik2Engine::exchange(std::int64_t round) {
     for (const util::NodeId r : {seg.front(), seg.back()}) {
       if (generators_[r] == nullptr) continue;
       SegmentSummary summary = generators_[r]->take_summary(seg, round);
-      own_[{r, seg, round}] = summary;
+      own_[{r, seg, round}] = OwnRecord{summary.counters, summary.content};
       auto mut = mutators_.find(r);
       if (mut != mutators_.end()) {
         if (!mut->second(summary)) continue;  // protocol-faulty: withhold
@@ -319,10 +319,14 @@ void Pik2Engine::evaluate(std::int64_t round) {
         if (!outcome.ok) suspect(r, seg, round, "tv-failed");
         continue;
       }
-      // Orient: upstream summary is the segment's front end.
-      const SegmentSummary& up = (r == seg.front()) ? own_it->second : peer_it->second;
-      const SegmentSummary& down = (r == seg.front()) ? peer_it->second : own_it->second;
-      const auto outcome = evaluate_tv(config_.policy, config_.thresholds, up, down);
+      // Orient: upstream summary is the segment's front end. Spans into
+      // the round stores; evaluate_tv copies nothing but its sort scratch.
+      const TvView own_view{own_it->second.content, {}, own_it->second.counters.packets};
+      const TvView peer_view{peer_it->second.content, {}, peer_it->second.counters.packets};
+      const bool we_are_upstream = r == seg.front();
+      const auto outcome =
+          evaluate_tv(config_.policy, config_.thresholds, we_are_upstream ? own_view : peer_view,
+                      we_are_upstream ? peer_view : own_view);
       if (!outcome.ok) suspect(r, seg, round, "tv-failed");
     }
   }

@@ -137,7 +137,15 @@ class Pik2Engine {
   std::vector<routing::PathSegment> segments_;
   // Local copy each end keeps of what it sent (for the TV evaluation).
   // Flat sorted-vector stores: std::map iteration order, dense lookups.
-  util::FlatMap<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, SegmentSummary>
+  // The own side never ships, so it keeps only what evaluation reads —
+  // counters + content fingerprints — not a full SegmentSummary (the key
+  // already carries reporter/segment/round, and the compressed forms only
+  // exist on the peer side).
+  struct OwnRecord {
+    validation::CounterSummary counters;
+    std::vector<validation::Fingerprint> content;  ///< forwarding order
+  };
+  util::FlatMap<std::tuple<util::NodeId, routing::PathSegment, std::int64_t>, OwnRecord>
       own_;
   // Peer summaries received, keyed by (receiver, segment, round). First
   // verified summary wins; a later conflicting one is an equivocation.

@@ -6,7 +6,12 @@ namespace fatih::detection {
 
 SummaryGenerator::SummaryGenerator(sim::Network& net, const crypto::KeyRegistry& keys,
                                    util::NodeId router, RoundClock clock, const PathCache& paths)
-    : net_(net), keys_(keys), router_(router), clock_(clock), paths_(paths) {
+    : net_(net),
+      keys_(keys),
+      router_(router),
+      clock_(clock),
+      paths_(paths),
+      batch_width_(crypto::simd_batch_width()) {
   auto& r = net_.router(router_);
   r.add_forward_tap([this](const sim::Packet& p, util::NodeId prev, std::size_t out_iface,
                            util::SimTime now) { on_forward(p, prev, out_iface, now); });
@@ -46,27 +51,45 @@ bool SummaryGenerator::applies(const Role& role, const sim::Packet& p, util::Nod
   return role.segment.within(path);
 }
 
-void SummaryGenerator::record(const Role& role, const sim::Packet& p) {
-  const auto fp = role.fp(p);
-  if (role.sample_keep < 256 && (fp & 0xFF) >= role.sample_keep) return;
-  const std::size_t idx = static_cast<std::size_t>(&role - roles_.data());
-  Bucket& b = buckets_[{idx, clock_.round_of(p.created)}];
-  b.counters.add(p.size_bytes);
-  b.content.push_back(fp);
+void SummaryGenerator::record(Role& role, const sim::Packet& p) {
+  // Defer the hash: buffer the invariant view and flush a lane-width batch
+  // through the SIMD kernels. Sampling needs the fingerprint, so it is
+  // applied at flush time, in the buffered (arrival) order.
+  role.pending.push_back(validation::PacketInvariant::from_packet(p));
+  role.pending_rounds.push_back(clock_.round_of(p.created));
+  if (role.pending.size() >= batch_width_) {
+    flush_role(static_cast<std::size_t>(&role - roles_.data()));
+  }
+}
+
+void SummaryGenerator::flush_role(std::size_t idx) {
+  Role& role = roles_[idx];
+  if (role.pending.empty()) return;
+  fp_scratch_.resize(role.pending.size());
+  role.fp.hash_batch(role.pending.data(), role.pending.size(), fp_scratch_.data());
+  for (std::size_t i = 0; i < role.pending.size(); ++i) {
+    const validation::Fingerprint fp = fp_scratch_[i];
+    if (role.sample_keep < 256 && (fp & 0xFF) >= role.sample_keep) continue;
+    Bucket& b = buckets_[{idx, role.pending_rounds[i]}];
+    b.counters.add(role.pending[i].size_bytes);
+    b.content.push_back(fp);
+  }
+  role.pending.clear();
+  role.pending_rounds.clear();
 }
 
 void SummaryGenerator::on_forward(const sim::Packet& p, util::NodeId prev, std::size_t out_iface,
                                   util::SimTime /*now*/) {
   if (!enabled_ || p.is_control()) return;  // only data-plane traffic is validated
   const util::NodeId next = net_.router(router_).interface(out_iface).peer();
-  for (const Role& role : roles_) {
+  for (Role& role : roles_) {
     if (applies(role, p, prev, next)) record(role, p);
   }
 }
 
 void SummaryGenerator::on_receive(const sim::Packet& p, util::NodeId prev, util::SimTime /*now*/) {
   if (!enabled_ || p.is_control()) return;
-  for (const Role& role : roles_) {
+  for (Role& role : roles_) {
     if (applies(role, p, prev, std::nullopt)) record(role, p);
   }
 }
@@ -79,6 +102,7 @@ SegmentSummary SummaryGenerator::take_summary(const routing::PathSegment& segmen
   out.round = round;
   for (std::size_t idx = 0; idx < roles_.size(); ++idx) {
     if (roles_[idx].segment != segment) continue;
+    flush_role(idx);  // drain the partial batch before reading the bucket
     auto it = buckets_.find({idx, round});
     if (it == buckets_.end()) break;
     out.counters = it->second.counters;

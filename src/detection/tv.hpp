@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "detection/messages.hpp"
 
@@ -33,8 +34,24 @@ struct TvOutcome {
   std::uint64_t reordered = 0;   ///< |common| - |LCS|
 };
 
+/// Zero-copy view of one side of a TV evaluation: `content` is the
+/// fingerprints in forwarding order, `packets` the counter term. `sorted`
+/// may carry a pre-sorted copy of the same multiset — engines that
+/// evaluate one summary many times (Pi2's per-router sweep) sort once and
+/// reuse it; leave it empty (any size != content.size()) and evaluate_tv
+/// sorts an internal scratch copy instead.
+struct TvView {
+  std::span<const validation::Fingerprint> content;
+  std::span<const validation::Fingerprint> sorted = {};
+  std::uint64_t packets = 0;
+};
+
 /// Evaluates TV between an upstream router's summary and the next
-/// downstream router's summary for the same segment and round.
+/// downstream router's summary for the same segment and round. The view
+/// overload is the core — it reads straight out of the engines' round
+/// stores; the SegmentSummary overload wraps and delegates.
+[[nodiscard]] TvOutcome evaluate_tv(TvPolicy policy, const TvThresholds& thresholds,
+                                    const TvView& upstream, const TvView& downstream);
 [[nodiscard]] TvOutcome evaluate_tv(TvPolicy policy, const TvThresholds& thresholds,
                                     const SegmentSummary& upstream,
                                     const SegmentSummary& downstream);

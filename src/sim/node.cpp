@@ -50,9 +50,49 @@ EnqueueResult Interface::send(const Packet& p) {
     notify_drop(p, DropReason::kLinkDown);
     return EnqueueResult::kDroppedLinkDown;
   }
+  if (!busy_ && queue_->pass_through(p, sim_.now())) {
+    note_pass_through(p);
+    start_transmit(p);
+    return EnqueueResult::kAccepted;
+  }
+  return send_slow(p);
+}
+
+EnqueueResult Interface::send(Packet&& p) {
+  if (!up_) {
+    notify_drop(p, DropReason::kLinkDown);
+    return EnqueueResult::kDroppedLinkDown;
+  }
+  if (!busy_ && queue_->pass_through(p, sim_.now())) {
+    note_pass_through(p);
+    start_transmit(std::move(p));
+    return EnqueueResult::kAccepted;
+  }
+  return send_slow(p);
+}
+
+/// Observable effects of an accepted pass-through, identical to what
+/// enqueue-then-dequeue would have produced: pass_through() guarantees the
+/// queue is empty, so the post-enqueue depth is exactly p.size_bytes.
+void Interface::note_pass_through(const Packet& p) {
+  last_admit_depth_bytes_ = p.size_bytes;
+  [[maybe_unused]] obs::PacketCounters& pc = sim_.packet_counters();
+  [[maybe_unused]] const auto limit = queue_->byte_limit();
+  [[maybe_unused]] const double fill =
+      limit == 0 ? 0.0 : static_cast<double>(p.size_bytes) / static_cast<double>(limit);
+  FATIH_METRIC(pc.enqueued, inc());
+  FATIH_METRIC(pc.queue_fill, add(fill));
+  FATIH_TRACE_EMIT(sim_.trace(),
+                   queue_depth(sim_.now(), owner_.id(), peer_, p.size_bytes, fill));
+  for (const auto& tap : enqueue_taps_) tap(p, sim_.now());
+}
+
+EnqueueResult Interface::send_slow(const Packet& p) {
   const auto result = queue_->enqueue(p, sim_.now());
   switch (result) {
     case EnqueueResult::kAccepted: {
+      ++queued_packets_;
+      last_admit_depth_bytes_ = queue_->byte_length();
       [[maybe_unused]] obs::PacketCounters& pc = sim_.packet_counters();
       FATIH_METRIC(pc.enqueued, inc());
       FATIH_METRIC(pc.queue_fill, add(fill_fraction()));
@@ -85,6 +125,7 @@ void Interface::set_up(bool up) {
     while (auto popped = queue_->dequeue(sim_.now())) {
       notify_drop(*popped, DropReason::kLinkDown);
     }
+    queued_packets_ = 0;
   } else if (!busy_) {
     try_transmit();
   }
@@ -97,45 +138,116 @@ void Interface::notify_drop(const Packet& p, DropReason reason) {
   for (const auto& tap : drop_taps_) tap(p, sim_.now(), reason);
 }
 
+void Interface::send_batch(std::span<const Packet> batch, EnqueueResult* results) {
+  if (batch.empty()) return;
+  if (!up_) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      notify_drop(batch[i], DropReason::kLinkDown);
+      results[i] = EnqueueResult::kDroppedLinkDown;
+    }
+    return;
+  }
+  std::size_t admit_depth = queue_->byte_length();
+  queue_->enqueue_batch(batch, sim_.now(), results);
+  bool any_accepted = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Packet& p = batch[i];
+    switch (results[i]) {
+      case EnqueueResult::kAccepted: {
+        any_accepted = true;
+        ++queued_packets_;
+        admit_depth += p.size_bytes;  // depth this packet saw, admission order
+        last_admit_depth_bytes_ = admit_depth;
+        [[maybe_unused]] obs::PacketCounters& pc = sim_.packet_counters();
+        FATIH_METRIC(pc.enqueued, inc());
+        for (const auto& tap : enqueue_taps_) tap(p, sim_.now());
+        break;
+      }
+      case EnqueueResult::kDroppedFull:
+        notify_drop(p, DropReason::kCongestion);
+        break;
+      case EnqueueResult::kDroppedRedEarly:
+        notify_drop(p, DropReason::kRedEarly);
+        break;
+      case EnqueueResult::kDroppedLinkDown:
+        notify_drop(p, DropReason::kLinkDown);
+        break;
+    }
+  }
+  if (any_accepted) {
+    // One depth sample for the whole batch: the packets were admitted at a
+    // single instant, so per-packet intermediate depths never existed.
+    [[maybe_unused]] obs::PacketCounters& pc = sim_.packet_counters();
+    FATIH_METRIC(pc.queue_fill, add(fill_fraction()));
+    FATIH_TRACE_EMIT(sim_.trace(), queue_depth(sim_.now(), owner_.id(), peer_,
+                                               queue_->byte_length(), fill_fraction()));
+    try_transmit();
+  }
+}
+
 void Interface::try_transmit() {
-  if (busy_ || !up_) return;
+  if (busy_ || !up_ || queued_packets_ == 0) return;
   auto popped = queue_->dequeue(sim_.now());
   if (!popped) return;
-  busy_ = true;
-  Packet p = *std::move(popped);
-  FATIH_METRIC(sim_.packet_counters().transmitted, inc());
-  for (const auto& tap : transmit_taps_) tap(p, sim_.now());
-  const auto tx = link_.tx_time(p.size_bytes);
-  // End of serialization: the transmitter frees up and the packet begins
-  // propagating to the peer. The packet is moved (never copied) through
-  // the serialization and propagation events. Both events carry the
-  // down-epoch observed at schedule time: if the link fails underneath
-  // them, the packet is lost instead of delivered (interfaces are never
-  // destroyed before the simulator, so capturing `this` is safe).
-  sim_.schedule_in(tx, [this, epoch = down_epoch_, p = std::move(p)]() mutable {
-    busy_ = false;
-    if (epoch != down_epoch_) {
-      notify_drop(p, DropReason::kLinkDown);
-      try_transmit();
+  --queued_packets_;
+  start_transmit(*std::move(popped));
+}
+
+// One two-stage event carries the packet across the wire: it fires at
+// end of serialization (transmitter frees up, packet starts propagating),
+// rearms itself in place for the propagation delay, and fires again at
+// arrival — the packet never leaves the event record between the stages.
+// Dispatch order and times are identical to scheduling a separate
+// propagation event; only the slot churn (a Packet-sized callable move
+// per hop) is gone. The event carries the down-epoch observed at schedule
+// time: if the link fails underneath it, the packet is lost instead of
+// delivered (interfaces are never destroyed before the simulator, so
+// holding `self` is safe).
+struct Interface::TransmitEvent {
+  Interface* self;
+  std::uint64_t epoch;
+  Packet p;
+  bool propagating = false;
+
+  void operator()() {
+    if (propagating) {  // stage 2: arrival at the peer
+      if (epoch != self->down_epoch_) {
+        self->notify_drop(p, DropReason::kLinkDown);
+        return;
+      }
+      if (self->peer_node_ != nullptr) self->peer_node_->receive(std::move(p), self->owner_.id());
+      return;
+    }
+    self->busy_ = false;  // stage 1: end of serialization
+    if (epoch != self->down_epoch_) {
+      self->notify_drop(p, DropReason::kLinkDown);
+      self->try_transmit();
       return;
     }
     LinkFault fault;
-    if (fault_injector_) fault = fault_injector_(p, sim_.now());
+    if (self->fault_injector_) fault = self->fault_injector_(p, self->sim_.now());
     if (fault.drop) {
-      notify_drop(p, DropReason::kLinkFault);
+      self->notify_drop(p, DropReason::kLinkFault);
     } else {
-      const util::NodeId from = owner_.id();
-      sim_.schedule_in(link_.delay + fault.extra_delay,
-                       [this, epoch, p = std::move(p), from]() mutable {
-                         if (epoch != down_epoch_) {
-                           notify_drop(p, DropReason::kLinkDown);
-                           return;
-                         }
-                         if (peer_node_ != nullptr) peer_node_->receive(std::move(p), from);
-                       });
+      propagating = true;
+      self->sim_.rearm_current(self->link_.delay + fault.extra_delay);
     }
-    try_transmit();
-  });
+    self->try_transmit();
+  }
+};
+
+void Interface::start_transmit(Packet p) {
+  busy_ = true;
+  FATIH_METRIC(sim_.packet_counters().transmitted, inc());
+  for (const auto& tap : transmit_taps_) tap(p, sim_.now());
+  // Serialization time for a given size is a pure function of the link;
+  // macro workloads send one packet size almost exclusively, so a
+  // one-entry memo skips the double math on the repeat.
+  if (p.size_bytes != tx_memo_bytes_) {
+    tx_memo_bytes_ = p.size_bytes;
+    tx_memo_ = link_.tx_time(p.size_bytes);
+  }
+  sim_.schedule_emplace_in<TransmitEvent>(tx_memo_, this, down_epoch_, std::move(p));
 }
 
 // --------------------------------------------------------------------- Node
@@ -212,6 +324,19 @@ void Router::originate(const Packet& p) {
   do_forward(p, id_);
 }
 
+void Router::originate(Packet&& p) {
+  if (!up_) return;
+  do_forward(std::move(p), id_);
+}
+
+struct Router::ProcessEvent {
+  Router* self;
+  Packet p;
+  util::NodeId prev;
+
+  void operator()() { self->do_forward(std::move(p), prev); }
+};
+
 void Router::receive(Packet p, util::NodeId prev) {
   if (!up_) {
     // A crashed router is a black hole: no taps, no forwarding — only the
@@ -231,8 +356,7 @@ void Router::receive(Packet p, util::NodeId prev) {
   if (proc_jitter_ > util::Duration{}) {
     delay += util::Duration::nanos(rng_.uniform_int(0, proc_jitter_.count_nanos()));
   }
-  sim_.schedule_in(delay,
-                   [this, p = std::move(p), prev]() mutable { do_forward(std::move(p), prev); });
+  sim_.schedule_emplace_in<ProcessEvent>(delay, this, std::move(p), prev);
 }
 
 void Router::do_forward(Packet p, util::NodeId prev) {
@@ -283,7 +407,7 @@ void Router::do_forward(Packet p, util::NodeId prev) {
       sim_.schedule_in(d, [this, p = std::move(p), prev, out_iface]() mutable {
         FATIH_METRIC(sim_.packet_counters().forwarded, inc());
         for (const auto& tap : forward_taps_) tap(p, prev, out_iface, sim_.now());
-        interfaces_[out_iface]->send(p);
+        interfaces_[out_iface]->send(std::move(p));
       });
       return;
     }
@@ -291,7 +415,7 @@ void Router::do_forward(Packet p, util::NodeId prev) {
 
   FATIH_METRIC(sim_.packet_counters().forwarded, inc());
   for (const auto& tap : forward_taps_) tap(p, prev, out_iface, sim_.now());
-  interfaces_[out_iface]->send(p);
+  interfaces_[out_iface]->send(std::move(p));
 }
 
 void Router::notify_router_drop(const Packet& p, DropReason reason) {
@@ -313,6 +437,25 @@ void Host::send(const Packet& p) {
   }
   assert(!interfaces_.empty());
   interfaces_.front()->send(p);
+}
+
+void Host::send(Packet&& p) {
+  if (!up_) return;
+  if (p.hdr.dst == id_) {
+    deliver_locally(p, id_);
+    return;
+  }
+  assert(!interfaces_.empty());
+  interfaces_.front()->send(std::move(p));
+}
+
+void Host::send_batch(std::span<const Packet> batch) {
+  if (!up_ || batch.empty()) return;
+  assert(!interfaces_.empty());
+  // Loopback packets are not expected in bursts; route everything to the
+  // gateway in one admission walk.
+  std::vector<EnqueueResult> results(batch.size());
+  interfaces_.front()->send_batch(batch, results.data());
 }
 
 void Host::receive(Packet p, util::NodeId prev) {

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,8 +82,19 @@ class Interface {
   Interface& operator=(const Interface&) = delete;
 
   /// Offers a packet to the queue; starts the transmitter if idle.
-  /// Returns the queue's verdict; drops fire the drop taps.
+  /// Returns the queue's verdict; drops fire the drop taps. When the
+  /// transmitter is idle and the queue reports pass_through(), the packet
+  /// skips the queue entirely (same verdict, same observable effects).
   EnqueueResult send(const Packet& p);
+  /// Move-through overload: on the pass-through fast path the packet goes
+  /// straight into the serialization event without a copy.
+  EnqueueResult send(Packet&& p);
+  /// Batched admission for packets arriving within one link tick: one
+  /// queue-admission walk (OutputQueue::enqueue_batch), per-packet taps and
+  /// verdicts in order, one queue-depth sample after the batch (the
+  /// intermediate depths never existed at distinct times), one transmitter
+  /// kick. `results` must have batch.size() slots.
+  void send_batch(std::span<const Packet> batch, EnqueueResult* results);
 
   [[nodiscard]] util::NodeId peer() const { return peer_; }
   [[nodiscard]] std::size_t index() const { return index_; }
@@ -92,6 +104,13 @@ class Interface {
 
   /// Fraction of the byte limit currently occupied, in [0, 1].
   [[nodiscard]] double fill_fraction() const;
+
+  /// Post-admission queue depth in bytes (including the packet itself)
+  /// seen by the most recently accepted packet. Enqueue taps must read
+  /// this instead of queue().byte_length(): the pass-through fast path
+  /// hands an accepted packet straight to the transmitter, so the queue
+  /// itself never holds it.
+  [[nodiscard]] std::size_t last_admit_depth_bytes() const { return last_admit_depth_bytes_; }
 
   /// Observers. Enqueue fires after a packet is accepted into the queue;
   /// transmit fires when serialization onto the wire begins.
@@ -117,7 +136,16 @@ class Interface {
   [[nodiscard]] bool up() const { return up_; }
 
  private:
+  /// The two-stage serialization/propagation event (defined in node.cpp).
+  /// A named functor so start_transmit can construct it in place inside
+  /// the event record via schedule_emplace_in — a lambda would be built on
+  /// the stack and moved in, a Packet-sized memcpy per transmission.
+  struct TransmitEvent;
+
+  EnqueueResult send_slow(const Packet& p);
+  void note_pass_through(const Packet& p);
   void try_transmit();
+  void start_transmit(Packet p);
 
   Simulator& sim_;
   Node& owner_;
@@ -126,6 +154,16 @@ class Interface {
   LinkParams link_;
   std::unique_ptr<OutputQueue> queue_;
   Node* peer_node_ = nullptr;
+  /// Mirror of queue_->packet_count(), maintained across enqueue/dequeue
+  /// verdicts so the (dominant) empty-queue case in try_transmit skips the
+  /// virtual dequeue entirely. Safe because an empty-queue dequeue is a
+  /// stateless no-op for every queue type (RED marks idle only on the
+  /// dequeue that empties the queue).
+  std::size_t queued_packets_ = 0;
+  std::size_t last_admit_depth_bytes_ = 0;
+  /// One-entry tx_time memo (pure function of size for a fixed link).
+  std::uint32_t tx_memo_bytes_ = 0xFFFFFFFFu;
+  util::Duration tx_memo_{};
   bool busy_ = false;
   bool up_ = true;
   /// Incremented every time the link goes down; serialization/propagation
@@ -262,6 +300,9 @@ class Router final : public Node {
   /// Sends a packet originating at this node (local agent or control
   /// plane). Skips the processing delay; goes straight to forwarding.
   void originate(const Packet& p);
+  /// Move overload: the packet is handed down the forwarding chain
+  /// without a copy.
+  void originate(Packet&& p);
 
   /// Forwarding observers (used by summary generators and ground truth).
   void add_forward_tap(ForwardTap t) { forward_taps_.push_back(std::move(t)); }
@@ -274,6 +315,9 @@ class Router final : public Node {
 
  private:
   friend class Interface;
+  /// Processing-delay event; a named functor for the same in-place
+  /// construction reason as Interface::TransmitEvent.
+  struct ProcessEvent;
   void do_forward(Packet p, util::NodeId prev);
   void notify_router_drop(const Packet& p, DropReason reason);
 
@@ -305,6 +349,12 @@ class Host final : public Node {
 
   /// Sends a packet from the local stack toward its destination.
   void send(const Packet& p);
+  /// Move overload: hands the packet to the gateway without a copy.
+  void send(Packet&& p);
+  /// Sends a burst of packets leaving the stack in the same instant via
+  /// Interface::send_batch (one queue-admission walk). Verdicts are
+  /// discarded; queue drops still fire the drop taps.
+  void send_batch(std::span<const Packet> batch);
 
   void receive(Packet p, util::NodeId prev) override;
 };

@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <deque>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "sim/packet.hpp"
 #include "util/time.hpp"
@@ -37,6 +39,28 @@ class OutputQueue {
   /// Removes the head packet, if any. `now` lets RED track idle periods.
   virtual std::optional<Packet> dequeue(util::SimTime now) = 0;
 
+  /// True iff enqueue(p) followed immediately by dequeue() would return
+  /// `p` unchanged and leave NO lasting state behind — the idle-transmitter
+  /// fast path in Interface::send then skips the queue entirely. A queue
+  /// whose admission updates internal state on every offer (RED's average
+  /// tracking) must keep the default `false`.
+  [[nodiscard]] virtual bool pass_through(const Packet& p, util::SimTime now) const {
+    (void)p;
+    (void)now;
+    return false;
+  }
+
+  /// Batched admission: offers `batch` in order, writing one verdict per
+  /// packet into `results` (which must have batch.size() slots). The
+  /// default loops over enqueue(); implementations override to amortize
+  /// per-packet bookkeeping (capacity checks, byte accounting) across the
+  /// batch. Verdict semantics are identical to per-packet enqueue in the
+  /// same order.
+  virtual void enqueue_batch(std::span<const Packet> batch, util::SimTime now,
+                             EnqueueResult* results) {
+    for (std::size_t i = 0; i < batch.size(); ++i) results[i] = enqueue(batch[i], now);
+  }
+
   [[nodiscard]] virtual std::size_t byte_length() const = 0;
   [[nodiscard]] virtual std::size_t packet_count() const = 0;
   [[nodiscard]] virtual std::size_t byte_limit() const = 0;
@@ -49,6 +73,13 @@ class DropTailQueue final : public OutputQueue {
 
   EnqueueResult enqueue(const Packet& p, util::SimTime now) override;
   std::optional<Packet> dequeue(util::SimTime now) override;
+  /// Drop-tail keeps no admission state, so an empty queue passes a packet
+  /// straight through whenever plain enqueue would have accepted it.
+  [[nodiscard]] bool pass_through(const Packet& p, util::SimTime /*now*/) const override {
+    return q_.empty() && (p.is_control() || p.size_bytes <= limit_);
+  }
+  void enqueue_batch(std::span<const Packet> batch, util::SimTime now,
+                     EnqueueResult* results) override;
   [[nodiscard]] std::size_t byte_length() const override { return bytes_; }
   [[nodiscard]] std::size_t packet_count() const override { return q_.size(); }
   [[nodiscard]] std::size_t byte_limit() const override { return limit_; }

@@ -24,6 +24,7 @@ void Simulator::grow_slab() {
   }
   chunks_.push_back(std::move(chunk));
   slot_count_ += kChunkSlots;
+  assert(slot_count_ <= kSlotMask + 1);  // slots must fit the packed heap key
 }
 
 void Simulator::destroy_callback(EventRecord& rec) {
@@ -48,13 +49,19 @@ void Simulator::cancel(EventId id) {
 
 void Simulator::maybe_sweep() {
   // Compact once stale entries outnumber live ones (with a floor so tiny
-  // heaps never bother): the heap stays within 2x the live event count,
-  // which bounds memory under unbounded cancel/reschedule churn.
-  if (stale_ < 64 || stale_ * 2 <= heap_.size()) return;
-  std::erase_if(heap_, [this](const HeapEntry& e) {
-    const EventRecord& rec = record(e.slot);
-    return !rec.armed || rec.seq != e.seq;
-  });
+  // queues never bother): the pending storage stays within 2x the live
+  // event count, which bounds memory under unbounded cancel/reschedule
+  // churn. Stale entries may sit in either tier, so both are filtered.
+  const std::size_t pending = heap_.size() + (near_.size() - near_head_);
+  if (stale_ < 64 || stale_ * 2 <= pending) return;
+  const auto is_stale = [this](const HeapEntry& e) {
+    const EventRecord& rec = record(static_cast<std::uint32_t>(e.key & kSlotMask));
+    return !rec.armed || rec.seq != e.key >> kSlotBits;
+  };
+  near_.erase(near_.begin(), near_.begin() + static_cast<std::ptrdiff_t>(near_head_));
+  near_head_ = 0;
+  std::erase_if(near_, is_stale);  // order-preserving: near_ stays sorted
+  std::erase_if(heap_, is_stale);
   // Floyd heapify for the 4-ary layout: sift every non-leaf, last first.
   const std::size_t n = heap_.size();
   for (std::size_t i = n >= 2 ? (n - 2) / 4 + 1 : 0; i-- > 0;) {
@@ -64,27 +71,61 @@ void Simulator::maybe_sweep() {
   ++sweeps_;
 }
 
+bool Simulator::advance_near() {
+  near_.clear();
+  near_head_ = 0;
+  if (heap_.empty()) return false;
+  // Re-anchor the window at the earliest far entry and drain everything
+  // inside it. Popping a min-heap yields ascending (at, key) order, so the
+  // migrated batch is already sorted — no sort pass. The horizon never
+  // moves while near_ has entries, so a far entry can never become due
+  // before a staged one.
+  near_horizon_ = heap_.front().at + util::Duration::nanos(near_window_ns_);
+  while (!heap_.empty() && heap_.front().at < near_horizon_) {
+    near_.push_back(heap_.front());
+    heap_pop();
+  }
+  // Steer the window toward small migration batches: halve when a refill
+  // drags in a crowd, widen when it comes up nearly empty. Deterministic —
+  // driven only by queue contents, never by wall clock.
+  if (near_.size() > 64 && near_window_ns_ > 16 * 1000) {
+    near_window_ns_ >>= 1;
+  } else if (near_.size() < 8 && near_window_ns_ < 1024 * 1024) {
+    near_window_ns_ <<= 1;
+  }
+  return true;
+}
+
 void Simulator::run_until(util::SimTime limit) {
-  while (!heap_.empty()) {
-    const HeapEntry top = heap_.front();
+  for (;;) {
+    if (near_head_ >= near_.size() && !advance_near()) break;
+    const HeapEntry top = near_[near_head_];
     // A live entry's time always equals its record's time, so the limit
     // check needs no record load. A stale entry past the limit parks
     // harmlessly until a later run or sweep collects it.
     if (top.at > limit) break;
-    EventRecord& rec = record(top.slot);
-    if (!rec.armed || rec.seq != top.seq) {  // cancelled: drop the tombstone
-      heap_pop();
+    ++near_head_;
+    const auto slot = static_cast<std::uint32_t>(top.key & kSlotMask);
+    EventRecord& rec = record(slot);
+    if (!rec.armed || rec.seq != top.key >> kSlotBits) {  // cancelled tombstone
       if (stale_ > 0) --stale_;
       continue;
     }
-    heap_pop();
+    // Pull the next event's record toward the cache while this callback
+    // runs; the slab is large enough that the line is usually cold.
+    if (near_head_ < near_.size()) {
+      __builtin_prefetch(&record(static_cast<std::uint32_t>(near_[near_head_].key & kSlotMask)));
+    }
     now_ = top.at;
     ++dispatched_;
-    // The typed fire relocates the callable out of the record and frees
-    // the slot before invoking, so a callback that schedules (and thereby
-    // reuses the slot) cannot clobber its own captures mid-flight.
+    // The typed fire invokes the callable in place; the slot is dead to
+    // cancels from the first instruction and rejoins the free list only
+    // after the invocation returns (see fire_inline/fire_heap).
     void* p = rec.heap != nullptr ? rec.heap : static_cast<void*>(rec.inline_buf);
-    rec.vt->fire(*this, top.slot, p);
+    const std::uint32_t prev_firing = firing_slot_;  // reentrant run_until
+    firing_slot_ = slot;
+    rec.vt->fire(*this, slot, p);
+    firing_slot_ = prev_firing;
   }
   if (limit != util::SimTime::infinity() && now_ < limit) now_ = limit;
 }

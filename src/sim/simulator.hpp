@@ -8,8 +8,11 @@
 // The engine is built for throughput: event records live in a pooled slab
 // (chunked, so records never move) with free-list reuse, callbacks are
 // stored inline in the record when they fit (they almost always do — the
-// largest common capture is a Packet plus a pointer), and the time-ordered
-// heap holds lightweight (time, seq, slot) entries. Cancellation is O(1):
+// largest common capture is a Packet plus a pointer), and the pending
+// queue holds lightweight packed (time, seq|slot) entries in two tiers: a
+// sorted near-horizon vector consumed through a cursor (the common case —
+// hot-path events are scheduled microseconds out) backed by a 4-ary min-
+// heap for everything beyond the horizon. Cancellation is O(1):
 // it bumps the slot's generation and leaves a stale heap entry behind,
 // which dispatch skips and a lazy sweep compacts away once stale entries
 // outnumber live ones — so cancel-heavy workloads (TCP timers re-armed on
@@ -18,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -61,8 +65,9 @@ class Simulator {
     rec.at = t;
     rec.seq = next_seq_++;
     rec.armed = true;
+    assert(rec.seq < kMaxSeq);
     install_callback(rec, std::forward<F>(fn));
-    heap_push(HeapEntry{t, rec.seq, slot});
+    push_entry(HeapEntry{t, pack_key(rec.seq, slot)});
     if (++in_use_ > high_water_) high_water_ = in_use_;
     return (static_cast<EventId>(rec.generation) << 32) | slot;
   }
@@ -73,8 +78,57 @@ class Simulator {
     return schedule_at(now_ + d, std::forward<F>(fn));
   }
 
+  /// Constructs callable `D` from `args` DIRECTLY in the event record —
+  /// no temporary, no move. A lambda passed to schedule_at is built on the
+  /// caller's stack and then moved into the record; for the forwarding
+  /// hot path that move is a Packet-sized memcpy per event, twice per
+  /// hop. Named functor types (node.cpp's transmit/processing events) use
+  /// this to skip it. `D` must fit the inline buffer; that is a
+  /// compile-time property of the type, so no heap spill branch either.
+  template <typename D, typename... Args>
+  EventId schedule_emplace_in(util::Duration d, Args&&... args) {
+    static_assert(sizeof(D) <= kInlineCallbackBytes &&
+                      alignof(D) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<D>,
+                  "emplaced event callables must fit the inline record buffer");
+    util::SimTime t = now_ + d;
+    if (t < now_) t = now_;  // same past-clamp as schedule_at
+    const std::uint32_t slot = acquire_slot();
+    EventRecord& rec = record(slot);
+    rec.at = t;
+    rec.seq = next_seq_++;
+    rec.armed = true;
+    assert(rec.seq < kMaxSeq);
+    ::new (static_cast<void*>(rec.inline_buf)) D(std::forward<Args>(args)...);
+    rec.vt = &kInlineVTable<D>;
+    rec.heap = nullptr;
+    push_entry(HeapEntry{t, pack_key(rec.seq, slot)});
+    if (++in_use_ > high_water_) high_water_ = in_use_;
+    return (static_cast<EventId>(rec.generation) << 32) | slot;
+  }
+
   /// Cancels a pending event; no-op if it already ran or was cancelled.
   void cancel(EventId id);
+
+  /// Reschedules the event currently being fired — callable and storage
+  /// preserved, no destroy / free / re-install cycle. Valid only from
+  /// inside an event callback, applies to that callback's own event, and
+  /// may be called at most once per firing. The new event gets the next
+  /// seq, exactly as a fresh schedule_in from the same point would: the
+  /// dispatch order is indistinguishable from schedule_in, only the slot
+  /// churn disappears. This is the backbone of the multi-stage hot-path
+  /// callbacks in node.cpp (serialization -> propagation) and the
+  /// self-rescheduling traffic sources.
+  EventId rearm_current(util::Duration d) {
+    const std::uint32_t slot = firing_slot_;
+    EventRecord& rec = record(slot);
+    rec.at = now_ + d;
+    rec.seq = next_seq_++;
+    rec.armed = true;  // tells the firing wrapper to skip destroy/free
+    assert(rec.seq < kMaxSeq);
+    push_entry(HeapEntry{rec.at, pack_key(rec.seq, slot)});
+    return (static_cast<EventId>(rec.generation) << 32) | slot;
+  }
 
   /// Runs events until the queue empties or `limit` is passed; leaves
   /// now() at min(limit, last event time). Events scheduled exactly at
@@ -109,22 +163,30 @@ class Simulator {
     std::size_t slots_in_use = 0;      ///< currently scheduled events
     std::size_t slots_high_water = 0;  ///< max simultaneous scheduled events
     std::size_t slab_slots = 0;        ///< records ever materialized (pool capacity)
-    std::size_t heap_entries = 0;      ///< live + stale entries in the time heap
-    std::size_t heap_capacity = 0;     ///< reserved heap storage
+    std::size_t heap_entries = 0;      ///< live + stale entries pending (near + far)
+    std::size_t heap_capacity = 0;     ///< reserved queue storage (near + far)
     std::uint64_t heap_sweeps = 0;     ///< lazy compactions of stale entries
     std::uint64_t callback_heap_allocs = 0;  ///< callables that spilled to the heap
   };
   [[nodiscard]] PoolStats pool_stats() const {
-    return PoolStats{in_use_,         high_water_, slot_count_,       heap_.size(),
-                     heap_.capacity(), sweeps_,     cb_heap_allocs_};
+    return PoolStats{in_use_,
+                     high_water_,
+                     slot_count_,
+                     heap_.size() + (near_.size() - near_head_),
+                     heap_.capacity() + near_.capacity(),
+                     sweeps_,
+                     cb_heap_allocs_};
   }
 
  private:
   // Manual dispatch so a record can hold any callable without std::function
-  // overhead. `fire` relocates the callable out of the record, frees the
-  // slot (so the callback may immediately schedule into it), then invokes —
-  // one indirect call total, with the move/invoke/destroy sequence inlined
-  // inside it. `destroy` is the cancellation path.
+  // overhead. `fire` invokes the callable IN PLACE: the record is marked
+  // dead first (armed cleared, generation bumped, so a cancel from inside
+  // the callback is a no-op) but its slot joins the free list only after
+  // the invocation returns. A callback that schedules therefore picks a
+  // different slot and can never clobber its own captures mid-flight —
+  // and the hot path skips relocating the callable (a Packet-sized move
+  // per event) entirely. `destroy` is the cancellation path.
   struct CallbackVTable {
     void (*fire)(Simulator& sim, std::uint32_t slot, void* p);
     void (*destroy)(void* p);  ///< inline: dtor; heap: delete
@@ -132,17 +194,21 @@ class Simulator {
 
   template <typename D>
   static void fire_inline(Simulator& sim, std::uint32_t slot, void* p) {
-    D fn(std::move(*static_cast<D*>(p)));
-    static_cast<D*>(p)->~D();
-    sim.release_slot(slot);
-    fn();
+    sim.begin_fire(slot);
+    D* fn = static_cast<D*>(p);
+    (*fn)();
+    if (sim.record(slot).armed) return;  // rearm_current: callable lives on
+    fn->~D();
+    sim.finish_fire(slot);
   }
   template <typename D>
   static void fire_heap(Simulator& sim, std::uint32_t slot, void* p) {
-    sim.release_slot(slot);
+    sim.begin_fire(slot);
     D* fn = static_cast<D*>(p);
     (*fn)();
+    if (sim.record(slot).armed) return;  // rearm_current: callable lives on
     delete fn;
+    sim.finish_fire(slot);
   }
 
   template <typename D>
@@ -168,15 +234,26 @@ class Simulator {
     alignas(std::max_align_t) unsigned char inline_buf[kInlineCallbackBytes];
   };
 
+  /// 16 bytes so four children of the 4-ary heap share one cache line:
+  /// `key` packs (seq << kSlotBits) | slot. Seqs are unique, so ordering
+  /// by key equals ordering by seq — the tie-break is unchanged — and the
+  /// slot rides along for free. 24 slot bits cap the pool at 16.7M
+  /// concurrent events (a ~3 GB slab, far past any workload here); 40 seq
+  /// bits cap a run at ~10^12 scheduled events, asserted in schedule_at.
   struct HeapEntry {
     util::SimTime at;
-    std::uint64_t seq;
-    std::uint32_t slot;
+    std::uint64_t key;
   };
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq = 1ull << (64 - kSlotBits);
+  static std::uint64_t pack_key(std::uint64_t seq, std::uint32_t slot) {
+    return (seq << kSlotBits) | slot;
+  }
   /// Dispatch order: time, then FIFO seq — same as the seed engine.
   static bool before(const HeapEntry& a, const HeapEntry& b) {
     if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;
+    return a.key < b.key;
   }
 
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
@@ -215,16 +292,55 @@ class Simulator {
     return slot;
   }
   void release_slot(std::uint32_t slot) {
+    begin_fire(slot);
+    finish_fire(slot);
+  }
+  /// First half of dispatch: the record is dead to cancels and EventIds,
+  /// but its storage (holding the executing callable) is not reusable yet.
+  void begin_fire(std::uint32_t slot) {
     EventRecord& rec = record(slot);
     rec.armed = false;
     ++rec.generation;  // invalidates any outstanding EventId for this slot
+  }
+  /// Second half: the callable is destroyed, the slot rejoins the pool.
+  void finish_fire(std::uint32_t slot) {
+    EventRecord& rec = record(slot);
     rec.vt = nullptr;
     rec.heap = nullptr;
     rec.next_free = free_head_;
     free_head_ = slot;
     --in_use_;
   }
-  // The time-ordered queue is a hand-rolled 4-ary min-heap: half the sift
+  // The pending queue is split in two by a moving time horizon. Entries
+  // due before `near_horizon_` live in `near_`, a sorted vector consumed
+  // through a cursor: dispatch is a bounds check plus an increment, and
+  // insertion is a binary search over the short live span. Entries at or
+  // past the horizon go to the far heap. The forwarding hot path schedules
+  // almost exclusively a few microseconds out — inside the horizon — so
+  // those events never touch the heap at all. Correctness: the horizon
+  // only moves when `near_` is exhausted, far entries are always >= the
+  // horizon, and near inserts land in (at, key) order, so the global
+  // dispatch order is the same (at, seq) total order as a single heap.
+  void push_entry(HeapEntry e) {
+    if (e.at < near_horizon_) {
+      // Reclaim the consumed prefix before it dominates the vector; the
+      // memmove is amortized over the >=1024 events already dispatched.
+      if (near_head_ >= 1024 && near_head_ * 2 >= near_.size()) {
+        near_.erase(near_.begin(), near_.begin() + static_cast<std::ptrdiff_t>(near_head_));
+        near_head_ = 0;
+      }
+      near_.insert(std::upper_bound(near_.begin() + static_cast<std::ptrdiff_t>(near_head_),
+                                    near_.end(), e, before),
+                   e);
+    } else {
+      heap_push(e);
+    }
+  }
+  /// Refills `near_` from the far heap when the cursor runs off the end.
+  /// Returns false when no pending entries remain anywhere.
+  bool advance_near();
+
+  // The far queue is a hand-rolled 4-ary min-heap: half the sift
   // depth of a binary heap and all four children on one pair of cache
   // lines, which measures noticeably faster than std::push_heap/pop_heap
   // once hundreds of events are pending.
@@ -256,10 +372,37 @@ class Simulator {
     }
     heap_[i] = v;
   }
+  /// Pop uses Floyd's bottom-up variant: walk the hole down along min
+  /// children (children-only compares), then bubble the displaced last
+  /// element back up. The last element of a min-heap almost always belongs
+  /// near the leaves, so the bubble-up usually takes zero or one steps —
+  /// cheaper than comparing it at every level on the way down. The pop
+  /// ORDER is unchanged either way: it is fully determined by the (at,
+  /// seq) total order, not by the internal array arrangement.
   void heap_pop() {
     const HeapEntry last = heap_.back();
     heap_.pop_back();
-    if (!heap_.empty()) heap_sift_down(0, last);
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!before(last, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = last;
   }
 
   void grow_slab();
@@ -269,6 +412,9 @@ class Simulator {
   util::SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  /// Slot of the event currently being fired (rearm_current target); only
+  /// run_until writes it, so nested schedules/cancels cannot clobber it.
+  std::uint32_t firing_slot_ = kNilSlot;
 
   obs::TraceSink* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -282,8 +428,17 @@ class Simulator {
   std::uint64_t cb_heap_allocs_ = 0;
 
   std::vector<HeapEntry> heap_;
-  std::size_t stale_ = 0;   ///< cancelled entries still parked in heap_
+  std::size_t stale_ = 0;   ///< cancelled entries still parked in near_/heap_
   std::uint64_t sweeps_ = 0;
+
+  /// Near-horizon staging: entries due before `near_horizon_` sorted by
+  /// (at, key), consumed from `near_head_`. The window adapts so a refill
+  /// migrates a small batch — wide enough to catch hot-path schedules,
+  /// narrow enough that a migration stays cheap.
+  std::vector<HeapEntry> near_;
+  std::size_t near_head_ = 0;
+  util::SimTime near_horizon_;          ///< default origin(): everything far until first run
+  std::int64_t near_window_ns_ = 128 * 1000;
 };
 
 }  // namespace fatih::sim

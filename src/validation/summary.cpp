@@ -44,8 +44,27 @@ std::size_t FingerprintSummary::symmetric_difference_size(const FingerprintSumma
   return count;
 }
 
-std::size_t OrderedSummary::reorder_count(const OrderedSummary& sent,
-                                          const OrderedSummary& received) {
+std::size_t multiset_difference_size(std::span<const Fingerprint> sorted_a,
+                                     std::span<const Fingerprint> sorted_b) {
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::size_t count = 0;
+  while (ia < sorted_a.size() && ib < sorted_b.size()) {
+    if (sorted_a[ia] < sorted_b[ib]) {
+      ++count;
+      ++ia;
+    } else if (sorted_b[ib] < sorted_a[ia]) {
+      ++ib;
+    } else {
+      ++ia;
+      ++ib;
+    }
+  }
+  return count + (sorted_a.size() - ia);
+}
+
+std::size_t reorder_count(std::span<const Fingerprint> sent,
+                          std::span<const Fingerprint> received) {
   // Restrict both streams to their common multiset.
   // Positions of each fingerprint in the received stream, consumed FIFO so
   // duplicate fingerprints pair up in order. One sorted (fp, position)
@@ -53,8 +72,8 @@ std::size_t OrderedSummary::reorder_count(const OrderedSummary& sent,
   // fp -> positions map; the stable sort keeps positions ascending within
   // a group, exactly as the map's push_back order did.
   std::vector<std::pair<Fingerprint, std::size_t>> pos;
-  pos.reserve(received.fps_.size());
-  for (std::size_t i = 0; i < received.fps_.size(); ++i) pos.emplace_back(received.fps_[i], i);
+  pos.reserve(received.size());
+  for (std::size_t i = 0; i < received.size(); ++i) pos.emplace_back(received[i], i);
   std::stable_sort(pos.begin(), pos.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
   struct Group {
@@ -73,7 +92,7 @@ std::size_t OrderedSummary::reorder_count(const OrderedSummary& sent,
   // positions listed in DECREASING order so the LIS uses each at most once).
   std::vector<std::vector<std::size_t>> per_sent;
   std::size_t common = 0;
-  for (Fingerprint fp : sent.fps_) {
+  for (Fingerprint fp : sent) {
     auto it = std::lower_bound(groups.begin(), groups.end(), fp,
                                [](const Group& g, Fingerprint f) { return g.fp < f; });
     if (it == groups.end() || it->fp != fp) continue;

@@ -15,12 +15,26 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/time.hpp"
 #include "validation/fingerprint.hpp"
 
 namespace fatih::validation {
+
+/// |A \ B| over two SORTED fingerprint multisets (respecting
+/// multiplicity): the count std::set_difference would output. Span-based
+/// so the detection engines can run it straight over their round stores.
+[[nodiscard]] std::size_t multiset_difference_size(std::span<const Fingerprint> sorted_a,
+                                                   std::span<const Fingerprint> sorted_b);
+
+/// Reordering metric between a sent stream S and received stream F
+/// (§2.2.1): drop from both streams everything lost/fabricated/modified,
+/// then return |S'| - |LCS(S', F')|. 0 means order preserved. Streams are
+/// in forwarding order; span-based core of OrderedSummary::reorder_count.
+[[nodiscard]] std::size_t reorder_count(std::span<const Fingerprint> sent,
+                                        std::span<const Fingerprint> received);
 
 /// Conservation-of-flow summary: cheap counters.
 struct CounterSummary {
@@ -66,11 +80,12 @@ class OrderedSummary {
   [[nodiscard]] std::size_t size() const { return fps_.size(); }
   [[nodiscard]] const std::vector<Fingerprint>& sequence() const { return fps_; }
 
-  /// Reordering metric between a sent stream S and received stream F
-  /// (§2.2.1): drop from both streams everything lost/fabricated/modified,
-  /// then return |S'| - |LCS(S', F')|. 0 means order preserved.
+  /// Reordering metric between this summary (sent) and `received`; see the
+  /// free-function reorder_count above, which this delegates to.
   [[nodiscard]] static std::size_t reorder_count(const OrderedSummary& sent,
-                                                 const OrderedSummary& received);
+                                                 const OrderedSummary& received) {
+    return validation::reorder_count(sent.fps_, received.fps_);
+  }
 
  private:
   std::vector<Fingerprint> fps_;

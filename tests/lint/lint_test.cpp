@@ -252,6 +252,39 @@ TEST(R7IncludeGraph, JustifiedSuppressionSilences) {
   EXPECT_EQ(r.suppressed, 1u);
 }
 
+// ------------------------------------------------------------------- R8
+
+TEST(R8SimdContainment, FlagsRawVectorTypesOutsideCrypto) {
+  const Report r = lint_fixture("r8_simd_bad.cpp", "src/lintfix/r8_simd_bad.cpp");
+  EXPECT_TRUE(all_rule(r, Rule::kSimdContainment));
+  EXPECT_EQ(lines_of(r, Rule::kSimdContainment), (std::vector<std::size_t>{6, 7, 8}));
+}
+
+TEST(R8SimdContainment, CryptoModuleIsExempt) {
+  // The kernels themselves live behind src/crypto/; the rule is about
+  // containment, not about the intrinsics existing at all.
+  const std::string content = read_fixture("r8_simd_bad.cpp");
+  EXPECT_TRUE(lint_files({{"src/crypto/kernels.cpp", content}}, Config{}).diagnostics.empty());
+}
+
+TEST(R8SimdContainment, AppliesOutsideSrcToo) {
+  // bench/ and tests/ also consume the dispatched API; a raw vector type
+  // there forks the code path just the same.
+  const std::string content = read_fixture("r8_simd_bad.cpp");
+  EXPECT_EQ(lint_files({{"bench/lintfix/r8.cpp", content}}, Config{}).diagnostics.size(), 3u);
+}
+
+TEST(R8SimdContainment, AllowsDispatchedApiAndInertMentions) {
+  const Report r = lint_fixture("r8_simd_clean.cpp", "src/lintfix/r8_simd_clean.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R8SimdContainment, JustifiedSuppressionSilences) {
+  const Report r = lint_fixture("r8_simd_suppressed.cpp", "src/lintfix/r8_simd_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
 // -------------------------------------------------------- suppression rules
 
 TEST(Suppression, BareAllowIsAViolationAndDoesNotSuppress) {
@@ -374,7 +407,7 @@ TEST(Determinism, SameInputSameReport) {
   for (const char* name :
        {"r1_wallclock_bad.cpp", "r2_rng_bad.cpp", "r3_unordered_iter_bad.cpp",
         "r4_pointer_order_bad.cpp", "r5_iostream_bad.cpp", "r6_event_init_bad.cpp",
-        "bare_suppression.cpp"}) {
+        "r8_simd_bad.cpp", "bare_suppression.cpp"}) {
     files.push_back({std::string("src/lintfix/") + name, read_fixture(name)});
   }
   const std::string a = to_json(lint_files(files, Config{}));

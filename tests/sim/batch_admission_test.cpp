@@ -1,0 +1,239 @@
+// Batched queue admission and the idle-transmitter fast path: the
+// semantics of enqueue_batch / pass_through / Interface::send_batch must
+// be indistinguishable from per-packet admission (same verdicts, same
+// arrival times), and the rearm_current scheduling primitive must fire at
+// exactly the times repeated schedule_in calls would.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace fatih::sim {
+namespace {
+
+using util::Duration;
+using util::NodeId;
+using util::SimTime;
+
+Packet packet_of(std::uint32_t size, std::uint64_t uid = 0) {
+  Packet p;
+  p.size_bytes = size;
+  p.uid = uid;
+  return p;
+}
+
+TEST(DropTailQueue, PassThroughOnlyWhenEmptyAndFitting) {
+  DropTailQueue q(2000);
+  EXPECT_TRUE(q.pass_through(packet_of(1000), {}));
+  EXPECT_TRUE(q.pass_through(packet_of(2000), {}));  // exact fit
+  EXPECT_FALSE(q.pass_through(packet_of(2001), {}));
+  // Control packets bypass the byte limit, exactly as enqueue admits them.
+  Packet ctl = packet_of(5000);
+  ctl.hdr.proto = Protocol::kControl;
+  EXPECT_TRUE(q.pass_through(ctl, {}));
+  // Occupied queue: never pass through (FIFO order would be violated).
+  q.enqueue(packet_of(100), {});
+  EXPECT_FALSE(q.pass_through(packet_of(100), {}));
+}
+
+TEST(DropTailQueue, EnqueueBatchMatchesSequentialEnqueue) {
+  // Same offers through both paths must give identical verdicts and
+  // identical final queue state.
+  std::vector<Packet> offers;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    offers.push_back(packet_of(i % 3 == 2 ? 1500 : 400, i));
+  }
+  DropTailQueue seq(3000);
+  std::vector<EnqueueResult> want;
+  for (const auto& p : offers) want.push_back(seq.enqueue(p, {}));
+
+  DropTailQueue batched(3000);
+  std::vector<EnqueueResult> got(offers.size());
+  batched.enqueue_batch(offers, {}, got.data());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(batched.byte_length(), seq.byte_length());
+  EXPECT_EQ(batched.packet_count(), seq.packet_count());
+  // Surviving packets come out in the same order.
+  for (;;) {
+    auto a = seq.dequeue({});
+    auto b = batched.dequeue({});
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_EQ(a->uid, b->uid);
+  }
+}
+
+// Two routers connected by one duplex link (same shape as network_test).
+struct Pair {
+  Network net{1};
+  Router* a;
+  Router* b;
+
+  explicit Pair(LinkConfig cfg = {}) {
+    a = &net.add_router("a");
+    b = &net.add_router("b");
+    net.connect(a->id(), b->id(), cfg);
+    a->set_route(b->id(), 0);
+    b->set_route(a->id(), 0);
+    a->set_processing_delay(Duration::micros(10), {});
+    b->set_processing_delay(Duration::micros(10), {});
+  }
+
+  Packet make(NodeId src, NodeId dst, std::uint32_t payload) {
+    PacketHeader hdr;
+    hdr.src = src;
+    hdr.dst = dst;
+    return net.make_packet(hdr, payload);
+  }
+};
+
+TEST(Interface, SendBatchMatchesSequentialSendTiming) {
+  // The same burst, shipped via send_batch on one network and via N
+  // individual sends on another, must arrive at identical times and in
+  // identical order.
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.delay = Duration::millis(1);
+
+  auto run = [&](bool batched) {
+    Pair p(cfg);
+    std::vector<std::pair<std::uint64_t, SimTime>> arrivals;
+    p.b->add_local_handler([&](const Packet& pkt, NodeId, SimTime now) {
+      arrivals.emplace_back(pkt.uid, now);
+    });
+    p.net.sim().schedule_at(SimTime::origin(), [&] {
+      std::vector<Packet> burst;
+      for (int i = 0; i < 5; ++i) burst.push_back(p.make(p.a->id(), p.b->id(), 960));
+      Interface* out = p.a->interface_to(p.b->id());
+      if (batched) {
+        std::vector<EnqueueResult> results(burst.size());
+        out->send_batch(burst, results.data());
+        for (const auto r : results) EXPECT_EQ(r, EnqueueResult::kAccepted);
+      } else {
+        for (const auto& pkt : burst) EXPECT_EQ(out->send(pkt), EnqueueResult::kAccepted);
+      }
+    });
+    p.net.sim().run();
+    return arrivals;
+  };
+
+  const auto sequential = run(false);
+  const auto batched = run(true);
+  ASSERT_EQ(sequential.size(), 5u);
+  // uids differ between the two networks (independent counters), but the
+  // arrival times and relative order must match exactly.
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(batched[i].second, sequential[i].second) << "packet " << i;
+  }
+}
+
+TEST(Interface, SendBatchDropsOverflowTail) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.delay = Duration::millis(1);
+  cfg.queue_limit_bytes = 2000;  // room for exactly two 1000-byte packets
+  Pair p(cfg);
+  std::size_t delivered = 0;
+  p.b->add_local_handler([&](const Packet&, NodeId, SimTime) { ++delivered; });
+  std::vector<EnqueueResult> results(6);
+  p.net.sim().schedule_at(SimTime::origin(), [&] {
+    std::vector<Packet> burst;
+    for (int i = 0; i < 6; ++i) burst.push_back(p.make(p.a->id(), p.b->id(), 960));
+    p.a->interface_to(p.b->id())->send_batch(burst, results.data());
+  });
+  p.net.sim().run();
+  // A batch is admitted in one instant, before the transmitter drains
+  // anything, so the byte limit caps the whole burst at two packets —
+  // identical to six back-to-back sends at the same timestamp.
+  EXPECT_EQ(results[0], EnqueueResult::kAccepted);
+  EXPECT_EQ(results[1], EnqueueResult::kAccepted);
+  EXPECT_EQ(results[2], EnqueueResult::kDroppedFull);
+  EXPECT_EQ(results[3], EnqueueResult::kDroppedFull);
+  EXPECT_EQ(results[4], EnqueueResult::kDroppedFull);
+  EXPECT_EQ(results[5], EnqueueResult::kDroppedFull);
+  EXPECT_EQ(delivered, 2u);
+}
+
+TEST(Interface, LastAdmitDepthTracksBothPaths) {
+  // Enqueue taps read last_admit_depth_bytes() (the pass-through fast path
+  // never parks the packet in the queue object, so queue().byte_length()
+  // would under-report). The depth must include the admitted packet on
+  // every admission path.
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.delay = Duration::millis(1);
+  Pair p(cfg);
+  Interface* out = p.a->interface_to(p.b->id());
+  std::vector<std::size_t> depths;
+  out->add_enqueue_tap(
+      [&](const Packet&, SimTime) { depths.push_back(out->last_admit_depth_bytes()); });
+  p.net.sim().schedule_at(SimTime::origin(), [&] {
+    // First send: idle transmitter, pass-through; depth = its own bytes.
+    // Next two: transmitter busy, genuinely queued; depth accumulates.
+    p.a->originate(p.make(p.a->id(), p.b->id(), 960));
+    p.a->originate(p.make(p.a->id(), p.b->id(), 960));
+    p.a->originate(p.make(p.a->id(), p.b->id(), 960));
+  });
+  p.net.sim().run();
+  ASSERT_EQ(depths.size(), 3u);
+  EXPECT_EQ(depths[0], 1000u);
+  EXPECT_EQ(depths[1], 1000u);  // first queued packet, queue was empty
+  EXPECT_EQ(depths[2], 2000u);
+}
+
+TEST(Simulator, RearmCurrentMatchesScheduleInTimes) {
+  // A self-rearming event must fire at exactly the times the equivalent
+  // schedule_in chain produces, and keep its callable alive across
+  // firings.
+  std::vector<SimTime> rearm_times;
+  std::vector<SimTime> chain_times;
+  {
+    Simulator sim;
+    int remaining = 5;
+    sim.schedule_in(Duration::millis(10), [&] {
+      rearm_times.push_back(sim.now());
+      if (--remaining > 0) sim.rearm_current(Duration::millis(10));
+    });
+    sim.run();
+  }
+  {
+    Simulator sim;
+    int remaining = 5;
+    std::function<void()> tick = [&] {
+      chain_times.push_back(sim.now());
+      if (--remaining > 0) sim.schedule_in(Duration::millis(10), [&] { tick(); });
+    };
+    sim.schedule_in(Duration::millis(10), [&] { tick(); });
+    sim.run();
+  }
+  EXPECT_EQ(rearm_times, chain_times);
+  ASSERT_EQ(rearm_times.size(), 5u);
+}
+
+TEST(Simulator, RearmCurrentInterleavesWithOtherEvents) {
+  // Rearmed events keep FIFO fairness with fresh events scheduled for the
+  // same instant: the (time, seq) stream is identical to schedule_in's.
+  Simulator sim;
+  std::vector<int> order;
+  int fires = 0;
+  sim.schedule_in(Duration::millis(1), [&] {
+    order.push_back(0);
+    if (++fires < 3) {
+      // Fresh event for the same future instant, scheduled BEFORE the
+      // rearm: it must fire first there (lower seq).
+      sim.schedule_in(Duration::millis(1), [&] { order.push_back(1); });
+      sim.rearm_current(Duration::millis(1));
+    }
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0}));
+}
+
+}  // namespace
+}  // namespace fatih::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace fatih::validation {
 namespace {
 
@@ -61,6 +63,45 @@ TEST(Fingerprint, HeaderSensitive) {
   p = sample_packet();
   p.hdr.flags = sim::kFlagSyn;
   EXPECT_NE(packet_fingerprint(kKey, p), base);
+}
+
+TEST(Fingerprint, BatchMatchesPerPacketOnEveryDispatchLevel) {
+  // hash_batch feeds the SIMD lanes; its digests must be byte-identical to
+  // operator() per packet on every dispatch path, including the forced
+  // scalar fallback and counts that leave lane tails.
+  const FingerprintHasher hasher(kKey);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{5}, std::size_t{16},
+                                  std::size_t{23}, std::size_t{64}}) {
+    std::vector<sim::Packet> packets;
+    std::vector<PacketInvariant> views;
+    for (std::size_t i = 0; i < count; ++i) {
+      auto p = sample_packet();
+      p.hdr.seq = static_cast<std::uint32_t>(i);
+      p.hdr.flow_id = static_cast<std::uint32_t>(i % 7);
+      p.payload_tag = 0x1000 + i;
+      views.push_back(PacketInvariant::from_packet(p));
+      packets.push_back(p);
+    }
+    std::vector<Fingerprint> want(count);
+    for (std::size_t i = 0; i < count; ++i) want[i] = hasher(packets[i]);
+    for (const auto cap : {crypto::SimdLevel::kScalar, crypto::SimdLevel::kSse2,
+                           crypto::SimdLevel::kAvx2, crypto::SimdLevel::kAvx512}) {
+      const auto old = crypto::set_simd_level_cap(cap);
+      std::vector<Fingerprint> got(count, 0);
+      hasher.hash_batch(views.data(), count, got.data());
+      crypto::set_simd_level_cap(old);
+      EXPECT_EQ(got, want) << "count=" << count << " cap=" << static_cast<int>(cap);
+    }
+  }
+}
+
+TEST(Fingerprint, InvariantViewMatchesOneShot) {
+  // The public PacketInvariant must reproduce the seed's 40-byte layout:
+  // hashing it directly equals the packet fingerprint.
+  const auto p = sample_packet();
+  const PacketInvariant v = PacketInvariant::from_packet(p);
+  const crypto::SipSchedule sched(kKey);
+  EXPECT_EQ(crypto::siphash24_fixed<sizeof(v)>(sched, &v), packet_fingerprint(kKey, p));
 }
 
 TEST(Fingerprint, KeySeparation) {

@@ -356,6 +356,7 @@ class Linter {
       if (cfg_.on(Rule::kNoAmbientRng)) rule_ambient_rng(ctx);
       if (cfg_.on(Rule::kNoPointerKeyedOrder)) rule_pointer_keyed(ctx);
       if (cfg_.on(Rule::kNoIostream)) rule_iostream(ctx);
+      if (cfg_.on(Rule::kSimdContainment)) rule_simd_containment(ctx);
     }
     if (cfg_.on(Rule::kNoUnorderedIteration)) rule_unordered_iteration();
     if (cfg_.on(Rule::kTraceEventInit)) rule_trace_event_init();
@@ -716,6 +717,31 @@ class Linter {
     }
   }
 
+  // R8 ----------------------------------------------------------------------
+  /// Raw SIMD vector types are an implementation detail of the batch-hash
+  /// kernels. Everywhere else consumes them through the dispatched API
+  /// (crypto::siphash24_fixed_batch and friends), which keeps exactly one
+  /// code path per layer — the property the byte-identical dispatch tests
+  /// rely on. Intrinsics leaking into sim/ or detection/ would fork the
+  /// hot path per ISA and silently void those tests.
+  void rule_simd_containment(const FileCtx& ctx) {
+    const std::string& path = ctx.src->path;
+    if (starts_with(path, "src/crypto/")) return;
+    const std::string& s = ctx.code;
+    static constexpr std::string_view kVecTypes[] = {
+        "__m128i", "__m128",  "__m128d", "__m256i", "__m256",
+        "__m256d", "__m512i", "__m512",  "__m512d"};
+    for (std::string_view w : kVecTypes) {
+      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+           p = find_word(s, w, p + 1)) {
+        emit(ctx, ctx.line_of(p), Rule::kSimdContainment,
+             "raw SIMD vector type '" + std::string(w) +
+                 "' outside src/crypto/: consume the runtime-dispatched batch API "
+                 "(crypto::siphash24_fixed_batch) instead of forking a per-ISA code path");
+      }
+    }
+  }
+
   // R6 ----------------------------------------------------------------------
   /// R6 name predicate: structs ending in "Event" or "Evidence" (with a
   /// non-empty prefix) plus the evidence-layer verdict records. All of
@@ -1001,6 +1027,7 @@ const char* rule_name(Rule r) {
     case Rule::kNoIostream: return "no-iostream-in-hot-path";
     case Rule::kTraceEventInit: return "trace-event-init";
     case Rule::kNoIncludeCycles: return "no-include-cycles";
+    case Rule::kSimdContainment: return "simd-containment";
     case Rule::kBareSuppression: return "bare-suppression";
   }
   return "?";
@@ -1015,6 +1042,7 @@ const char* rule_id(Rule r) {
     case Rule::kNoIostream: return "R5";
     case Rule::kTraceEventInit: return "R6";
     case Rule::kNoIncludeCycles: return "R7";
+    case Rule::kSimdContainment: return "R8";
     case Rule::kBareSuppression: return "R0";
   }
   return "?";
