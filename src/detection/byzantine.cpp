@@ -67,8 +67,10 @@ void ControlGuard::accept() {
                    counter("byzantine." + metric_prefix_ + ".accepted").inc());
 }
 
-void ControlGuard::reject(util::NodeId at, util::NodeId from, std::int64_t round,
-                          ControlVerdict v, const char* note) {
+void ControlGuard::reject([[maybe_unused]] util::NodeId at,
+                          [[maybe_unused]] util::NodeId from,
+                          [[maybe_unused]] std::int64_t round, ControlVerdict v,
+                          [[maybe_unused]] const char* note) {
   switch (v) {
     case ControlVerdict::kOk: return;  // not a rejection
     case ControlVerdict::kBadMac: ++stats_.rejected_bad_mac; break;

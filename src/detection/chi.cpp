@@ -4,10 +4,12 @@
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <queue>
 
 #include "crypto/siphash.hpp"
 #include "detection/evidence.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 #include "validation/fingerprint.hpp"
 
@@ -875,6 +877,41 @@ ByzantineStats ChiEngine::guard_stats() const {
     total.rejected_future += s.rejected_future;
   }
   return total;
+}
+
+std::uint64_t QueueValidator::state_fingerprint() const {
+  const auto fold_double = [](std::uint64_t acc, double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return util::fnv1a64_word(acc, bits);
+  };
+  std::uint64_t h = util::kFnvOffsetBasis;
+  h = util::fnv1a64_word(h, static_cast<std::uint64_t>(closed_round_));
+  h = util::fnv1a64_word(h, counters_.rounds_opened);
+  h = util::fnv1a64_word(h, counters_.rounds_evaluated);
+  h = util::fnv1a64_word(h, counters_.rounds_invalidated);
+  h = util::fnv1a64_word(h, counters_.suspicions);
+  h = util::fnv1a64_word(h, learned_ ? 1 : 0);
+  h = fold_double(h, mu_);
+  h = fold_double(h, sigma_);
+  h = fold_double(h, qpred_);
+  h = util::fnv1a64_word(h, events_.size() - events_head_);
+  h = util::fnv1a64_word(h, pending_entries_.size());
+  for (const RoundStats& rs : round_stats_) {
+    h = util::fnv1a64_word(h, static_cast<std::uint64_t>(rs.round));
+    h = util::fnv1a64_word(h, rs.entries);
+    h = util::fnv1a64_word(h, rs.exits);
+    h = util::fnv1a64_word(h, rs.drops);
+    h = util::fnv1a64_word(h, rs.congestive);
+    h = util::fnv1a64_word(h, rs.suspicious);
+    h = util::fnv1a64_word(h, rs.delayed);
+    h = util::fnv1a64_word(h, (rs.alarmed ? 1u : 0u) | (rs.invalidated ? 2u : 0u));
+  }
+  for (const Suspicion& s : suspicions_) {
+    const std::string text = s.to_string();
+    h = util::fnv1a64(text.data(), text.size(), h);
+  }
+  return h;
 }
 
 }  // namespace fatih::detection

@@ -128,6 +128,11 @@ class QueueValidator {
   /// Uniform engine introspection (same struct across pi2/pik2/chi).
   [[nodiscard]] const DetectorCounters& counters() const { return counters_; }
 
+  /// FNV fingerprint of the validator's evolving state: watermark,
+  /// counters, calibration (mu/sigma bit patterns), per-round stats and
+  /// replay-queue occupancy, for checkpoint digests.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
   /// Makes a reporter's shipped report lie (protocol-fault injection): the
   /// mutator may add/remove records or return false to suppress entirely.
   /// Works for the owner's self-report AND for any neighbor — a lying

@@ -112,7 +112,8 @@ void ConvictionEngine::originate_raw(util::NodeId from, const Accusation& acc,
 
 void ConvictionEngine::on_accusation(const Accusation& acc) {
   ++accusations_accepted_;
-  const util::NodeId front = acc.accused.empty() ? util::kInvalidNode : acc.accused.front();
+  [[maybe_unused]] const util::NodeId front =
+      acc.accused.empty() ? util::kInvalidNode : acc.accused.front();
   FATIH_TRACE_EMIT(net_.sim().trace(),
                    byzantine(net_.sim().now(), obs::TraceSource::kConviction,
                              obs::TraceCode::kAccusation, acc.accuser, front, acc.round,

@@ -4,6 +4,7 @@
 
 #include "crypto/siphash.hpp"
 #include "detection/evidence.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 
 namespace fatih::detection {
@@ -348,6 +349,23 @@ void Pi2Engine::suspect(util::NodeId reporter, const routing::PathSegment& pair,
     conviction_->accuse(reporter, static_cast<std::uint8_t>(obs::TraceSource::kPi2), pair,
                         round, cause);
   }
+}
+
+std::uint64_t Pi2Engine::state_fingerprint() const {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  h = util::fnv1a64_word(h, static_cast<std::uint64_t>(closed_round_));
+  h = util::fnv1a64_word(h, counters_.rounds_opened);
+  h = util::fnv1a64_word(h, counters_.rounds_evaluated);
+  h = util::fnv1a64_word(h, counters_.rounds_invalidated);
+  h = util::fnv1a64_word(h, counters_.suspicions);
+  h = util::fnv1a64_word(h, received_.size());
+  h = util::fnv1a64_word(h, variants_.size());
+  h = util::fnv1a64_word(h, first_envelope_.size());
+  for (const Suspicion& s : suspicions_) {
+    const std::string text = s.to_string();
+    h = util::fnv1a64(text.data(), text.size(), h);
+  }
+  return h;
 }
 
 }  // namespace fatih::detection

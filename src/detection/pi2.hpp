@@ -104,6 +104,10 @@ class Pi2Engine {
   /// Uniform engine introspection (same struct across pi2/pik2/chi).
   [[nodiscard]] const DetectorCounters& counters() const { return counters_; }
 
+  /// FNV fingerprint of the engine's evolving round state (watermark,
+  /// counters, store sizes, raised suspicions), for checkpoint digests.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
  private:
   void run_round(std::int64_t round);
   void disseminate(std::int64_t round);

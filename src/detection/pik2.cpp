@@ -4,6 +4,7 @@
 #include <set>
 
 #include "detection/evidence.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 #include "validation/bloom.hpp"
 #include "validation/reconcile.hpp"
@@ -398,6 +399,23 @@ void Pik2Engine::inject_summary(util::NodeId from, const SegmentSummary& summary
   sim::Packet p = net_.make_packet(hdr, bytes);
   p.control = std::move(payload);
   net_.router(from).originate(p);
+}
+
+std::uint64_t Pik2Engine::state_fingerprint() const {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  h = util::fnv1a64_word(h, static_cast<std::uint64_t>(closed_round_));
+  h = util::fnv1a64_word(h, counters_.rounds_opened);
+  h = util::fnv1a64_word(h, counters_.rounds_evaluated);
+  h = util::fnv1a64_word(h, counters_.rounds_invalidated);
+  h = util::fnv1a64_word(h, counters_.suspicions);
+  h = util::fnv1a64_word(h, own_.size());
+  h = util::fnv1a64_word(h, peer_.size());
+  h = util::fnv1a64_word(h, exchange_bytes_);
+  for (const Suspicion& s : suspicions_) {
+    const std::string text = s.to_string();
+    h = util::fnv1a64(text.data(), text.size(), h);
+  }
+  return h;
 }
 
 }  // namespace fatih::detection

@@ -109,6 +109,11 @@ class Pik2Engine {
   /// Uniform engine introspection (same struct across pi2/pik2/chi).
   [[nodiscard]] const DetectorCounters& counters() const { return counters_; }
 
+  /// FNV fingerprint of the engine's evolving round state (watermark,
+  /// counters, store sizes, exchange bytes, raised suspicions), for
+  /// checkpoint digests.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
   /// The reliable transport, or null when `reliable.enabled` is off.
   [[nodiscard]] const ReliableChannel* channel() const { return channel_.get(); }
 

@@ -47,11 +47,11 @@ enum class WatchersClass : std::uint8_t {
 struct WatchersSnapshot {
   util::NodeId router = util::kInvalidNode;
   // send[(neighbor, class, dst)] = packets x forwarded to neighbor.
-  std::map<std::tuple<util::NodeId, WatchersClass, util::NodeId>, std::uint64_t> send;
+  std::map<std::tuple<util::NodeId, WatchersClass, util::NodeId>, std::uint64_t> send{};
   // recv[(neighbor, class, dst)] = packets x received from neighbor.
-  std::map<std::tuple<util::NodeId, WatchersClass, util::NodeId>, std::uint64_t> recv;
+  std::map<std::tuple<util::NodeId, WatchersClass, util::NodeId>, std::uint64_t> recv{};
   // misroutes counted against each neighbor.
-  std::map<util::NodeId, std::uint64_t> misroutes;
+  std::map<util::NodeId, std::uint64_t> misroutes{};
 };
 
 struct WatchersConfig {

@@ -1,0 +1,325 @@
+#include "scenario/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace fatih::scenario {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  out += "\"0x";
+  for (int shift = 60; shift >= 0; shift -= 4) out += kHex[(v >> shift) & 0xF];
+  out += '"';
+}
+
+/// Minimal recursive-descent parser for the subset to_json emits.
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  void skip_ws() {
+    while (p != end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) ++p;
+  }
+
+  bool fail(const std::string& what) {
+    if (error.empty()) error = what;
+    return false;
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (p == end || *p != c) return fail(std::string("expected '") + c + "'");
+    ++p;
+    return true;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skip_ws();
+    return p != end && *p == c;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (p != end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p == end) return fail("dangling escape");
+        const char e = *p++;
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: return fail("unknown escape");
+        }
+      }
+      out += c;
+    }
+    if (p == end) return fail("unterminated string");
+    ++p;
+    return true;
+  }
+
+  bool parse_u64(std::uint64_t& out) {
+    skip_ws();
+    // Hex-in-string or bare decimal.
+    if (p != end && *p == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      if (s.size() < 3 || s[0] != '0' || s[1] != 'x') return fail("bad hex literal");
+      out = 0;
+      for (std::size_t i = 2; i < s.size(); ++i) {
+        const char c = s[i];
+        std::uint64_t digit = 0;
+        if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a' + 10);
+        else return fail("bad hex digit");
+        out = (out << 4) | digit;
+      }
+      return true;
+    }
+    if (p == end || std::isdigit(static_cast<unsigned char>(*p)) == 0)
+      return fail("expected number");
+    out = 0;
+    while (p != end && std::isdigit(static_cast<unsigned char>(*p)) != 0) {
+      out = out * 10 + static_cast<std::uint64_t>(*p - '0');
+      ++p;
+    }
+    return true;
+  }
+
+  bool parse_i64(std::int64_t& out) {
+    skip_ws();
+    bool neg = false;
+    if (p != end && *p == '-') {
+      neg = true;
+      ++p;
+    }
+    std::uint64_t mag = 0;
+    if (!parse_u64(mag)) return false;
+    out = neg ? -static_cast<std::int64_t>(mag) : static_cast<std::int64_t>(mag);
+    return true;
+  }
+
+  bool parse_key(std::string& key) {
+    if (!parse_string(key)) return false;
+    return expect(':');
+  }
+
+  bool parse_checkpoint(Checkpoint& cp) {
+    if (!expect('{')) return false;
+    bool first = true;
+    while (!peek('}')) {
+      if (!first && !expect(',')) return false;
+      first = false;
+      std::string key;
+      if (!parse_key(key)) return false;
+      if (key == "t_ns") {
+        if (!parse_i64(cp.t_ns)) return false;
+      } else if (key == "digest") {
+        if (!parse_u64(cp.digest)) return false;
+      } else {
+        return fail("unknown checkpoint key: " + key);
+      }
+    }
+    return expect('}');
+  }
+
+  bool parse_record(CorpusRecord& rec) {
+    if (!expect('{')) return false;
+    bool first = true;
+    while (!peek('}')) {
+      if (!first && !expect(',')) return false;
+      first = false;
+      std::string key;
+      if (!parse_key(key)) return false;
+      if (key == "name") {
+        if (!parse_string(rec.name)) return false;
+      } else if (key == "spec_hash") {
+        if (!parse_u64(rec.spec_hash)) return false;
+      } else if (key == "status") {
+        if (!parse_string(rec.status)) return false;
+      } else if (key == "attempts") {
+        std::uint64_t v = 0;
+        if (!parse_u64(v)) return false;
+        rec.attempts = static_cast<std::uint32_t>(v);
+      } else if (key == "forwarded") {
+        if (!parse_u64(rec.forwarded)) return false;
+      } else if (key == "delivered") {
+        if (!parse_u64(rec.delivered)) return false;
+      } else if (key == "dispatched") {
+        if (!parse_u64(rec.dispatched)) return false;
+      } else if (key == "final_digest") {
+        if (!parse_u64(rec.final_digest)) return false;
+      } else if (key == "suspicions") {
+        if (!expect('[')) return false;
+        while (!peek(']')) {
+          if (!rec.suspicions.empty() && !expect(',')) return false;
+          std::string s;
+          if (!parse_string(s)) return false;
+          rec.suspicions.push_back(std::move(s));
+        }
+        if (!expect(']')) return false;
+      } else if (key == "checkpoints") {
+        if (!expect('[')) return false;
+        while (!peek(']')) {
+          if (!rec.checkpoints.empty() && !expect(',')) return false;
+          Checkpoint cp;
+          if (!parse_checkpoint(cp)) return false;
+          rec.checkpoints.push_back(cp);
+        }
+        if (!expect(']')) return false;
+      } else {
+        return fail("unknown record key: " + key);
+      }
+    }
+    return expect('}');
+  }
+
+  bool parse_corpus(Corpus& out) {
+    if (!expect('{')) return false;
+    bool first = true;
+    while (!peek('}')) {
+      if (!first && !expect(',')) return false;
+      first = false;
+      std::string key;
+      if (!parse_key(key)) return false;
+      if (key == "version") {
+        std::uint64_t v = 0;
+        if (!parse_u64(v)) return false;
+        out.version = static_cast<std::uint32_t>(v);
+      } else if (key == "records") {
+        if (!expect('[')) return false;
+        while (!peek(']')) {
+          if (!out.records.empty() && !expect(',')) return false;
+          CorpusRecord rec;
+          if (!parse_record(rec)) return false;
+          out.records.push_back(std::move(rec));
+        }
+        if (!expect(']')) return false;
+      } else {
+        return fail("unknown corpus key: " + key);
+      }
+    }
+    if (!expect('}')) return false;
+    skip_ws();
+    if (p != end) return fail("trailing bytes after corpus");
+    return true;
+  }
+};
+
+}  // namespace
+
+void Corpus::upsert(CorpusRecord rec) {
+  const auto it = std::lower_bound(
+      records.begin(), records.end(), rec,
+      [](const CorpusRecord& a, const CorpusRecord& b) { return a.name < b.name; });
+  if (it != records.end() && it->name == rec.name) {
+    *it = std::move(rec);
+  } else {
+    records.insert(it, std::move(rec));
+  }
+}
+
+const CorpusRecord* Corpus::find(const std::string& name) const {
+  for (const CorpusRecord& r : records) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+CorpusRecord to_record(const ScenarioResult& result) {
+  CorpusRecord rec;
+  rec.name = result.name;
+  rec.spec_hash = result.spec_hash;
+  rec.status = "ok";
+  rec.forwarded = result.forwarded;
+  rec.delivered = result.delivered;
+  rec.dispatched = result.dispatched;
+  rec.final_digest = result.final_digest;
+  rec.suspicions = result.suspicions;
+  rec.checkpoints = result.checkpoints;
+  return rec;
+}
+
+std::string to_json(const Corpus& corpus) {
+  std::vector<const CorpusRecord*> sorted;
+  sorted.reserve(corpus.records.size());
+  for (const CorpusRecord& r : corpus.records) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CorpusRecord* a, const CorpusRecord* b) { return a->name < b->name; });
+
+  std::string out;
+  out += "{\n  \"version\": " + std::to_string(corpus.version) + ",\n  \"records\": [";
+  bool first_rec = true;
+  for (const CorpusRecord* rp : sorted) {
+    const CorpusRecord& r = *rp;
+    out += first_rec ? "\n" : ",\n";
+    first_rec = false;
+    out += "    {\n      \"name\": ";
+    append_escaped(out, r.name);
+    out += ",\n      \"spec_hash\": ";
+    append_hex(out, r.spec_hash);
+    out += ",\n      \"status\": ";
+    append_escaped(out, r.status);
+    out += ",\n      \"attempts\": " + std::to_string(r.attempts);
+    out += ",\n      \"forwarded\": " + std::to_string(r.forwarded);
+    out += ",\n      \"delivered\": " + std::to_string(r.delivered);
+    out += ",\n      \"dispatched\": " + std::to_string(r.dispatched);
+    out += ",\n      \"final_digest\": ";
+    append_hex(out, r.final_digest);
+    out += ",\n      \"suspicions\": [";
+    bool first = true;
+    for (const std::string& s : r.suspicions) {
+      out += first ? "\n        " : ",\n        ";
+      first = false;
+      append_escaped(out, s);
+    }
+    out += first ? "]" : "\n      ]";
+    out += ",\n      \"checkpoints\": [";
+    first = true;
+    for (const Checkpoint& cp : r.checkpoints) {
+      out += first ? "\n        " : ",\n        ";
+      first = false;
+      out += "{\"t_ns\": " + std::to_string(cp.t_ns) + ", \"digest\": ";
+      append_hex(out, cp.digest);
+      out += "}";
+    }
+    out += first ? "]" : "\n      ]";
+    out += "\n    }";
+  }
+  out += first_rec ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool from_json(const std::string& text, Corpus& out, std::string& error) {
+  out = Corpus{};
+  out.records.clear();
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  if (!parser.parse_corpus(out)) {
+    error = parser.error.empty() ? "malformed corpus" : parser.error;
+    return false;
+  }
+  error.clear();
+  return true;
+}
+
+}  // namespace fatih::scenario

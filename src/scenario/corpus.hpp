@@ -1,0 +1,62 @@
+// The fleet's machine-readable result corpus.
+//
+// One CorpusRecord pins everything a scenario run is expected to
+// reproduce: counters, the final digest, the suspicion strings, and the
+// per-round checkpoint digests the drift bisection searches over. A
+// Corpus is the deterministic aggregate the fleet writes (records sorted
+// by name, canonical JSON) and the golden file the drift comparison reads
+// (BENCH_fleet_corpus.json at the repo root).
+//
+// Failed workers are corpus citizens too: a record with status "crash" or
+// "timeout" keeps the failure visible in the aggregate instead of
+// silently shrinking it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+
+namespace fatih::scenario {
+
+/// One scenario's outcome. `status` is "ok", "crash" or "timeout";
+/// non-ok records carry zeroed results but a real attempt count.
+struct CorpusRecord {
+  std::string name{};
+  std::uint64_t spec_hash = 0;
+  std::string status = "ok";
+  std::uint32_t attempts = 1;
+  std::uint64_t forwarded = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t final_digest = 0;
+  std::vector<std::string> suspicions{};
+  std::vector<Checkpoint> checkpoints{};
+
+  bool operator==(const CorpusRecord&) const = default;
+};
+
+struct Corpus {
+  std::uint32_t version = 1;
+  std::vector<CorpusRecord> records{};
+
+  /// Inserts keeping records sorted by name (replaces an existing record
+  /// of the same name).
+  void upsert(CorpusRecord rec);
+
+  [[nodiscard]] const CorpusRecord* find(const std::string& name) const;
+};
+
+/// Converts a completed run's result into an "ok" record.
+[[nodiscard]] CorpusRecord to_record(const ScenarioResult& result);
+
+/// Canonical JSON: records sorted by name, fixed key order, 64-bit hashes
+/// as hex strings. Byte-identical across platforms for identical results.
+[[nodiscard]] std::string to_json(const Corpus& corpus);
+
+/// Parses JSON produced by to_json (plus whitespace tolerance). Returns
+/// false and sets `error` on malformed input.
+[[nodiscard]] bool from_json(const std::string& text, Corpus& out, std::string& error);
+
+}  // namespace fatih::scenario

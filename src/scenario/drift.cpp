@@ -1,0 +1,139 @@
+#include "scenario/drift.hpp"
+
+#include <algorithm>
+
+namespace fatih::scenario {
+
+namespace {
+
+/// First field-level mismatch between two ok records, empty when equal.
+std::string mismatch_reason(const CorpusRecord& golden, const CorpusRecord& fresh) {
+  const auto num = [](const char* field, std::uint64_t g, std::uint64_t f) {
+    return std::string(field) + ": golden " + std::to_string(g) + " vs fresh " +
+           std::to_string(f);
+  };
+  if (golden.spec_hash != fresh.spec_hash)
+    return num("spec_hash", golden.spec_hash, fresh.spec_hash);
+  if (golden.forwarded != fresh.forwarded)
+    return num("forwarded", golden.forwarded, fresh.forwarded);
+  if (golden.delivered != fresh.delivered)
+    return num("delivered", golden.delivered, fresh.delivered);
+  if (golden.dispatched != fresh.dispatched)
+    return num("dispatched", golden.dispatched, fresh.dispatched);
+  if (golden.suspicions != fresh.suspicions) {
+    if (golden.suspicions.size() != fresh.suspicions.size())
+      return num("suspicion count", golden.suspicions.size(), fresh.suspicions.size());
+    for (std::size_t i = 0; i < golden.suspicions.size(); ++i) {
+      if (golden.suspicions[i] != fresh.suspicions[i]) {
+        return "suspicion " + std::to_string(i) + ": golden \"" + golden.suspicions[i] +
+               "\" vs fresh \"" + fresh.suspicions[i] + "\"";
+      }
+    }
+  }
+  if (golden.final_digest != fresh.final_digest)
+    return num("final_digest", golden.final_digest, fresh.final_digest);
+  return {};
+}
+
+}  // namespace
+
+DivergenceWindow first_divergent_window(const std::vector<Checkpoint>& golden,
+                                        const std::vector<Checkpoint>& fresh) {
+  DivergenceWindow w;
+  const std::size_t n = std::min(golden.size(), fresh.size());
+  // agrees(i) is monotone in i (deterministic replay: once diverged,
+  // never re-converged), so binary-search the first disagreement.
+  const auto agrees = [&](std::size_t i) { return golden[i] == fresh[i]; };
+  std::size_t lo = 0;
+  std::size_t hi = n;  // invariant: every i < lo agrees; first mismatch < hi
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (agrees(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == n) {
+    // Shared prefixes agree; trails of different length still localize
+    // the divergence to the first checkpoint only one trail has.
+    if (golden.size() != fresh.size()) {
+      const auto& longer = golden.size() > fresh.size() ? golden : fresh;
+      w.found = true;
+      w.from_ns = n == 0 ? 0 : longer[n - 1].t_ns;
+      w.to_ns = longer[n].t_ns;
+      return w;
+    }
+    // A replay can't re-converge after diverging, but a corrupted corpus
+    // file can disagree non-monotonically and fool the binary search;
+    // fall back to a linear scan so a differing trail always gets a window.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!agrees(i)) {
+        lo = i;
+        break;
+      }
+    }
+    if (lo == n) return w;
+  }
+  w.found = true;
+  w.from_ns = lo == 0 ? 0 : golden[lo - 1].t_ns;
+  w.to_ns = golden[lo].t_ns;
+  return w;
+}
+
+DriftReport compare_corpus(const Corpus& golden, const Corpus& fresh) {
+  DriftReport report;
+  for (const CorpusRecord& g : golden.records) {
+    ++report.compared;
+    Divergence d;
+    d.name = g.name;
+    const CorpusRecord* f = fresh.find(g.name);
+    if (f == nullptr) {
+      d.reason = "missing from fresh corpus";
+      report.divergences.push_back(std::move(d));
+      continue;
+    }
+    if (g.status != "ok") {
+      // A golden failure record pins only that the scenario is expected
+      // to fail the same way (used by the injected-fault probes).
+      if (f->status != g.status) {
+        d.reason = "status: golden " + g.status + " vs fresh " + f->status;
+        report.divergences.push_back(std::move(d));
+      }
+      continue;
+    }
+    if (f->status != "ok") {
+      d.reason = "fresh run failed: " + f->status;
+      report.divergences.push_back(std::move(d));
+      continue;
+    }
+    d.reason = mismatch_reason(g, *f);
+    if (d.reason.empty() && g.checkpoints != f->checkpoints) {
+      d.reason = "checkpoint trail mismatch";
+    }
+    if (!d.reason.empty()) {
+      d.window = first_divergent_window(g.checkpoints, f->checkpoints);
+      report.divergences.push_back(std::move(d));
+    }
+  }
+  return report;
+}
+
+std::string describe(const DriftReport& report) {
+  std::string out;
+  if (report.clean()) {
+    out = "drift: clean (" + std::to_string(report.compared) + " records compared)\n";
+    return out;
+  }
+  for (const Divergence& d : report.divergences) {
+    out += "drift: " + d.name + ": " + d.reason;
+    if (d.window.found) {
+      out += " (first divergent window " + std::to_string(d.window.from_ns) + " .. " +
+             std::to_string(d.window.to_ns) + " ns)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fatih::scenario

@@ -1,0 +1,56 @@
+// Golden-corpus drift detection and first-divergence bisection.
+//
+// compare_corpus() checks a freshly generated corpus against the
+// committed golden one: for every record the golden file pins, the fresh
+// run must exist, have succeeded, and agree on spec hash, counters,
+// digest and suspicion set. Fresh-only records (new scenarios, injected
+// fleet-failure probes) are ignored — the golden file is the contract.
+//
+// When a record drifts, first_divergent_window() binary-searches the
+// per-round checkpoint digests: agreement at a round boundary is
+// monotone (a deterministic run that matches at T matches at every
+// t <= T), so the first mismatching checkpoint brackets the first
+// divergent event window without replaying anything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/corpus.hpp"
+
+namespace fatih::scenario {
+
+/// The round window [from_ns, to_ns) in which two runs of one scenario
+/// first disagree, per their checkpoint digest trails.
+struct DivergenceWindow {
+  std::int64_t from_ns = 0;  ///< last agreeing checkpoint (0 = construction)
+  std::int64_t to_ns = 0;    ///< first disagreeing checkpoint
+  bool found = false;        ///< false: trails agree entirely (tail drift)
+};
+
+/// One drifted record and why.
+struct Divergence {
+  std::string name{};
+  std::string reason{};  ///< human-readable field-level mismatch
+  DivergenceWindow window{};
+};
+
+struct DriftReport {
+  std::vector<Divergence> divergences{};
+  std::size_t compared = 0;  ///< golden records checked
+
+  [[nodiscard]] bool clean() const { return divergences.empty(); }
+};
+
+/// Compares `fresh` against `golden` (see file header for the policy).
+[[nodiscard]] DriftReport compare_corpus(const Corpus& golden, const Corpus& fresh);
+
+/// Binary search over two checkpoint trails for the first disagreement.
+[[nodiscard]] DivergenceWindow first_divergent_window(const std::vector<Checkpoint>& golden,
+                                                      const std::vector<Checkpoint>& fresh);
+
+/// Renders a report for logs: one line per divergence.
+[[nodiscard]] std::string describe(const DriftReport& report);
+
+}  // namespace fatih::scenario

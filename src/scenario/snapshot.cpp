@@ -1,0 +1,183 @@
+#include "scenario/snapshot.hpp"
+
+#include <cstring>
+
+#include "util/hash.hpp"
+
+namespace fatih::scenario {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'S', 'N', 'P'};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounded little-endian reader; any out-of-range read latches `ok` false.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  [[nodiscard]] bool take(std::size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!take(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+const char* snapshot_error_name(SnapshotError e) {
+  switch (e) {
+    case SnapshotError::kNone: return "none";
+    case SnapshotError::kTruncated: return "truncated";
+    case SnapshotError::kBadMagic: return "bad-magic";
+    case SnapshotError::kChecksumMismatch: return "checksum-mismatch";
+    case SnapshotError::kBadVersion: return "bad-version";
+    case SnapshotError::kBadSpec: return "bad-spec";
+    case SnapshotError::kStateDiverged: return "state-diverged";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_snapshot(const ScenarioSnapshot& snap) {
+  std::vector<std::uint8_t> out;
+  out.reserve(128 + snap.spec_text.size());
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32(out, snap.version);
+  put_str(out, snap.spec_text);
+  const StateDigest& d = snap.digest;
+  put_i64(out, d.t_ns);
+  put_u64(out, d.dispatched);
+  put_u64(out, d.forwarded);
+  put_u64(out, d.delivered);
+  put_u64(out, d.rng_hash);
+  put_u64(out, d.pending_hash);
+  put_u64(out, d.detector_hash);
+  put_u64(out, d.suspicion_hash);
+  put_u64(out, d.suspicion_count);
+  put_u32(out, static_cast<std::uint32_t>(snap.suspicions.size()));
+  for (const std::string& s : snap.suspicions) put_str(out, s);
+  put_u64(out, util::fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+bool decode_snapshot(const std::vector<std::uint8_t>& bytes, ScenarioSnapshot& out,
+                     SnapshotError& error) {
+  // Framing first: the fixed prelude plus the trailing checksum.
+  if (bytes.size() < 4 + 4 + 4 + 8 + 9 * 8 + 4 + 8) {
+    error = SnapshotError::kTruncated;
+    return false;
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    error = SnapshotError::kBadMagic;
+    return false;
+  }
+  // Checksum next, so corruption never masquerades as a version mismatch
+  // or a parse error.
+  const std::size_t body = bytes.size() - 8;
+  Reader tail{bytes.data(), bytes.size(), body, true};
+  if (tail.u64() != util::fnv1a64(bytes.data(), body)) {
+    error = SnapshotError::kChecksumMismatch;
+    return false;
+  }
+  Reader r{bytes.data(), body, 4, true};
+  out.version = r.u32();
+  if (out.version != kSnapshotVersion) {
+    error = SnapshotError::kBadVersion;
+    return false;
+  }
+  out.spec_text = r.str();
+  out.digest.t_ns = r.i64();
+  out.digest.dispatched = r.u64();
+  out.digest.forwarded = r.u64();
+  out.digest.delivered = r.u64();
+  out.digest.rng_hash = r.u64();
+  out.digest.pending_hash = r.u64();
+  out.digest.detector_hash = r.u64();
+  out.digest.suspicion_hash = r.u64();
+  out.digest.suspicion_count = r.u64();
+  const std::uint32_t n = r.u32();
+  out.suspicions.clear();
+  for (std::uint32_t i = 0; i < n && r.ok; ++i) out.suspicions.push_back(r.str());
+  if (!r.ok || r.pos != body) {
+    error = SnapshotError::kTruncated;
+    return false;
+  }
+  error = SnapshotError::kNone;
+  return true;
+}
+
+ScenarioSnapshot take_snapshot(ScenarioRun& run) {
+  ScenarioSnapshot snap;
+  snap.spec_text = encode(run.spec());
+  snap.digest = run.digest();
+  snap.suspicions = run.suspicion_strings();
+  return snap;
+}
+
+bool restore_run(const ScenarioSnapshot& snap, std::unique_ptr<ScenarioRun>& out,
+                 SnapshotError& error) {
+  out.reset();
+  ScenarioSpec spec;
+  std::string spec_error;
+  if (!decode(snap.spec_text, spec, spec_error)) {
+    error = SnapshotError::kBadSpec;
+    return false;
+  }
+  auto run = std::make_unique<ScenarioRun>(spec);
+  run->run_to(snap.digest.t_ns);
+  if (run->digest() != snap.digest) {
+    error = SnapshotError::kStateDiverged;
+    return false;
+  }
+  out = std::move(run);
+  error = SnapshotError::kNone;
+  return true;
+}
+
+}  // namespace fatih::scenario

@@ -1,0 +1,75 @@
+// Versioned checkpoint snapshots with integrity checking.
+//
+// The event slab holds arbitrary closures, so a running simulation cannot
+// be serialized directly. Snapshots instead use deterministic replay: the
+// snapshot embeds the complete scenario recipe (canonical spec text), the
+// capture time T, and the StateDigest at T. restore_run() rebuilds the
+// run from the spec, replays to T, and verifies the digest byte-for-byte
+// — a mismatch means the build no longer reproduces the snapshot's
+// history and restore is refused (kStateDiverged) rather than silently
+// resuming from a different state. A successful restore is therefore
+// guaranteed to continue exactly the run that was snapshotted:
+// run-to-T-then-restore and a straight run are indistinguishable.
+//
+// Wire format (little-endian, fixed field order):
+//   magic "FSNP" | u32 version | u32 spec_len | spec text
+//   | i64 t_ns | StateDigest fields | u32 n_suspicions
+//   | (u32 len | bytes)* suspicions | u64 fnv1a64 of everything above
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+
+namespace fatih::scenario {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Why a snapshot was rejected. Ordered by check: truncation and framing
+/// first, checksum before any field is trusted, then version, then the
+/// embedded spec, then replay verification.
+enum class SnapshotError : std::uint8_t {
+  kNone,
+  kTruncated,         ///< fewer bytes than the framing promises
+  kBadMagic,          ///< not a snapshot at all
+  kChecksumMismatch,  ///< bytes corrupted in flight or on disk
+  kBadVersion,        ///< produced by an incompatible writer
+  kBadSpec,           ///< embedded spec text fails to decode
+  kStateDiverged,     ///< replay to t_ns did not reproduce the digest
+};
+
+[[nodiscard]] const char* snapshot_error_name(SnapshotError e);
+
+/// The replay recipe a checkpoint pins: spec, capture time, expected
+/// digest, and the suspicions raised so far (carried for inspection —
+/// replay regenerates them and the digest cross-checks the set).
+struct ScenarioSnapshot {
+  std::uint32_t version = kSnapshotVersion;
+  std::string spec_text{};
+  StateDigest digest{};
+  std::vector<std::string> suspicions{};
+};
+
+/// Serializes to the wire format above.
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(const ScenarioSnapshot& snap);
+
+/// Parses and integrity-checks a snapshot. On failure returns false and
+/// sets `error`; `out` is unspecified. Does not replay anything.
+[[nodiscard]] bool decode_snapshot(const std::vector<std::uint8_t>& bytes,
+                                   ScenarioSnapshot& out, SnapshotError& error);
+
+/// Captures the run's current state as a snapshot.
+[[nodiscard]] ScenarioSnapshot take_snapshot(ScenarioRun& run);
+
+/// Rebuilds a run from the snapshot: decodes the embedded spec, replays
+/// to the capture time and verifies the digest. On success `out` is a
+/// live run positioned exactly at the snapshot instant; on failure
+/// (kBadSpec / kStateDiverged) `out` is reset and `error` says why.
+[[nodiscard]] bool restore_run(const ScenarioSnapshot& snap,
+                               std::unique_ptr<ScenarioRun>& out, SnapshotError& error);
+
+}  // namespace fatih::scenario

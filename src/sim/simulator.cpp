@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.hpp"
+
 namespace fatih::sim {
 
 Simulator::~Simulator() {
@@ -131,5 +133,24 @@ void Simulator::run_until(util::SimTime limit) {
 }
 
 void Simulator::run() { run_until(util::SimTime::infinity()); }
+
+std::uint64_t Simulator::pending_fingerprint() const {
+  std::vector<HeapEntry> live;
+  live.reserve(in_use_);
+  const auto collect = [&](const HeapEntry& e) {
+    const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
+    const EventRecord& rec = record(slot);
+    if (rec.armed && rec.seq == e.key >> kSlotBits) live.push_back(e);
+  };
+  for (std::size_t i = near_head_; i < near_.size(); ++i) collect(near_[i]);
+  for (const HeapEntry& e : heap_) collect(e);
+  std::sort(live.begin(), live.end(), before);
+  std::uint64_t h = util::kFnvOffsetBasis;
+  for (const HeapEntry& e : live) {
+    h = util::fnv1a64_word(h, static_cast<std::uint64_t>(e.at.nanos()));
+    h = util::fnv1a64_word(h, e.key);
+  }
+  return h;
+}
 
 }  // namespace fatih::sim

@@ -141,6 +141,14 @@ class Simulator {
   /// Number of events dispatched so far (for tests / sanity checks).
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
 
+  /// Order-independent FNV fingerprint of the live pending queue: every
+  /// armed (time, seq|slot) entry across both tiers, folded in (at, key)
+  /// order. Two simulators that will dispatch the same future events —
+  /// regardless of near/far placement or stale-entry debris — fingerprint
+  /// identically; checkpoint digests use this to pin the event-queue
+  /// state without serializing callables.
+  [[nodiscard]] std::uint64_t pending_fingerprint() const;
+
   /// Observability attach points. Every layer reaches the simulator, so
   /// the trace sink and metrics registry hang here; null = disabled at
   /// runtime (instrumented call sites pay one load + branch). Prefer

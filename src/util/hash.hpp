@@ -1,0 +1,38 @@
+// FNV-1a 64-bit hashing.
+//
+// The deterministic fingerprints that cross process or PR boundaries —
+// scenario spec hashes, snapshot checksums, simulator/detector state
+// digests — all fold through this one implementation so the constants can
+// never drift between writers and readers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace fatih::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a 64 over `n` raw bytes, continuing from `seed`.
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                                           std::uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Folds one 64-bit word (as its 8 little-endian bytes) into an FNV-1a
+/// accumulator.
+[[nodiscard]] inline std::uint64_t fnv1a64_word(std::uint64_t acc, std::uint64_t word) {
+  unsigned char bytes[8];
+  std::memcpy(bytes, &word, 8);
+  return fnv1a64(bytes, 8, acc);
+}
+
+}  // namespace fatih::util

@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
+
+#include "util/hash.hpp"
 
 namespace fatih::util {
 
@@ -95,5 +98,14 @@ double Rng::pareto(double xm, double alpha) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+std::uint64_t Rng::state_hash() const {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const std::uint64_t word : s_) h = fnv1a64_word(h, word);
+  h = fnv1a64_word(h, have_gauss_ ? 1 : 0);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &gauss_, sizeof(bits));
+  return fnv1a64_word(h, bits);
+}
 
 }  // namespace fatih::util

@@ -50,6 +50,11 @@ class Rng {
   /// router its own stream.
   Rng fork();
 
+  /// FNV-1a fingerprint of the full generator state — the xoshiro words
+  /// plus the Box-Muller carry — so a checkpoint digest can pin the exact
+  /// stream position, not just the seed.
+  [[nodiscard]] std::uint64_t state_hash() const;
+
  private:
   std::array<std::uint64_t, 4> s_{};
   bool have_gauss_ = false;

@@ -316,7 +316,7 @@ std::optional<ReconcileResult> reconcile(std::span<const std::uint64_t> local,
   return std::nullopt;
 }
 
-std::optional<ReconcileResult> reconcile(obs::MetricsRegistry* metrics,
+std::optional<ReconcileResult> reconcile([[maybe_unused]] obs::MetricsRegistry* metrics,
                                          std::span<const std::uint64_t> local,
                                          std::span<const std::uint64_t> remote_evals,
                                          std::size_t remote_count,

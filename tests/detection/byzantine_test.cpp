@@ -298,7 +298,7 @@ TEST(ConvictionEngine, UnsignedAccusationNeverEntersLedger) {
 /// Diamond + Pi(k+2) with clean traffic and one liar r2 framing honest r1
 /// with fabricated proofs. Returns a comparable run snapshot.
 struct FramingSnapshot {
-  std::vector<std::tuple<NodeId, std::int64_t, std::string>> convictions;
+  std::vector<std::tuple<NodeId, std::int64_t, std::string>> convictions{};
   std::uint64_t accusations_accepted = 0;
   std::uint64_t filed = 0;
   std::size_t suspicions = 0;

@@ -1,0 +1,19 @@
+// Fixture: R6 positives for the *Spec / *Snapshot suffixes — scenario
+// recipes and checkpoint snapshots are serialized aggregates too.
+#include <cstdint>
+#include <string>
+
+struct FixtureScenarioSpec {
+  std::uint64_t seed;   // fires: no initializer
+  std::string name{};   // clean: explicitly initialized
+  int duration;         // fires: no initializer
+};
+
+FixtureScenarioSpec fixture_make_partial() {
+  return FixtureScenarioSpec{1, "clean"};  // fires: 2 of 3 fields initialized
+}
+
+struct FixtureRunSnapshot {
+  std::uint64_t digest;  // fires: *Snapshot structs are R6-covered too
+  std::string spec{};    // clean
+};

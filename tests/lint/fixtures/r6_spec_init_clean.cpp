@@ -1,0 +1,29 @@
+// Fixture: R6 negatives for the *Spec / *Snapshot suffixes — fully
+// initialized aggregates are clean, and bare suffix names (a struct
+// literally called Spec or Snapshot) are not event-like.
+#include <cstdint>
+#include <string>
+
+struct FixtureScenarioSpec {
+  std::uint64_t seed = 1;
+  std::string name{};
+  int duration = 0;
+};
+
+FixtureScenarioSpec fixture_make_full() {
+  return FixtureScenarioSpec{1, "clean", 2};  // all fields initialized
+}
+
+struct FixtureRunSnapshot {
+  std::uint64_t digest = 0;
+  std::string spec{};
+};
+
+// Bare suffix names have an empty prefix and are not covered.
+struct Spec {
+  int raw;
+};
+
+struct Snapshot {
+  int raw;
+};

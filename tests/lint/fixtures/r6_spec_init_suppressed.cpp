@@ -1,0 +1,8 @@
+// Fixture: R6 suppression for a *Spec struct.
+#include <cstdint>
+
+struct FixtureLegacySpec {
+  // fatih-lint: allow(trace-event-init) fixture: mirrors a third-party POD layout
+  std::uint64_t seed;
+  int duration = 0;
+};

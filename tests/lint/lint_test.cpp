@@ -217,6 +217,26 @@ TEST(R6TraceEventInit, JustifiedSuppressionSilences) {
   EXPECT_EQ(r.suppressed, 1u);
 }
 
+TEST(R6TraceEventInit, FlagsSpecAndSnapshotSuffixes) {
+  const Report r = lint_fixture("r6_spec_init_bad.cpp", "src/lintfix/r6_spec_init_bad.cpp");
+  EXPECT_TRUE(all_rule(r, Rule::kTraceEventInit));
+  // Lines 7 and 9: uninitialized *Spec fields; line 13: partial aggregate
+  // init; line 17: uninitialized *Snapshot field.
+  EXPECT_EQ(lines_of(r, Rule::kTraceEventInit), (std::vector<std::size_t>{7, 9, 13, 17}));
+}
+
+TEST(R6TraceEventInit, AllowsFullSpecInitAndBareSuffixNames) {
+  const Report r = lint_fixture("r6_spec_init_clean.cpp", "src/lintfix/r6_spec_init_clean.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R6TraceEventInit, SpecSuppressionSilences) {
+  const Report r =
+      lint_fixture("r6_spec_init_suppressed.cpp", "src/lintfix/r6_spec_init_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
 // ------------------------------------------------------------------- R7
 
 TEST(R7IncludeGraph, DetectsTwoFileCycle) {

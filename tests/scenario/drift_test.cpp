@@ -1,0 +1,185 @@
+// Corpus codec and drift detection: deterministic JSON round-trips,
+// golden-vs-fresh comparison policy, and checkpoint bisection localizing
+// the first divergent round window.
+#include "scenario/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/corpus.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace fatih::scenario {
+namespace {
+
+Corpus small_corpus() {
+  Corpus corpus;
+  for (const char* name : {"line4_pik2_clean", "line4_pik2_drop"}) {
+    const ScenarioSpec* spec = find_scenario(name);
+    EXPECT_NE(spec, nullptr);
+    corpus.upsert(to_record(run_scenario(*spec)));
+  }
+  return corpus;
+}
+
+TEST(CorpusCodec, JsonRoundTripsExactly) {
+  const Corpus corpus = small_corpus();
+  const std::string json = to_json(corpus);
+  Corpus decoded;
+  std::string error;
+  ASSERT_TRUE(from_json(json, decoded, error)) << error;
+  EXPECT_EQ(decoded.version, corpus.version);
+  ASSERT_EQ(decoded.records.size(), corpus.records.size());
+  for (std::size_t i = 0; i < corpus.records.size(); ++i) {
+    EXPECT_EQ(decoded.records[i], corpus.records[i]) << corpus.records[i].name;
+  }
+  // Canonical: re-encoding reproduces the bytes.
+  EXPECT_EQ(to_json(decoded), json);
+}
+
+TEST(CorpusCodec, RejectsMalformedJson) {
+  Corpus out;
+  std::string error;
+  EXPECT_FALSE(from_json("", out, error));
+  EXPECT_FALSE(from_json("{\"version\": 1", out, error));
+  EXPECT_FALSE(from_json("{\"version\": 1, \"bogus\": 2}", out, error));
+  EXPECT_FALSE(from_json("{\"version\": 1} trailing", out, error));
+}
+
+TEST(CorpusCodec, UpsertKeepsRecordsSortedAndReplaces) {
+  Corpus corpus;
+  CorpusRecord b;
+  b.name = "bbb";
+  CorpusRecord a;
+  a.name = "aaa";
+  corpus.upsert(b);
+  corpus.upsert(a);
+  ASSERT_EQ(corpus.records.size(), 2u);
+  EXPECT_EQ(corpus.records[0].name, "aaa");
+  a.forwarded = 7;
+  corpus.upsert(a);
+  ASSERT_EQ(corpus.records.size(), 2u);
+  EXPECT_EQ(corpus.records[0].forwarded, 7u);
+}
+
+TEST(Drift, IdenticalCorporaAreClean) {
+  const Corpus corpus = small_corpus();
+  const DriftReport report = compare_corpus(corpus, corpus);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.compared, corpus.records.size());
+}
+
+TEST(Drift, FreshOnlyRecordsAreIgnored) {
+  Corpus golden = small_corpus();
+  Corpus fresh = golden;
+  CorpusRecord probe;
+  probe.name = "inject_crash";
+  probe.status = "crash";
+  fresh.upsert(probe);
+  EXPECT_TRUE(compare_corpus(golden, fresh).clean());
+}
+
+TEST(Drift, MissingAndFailedFreshRecordsAreDrift) {
+  const Corpus golden = small_corpus();
+  Corpus fresh = golden;
+  fresh.records.pop_back();
+  DriftReport report = compare_corpus(golden, fresh);
+  ASSERT_EQ(report.divergences.size(), 1u);
+  EXPECT_NE(report.divergences[0].reason.find("missing"), std::string::npos);
+
+  fresh = golden;
+  fresh.records.back().status = "timeout";
+  report = compare_corpus(golden, fresh);
+  ASSERT_EQ(report.divergences.size(), 1u);
+  EXPECT_NE(report.divergences[0].reason.find("timeout"), std::string::npos);
+}
+
+TEST(Drift, GoldenFailureRecordPinsTheFailureMode) {
+  Corpus golden;
+  CorpusRecord rec;
+  rec.name = "inject_crash";
+  rec.status = "crash";
+  golden.upsert(rec);
+  Corpus fresh = golden;
+  EXPECT_TRUE(compare_corpus(golden, fresh).clean());
+  fresh.records[0].status = "ok";
+  EXPECT_FALSE(compare_corpus(golden, fresh).clean());
+}
+
+TEST(Drift, PerturbedScenarioIsFlaggedAndBisected) {
+  const ScenarioSpec* base = find_scenario("line4_pik2_drop");
+  ASSERT_NE(base, nullptr);
+  Corpus golden;
+  golden.upsert(to_record(run_scenario(*base)));
+
+  // Same scenario name, attack armed a second later: histories agree up
+  // to 1.5 s, so the checkpoints at 1 s match and the 2 s ones differ —
+  // the bisection must pin the divergence to the (1 s, 2 s] round.
+  ScenarioSpec perturbed = *base;
+  ASSERT_EQ(perturbed.attacks.size(), 1u);
+  perturbed.attacks[0].active_from_ns += 1'000'000'000;
+  Corpus fresh;
+  fresh.upsert(to_record(run_scenario(perturbed)));
+
+  const DriftReport report = compare_corpus(golden, fresh);
+  ASSERT_EQ(report.divergences.size(), 1u);
+  const Divergence& d = report.divergences[0];
+  EXPECT_EQ(d.name, base->name);
+  ASSERT_TRUE(d.window.found) << d.reason;
+  EXPECT_EQ(d.window.from_ns, 1'000'000'000);
+  EXPECT_EQ(d.window.to_ns, 2'000'000'000);
+}
+
+TEST(Bisection, SyntheticTrails) {
+  const auto cp = [](std::int64_t t, std::uint64_t digest) { return Checkpoint{t, digest}; };
+  const std::vector<Checkpoint> golden = {cp(1, 10), cp(2, 20), cp(3, 30), cp(4, 40)};
+
+  // Identical trails: no divergence.
+  EXPECT_FALSE(first_divergent_window(golden, golden).found);
+
+  // Diverges at the third checkpoint.
+  DivergenceWindow w =
+      first_divergent_window(golden, {cp(1, 10), cp(2, 20), cp(3, 31), cp(4, 41)});
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.from_ns, 2);
+  EXPECT_EQ(w.to_ns, 3);
+
+  // Diverges immediately: window opens at construction time.
+  w = first_divergent_window(golden, {cp(1, 11)});
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.from_ns, 0);
+  EXPECT_EQ(w.to_ns, 1);
+
+  // Agreeing prefix, one trail longer: divergence at the first extra entry.
+  w = first_divergent_window(golden, {cp(1, 10), cp(2, 20)});
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.from_ns, 2);
+  EXPECT_EQ(w.to_ns, 3);
+
+  // Empty vs empty: nothing to say.
+  EXPECT_FALSE(first_divergent_window({}, {}).found);
+
+  // Non-monotone disagreement (a corrupted corpus, not a real replay —
+  // only the middle checkpoint differs): the linear fallback must still
+  // localize the first divergence instead of reporting no window.
+  w = first_divergent_window(golden, {cp(1, 10), cp(2, 21), cp(3, 30), cp(4, 40)});
+  ASSERT_TRUE(w.found);
+  EXPECT_EQ(w.from_ns, 1);
+  EXPECT_EQ(w.to_ns, 2);
+}
+
+TEST(Drift, DescribeMentionsWindowAndName) {
+  Corpus golden = small_corpus();
+  Corpus fresh = golden;
+  fresh.records[0].final_digest ^= 1;
+  const DriftReport report = compare_corpus(golden, fresh);
+  const std::string text = describe(report);
+  EXPECT_NE(text.find(fresh.records[0].name), std::string::npos) << text;
+  EXPECT_NE(describe(DriftReport{}).find("clean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fatih::scenario

@@ -1,0 +1,90 @@
+// Scenario codec and registry: canonical round-trips, line-numbered
+// rejection of malformed specs, and the builtin corpus invariants.
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fatih::scenario {
+namespace {
+
+TEST(SpecCodec, EveryBuiltinRoundTripsCanonically) {
+  for (const ScenarioSpec& spec : builtin_scenarios()) {
+    const std::string text = encode(spec);
+    ScenarioSpec decoded;
+    std::string error;
+    ASSERT_TRUE(decode(text, decoded, error)) << spec.name << ": " << error;
+    // Canonical form: decode(encode(s)) re-encodes byte-identically.
+    EXPECT_EQ(encode(decoded), text) << spec.name;
+    EXPECT_EQ(spec_hash(decoded), spec_hash(spec)) << spec.name;
+  }
+}
+
+TEST(SpecCodec, ToleratesCommentsAndBlankLines) {
+  const ScenarioSpec& spec = builtin_scenarios().front();
+  std::string text = encode(spec);
+  text.insert(text.find('\n') + 1, "# a comment\n\n");
+  ScenarioSpec decoded;
+  std::string error;
+  ASSERT_TRUE(decode(text, decoded, error)) << error;
+  EXPECT_EQ(encode(decoded), encode(spec));
+}
+
+TEST(SpecCodec, RejectsMissingHeader) {
+  ScenarioSpec out;
+  std::string error;
+  EXPECT_FALSE(decode("name x\n", out, error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(SpecCodec, RejectsUnknownStatementWithLineNumber) {
+  ScenarioSpec out;
+  std::string error;
+  EXPECT_FALSE(decode("scenario v1\nname x\nbogus 1\n", out, error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST(SpecCodec, RejectsBadEnumAndBadInteger) {
+  ScenarioSpec out;
+  std::string error;
+  EXPECT_FALSE(decode("scenario v1\nname x\ntopology moebius\n", out, error));
+  EXPECT_FALSE(decode("scenario v1\nname x\nseed twelve\n", out, error));
+}
+
+TEST(SpecCodec, RejectsMissingName) {
+  ScenarioSpec out;
+  std::string error;
+  EXPECT_FALSE(decode("scenario v1\nseed 1\n", out, error));
+}
+
+TEST(SpecCodec, HashDistinguishesScenarios) {
+  std::set<std::uint64_t> hashes;
+  for (const ScenarioSpec& spec : builtin_scenarios()) hashes.insert(spec_hash(spec));
+  EXPECT_EQ(hashes.size(), builtin_scenarios().size());
+}
+
+TEST(Registry, SortedAndSearchable) {
+  const auto& all = builtin_scenarios();
+  ASSERT_FALSE(all.empty());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].name, all[i].name);
+  }
+  EXPECT_EQ(find_scenario(all.front().name), &all.front());
+  EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
+}
+
+TEST(Registry, CoversEveryProtocolAndTopology) {
+  std::set<DetectorKind> detectors;
+  std::set<TopologyKind> topologies;
+  for (const ScenarioSpec& spec : builtin_scenarios()) {
+    detectors.insert(spec.detector.kind);
+    topologies.insert(spec.topology);
+  }
+  EXPECT_EQ(detectors.size(), 3u);
+  EXPECT_EQ(topologies.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fatih::scenario

@@ -743,13 +743,16 @@ class Linter {
   }
 
   // R6 ----------------------------------------------------------------------
-  /// R6 name predicate: structs ending in "Event" or "Evidence" (with a
-  /// non-empty prefix) plus the evidence-layer verdict records. All of
-  /// them end up serialized — trace sinks, signed control payloads, the
-  /// conviction ledger — so uninitialized bytes break byte-identical runs.
+  /// R6 name predicate: structs ending in "Event", "Evidence", "Spec" or
+  /// "Snapshot" (with a non-empty prefix) plus the evidence-layer verdict
+  /// records. All of them end up serialized — trace sinks, signed control
+  /// payloads, the conviction ledger, scenario recipes and checkpoint
+  /// snapshots — so uninitialized bytes break byte-identical runs.
   static bool event_like(const std::string& name) {
     if (name != "Event" && ends_with(name, "Event")) return true;
     if (name != "Evidence" && ends_with(name, "Evidence")) return true;
+    if (name != "Spec" && ends_with(name, "Spec")) return true;
+    if (name != "Snapshot" && ends_with(name, "Snapshot")) return true;
     return name == "Suspicion" || name == "Conviction" || name == "Accusation";
   }
 
@@ -896,6 +899,11 @@ class Linter {
         {"detection",
          {"util", "obs", "crypto", "sim", "routing", "traffic", "validation"}},
         {"fatih",
+         {"util", "obs", "crypto", "sim", "routing", "traffic", "validation", "detection",
+          "attacks"}},
+        // scenario/ materializes complete experiments, so it sees the whole
+        // stack below it (but not fatih/, the CLI layer).
+        {"scenario",
          {"util", "obs", "crypto", "sim", "routing", "traffic", "validation", "detection",
           "attacks"}},
     };
