@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "routing/topologies.hpp"
+#include "topo/generator.hpp"
 
 namespace fatih::scenario {
 
@@ -97,8 +98,144 @@ ScenarioSpec chi_base(const char* name, bool red, std::uint64_t seed) {
   return s;
 }
 
+// ------------------------------------------------- generated topologies
+
+TopoSpec ebone_topo() {
+  TopoSpec t;
+  const topo::TopoParams p = topo::ebone();
+  t.routers = p.routers;
+  t.links = p.links;
+  t.pops = p.pops;
+  t.max_degree = p.max_degree;
+  t.seed = p.seed;
+  t.intra_delay_ns = p.intra_delay_ns;
+  t.inter_delay_ns = p.inter_delay_ns;
+  return t;
+}
+
+TopoSpec sprintlink_topo() {
+  TopoSpec t;
+  const topo::TopoParams p = topo::sprintlink();
+  t.routers = p.routers;
+  t.links = p.links;
+  t.pops = p.pops;
+  t.max_degree = p.max_degree;
+  t.seed = p.seed;
+  t.intra_delay_ns = p.intra_delay_ns;
+  t.inter_delay_ns = p.inter_delay_ns;
+  return t;
+}
+
+topo::TopoParams params_of(const TopoSpec& t) {
+  topo::TopoParams p;
+  p.routers = t.routers;
+  p.links = t.links;
+  p.pops = t.pops;
+  p.max_degree = t.max_degree;
+  p.seed = t.seed;
+  p.intra_delay_ns = t.intra_delay_ns;
+  p.inter_delay_ns = t.inter_delay_ns;
+  return p;
+}
+
+/// Generated-topology base: sharded engine (4 shards by default), Pi2 or
+/// Pi(k+2) between PoP hub routers. The hub ids come from running the
+/// (deterministic) generator, so the spec stays plain data.
+ScenarioSpec gen_base(const char* name, const TopoSpec& t, DetectorKind detector,
+                      const topo::GeneratedTopology& g, std::uint64_t seed,
+                      std::int64_t duration_ns) {
+  ScenarioSpec s;
+  s.name = name;
+  s.topology = TopologyKind::kGenerated;
+  s.topo = t;
+  s.shards = 4;
+  s.seed = seed;
+  s.duration_ns = duration_ns;
+  s.detector.kind = detector;
+  s.detector.tau_ns = kSecond;
+  s.detector.rounds = duration_ns / kSecond;
+  // Flow 1 sources at the PoP-0 feeder, whose only route out is the
+  // structurally forced feeder -> chi_owner -> hub chain — so the drop
+  // scenarios can compromise chi_owner and be certain it forwards (not
+  // originates) the victim flow.
+  s.detector.terminals = {g.chi_feed, g.pop_hub[2], g.pop_hub[4], g.pop_hub[6]};
+  s.flows.push_back(cbr(g.chi_feed, g.pop_hub[4], 1, 200, 50 * kMilli, duration_ns));
+  s.flows.push_back(cbr(g.pop_hub[4], g.chi_feed, 2, 150, 80 * kMilli, duration_ns));
+  s.flows.push_back(cbr(g.pop_hub[2], g.pop_hub[6], 3, 120, 110 * kMilli, duration_ns));
+  return s;
+}
+
+void add_generated(std::vector<ScenarioSpec>& all) {
+  const TopoSpec ebone = ebone_topo();
+  const TopoSpec sprint = sprintlink_topo();
+  const topo::GeneratedTopology ge = topo::generate(params_of(ebone));
+  const topo::GeneratedTopology gs = topo::generate(params_of(sprint));
+
+  all.push_back(gen_base("gen_ebone_pik2_clean", ebone, DetectorKind::kPik2, ge, 31,
+                         3 * kSecond));
+
+  {
+    ScenarioSpec s = gen_base("gen_ebone_pi2_drop", ebone, DetectorKind::kPi2, ge, 32,
+                              3 * kSecond);
+    // chi_owner is flow 1's forced second hop: the drop is on-path and
+    // downstream of the sender's accounting regardless of the route the
+    // backbone takes beyond the hub.
+    s.attacks.push_back(drop_at(ge.chi_owner, 1, 400'000, 1'200 * kMilli));
+    all.push_back(s);
+  }
+
+  all.push_back(gen_base("gen_sprintlink_pik2_clean", sprint, DetectorKind::kPik2, gs, 33,
+                         2 * kSecond));
+
+  {
+    ScenarioSpec s = gen_base("gen_sprintlink_pik2_drop", sprint, DetectorKind::kPik2, gs,
+                              34, 2 * kSecond);
+    s.attacks.push_back(drop_at(gs.chi_owner, 1, 400'000, 900 * kMilli));
+    all.push_back(s);
+  }
+
+  {
+    // Protocol chi on the designated PoP-0 bottleneck of the generated
+    // Sprintlink graph: traffic funnels feeder -> owner -> hub, and the
+    // owner starts dropping after calibration (chi_droptail_drop20 at
+    // Rocketfuel scale).
+    ScenarioSpec s;
+    s.name = "gen_sprintlink_chi_drop";
+    s.topology = TopologyKind::kGenerated;
+    s.topo = sprint;
+    s.shards = 4;
+    s.seed = 35;
+    s.duration_ns = 5 * kSecond;
+    s.detector.kind = DetectorKind::kChi;
+    s.detector.tau_ns = kSecond;
+    s.detector.rounds = 5;
+    s.detector.learning_rounds = 2;
+    s.flows.push_back(cbr(gs.chi_feed, gs.chi_peer, 1, 300, 50 * kMilli, 4'500 * kMilli));
+    s.flows.push_back(onoff(gs.chi_feed, gs.chi_peer, 2, 900, 50 * kMilli, 4'500 * kMilli));
+    s.attacks.push_back(drop_at(gs.chi_owner, 1, 200'000, 3'500 * kMilli));
+    all.push_back(s);
+  }
+
+  {
+    // Synthetic beyond-Rocketfuel scale: ~600 routers across 24 PoPs.
+    TopoSpec wide;
+    wide.routers = 600;
+    wide.links = 1500;
+    wide.pops = 24;
+    wide.max_degree = 32;
+    wide.seed = 2099;
+    const topo::GeneratedTopology gw = topo::generate(params_of(wide));
+    ScenarioSpec s = gen_base("gen_wide_pik2_clean", wide, DetectorKind::kPik2, gw, 36,
+                              2 * kSecond);
+    s.shards = 8;
+    all.push_back(s);
+  }
+}
+
 std::vector<ScenarioSpec> build_all() {
   std::vector<ScenarioSpec> all;
+
+  add_generated(all);
 
   all.push_back(line4("line4_pik2_clean", DetectorKind::kPik2, 11));
 

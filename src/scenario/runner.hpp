@@ -60,6 +60,11 @@ struct ScenarioResult {
 class ScenarioRun {
  public:
   explicit ScenarioRun(const ScenarioSpec& spec);
+  /// Overrides the worker-thread count for sharded specs (spec.shards > 0);
+  /// 0 means "use spec.shards". The digest is thread-count-invariant, so
+  /// any value reproduces the same run — this knob exists for the
+  /// differential tests and the shard bench. Ignored for classic specs.
+  ScenarioRun(const ScenarioSpec& spec, unsigned threads);
   ~ScenarioRun();
   ScenarioRun(const ScenarioRun&) = delete;
   ScenarioRun& operator=(const ScenarioRun&) = delete;
@@ -92,5 +97,7 @@ class ScenarioRun {
 
 /// Convenience: straight run of `spec`, start to finish.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+/// Same, with a worker-thread override for sharded specs (0 = spec.shards).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec, unsigned threads);
 
 }  // namespace fatih::scenario

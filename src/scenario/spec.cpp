@@ -129,6 +129,7 @@ const char* topology_name(TopologyKind k) {
     case TopologyKind::kLine4: return "line4";
     case TopologyKind::kAbilene: return "abilene";
     case TopologyKind::kChiBottleneck: return "chi_bottleneck";
+    case TopologyKind::kGenerated: return "generated";
   }
   return "?";
 }
@@ -183,6 +184,27 @@ std::string encode(const ScenarioSpec& spec) {
   out += '\n';
   out += "seed " + std::to_string(spec.seed) + '\n';
   out += "duration_ns " + std::to_string(spec.duration_ns) + '\n';
+
+  // Both statements are new in codec terms and emitted only when they
+  // carry non-default content, so pre-existing specs encode byte-for-byte
+  // as before (stable spec_hash across the corpus).
+  if (spec.topology == TopologyKind::kGenerated) {
+    const TopoSpec& t = spec.topo;
+    out += "topo";
+    append_kv_u(out, "routers", t.routers);
+    append_kv_u(out, "links", t.links);
+    append_kv_u(out, "pops", t.pops);
+    append_kv_u(out, "max_degree", t.max_degree);
+    append_kv_u(out, "seed", t.seed);
+    append_kv(out, "intra_delay_ns", t.intra_delay_ns);
+    append_kv(out, "inter_delay_ns", t.inter_delay_ns);
+    out += '\n';
+  }
+  if (spec.shards > 0) {
+    out += "engine";
+    append_kv_u(out, "shards", spec.shards);
+    out += '\n';
+  }
 
   const DetectorSpec& d = spec.detector;
   out += "detector ";
@@ -268,12 +290,35 @@ bool decode(const std::string& text, ScenarioSpec& out, std::string& error) {
     if (stmt == "name") {
       out.name = std::string(rest);
     } else if (stmt == "topology") {
-      if (!parse_enum(rest, out.topology, topology_name, TopologyKind::kChiBottleneck))
+      if (!parse_enum(rest, out.topology, topology_name, TopologyKind::kGenerated))
         return fail("unknown topology '" + std::string(rest) + "'");
     } else if (stmt == "seed") {
       if (!parse_u64(rest, out.seed)) return fail("bad seed");
     } else if (stmt == "duration_ns") {
       if (!parse_i64(rest, out.duration_ns)) return fail("bad duration_ns");
+    } else if (stmt == "topo") {
+      TopoSpec& t = out.topo;
+      if (!split_tokens(rest, toks, error)) return fail(error);
+      for (const Token& tk : toks) {
+        bool ok = true;
+        if (tk.key == "routers") ok = parse_u32(tk.value, t.routers);
+        else if (tk.key == "links") ok = parse_u32(tk.value, t.links);
+        else if (tk.key == "pops") ok = parse_u32(tk.value, t.pops);
+        else if (tk.key == "max_degree") ok = parse_u32(tk.value, t.max_degree);
+        else if (tk.key == "seed") ok = parse_u64(tk.value, t.seed);
+        else if (tk.key == "intra_delay_ns") ok = parse_i64(tk.value, t.intra_delay_ns);
+        else if (tk.key == "inter_delay_ns") ok = parse_i64(tk.value, t.inter_delay_ns);
+        else return fail("unknown topo key '" + std::string(tk.key) + "'");
+        if (!ok) return fail("bad topo value for '" + std::string(tk.key) + "'");
+      }
+    } else if (stmt == "engine") {
+      if (!split_tokens(rest, toks, error)) return fail(error);
+      for (const Token& tk : toks) {
+        bool ok = true;
+        if (tk.key == "shards") ok = parse_u32(tk.value, out.shards);
+        else return fail("unknown engine key '" + std::string(tk.key) + "'");
+        if (!ok) return fail("bad engine value for '" + std::string(tk.key) + "'");
+      }
     } else if (stmt == "detector") {
       const std::size_t sp2 = rest.find(' ');
       const std::string_view kind = rest.substr(0, sp2);

@@ -30,6 +30,22 @@ enum class TopologyKind : std::uint8_t {
   kLine4,          ///< r0-r1-r2-r3 line, 100 Mb/s, 1 ms links
   kAbilene,        ///< the 11-PoP Internet2 backbone (Fig. 5.6)
   kChiBottleneck,  ///< Fig. 6.4: s1,s2 -> r -> rd with the monitored queue
+  kGenerated,      ///< seeded PoP-clustered graph from src/topo (see TopoSpec)
+};
+
+/// Parameters of a generated topology (topology == kGenerated). Mirrors
+/// topo::TopoParams, minus the non-spec knobs (bandwidth and queue limits
+/// stay at the generator defaults so the canonical form stays integral).
+/// The `topo` statement is emitted only for generated topologies, so the
+/// encoding of every pre-existing spec is unchanged.
+struct TopoSpec {
+  std::uint32_t routers = 87;
+  std::uint32_t links = 161;
+  std::uint32_t pops = 11;
+  std::uint32_t max_degree = 24;
+  std::uint64_t seed = 1;
+  std::int64_t intra_delay_ns = 200'000;    ///< intra-PoP propagation delay
+  std::int64_t inter_delay_ns = 2'000'000;  ///< inter-PoP delay = shard lookahead
 };
 
 /// Which detection protocol the scenario commissions.
@@ -109,6 +125,14 @@ struct ScenarioSpec {
   TopologyKind topology = TopologyKind::kLine4;
   std::uint64_t seed = 1;
   std::int64_t duration_ns = 0;  ///< traffic horizon; run ends 2 s later
+  TopoSpec topo{};               ///< generated-topology knobs (kGenerated only)
+  /// 0 = classic single-simulator engine. > 0 selects the sharded engine
+  /// (one simulator per PoP) and is the default worker-thread count; runs
+  /// may override the thread count without changing the digest, which is
+  /// shard-count- and thread-count-invariant by construction. Encoded as
+  /// `engine shards=N` only when non-zero, so existing specs keep their
+  /// byte-identical canonical form.
+  std::uint32_t shards = 0;
   DetectorSpec detector{};
   std::vector<FlowSpec> flows{};
   std::vector<AttackSpec> attacks{};

@@ -1,0 +1,210 @@
+// Sharded engine runtime. This is the one translation unit in the tree
+// allowed to touch raw threading primitives (fatih-lint R9): the worker
+// pool, its generation barrier, and the window loop live here.
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "sim/network.hpp"
+#include "util/hash.hpp"
+
+namespace fatih::sim {
+
+namespace {
+
+/// Arrival stage of a lane-delivered cross-PoP packet; a named functor so
+/// the barrier install emplaces it into the destination simulator's event
+/// record without a Packet-sized move, same as the hot-path events.
+struct DeliveryEvent {
+  Interface* iface = nullptr;
+  std::uint64_t epoch = 0;
+  Packet p{};
+
+  void operator()() { iface->complete_propagation(std::move(p), epoch); }
+};
+
+}  // namespace
+
+/// Worker-pool state. A generation counter keyed start barrier: the
+/// coordinator bumps `gen` under the mutex and wakes everyone; workers run
+/// their PoP set for that generation and decrement `running`; the
+/// coordinator waits for zero. The mutex acquire/release pairs give the
+/// lanes their happens-before edges — the lanes themselves are
+/// single-writer per PoP and need no further synchronization.
+struct ShardEngine::Pool {
+  std::mutex m;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  std::uint64_t gen = 0;
+  unsigned running = 0;
+  util::SimTime w_last;
+  bool stop = false;
+  std::vector<std::thread> threads;
+};
+
+ShardEngine::ShardEngine(Network& net, unsigned workers)
+    : net_(net),
+      workers_(std::max(1u, std::min(workers, net.pop_count()))),
+      lanes_(net.pop_count()) {
+  assert(net_.sharded());
+  for (std::uint32_t pop = 0; pop < net_.pop_count(); ++pop) {
+    net_.pop_sim(pop).set_shard_lane(&lanes_[pop]);
+  }
+  if (workers_ > 1) {
+    pool_ = std::make_unique<Pool>();
+    for (unsigned w = 1; w < workers_; ++w) {
+      pool_->threads.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+ShardEngine::~ShardEngine() {
+  if (pool_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(pool_->m);
+      pool_->stop = true;
+    }
+    pool_->cv_start.notify_all();
+    for (std::thread& t : pool_->threads) t.join();
+  }
+  for (std::uint32_t pop = 0; pop < net_.pop_count(); ++pop) {
+    net_.pop_sim(pop).set_shard_lane(nullptr);
+  }
+}
+
+void ShardEngine::run_pops_of_worker(unsigned worker, util::SimTime w_last) {
+  for (std::uint32_t pop = worker; pop < net_.pop_count(); pop += workers_) {
+    net_.pop_sim(pop).run_until(w_last);
+  }
+}
+
+void ShardEngine::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    util::SimTime w_last;
+    {
+      std::unique_lock<std::mutex> lk(pool_->m);
+      pool_->cv_start.wait(lk, [&] { return pool_->stop || pool_->gen != seen; });
+      if (pool_->stop) return;
+      seen = pool_->gen;
+      w_last = pool_->w_last;
+    }
+    run_pops_of_worker(worker, w_last);
+    {
+      std::lock_guard<std::mutex> lk(pool_->m);
+      if (--pool_->running == 0) pool_->cv_done.notify_one();
+    }
+  }
+}
+
+void ShardEngine::parallel_pass(util::SimTime w_last) {
+  if (pool_ == nullptr) {
+    run_pops_of_worker(0, w_last);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(pool_->m);
+    pool_->w_last = w_last;
+    pool_->running = workers_ - 1;
+    ++pool_->gen;
+  }
+  pool_->cv_start.notify_all();
+  run_pops_of_worker(0, w_last);
+  std::unique_lock<std::mutex> lk(pool_->m);
+  pool_->cv_done.wait(lk, [&] { return pool_->running == 0; });
+}
+
+void ShardEngine::drain_lanes() {
+  // Data handoffs: ascending source PoP, emissions in order. The install
+  // sequence imprints ascending FIFO seqs at each destination simulator,
+  // so same-time cross-PoP arrivals dispatch in the fixed (time, source
+  // shard, emission seq) merge order regardless of worker count.
+  for (ShardLane& lane : lanes_) {
+    for (ShardLane::DataHandoff& h : lane.data()) {
+      Simulator& dest = net_.node_sim(h.iface->peer());
+      assert(h.at >= dest.now());
+      dest.schedule_at(h.at, DeliveryEvent{h.iface, h.epoch, std::move(h.p)});
+    }
+    lane.data().clear();
+    for (ShardLane::ControlHandoff& h : lane.control()) {
+      control_scratch_.push_back(std::move(h));
+    }
+    lane.control().clear();
+  }
+  // Control deliveries: stable sort by time over the PoP-ordered
+  // concatenation = canonical (time, PoP, emission) replay order. Sinks
+  // see the recorded delivery time; anything they originate lands on the
+  // (already quiesced) PoP simulators as future work.
+  std::stable_sort(
+      control_scratch_.begin(), control_scratch_.end(),
+      [](const ShardLane::ControlHandoff& a, const ShardLane::ControlHandoff& b) {
+        return a.at < b.at;
+      });
+  for (ShardLane::ControlHandoff& h : control_scratch_) {
+    h.node->deliver_control_direct(h.p, h.prev, h.at);
+  }
+  control_scratch_.clear();
+}
+
+void ShardEngine::run_until(util::SimTime limit) {
+  Simulator& control = net_.sim();
+  const util::Duration lookahead = net_.plan().lookahead;
+  for (;;) {
+    // Global earliest pending event across every simulator (tombstone-
+    // inclusive lower bound; see Simulator::next_event_time).
+    bool any = false;
+    util::SimTime t_min;
+    const auto consider = [&](Simulator& s) {
+      if (!s.has_pending()) return;
+      const util::SimTime t = s.next_event_time();
+      if (!any || t < t_min) {
+        t_min = t;
+        any = true;
+      }
+    };
+    consider(control);
+    for (std::uint32_t pop = 0; pop < net_.pop_count(); ++pop) consider(net_.pop_sim(pop));
+    if (!any || t_min > limit) break;
+
+    // Window [t_min, w_end): every event strictly before w_end is safe to
+    // run because no cross-PoP effect of this window can arrive before
+    // t_min + lookahead >= w_end. Capped at limit + 1ns so events exactly
+    // at `limit` still run (run_until is inclusive).
+    util::SimTime w_end = t_min + lookahead;
+    const util::SimTime cap = limit + util::Duration::nanos(1);
+    if (w_end > cap) w_end = cap;
+    const util::SimTime w_last = w_end - util::Duration::nanos(1);
+
+    parallel_pass(w_last);
+    drain_lanes();
+    control.run_until(w_last);
+  }
+  // Nothing pending at or before `limit`: advance every clock to it.
+  for (std::uint32_t pop = 0; pop < net_.pop_count(); ++pop) {
+    net_.pop_sim(pop).run_until(limit);
+  }
+  control.run_until(limit);
+}
+
+std::uint64_t ShardEngine::total_dispatched() const {
+  std::uint64_t total = net_.sim().events_dispatched();
+  for (std::uint32_t pop = 0; pop < net_.pop_count(); ++pop) {
+    total += net_.pop_sim(pop).events_dispatched();
+  }
+  return total;
+}
+
+std::uint64_t ShardEngine::pending_fingerprint() const {
+  std::uint64_t h = util::fnv1a64_word(util::kFnvOffsetBasis,
+                                       net_.sim().pending_fingerprint());
+  for (std::uint32_t pop = 0; pop < net_.pop_count(); ++pop) {
+    h = util::fnv1a64_word(h, net_.pop_sim(pop).pending_fingerprint());
+  }
+  return h;
+}
+
+}  // namespace fatih::sim

@@ -1,0 +1,290 @@
+#include "topo/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace fatih::topo {
+
+namespace {
+
+/// Core routers per PoP: the nodes allowed to carry inter-PoP links.
+/// Small PoPs get one (the hub); big PoPs get one more per 16 members so
+/// backbone fan-in spreads like Rocketfuel's multi-router PoPs.
+std::uint32_t core_count(std::uint32_t pop_size) {
+  return 1 + pop_size / 16;
+}
+
+/// Preferential pick: index into `degree` (offset..offset+count-1) with
+/// probability proportional to degree+1. Deterministic given the rng
+/// stream position.
+std::uint32_t pick_preferential(util::Rng& rng, const std::vector<std::uint32_t>& degree,
+                                std::uint32_t offset, std::uint32_t count) {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < count; ++i) total += degree[offset + i] + 1;
+  std::uint64_t ticket =
+      static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<std::int64_t>(total) - 1));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t w = degree[offset + i] + 1;
+    if (ticket < w) return offset + i;
+    ticket -= w;
+  }
+  return offset + count - 1;  // unreachable; appeases -Werror return paths
+}
+
+}  // namespace
+
+TopoParams sprintlink() {
+  TopoParams p;
+  p.routers = 315;
+  p.links = 972;
+  p.pops = 45;
+  p.max_degree = 45;
+  p.seed = 1044;  // Sprintlink's Rocketfuel AS number
+  return p;
+}
+
+TopoParams ebone() {
+  TopoParams p;
+  p.routers = 87;
+  p.links = 161;
+  p.pops = 11;
+  p.max_degree = 24;
+  p.seed = 1755;  // EBONE's AS number
+  return p;
+}
+
+bool validate(const TopoParams& p) {
+  if (p.pops < 2 || p.routers < 4 * p.pops) return false;
+  if (p.routers < p.pops + 3) return false;  // PoP 0 needs hub + owner + feeder
+  if (p.inter_delay_ns <= p.intra_delay_ns || p.intra_delay_ns <= 0) return false;
+  if (p.max_degree < 8) return false;
+  if (p.bandwidth_bps <= 0 || p.queue_limit_bytes == 0) return false;
+  // Spanning structure: per-PoP trees (routers - pops links) + hub ring
+  // (pops links). The budget must cover it; anything above is chords/fill.
+  return p.links >= p.routers;
+}
+
+GeneratedTopology generate(const TopoParams& p) {
+  assert(validate(p));
+  util::Rng rng(p.seed ^ 0x746f706f676e6eULL);  // "topogn" salt
+
+  GeneratedTopology out;
+  out.params = p;
+
+  // --- PoP sizes: a deterministic heavy-ish split. PoP 0 and 1 are the
+  // big gateway PoPs (Rocketfuel maps concentrate routers in a few metro
+  // areas); the rest share the remainder evenly with rng jitter.
+  const std::uint32_t n = p.routers;
+  std::vector<std::uint32_t> pop_size(p.pops, 0);
+  std::uint32_t assigned = 0;
+  for (std::uint32_t pop = 0; pop < p.pops; ++pop) {
+    const std::uint32_t remaining_pops = p.pops - pop;
+    const std::uint32_t remaining = n - assigned;
+    std::uint32_t base = remaining / remaining_pops;
+    if (pop == 0 || pop == 1) base += base / 2;  // oversized gateway PoPs
+    if (base < 3) base = 3;
+    std::uint32_t jitter = 0;
+    if (pop + 1 < p.pops && base > 4) {
+      jitter = static_cast<std::uint32_t>(rng.uniform_int(0, base / 4));
+    }
+    std::uint32_t size = base + jitter;
+    // Leave at least 3 routers for every later PoP.
+    const std::uint32_t reserve = 3 * (remaining_pops - 1);
+    if (size + reserve > remaining) size = remaining - reserve;
+    if (pop + 1 == p.pops) size = remaining;
+    pop_size[pop] = size;
+    assigned += size;
+  }
+
+  out.pop_of.resize(n);
+  std::vector<std::uint32_t> pop_offset(p.pops, 0);
+  {
+    std::uint32_t off = 0;
+    for (std::uint32_t pop = 0; pop < p.pops; ++pop) {
+      pop_offset[pop] = off;
+      for (std::uint32_t i = 0; i < pop_size[pop]; ++i) out.pop_of[off + i] = pop;
+      out.pop_hub.push_back(off);
+      off += pop_size[pop];
+    }
+  }
+
+  std::vector<std::uint32_t> degree(n, 0);
+  // De-duplication bitmap keyed (min,max); ~n^2/2 bits is fine at the
+  // scales involved (thousands of routers).
+  std::vector<bool> present(static_cast<std::size_t>(n) * n, false);
+  auto has_link = [&](util::NodeId a, util::NodeId b) {
+    return present[static_cast<std::size_t>(a) * n + b];
+  };
+  auto add_link = [&](util::NodeId a, util::NodeId b, bool inter) {
+    assert(a != b && !has_link(a, b));
+    present[static_cast<std::size_t>(a) * n + b] = true;
+    present[static_cast<std::size_t>(b) * n + a] = true;
+    out.links.push_back(GenLink{a, b, inter});
+    ++degree[a];
+    ++degree[b];
+  };
+
+  // --- Intra-PoP trees: node j attaches to an earlier node of its PoP,
+  // preferentially by degree (hubs grow heavy tails). The first member of
+  // PoP 0 is forced onto the hub and the second onto the first, giving the
+  // chi triple feeder -> owner -> hub with every neighbor of the owner
+  // inside PoP 0 (members never carry inter-PoP links).
+  for (std::uint32_t pop = 0; pop < p.pops; ++pop) {
+    const std::uint32_t off = pop_offset[pop];
+    const std::uint32_t size = pop_size[pop];
+    const std::uint32_t cores = std::min(core_count(size), size);
+    for (std::uint32_t j = 1; j < size; ++j) {
+      const util::NodeId node = off + j;
+      util::NodeId parent;
+      if (pop == 0 && j == cores) {
+        parent = off;  // chi owner hangs directly off the hub
+      } else if (pop == 0 && j == cores + 1) {
+        parent = off + cores;  // chi feeder hangs off the owner
+      } else {
+        parent = pick_preferential(rng, degree, off, j);
+        if (degree[parent] >= p.max_degree) parent = off + j - 1;
+      }
+      add_link(node, parent, false);
+    }
+    if (pop == 0) {
+      out.chi_peer = off;
+      out.chi_owner = off + cores;
+      out.chi_feed = off + cores + 1;
+    }
+  }
+
+  // --- Backbone: hub ring for guaranteed connectivity, then preferential
+  // chords between core routers of distinct PoPs until ~15% of the budget
+  // is inter-PoP (Rocketfuel backbones are sparse relative to metro mesh).
+  for (std::uint32_t pop = 0; pop < p.pops; ++pop) {
+    add_link(out.pop_hub[pop], out.pop_hub[(pop + 1) % p.pops], true);
+  }
+  const std::uint32_t inter_target =
+      std::max<std::uint32_t>(p.pops + p.pops / 4, p.links * 3 / 20);
+  std::uint32_t inter_built = p.pops;
+  std::uint32_t attempts = 0;
+  while (inter_built < inter_target && out.links.size() < p.links && attempts < 16 * p.links) {
+    ++attempts;
+    const std::uint32_t pa = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(p.pops) - 1));
+    const std::uint32_t pb = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(p.pops) - 1));
+    if (pa == pb) continue;
+    const std::uint32_t ca = std::min(core_count(pop_size[pa]), pop_size[pa]);
+    const std::uint32_t cb = std::min(core_count(pop_size[pb]), pop_size[pb]);
+    const util::NodeId a = pick_preferential(rng, degree, pop_offset[pa], ca);
+    const util::NodeId b = pick_preferential(rng, degree, pop_offset[pb], cb);
+    if (has_link(a, b) || degree[a] >= p.max_degree || degree[b] >= p.max_degree) continue;
+    add_link(a, b, true);
+    ++inter_built;
+  }
+
+  // --- Fill: intra-PoP cross links (metro redundancy) until the duplex
+  // budget is met. Preferential endpoints inside a size-weighted PoP; the
+  // chi owner and feeder are kept out so their neighbor sets stay exactly
+  // the designated triple plus tree children.
+  attempts = 0;
+  while (out.links.size() < p.links && attempts < 64 * p.links) {
+    ++attempts;
+    const std::uint32_t ticket =
+        static_cast<std::uint32_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const std::uint32_t pop = out.pop_of[ticket];
+    const std::uint32_t off = pop_offset[pop];
+    const std::uint32_t size = pop_size[pop];
+    if (size < 4) continue;
+    const util::NodeId a = pick_preferential(rng, degree, off, size);
+    const util::NodeId b = pick_preferential(rng, degree, off, size);
+    if (a == b || has_link(a, b)) continue;
+    if (degree[a] >= p.max_degree || degree[b] >= p.max_degree) continue;
+    if (a == out.chi_owner || b == out.chi_owner || a == out.chi_feed || b == out.chi_feed) {
+      continue;
+    }
+    add_link(a, b, false);
+  }
+
+  assert(out.connected());
+  return out;
+}
+
+std::vector<std::uint32_t> GeneratedTopology::degrees() const {
+  std::vector<std::uint32_t> deg(pop_of.size(), 0);
+  for (const GenLink& l : links) {
+    ++deg[l.a];
+    ++deg[l.b];
+  }
+  return deg;
+}
+
+std::array<std::uint32_t, 6> GeneratedTopology::degree_histogram() const {
+  std::array<std::uint32_t, 6> h{};
+  for (std::uint32_t d : degrees()) {
+    if (d <= 1) {
+      ++h[0];
+    } else if (d == 2) {
+      ++h[1];
+    } else if (d <= 4) {
+      ++h[2];
+    } else if (d <= 8) {
+      ++h[3];
+    } else if (d <= 16) {
+      ++h[4];
+    } else {
+      ++h[5];
+    }
+  }
+  return h;
+}
+
+bool GeneratedTopology::connected() const {
+  const std::size_t n = pop_of.size();
+  if (n == 0) return true;
+  std::vector<std::vector<util::NodeId>> adj(n);
+  for (const GenLink& l : links) {
+    adj[l.a].push_back(l.b);
+    adj[l.b].push_back(l.a);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<util::NodeId> stack{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const util::NodeId v = stack.back();
+    stack.pop_back();
+    for (util::NodeId w : adj[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++reached;
+        stack.push_back(w);
+      }
+    }
+  }
+  return reached == n;
+}
+
+std::uint64_t GeneratedTopology::digest() const {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  h = util::fnv1a64_word(h, params.routers);
+  h = util::fnv1a64_word(h, params.links);
+  h = util::fnv1a64_word(h, params.pops);
+  h = util::fnv1a64_word(h, params.max_degree);
+  h = util::fnv1a64_word(h, params.seed);
+  h = util::fnv1a64_word(h, static_cast<std::uint64_t>(params.intra_delay_ns));
+  h = util::fnv1a64_word(h, static_cast<std::uint64_t>(params.inter_delay_ns));
+  for (std::uint32_t pop : pop_of) h = util::fnv1a64_word(h, pop);
+  for (const GenLink& l : links) {
+    h = util::fnv1a64_word(h, (static_cast<std::uint64_t>(l.a) << 33) |
+                                  (static_cast<std::uint64_t>(l.b) << 1) |
+                                  (l.inter ? 1u : 0u));
+  }
+  for (util::NodeId hub : pop_hub) h = util::fnv1a64_word(h, hub);
+  h = util::fnv1a64_word(h, chi_owner);
+  h = util::fnv1a64_word(h, chi_peer);
+  h = util::fnv1a64_word(h, chi_feed);
+  return h;
+}
+
+}  // namespace fatih::topo

@@ -46,11 +46,14 @@ void send_burst(sim::Network& net, util::NodeId src, util::NodeId dst, std::uint
 // ---------------------------------------------------------------- CbrSource
 
 CbrSource::CbrSource(sim::Network& net, Config config) : net_(net), config_(config) {
-  net_.sim().schedule_at(config_.start, [this] { tick(); });
+  // Timers live on the source node's simulator (its PoP shard when the
+  // network is sharded, the lone simulator otherwise).
+  net_.node_sim(config_.src).schedule_at(config_.start, [this] { tick(); });
 }
 
 void CbrSource::tick() {
-  if (net_.sim().now() >= config_.stop) return;
+  sim::Simulator& sim = net_.node_sim(config_.src);
+  if (sim.now() >= config_.stop) return;
   const std::uint32_t burst = config_.packets_per_tick > 0 ? config_.packets_per_tick : 1;
   if (burst == 1) {
     send_datagram(net_, config_.src, config_.dst, config_.flow_id, seq_++, config_.payload_bytes);
@@ -61,51 +64,55 @@ void CbrSource::tick() {
   }
   // tick() only ever runs as an event callback (ctor schedules the first
   // one), so the timer re-arms in place instead of re-installing itself.
-  net_.sim().rearm_current(util::Duration::from_seconds(1.0 / config_.rate_pps));
+  sim.rearm_current(util::Duration::from_seconds(1.0 / config_.rate_pps));
 }
 
 // ------------------------------------------------------------ PoissonSource
 
 PoissonSource::PoissonSource(sim::Network& net, Config config)
     : net_(net), config_(config), rng_(net.rng().next_u64()) {
-  net_.sim().schedule_at(config_.start, [this] { tick(); });
+  net_.node_sim(config_.src).schedule_at(config_.start, [this] { tick(); });
 }
 
 void PoissonSource::tick() {
-  if (net_.sim().now() >= config_.stop) return;
+  sim::Simulator& sim = net_.node_sim(config_.src);
+  if (sim.now() >= config_.stop) return;
   send_datagram(net_, config_.src, config_.dst, config_.flow_id, seq_++, config_.payload_bytes);
   const double gap = rng_.exponential(1.0 / config_.mean_rate_pps);
-  net_.sim().rearm_current(util::Duration::from_seconds(gap));
+  sim.rearm_current(util::Duration::from_seconds(gap));
 }
 
 // -------------------------------------------------------------- OnOffSource
 
 OnOffSource::OnOffSource(sim::Network& net, Config config)
     : net_(net), config_(config), rng_(net.rng().next_u64()) {
-  net_.sim().schedule_at(config_.start, [this] { enter_on(); });
+  net_.node_sim(config_.src).schedule_at(config_.start, [this] { enter_on(); });
 }
 
 void OnOffSource::enter_on() {
-  if (net_.sim().now() >= config_.stop) return;
+  sim::Simulator& sim = net_.node_sim(config_.src);
+  if (sim.now() >= config_.stop) return;
   on_ = true;
   const double on_seconds = rng_.exponential(config_.mean_on.to_seconds());
-  burst_end_ = net_.sim().now() + util::Duration::from_seconds(on_seconds);
-  net_.sim().schedule_at(burst_end_, [this] { enter_off(); });
+  burst_end_ = sim.now() + util::Duration::from_seconds(on_seconds);
+  sim.schedule_at(burst_end_, [this] { enter_off(); });
   tick();
 }
 
 void OnOffSource::enter_off() {
+  sim::Simulator& sim = net_.node_sim(config_.src);
   on_ = false;
-  if (net_.sim().now() >= config_.stop) return;
+  if (sim.now() >= config_.stop) return;
   const double off_seconds = rng_.exponential(config_.mean_off.to_seconds());
-  net_.sim().schedule_in(util::Duration::from_seconds(off_seconds), [this] { enter_on(); });
+  sim.schedule_in(util::Duration::from_seconds(off_seconds), [this] { enter_on(); });
 }
 
 void OnOffSource::tick() {
-  if (!on_ || net_.sim().now() >= config_.stop) return;
+  sim::Simulator& sim = net_.node_sim(config_.src);
+  if (!on_ || sim.now() >= config_.stop) return;
   send_datagram(net_, config_.src, config_.dst, config_.flow_id, seq_++, config_.payload_bytes);
-  net_.sim().schedule_in(util::Duration::from_seconds(1.0 / config_.on_rate_pps),
-                         [this] { tick(); });
+  sim.schedule_in(util::Duration::from_seconds(1.0 / config_.on_rate_pps),
+                  [this] { tick(); });
 }
 
 // ----------------------------------------------------------------- FlowSink

@@ -1,0 +1,15 @@
+// Fixture: R9 negatives — the word "thread" unqualified, other-qualified
+// lookalikes, and mentions in comments and strings are inert: std::mutex.
+#include <cstdint>
+
+namespace pool {
+struct mutex {};
+}  // namespace pool
+
+void fixture_no_primitives(std::uint32_t thread) {
+  pool::mutex local;
+  const char* note = "std::thread stays inside src/sim/shard*";
+  (void)thread;
+  (void)local;
+  (void)note;
+}

@@ -305,6 +305,42 @@ TEST(R8SimdContainment, JustifiedSuppressionSilences) {
   EXPECT_EQ(r.suppressed, 1u);
 }
 
+// ------------------------------------------------------------------- R9
+
+TEST(R9ThreadContainment, FlagsPrimitivesOutsideShardRuntime) {
+  const Report r = lint_fixture("r9_thread_bad.cpp", "src/lintfix/r9_thread_bad.cpp");
+  EXPECT_TRUE(all_rule(r, Rule::kThreadContainment));
+  EXPECT_EQ(lines_of(r, Rule::kThreadContainment), (std::vector<std::size_t>{6, 7, 8, 9}));
+}
+
+TEST(R9ThreadContainment, ShardRuntimeIsExempt) {
+  // The worker pool itself lives behind src/sim/shard*; the rule is about
+  // containment, not about concurrency existing at all.
+  const std::string content = read_fixture("r9_thread_bad.cpp");
+  EXPECT_TRUE(lint_files({{"src/sim/shard.cpp", content}}, Config{}).diagnostics.empty());
+  EXPECT_TRUE(
+      lint_files({{"src/sim/shard_pool.hpp", content}}, Config{}).diagnostics.empty());
+}
+
+TEST(R9ThreadContainment, AppliesOutsideSrcToo) {
+  // tests/ and bench/ drive the engine through ScenarioRun's thread
+  // parameter; hand-rolled threads there dodge the same barrier proof.
+  const std::string content = read_fixture("r9_thread_bad.cpp");
+  EXPECT_EQ(lint_files({{"tests/lintfix/r9.cpp", content}}, Config{}).diagnostics.size(), 4u);
+}
+
+TEST(R9ThreadContainment, AllowsUnqualifiedAndInertMentions) {
+  const Report r = lint_fixture("r9_thread_clean.cpp", "src/lintfix/r9_thread_clean.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R9ThreadContainment, JustifiedSuppressionSilences) {
+  const Report r =
+      lint_fixture("r9_thread_suppressed.cpp", "src/lintfix/r9_thread_suppressed.cpp");
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
 // -------------------------------------------------------- suppression rules
 
 TEST(Suppression, BareAllowIsAViolationAndDoesNotSuppress) {
@@ -427,7 +463,7 @@ TEST(Determinism, SameInputSameReport) {
   for (const char* name :
        {"r1_wallclock_bad.cpp", "r2_rng_bad.cpp", "r3_unordered_iter_bad.cpp",
         "r4_pointer_order_bad.cpp", "r5_iostream_bad.cpp", "r6_event_init_bad.cpp",
-        "r8_simd_bad.cpp", "bare_suppression.cpp"}) {
+        "r8_simd_bad.cpp", "r9_thread_bad.cpp", "bare_suppression.cpp"}) {
     files.push_back({std::string("src/lintfix/") + name, read_fixture(name)});
   }
   const std::string a = to_json(lint_files(files, Config{}));

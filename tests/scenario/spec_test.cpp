@@ -83,7 +83,7 @@ TEST(Registry, CoversEveryProtocolAndTopology) {
     topologies.insert(spec.topology);
   }
   EXPECT_EQ(detectors.size(), 3u);
-  EXPECT_EQ(topologies.size(), 3u);
+  EXPECT_EQ(topologies.size(), 4u);
 }
 
 }  // namespace

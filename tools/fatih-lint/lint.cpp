@@ -357,6 +357,7 @@ class Linter {
       if (cfg_.on(Rule::kNoPointerKeyedOrder)) rule_pointer_keyed(ctx);
       if (cfg_.on(Rule::kNoIostream)) rule_iostream(ctx);
       if (cfg_.on(Rule::kSimdContainment)) rule_simd_containment(ctx);
+      if (cfg_.on(Rule::kThreadContainment)) rule_thread_containment(ctx);
     }
     if (cfg_.on(Rule::kNoUnorderedIteration)) rule_unordered_iteration();
     if (cfg_.on(Rule::kTraceEventInit)) rule_trace_event_init();
@@ -742,6 +743,50 @@ class Linter {
     }
   }
 
+  // R9 ----------------------------------------------------------------------
+  /// All concurrency lives in the shard runtime (src/sim/shard*): its
+  /// window barrier and fixed PoP partition are what make digests
+  /// worker-count-invariant. A stray mutex or atomic anywhere else means
+  /// shared mutable state the barrier proof never covered — flag every
+  /// std-qualified threading primitive (and thread_local storage) outside
+  /// that containment boundary.
+  void rule_thread_containment(const FileCtx& ctx) {
+    const std::string& path = ctx.src->path;
+    if (starts_with(path, "src/sim/shard")) return;
+    const std::string& s = ctx.code;
+    static constexpr std::string_view kPrimitives[] = {
+        "thread",         "jthread",
+        "mutex",          "recursive_mutex",
+        "timed_mutex",    "shared_mutex",
+        "condition_variable", "condition_variable_any",
+        "atomic",         "atomic_flag",
+        "lock_guard",     "unique_lock",
+        "scoped_lock",    "shared_lock",
+        "future",         "promise",
+        "async",          "packaged_task",
+        "barrier",        "latch",
+        "counting_semaphore", "binary_semaphore",
+        "call_once",      "once_flag",
+        "stop_token",     "stop_source"};
+    for (std::string_view w : kPrimitives) {
+      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+           p = find_word(s, w, p + 1)) {
+        if (qualifier_before(s, p) != Qual::kStd) continue;
+        emit(ctx, ctx.line_of(p), Rule::kThreadContainment,
+             "threading primitive 'std::" + std::string(w) +
+                 "' outside src/sim/shard*: concurrency is confined to the shard "
+                 "runtime, whose barrier discipline keeps digests worker-invariant");
+      }
+    }
+    for (std::size_t p = find_word(s, "thread_local", 0); p != std::string::npos;
+         p = find_word(s, "thread_local", p + 1)) {
+      if (qualifier_before(s, p) != Qual::kNone) continue;
+      emit(ctx, ctx.line_of(p), Rule::kThreadContainment,
+           "'thread_local' storage outside src/sim/shard*: per-thread state makes "
+           "results depend on the worker count, breaking digest invariance");
+    }
+  }
+
   // R6 ----------------------------------------------------------------------
   /// R6 name predicate: structs ending in "Event", "Evidence", "Spec" or
   /// "Snapshot" (with a non-empty prefix) plus the evidence-layer verdict
@@ -1036,6 +1081,7 @@ const char* rule_name(Rule r) {
     case Rule::kTraceEventInit: return "trace-event-init";
     case Rule::kNoIncludeCycles: return "no-include-cycles";
     case Rule::kSimdContainment: return "simd-containment";
+    case Rule::kThreadContainment: return "thread-containment";
     case Rule::kBareSuppression: return "bare-suppression";
   }
   return "?";
@@ -1051,6 +1097,7 @@ const char* rule_id(Rule r) {
     case Rule::kTraceEventInit: return "R6";
     case Rule::kNoIncludeCycles: return "R7";
     case Rule::kSimdContainment: return "R8";
+    case Rule::kThreadContainment: return "R9";
     case Rule::kBareSuppression: return "R0";
   }
   return "?";

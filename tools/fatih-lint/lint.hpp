@@ -5,7 +5,7 @@
 // regeneration) rests on the codebase never smuggling in a nondeterminism
 // source. This tool makes those invariants machine-checked: it tokenizes
 // the C++ sources (comments and string literals blanked, line structure
-// preserved) and applies eight rules, each individually toggleable:
+// preserved) and applies nine rules, each individually toggleable:
 //
 //   R1 no-wallclock          wall-clock time sources outside util/time
 //   R2 no-ambient-rng        ambient / default-seeded randomness
@@ -24,6 +24,11 @@
 //                              outside src/crypto/ — kernels stay behind
 //                              the runtime-dispatched batch API so every
 //                              other layer has exactly one code path
+//   R9 thread-containment    raw threading primitives (std::thread,
+//                              std::mutex, std::atomic, thread_local, ...)
+//                              outside src/sim/shard* — all concurrency
+//                              lives in the shard runtime, whose barrier
+//                              discipline keeps digests worker-invariant
 //
 // Inline suppression:  // fatih-lint: allow(<rule>) <justification>
 // applies to its own line and the next line. A suppression without a
@@ -53,13 +58,14 @@ enum class Rule : std::uint8_t {
   kTraceEventInit,        // R6
   kNoIncludeCycles,       // R7
   kSimdContainment,       // R8
+  kThreadContainment,     // R9
   kBareSuppression,       // meta-rule: allow() without a justification
 };
-inline constexpr std::size_t kRuleCount = 9;
+inline constexpr std::size_t kRuleCount = 10;
 
 /// Stable kebab-case rule name ("no-wallclock").
 [[nodiscard]] const char* rule_name(Rule r);
-/// Short id ("R1".."R8", "R0" for the suppression meta-rule).
+/// Short id ("R1".."R9", "R0" for the suppression meta-rule).
 [[nodiscard]] const char* rule_id(Rule r);
 /// Accepts a name or id, case-insensitive. Returns false on unknown.
 [[nodiscard]] bool parse_rule(std::string_view s, Rule& out);
