@@ -880,6 +880,7 @@ ByzantineStats ChiEngine::guard_stats() const {
 }
 
 std::uint64_t QueueValidator::state_fingerprint() const {
+  // fatih-lint: allow(float-free-digest) learned moments enter the hash by IEEE-754 bit pattern, not FP arithmetic; values are pinned cross-worker by the drift suite
   const auto fold_double = [](std::uint64_t acc, double v) {
     std::uint64_t bits = 0;
     std::memcpy(&bits, &v, sizeof(bits));

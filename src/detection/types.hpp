@@ -23,6 +23,7 @@ struct Suspicion {
   routing::PathSegment segment{};
   util::TimeInterval interval{};
   /// Detector-specific confidence in [0,1]; 1 for deterministic detectors.
+  // fatih-lint: allow(float-free-digest) codecs copy the IEEE-754 bit pattern verbatim; detectors assign it from deterministic expressions only
   double confidence = 1.0;
   /// Free-form cause tag ("content-mismatch", "exchange-timeout",
   /// "queue-single", "queue-combined", ...) for forensics.

@@ -141,6 +141,7 @@ struct TraceEvent {
   util::NodeId b = util::kInvalidNode;  ///< secondary actor (peer, target)
   std::int64_t round = -1;              ///< detection round, -1 = n/a
   std::uint64_t value = 0;              ///< payload (bytes, count, msg key)
+  // fatih-lint: allow(float-free-digest) output-only payload: JSONL formatting rounds it to fixed decimals and it never feeds a state digest
   double real = 0.0;                    ///< payload (fill fraction, confidence)
   std::array<char, 40> note{};          ///< NUL-terminated short tag
 

@@ -18,6 +18,7 @@ Simulator::~Simulator() {
 void Simulator::grow_slab() {
   // Grow the slab by one chunk; records never move afterwards. Slots are
   // linked lowest-index-first so allocation order stays tidy.
+  // fatih-lint: allow(hot-path-allocation) amortized slab growth: one chunk per kChunkSlots events, never re-entered once the run is warmed up
   auto chunk = std::make_unique<EventRecord[]>(kChunkSlots);
   const std::uint32_t base = slot_count_;
   for (std::size_t i = kChunkSlots; i-- > 0;) {

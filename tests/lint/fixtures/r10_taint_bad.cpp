@@ -1,0 +1,28 @@
+// Fixture: R10 determinism-taint positives. Linted under src/ with only
+// R10 on: each tainted helper is reachable from `state_fingerprint`.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+struct TaintMeter {
+  std::unordered_map<int, int> table;
+  unsigned long long sample_clock() {
+    auto t = std::chrono::steady_clock::now();  // fires: wall-clock read
+    return static_cast<unsigned long long>(t.time_since_epoch().count());
+  }
+  unsigned long long sample_rng() {
+    return static_cast<unsigned long long>(rand());  // fires: ambient RNG
+  }
+  unsigned long long sample_iter() {
+    unsigned long long acc = 0;
+    for (const auto& [k, v] : table) acc += static_cast<unsigned long long>(k + v);  // fires
+    return acc;
+  }
+};
+
+struct TaintHasher {
+  TaintMeter meter;
+  unsigned long long state_fingerprint() {
+    return meter.sample_clock() + meter.sample_rng() + meter.sample_iter();
+  }
+};

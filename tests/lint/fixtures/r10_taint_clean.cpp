@@ -1,0 +1,16 @@
+// Fixture: R10 determinism-taint negatives: the tainted helper is never
+// called by a digest sink, and the sink's helpers are deterministic.
+#include <chrono>
+
+struct FreeMeter {
+  unsigned long long sample_clock() {
+    auto t = std::chrono::steady_clock::now();  // R1 territory, not R10
+    return static_cast<unsigned long long>(t.time_since_epoch().count());
+  }
+};
+
+struct CleanHasher {
+  unsigned long long seed = 7;
+  unsigned long long mix() { return seed * 1099511628211ull; }
+  unsigned long long state_fingerprint() { return mix(); }
+};

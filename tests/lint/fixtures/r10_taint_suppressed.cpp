@@ -1,0 +1,16 @@
+// Fixture: R10 suppression. The wall-clock read is reachable from the
+// sink but carries a justified allow(determinism-taint).
+#include <chrono>
+
+struct SuppMeter {
+  unsigned long long sample() {
+    // fatih-lint: allow(determinism-taint) fixture: calibration constant folded at startup
+    auto t = std::chrono::steady_clock::now();
+    return static_cast<unsigned long long>(t.time_since_epoch().count());
+  }
+};
+
+struct SuppHasher {
+  SuppMeter m;
+  unsigned long long state_fingerprint() { return m.sample(); }
+};

@@ -1,0 +1,23 @@
+// Fixture: R11 float-free-digest positives: FP in functions the digest
+// sink reaches, and an FP field in a serialized event struct.
+#include <cstdint>
+
+struct FpMixer {
+  std::uint64_t quantize() {
+    double ratio = 0.25;  // fires: double in digest closure
+    return static_cast<std::uint64_t>(ratio * 8);
+  }
+  float bias() { return 0.5f; }  // fires: float return type in closure
+};
+
+struct FpState {
+  FpMixer mixer;
+  std::uint64_t make_digest() {
+    return mixer.quantize() + static_cast<std::uint64_t>(mixer.bias());
+  }
+};
+
+struct FpTraceEvent {
+  std::uint64_t value = 0;
+  float real = 0.0f;  // fires: FP field in serialized event struct
+};

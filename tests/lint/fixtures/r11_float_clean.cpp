@@ -1,0 +1,16 @@
+// Fixture: R11 negatives: FP stays in analysis-only helpers the digest
+// never reaches; digest math is integral; event struct is fixed-point.
+#include <cstdint>
+
+double report_ratio(std::uint64_t a, std::uint64_t b) {
+  return double(a) / double(b == 0 ? 1 : b);  // never reaches a sink
+}
+
+struct IntState {
+  std::uint64_t state = 0;
+  std::uint64_t make_digest() { return state * 1099511628211ull; }
+};
+
+struct CleanTraceEvent {
+  std::uint64_t value_ppm = 0;  // fixed-point, not FP
+};

@@ -1,0 +1,8 @@
+// Fixture: R11 suppression: the FP field carries a justified allow.
+#include <cstdint>
+
+struct SuppTraceEvent {
+  std::uint64_t value = 0;
+  // fatih-lint: allow(float-free-digest) fixture: output-only payload with fixed decimal formatting
+  double real = 0.0;
+};

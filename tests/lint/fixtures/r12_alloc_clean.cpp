@@ -1,0 +1,15 @@
+// Fixture: R12 negatives: the hot path writes into preallocated slots;
+// allocation lives only in setup code no hot-path root reaches.
+#include <vector>
+
+struct PoolNode {
+  std::vector<int> slots;
+  int cursor = 0;
+  void setup() {
+    slots.resize(1024);  // allocation path, but setup() is not a root
+  }
+  void forward_packet() {
+    slots[static_cast<unsigned>(cursor) % 64] = cursor;
+    ++cursor;
+  }
+};

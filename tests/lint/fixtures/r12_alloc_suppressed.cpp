@@ -1,0 +1,10 @@
+// Fixture: R12 suppression: a justified amortized-growth escape hatch.
+#include <memory>
+
+struct GrowNode {
+  std::unique_ptr<int> slab;
+  void forward_packet() {
+    // fatih-lint: allow(hot-path-allocation) fixture: amortized growth, one allocation per epoch
+    slab = std::make_unique<int>(3);
+  }
+};

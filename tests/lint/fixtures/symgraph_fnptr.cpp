@@ -1,0 +1,8 @@
+// Fixture: symgraph function pointers: calls through pointers have no
+// visible callee identifier — conservatively ignored, never an edge.
+int target() { return 1; }
+
+int dispatch() {
+  int (*fp)() = target;  // address taken, not a call
+  return fp();           // pointer call: `fp` is not a known function
+}

@@ -1,0 +1,16 @@
+// Fixture: symgraph method-vs-free disambiguation: a member call binds
+// only to methods; a bare call prefers the caller's own class method.
+void tick() {}
+
+struct Clock {
+  void tick() {}
+  void advance() { tick(); }
+};
+
+struct Driver {
+  Clock c;
+  void run_all() {
+    c.tick();
+    tick();
+  }
+};

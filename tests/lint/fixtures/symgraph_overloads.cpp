@@ -1,0 +1,6 @@
+// Fixture: symgraph overload handling: a bare call links every overload
+// whose arity fits the written argument count, and nothing else.
+int scale(int a) { return a * 2; }
+int scale(int a, int b) { return a * b; }
+int scale_many(int a, int b, int c) { return a + b + c; }
+int driver() { return scale(1) + scale(1, 2); }

@@ -1,0 +1,8 @@
+// Fixture: symgraph templates: template definitions and template-id
+// calls extract like plain functions.
+template <typename T>
+T combine(T a, T b) {
+  return a + b;
+}
+
+int use_combine() { return combine<int>(1, 2) + combine(3, 4); }

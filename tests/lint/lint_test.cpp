@@ -8,9 +8,13 @@
 // paths (src/lintfix/...), because the rules scope by path: R1/R2 have
 // util/time / util/rng exemptions, R5 applies to src/ only, and R7 keys
 // module layering off the first directory under src/.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -406,7 +410,7 @@ TEST(Output, JsonShapeIsPinned) {
   const std::string expected =
       "{\n"
       "  \"tool\": \"fatih-lint\",\n"
-      "  \"schema_version\": 1,\n"
+      "  \"schema_version\": 2,\n"
       "  \"files_scanned\": 1,\n"
       "  \"violation_count\": 1,\n"
       "  \"suppressed_count\": 0,\n"
@@ -425,7 +429,7 @@ TEST(Output, JsonEmptyViolationsShape) {
   const std::string expected =
       "{\n"
       "  \"tool\": \"fatih-lint\",\n"
-      "  \"schema_version\": 1,\n"
+      "  \"schema_version\": 2,\n"
       "  \"files_scanned\": 1,\n"
       "  \"violation_count\": 0,\n"
       "  \"suppressed_count\": 0,\n"
@@ -470,6 +474,314 @@ TEST(Determinism, SameInputSameReport) {
   const std::string b = to_json(lint_files(files, Config{}));
   EXPECT_EQ(a, b);
   EXPECT_FALSE(a.empty());
+}
+
+// ------------------------------------------------- R10-R12 (interprocedural)
+
+/// A Config with a single rule on (plus the always-on suppression check).
+Config only(Rule rule) {
+  Config cfg;
+  cfg.enabled.fill(false);
+  cfg.set(rule, true);
+  cfg.set(Rule::kBareSuppression, true);
+  return cfg;
+}
+
+TEST(R10DeterminismTaint, FlagsSourcesReachableFromDigestSink) {
+  const Report r = lint_fixture("r10_taint_bad.cpp", "src/lintfix/r10_taint_bad.cpp",
+                                only(Rule::kDeterminismTaint));
+  EXPECT_TRUE(all_rule(r, Rule::kDeterminismTaint));
+  EXPECT_EQ(lines_of(r, Rule::kDeterminismTaint), (std::vector<std::size_t>{10, 14, 18}));
+  for (const Diagnostic& d : r.diagnostics) {
+    ASSERT_EQ(d.chain.size(), 2u) << to_text(r);
+    EXPECT_EQ(d.chain.front().line, d.line);  // hop 0 is the flagged source
+    EXPECT_EQ(d.chain.back().function, "TaintHasher::state_fingerprint");
+    EXPECT_EQ(d.chain.back().line, 26u);  // ... at the call site in the sink
+  }
+}
+
+TEST(R10DeterminismTaint, SilentWhenNoSinkReachesTheSource) {
+  const Report r = lint_fixture("r10_taint_clean.cpp", "src/lintfix/r10_taint_clean.cpp",
+                                only(Rule::kDeterminismTaint));
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R10DeterminismTaint, JustifiedSuppressionSilences) {
+  const Report r = lint_fixture("r10_taint_suppressed.cpp", "src/lintfix/r10_taint_suppressed.cpp",
+                                only(Rule::kDeterminismTaint));
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(R11FloatFreeDigest, FlagsClosureFunctionsAndEventStructs) {
+  const Report r = lint_fixture("r11_float_bad.cpp", "src/lintfix/r11_float_bad.cpp",
+                                only(Rule::kFloatFreeDigest));
+  EXPECT_TRUE(all_rule(r, Rule::kFloatFreeDigest));
+  EXPECT_EQ(lines_of(r, Rule::kFloatFreeDigest), (std::vector<std::size_t>{7, 10, 22}));
+}
+
+TEST(R11FloatFreeDigest, SilentOutsideTheDigestClosure) {
+  const Report r = lint_fixture("r11_float_clean.cpp", "src/lintfix/r11_float_clean.cpp",
+                                only(Rule::kFloatFreeDigest));
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R11FloatFreeDigest, JustifiedSuppressionSilences) {
+  const Report r = lint_fixture("r11_float_suppressed.cpp", "src/lintfix/r11_float_suppressed.cpp",
+                                only(Rule::kFloatFreeDigest));
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(R12HotPathAllocation, FlagsAllocationsReachableFromRoots) {
+  const Report r = lint_fixture("r12_alloc_bad.cpp", "src/lintfix/r12_alloc_bad.cpp",
+                                only(Rule::kHotPathAllocation));
+  EXPECT_TRUE(all_rule(r, Rule::kHotPathAllocation));
+  EXPECT_EQ(lines_of(r, Rule::kHotPathAllocation), (std::vector<std::size_t>{7, 8, 10}));
+  for (const Diagnostic& d : r.diagnostics)
+    EXPECT_EQ(d.chain.back().function, "FixtureNode::forward_packet");
+}
+
+TEST(R12HotPathAllocation, SilentWhenHotPathIsPreallocated) {
+  const Report r = lint_fixture("r12_alloc_clean.cpp", "src/lintfix/r12_alloc_clean.cpp",
+                                only(Rule::kHotPathAllocation));
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+}
+
+TEST(R12HotPathAllocation, JustifiedSuppressionSilences) {
+  const Report r = lint_fixture("r12_alloc_suppressed.cpp", "src/lintfix/r12_alloc_suppressed.cpp",
+                                only(Rule::kHotPathAllocation));
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// The evidence-chain JSON is the machine-readable contract for R10-R12:
+// every hop carries function, file and line, pinned byte-for-byte.
+TEST(Output, JsonChainShapeIsPinned) {
+  const Report r = lint_files({{"src/chain.cpp",
+                                "#include <chrono>\n"
+                                "struct M {\n"
+                                "  long read_clock() {\n"
+                                "    return std::chrono::steady_clock::now()"
+                                ".time_since_epoch().count();\n"
+                                "  }\n"
+                                "};\n"
+                                "struct H {\n"
+                                "  M m;\n"
+                                "  long state_fingerprint() { return m.read_clock(); }\n"
+                                "};\n"}},
+                              only(Rule::kDeterminismTaint));
+  ASSERT_EQ(r.diagnostics.size(), 1u) << to_text(r);
+  const std::string expected =
+      "{\n"
+      "  \"tool\": \"fatih-lint\",\n"
+      "  \"schema_version\": 2,\n"
+      "  \"files_scanned\": 1,\n"
+      "  \"violation_count\": 1,\n"
+      "  \"suppressed_count\": 0,\n"
+      "  \"violations\": [\n"
+      "    {\"file\": \"src/chain.cpp\", \"line\": 4, \"rule\": \"determinism-taint\", "
+      "\"id\": \"R10\", \"message\": \"wall-clock read 'steady_clock' in 'M::read_clock' "
+      "taints digest/codec sink 'H::state_fingerprint' (1-hop call chain); every digest "
+      "input must derive from seeded, ordered state\", \"chain\": "
+      "[{\"function\": \"M::read_clock\", \"file\": \"src/chain.cpp\", \"line\": 4}, "
+      "{\"function\": \"H::state_fingerprint\", \"file\": \"src/chain.cpp\", \"line\": 9}]}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(to_json(r), expected);
+}
+
+// The two-line suppression window (own line + next line) applies to the
+// interprocedural ids exactly as to R1-R9.
+TEST(Suppression, InterproceduralWindowCoversNextLineOnly) {
+  const Report r = lint_files({{"src/lintfix/win.cpp",
+                                "struct WinTraceEvent {\n"
+                                "  // fatih-lint: allow(float-free-digest) fixture: window\n"
+                                "  double covered = 0.0;\n"
+                                "  double uncovered = 0.0;\n"
+                                "};\n"}},
+                              only(Rule::kFloatFreeDigest));
+  ASSERT_EQ(r.diagnostics.size(), 1u) << to_text(r);
+  EXPECT_EQ(r.diagnostics[0].rule, Rule::kFloatFreeDigest);
+  EXPECT_EQ(r.diagnostics[0].line, 4u);  // two lines below the comment: fires
+  EXPECT_EQ(r.suppressed, 1u);           // the next-line hit is suppressed
+}
+
+TEST(Suppression, InterproceduralWindowCoversOwnLine) {
+  const Report r =
+      lint_files({{"src/lintfix/win2.cpp",
+                   "struct WinNode {\n"
+                   "  int* p = nullptr;\n"
+                   "  void forward() {\n"
+                   "    p = new int;  // fatih-lint: allow(hot-path-allocation) fixture: own line\n"
+                   "  }\n"
+                   "};\n"}},
+                  only(Rule::kHotPathAllocation));
+  EXPECT_TRUE(r.diagnostics.empty()) << to_text(r);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Suppression, R10WindowDoesNotReachTwoLinesDown) {
+  const Report r = lint_files({{"src/lintfix/win3.cpp",
+                                "#include <cstdlib>\n"
+                                "struct S {\n"
+                                "  // fatih-lint: allow(determinism-taint) fixture: window\n"
+                                "  int pad = 0;\n"
+                                "  long state_fingerprint() { return rand(); }\n"
+                                "};\n"}},
+                              only(Rule::kDeterminismTaint));
+  ASSERT_EQ(r.diagnostics.size(), 1u) << to_text(r);
+  EXPECT_EQ(r.diagnostics[0].line, 5u);
+}
+
+// ------------------------------------------------------------- symbol graph
+
+symgraph::Graph graph_of(const std::string& name) {
+  const symgraph::FileSyms fs =
+      symgraph::extract_symbols("src/" + name, strip_to_code(read_fixture(name)));
+  return symgraph::build_graph({fs});
+}
+
+int node_index(const symgraph::Graph& g, const std::string& qualified, std::uint32_t line = 0) {
+  for (std::size_t i = 0; i < g.nodes.size(); ++i)
+    if (g.nodes[i].fn.qualified == qualified && (line == 0 || g.nodes[i].fn.line == line))
+      return static_cast<int>(i);
+  return -1;
+}
+
+/// (callee qualified name, callee definition line) for each edge.
+std::vector<std::pair<std::string, std::uint32_t>> callees_of(const symgraph::Graph& g, int idx) {
+  std::vector<std::pair<std::string, std::uint32_t>> out;
+  for (const auto& [callee, line] : g.nodes[static_cast<std::size_t>(idx)].callees)
+    out.emplace_back(g.nodes[callee].fn.qualified, g.nodes[callee].fn.line);
+  return out;
+}
+
+using Edges = std::vector<std::pair<std::string, std::uint32_t>>;
+
+TEST(Symgraph, OverloadsResolveByArity) {
+  const symgraph::Graph g = graph_of("symgraph_overloads.cpp");
+  ASSERT_EQ(g.nodes.size(), 4u);
+  const int one_arg = node_index(g, "scale", 3);
+  const int two_arg = node_index(g, "scale", 4);
+  ASSERT_GE(one_arg, 0);
+  ASSERT_GE(two_arg, 0);
+  EXPECT_EQ(g.nodes[one_arg].fn.min_args, 1u);
+  EXPECT_EQ(g.nodes[two_arg].fn.max_args, 2u);
+  const int driver = node_index(g, "driver");
+  ASSERT_GE(driver, 0);
+  // scale(1) binds the 1-arg overload, scale(1, 2) the 2-arg one;
+  // 3-arg scale_many gets no edge.
+  EXPECT_EQ(callees_of(g, driver), (Edges{{"scale", 3}, {"scale", 4}}));
+}
+
+TEST(Symgraph, MemberCallsBindMethodsAndBareCallsPreferOwnClass) {
+  const symgraph::Graph g = graph_of("symgraph_methods.cpp");
+  ASSERT_EQ(g.nodes.size(), 4u);
+  const int advance = node_index(g, "Clock::advance");
+  ASSERT_GE(advance, 0);
+  // Bare tick() inside Clock::advance binds the class's own method, not
+  // the same-named free function.
+  EXPECT_EQ(callees_of(g, advance), (Edges{{"Clock::tick", 6}}));
+  const int run_all = node_index(g, "Driver::run_all");
+  ASSERT_GE(run_all, 0);
+  // Driver has no tick(): the member call binds the only method, the bare
+  // call fans out to every candidate (documented over-approximation).
+  EXPECT_EQ(callees_of(g, run_all), (Edges{{"Clock::tick", 6}, {"tick", 3}}));
+}
+
+TEST(Symgraph, FunctionPointerCallsAreIgnoredNotFatal) {
+  const symgraph::Graph g = graph_of("symgraph_fnptr.cpp");
+  ASSERT_EQ(g.nodes.size(), 2u);
+  const int dispatch = node_index(g, "dispatch");
+  ASSERT_GE(dispatch, 0);
+  EXPECT_TRUE(g.nodes[dispatch].callees.empty());
+}
+
+TEST(Symgraph, TemplateDefinitionsAndTemplateIdCallsLink) {
+  const symgraph::Graph g = graph_of("symgraph_templates.cpp");
+  ASSERT_EQ(g.nodes.size(), 2u);
+  const int combine = node_index(g, "combine");
+  ASSERT_GE(combine, 0);
+  EXPECT_EQ(g.nodes[combine].fn.min_args, 2u);
+  EXPECT_EQ(g.nodes[combine].fn.max_args, 2u);
+  const int user = node_index(g, "use_combine");
+  ASSERT_GE(user, 0);
+  // combine<int>(1, 2) and combine(3, 4) dedupe to one edge.
+  EXPECT_EQ(callees_of(g, user), (Edges{{"combine", 4}}));
+}
+
+TEST(Symgraph, DotDumpIsDeterministicAndNamesEdges) {
+  const symgraph::Graph g = graph_of("symgraph_overloads.cpp");
+  const std::string dot = symgraph::to_dot(g);
+  EXPECT_EQ(dot, symgraph::to_dot(g));
+  EXPECT_NE(dot.find("digraph fatih_symgraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"driver@src/symgraph_overloads.cpp:6\" -> "
+                     "\"scale@src/symgraph_overloads.cpp:3\""),
+            std::string::npos)
+      << dot;
+}
+
+// ------------------------------------------------------------- symbol cache
+
+TEST(SymCache, CodecRoundTripsByteExactly) {
+  const symgraph::FileSyms syms =
+      symgraph::extract_symbols("src/symgraph_methods.cpp",
+                                strip_to_code(read_fixture("symgraph_methods.cpp")));
+  const std::string enc = symgraph::encode_syms(syms);
+  symgraph::FileSyms back;
+  ASSERT_TRUE(symgraph::decode_syms(enc, back));
+  EXPECT_EQ(symgraph::encode_syms(back), enc);
+  EXPECT_EQ(back.functions.size(), syms.functions.size());
+  EXPECT_EQ(back.calls.size(), syms.calls.size());
+}
+
+TEST(SymCache, RejectsMalformedEntries) {
+  symgraph::FileSyms out;
+  EXPECT_FALSE(symgraph::decode_syms("", out));
+  EXPECT_FALSE(symgraph::decode_syms("fatih-symcache 99\npath x\n", out));
+  EXPECT_FALSE(symgraph::decode_syms("fatih-symcache 1\npath x\nfn bogus\n", out));
+  // A call referencing an out-of-range caller index is rejected.
+  EXPECT_FALSE(symgraph::decode_syms("fatih-symcache 1\npath x\ncall 7 1 0 2 f -\n", out));
+}
+
+TEST(SymCache, CachedAndUncachedRunsAreByteIdentical) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "fatih_lint_symcache_selftest";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  std::vector<SourceFile> files;
+  for (const char* name : {"r10_taint_bad.cpp", "r11_float_bad.cpp", "r12_alloc_bad.cpp"})
+    files.push_back({std::string("src/lintfix/") + name, read_fixture(name)});
+  AnalyzeOptions cached;
+  cached.cache_dir = dir.string();
+  const std::string uncached_json = to_json(analyze(files, AnalyzeOptions{}).report);
+  const std::string cold_json = to_json(analyze(files, cached).report);  // populates
+  const std::string warm_json = to_json(analyze(files, cached).report);  // reuses
+  EXPECT_EQ(cold_json, uncached_json);
+  EXPECT_EQ(warm_json, uncached_json);
+  EXPECT_NE(uncached_json.find("\"chain\""), std::string::npos);
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, files.size());
+
+  // A corrupted entry must fall back to fresh extraction, not bad symbols.
+  std::string key_bytes = files[0].path;
+  key_bytes.push_back('\0');
+  key_bytes += files[0].content;
+  char entry_name[32];
+  std::snprintf(entry_name, sizeof(entry_name), "%016llx.syms",
+                static_cast<unsigned long long>(symgraph::fnv1a64(key_bytes)));
+  {
+    std::ofstream corrupt(dir / entry_name, std::ios::binary | std::ios::trunc);
+    corrupt << "not a symcache entry";
+  }
+  EXPECT_EQ(to_json(analyze(files, cached).report), uncached_json);
+  fs::remove_all(dir);
 }
 
 // Comment/string stripping: rule tokens inside comments and string

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <sstream>
@@ -96,7 +97,7 @@ void parse_suppression_comment(FileCtx& ctx, std::size_t line, std::string_view 
       } else {
         any_unknown = true;
         ctx.pre_diags.push_back({ctx.src->path, line, Rule::kBareSuppression,
-                                 "suppression names unknown rule '" + name + "'"});
+                                 "suppression names unknown rule '" + name + "'", {}});
       }
     }
     if (comma == std::string_view::npos) break;
@@ -105,7 +106,8 @@ void parse_suppression_comment(FileCtx& ctx, std::size_t line, std::string_view 
   if (!supp.justified) {
     ctx.pre_diags.push_back({ctx.src->path, line, Rule::kBareSuppression,
                              "suppression without a justification: write "
-                             "'// fatih-lint: allow(<rule>) <why this is safe>'"});
+                             "'// fatih-lint: allow(<rule>) <why this is safe>'",
+                             {}});
     return;  // a bare allow() does not suppress anything
   }
   if (any_unknown && supp.rules == 0) return;
@@ -339,16 +341,206 @@ std::string read_ident_before(const std::string& s, std::size_t end) {
   return s.substr(b, end - b);
 }
 
+// -------------------------------------------------- nondeterminism collectors
+//
+// The R1/R2/R3 pattern scans, factored out so the per-file rules and the
+// interprocedural taint rule (R10) share one implementation. Collectors
+// return raw hit positions with *no* path exemptions — exemption policy
+// belongs to the rule consuming the hits (R1 exempts bench/ and
+// src/util/time; R10 deliberately exempts nothing, so a wall-clock read
+// laundered through util/time still taints a digest).
+
+enum class SourceKind : std::uint8_t {
+  kClockName,      ///< chrono clock type / C time API name
+  kClockCall,      ///< bare time()/clock() call
+  kRandCall,       ///< rand()/srand() call
+  kRngDevice,      ///< random_device / default_random_engine mention
+  kDefaultSeeded,  ///< default-constructed standard engine
+};
+
+struct TaintHit {
+  std::size_t pos = 0;
+  SourceKind kind = SourceKind::kClockName;
+  std::string name;
+};
+
+std::vector<TaintHit> wallclock_hits(const std::string& s) {
+  std::vector<TaintHit> out;
+  static constexpr std::string_view kClockNames[] = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get", "localtime", "gmtime"};
+  for (std::string_view w : kClockNames) {
+    for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+         p = find_word(s, w, p + 1)) {
+      out.push_back({p, SourceKind::kClockName, std::string(w)});
+    }
+  }
+  // Bare (or std::) C calls time(...) / clock(...). Qualified calls like
+  // ChurnNet::clock() or sim.time() are someone else's deterministic API.
+  for (std::string_view w : {std::string_view("time"), std::string_view("clock")}) {
+    for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+         p = find_word(s, w, p + 1)) {
+      if (next_nonspace(s, p + w.size()) >= s.size() ||
+          s[next_nonspace(s, p + w.size())] != '(')
+        continue;
+      const Qual q = qualifier_before(s, p);
+      if (q == Qual::kOther) continue;
+      if (q == Qual::kNone) {
+        // `RoundClock clock()` is a function *declaration* named clock,
+        // not a call: a preceding identifier that isn't a statement
+        // keyword means a return type.
+        const std::size_t before = prev_nonspace(s, p);
+        if (before != std::string::npos && ident_char(s[before])) {
+          const std::string prev = read_ident_before(s, before + 1);
+          if (prev != "return" && prev != "else" && prev != "case" && prev != "co_return")
+            continue;
+        }
+      }
+      out.push_back({p, SourceKind::kClockCall, std::string(w)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TaintHit& a, const TaintHit& b) { return a.pos < b.pos; });
+  return out;
+}
+
+std::vector<TaintHit> rng_hits(const std::string& s) {
+  std::vector<TaintHit> out;
+  for (std::string_view w : {std::string_view("rand"), std::string_view("srand")}) {
+    for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+         p = find_word(s, w, p + 1)) {
+      const std::size_t after = next_nonspace(s, p + w.size());
+      if (after >= s.size() || s[after] != '(') continue;
+      if (qualifier_before(s, p) == Qual::kOther) continue;
+      out.push_back({p, SourceKind::kRandCall, std::string(w)});
+    }
+  }
+  for (std::string_view w :
+       {std::string_view("random_device"), std::string_view("default_random_engine")}) {
+    for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+         p = find_word(s, w, p + 1)) {
+      out.push_back({p, SourceKind::kRngDevice, std::string(w)});
+    }
+  }
+  static constexpr std::string_view kEngines[] = {
+      "mt19937",       "mt19937_64",    "minstd_rand", "minstd_rand0", "ranlux24_base",
+      "ranlux48_base", "ranlux24",      "ranlux48",    "knuth_b"};
+  for (std::string_view w : kEngines) {
+    for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+         p = find_word(s, w, p + 1)) {
+      std::size_t after = next_nonspace(s, p + w.size());
+      if (after >= s.size()) continue;
+      bool default_seeded = false;
+      if (s[after] == '(' || s[after] == '{') {
+        const std::size_t close = match_bracket(s, after);
+        default_seeded =
+            close != std::string::npos && trim(s.substr(after + 1, close - after - 1)).empty();
+      } else if (ident_char(s[after])) {
+        const std::string var = read_ident(s, after);
+        std::size_t q = next_nonspace(s, after + var.size());
+        if (q < s.size()) {
+          if (s[q] == ';' || s[q] == ',' || s[q] == ')') {
+            default_seeded = true;  // declaration with no seed argument
+          } else if (s[q] == '(' || s[q] == '{') {
+            const std::size_t close = match_bracket(s, q);
+            default_seeded =
+                close != std::string::npos && trim(s.substr(q + 1, close - q - 1)).empty();
+          }
+        }
+      }
+      if (default_seeded) out.push_back({p, SourceKind::kDefaultSeeded, std::string(w)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TaintHit& a, const TaintHit& b) { return a.pos < b.pos; });
+  return out;
+}
+
+struct IterHit {
+  std::size_t pos = 0;
+  std::string name;       ///< container variable
+  std::string iter_word;  ///< "begin"/"cbegin"/"rbegin", empty for range-for
+};
+
+std::vector<IterHit> unordered_iter_hits(const std::string& s,
+                                         const std::set<std::string>& tracked) {
+  std::vector<IterHit> out;
+  if (tracked.empty()) return out;
+  // Range-for: for (decl : expr)
+  for (std::size_t p = find_word(s, "for", 0); p != std::string::npos;
+       p = find_word(s, "for", p + 1)) {
+    const std::size_t open = next_nonspace(s, p + 3);
+    if (open >= s.size() || s[open] != '(') continue;
+    const std::size_t close = match_bracket(s, open);
+    if (close == std::string::npos) continue;
+    // find ':' at paren depth 1 that is not part of '::'
+    std::size_t colon = std::string::npos;
+    int depth = 0;
+    for (std::size_t i = open; i <= close; ++i) {
+      if (s[i] == '(' || s[i] == '[' || s[i] == '{') ++depth;
+      else if (s[i] == ')' || s[i] == ']' || s[i] == '}') --depth;
+      else if (s[i] == ':' && depth == 1) {
+        const bool dbl = (i > 0 && s[i - 1] == ':') || (i + 1 < s.size() && s[i + 1] == ':');
+        if (!dbl) {
+          colon = i;
+          break;
+        }
+      }
+    }
+    if (colon == std::string::npos) continue;
+    const std::string expr = trim(s.substr(colon + 1, close - colon - 1));
+    if (expr.empty() || !ident_char(expr.back())) continue;  // call result etc.
+    const std::string name = read_ident_before(expr, expr.size());
+    if (!tracked.count(name)) continue;
+    out.push_back({p, name, std::string()});
+  }
+  // Explicit iterator walks. Only the begin() family: iteration always
+  // needs a begin, while a lone end() is the idiomatic find() != end()
+  // lookup — which the rule explicitly allows.
+  static constexpr std::string_view kIters[] = {"begin", "cbegin", "rbegin"};
+  for (std::string_view w : kIters) {
+    for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
+         p = find_word(s, w, p + 1)) {
+      const std::size_t after = next_nonspace(s, p + w.size());
+      if (after >= s.size() || s[after] != '(') continue;
+      std::size_t q = prev_nonspace(s, p);
+      if (q == std::string::npos) continue;
+      if (s[q] == '.') {
+        // fallthrough
+      } else if (s[q] == '>' && q > 0 && s[q - 1] == '-') {
+        --q;
+      } else {
+        continue;
+      }
+      const std::size_t recv_end = prev_nonspace(s, q);
+      if (recv_end == std::string::npos || !ident_char(s[recv_end])) continue;
+      const std::string name = read_ident_before(s, recv_end + 1);
+      if (!tracked.count(name)) continue;
+      out.push_back({p, name, std::string(w)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IterHit& a, const IterHit& b) { return a.pos < b.pos; });
+  return out;
+}
+
 // ------------------------------------------------------------------- linter
 
 class Linter {
  public:
-  Linter(const std::vector<SourceFile>& files, const Config& cfg) : cfg_(cfg) {
+  Linter(const std::vector<SourceFile>& files, AnalyzeOptions opts) : opts_(std::move(opts)), cfg_(opts_.cfg) {
     ctxs_.reserve(files.size());
     for (const SourceFile& f : files) ctxs_.push_back(preprocess(f));
   }
 
   Report run() {
+    const bool interproc = cfg_.on(Rule::kDeterminismTaint) ||
+                           cfg_.on(Rule::kFloatFreeDigest) ||
+                           cfg_.on(Rule::kHotPathAllocation);
+    if (interproc || opts_.want_graph) build_symbols();
+    if (cfg_.on(Rule::kNoUnorderedIteration) || cfg_.on(Rule::kDeterminismTaint))
+      compute_tracked_unordered();
+
     for (FileCtx& ctx : ctxs_) {
       if (cfg_.on(Rule::kBareSuppression))
         for (Diagnostic& d : ctx.pre_diags) report_.diagnostics.push_back(std::move(d));
@@ -362,6 +554,9 @@ class Linter {
     if (cfg_.on(Rule::kNoUnorderedIteration)) rule_unordered_iteration();
     if (cfg_.on(Rule::kTraceEventInit)) rule_trace_event_init();
     if (cfg_.on(Rule::kNoIncludeCycles)) rule_include_graph();
+    if (cfg_.on(Rule::kDeterminismTaint)) rule_determinism_taint();
+    if (cfg_.on(Rule::kFloatFreeDigest)) rule_float_free_digest();
+    if (cfg_.on(Rule::kHotPathAllocation)) rule_hot_path_allocation();
 
     report_.files_scanned = ctxs_.size();
     std::sort(report_.diagnostics.begin(), report_.diagnostics.end(),
@@ -371,12 +566,29 @@ class Linter {
                 if (a.rule != b.rule) return a.rule < b.rule;
                 return a.message < b.message;
               });
+    // Two flagged tokens on one line can produce indistinguishable
+    // diagnostics (e.g. two `double` words); report each site once.
+    report_.diagnostics.erase(
+        std::unique(report_.diagnostics.begin(), report_.diagnostics.end(),
+                    [](const Diagnostic& a, const Diagnostic& b) {
+                      return a.file == b.file && a.line == b.line && a.rule == b.rule &&
+                             a.message == b.message;
+                    }),
+        report_.diagnostics.end());
     return std::move(report_);
   }
 
+  [[nodiscard]] symgraph::Graph take_graph() { return std::move(graph_); }
+
  private:
   void emit(const FileCtx& ctx, std::size_t line, Rule rule, std::string msg) {
-    // A suppression comment covers its own line and the one below it.
+    emit_chain(ctx, line, rule, std::move(msg), {});
+  }
+
+  void emit_chain(const FileCtx& ctx, std::size_t line, Rule rule, std::string msg,
+                  std::vector<ChainHop> chain) {
+    // A suppression comment covers exactly its own line and the one below
+    // it (the two-line window pinned by tests/lint).
     const std::uint32_t bit = 1u << static_cast<unsigned>(rule);
     for (std::size_t l = line > 1 ? line - 1 : line; l <= line; ++l) {
       auto it = ctx.suppressions.find(l);
@@ -385,49 +597,24 @@ class Linter {
         return;
       }
     }
-    report_.diagnostics.push_back({ctx.src->path, line, rule, std::move(msg)});
+    Diagnostic d{ctx.src->path, line, rule, std::move(msg), {}};
+    d.chain = std::move(chain);
+    report_.diagnostics.push_back(std::move(d));
   }
 
   // R1 ----------------------------------------------------------------------
   void rule_wallclock(const FileCtx& ctx) {
     const std::string& path = ctx.src->path;
     if (starts_with(path, "bench/") || starts_with(path, "src/util/time.")) return;
-    const std::string& s = ctx.code;
-    static constexpr std::string_view kClockNames[] = {
-        "system_clock", "steady_clock", "high_resolution_clock",
-        "gettimeofday", "clock_gettime", "timespec_get", "localtime", "gmtime"};
-    for (std::string_view w : kClockNames) {
-      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
-           p = find_word(s, w, p + 1)) {
-        emit(ctx, ctx.line_of(p), Rule::kNoWallclock,
-             "wall-clock source '" + std::string(w) +
+    for (const TaintHit& h : wallclock_hits(ctx.code)) {
+      if (h.kind == SourceKind::kClockName) {
+        emit(ctx, ctx.line_of(h.pos), Rule::kNoWallclock,
+             "wall-clock source '" + h.name +
                  "' is banned outside src/util/time and bench/; drive everything from "
                  "util::SimTime");
-      }
-    }
-    // Bare (or std::) C calls time(...) / clock(...). Qualified calls like
-    // ChurnNet::clock() or sim.time() are someone else's deterministic API.
-    for (std::string_view w : {std::string_view("time"), std::string_view("clock")}) {
-      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
-           p = find_word(s, w, p + 1)) {
-        if (next_nonspace(s, p + w.size()) >= s.size() ||
-            s[next_nonspace(s, p + w.size())] != '(')
-          continue;
-        const Qual q = qualifier_before(s, p);
-        if (q == Qual::kOther) continue;
-        if (q == Qual::kNone) {
-          // `RoundClock clock()` is a function *declaration* named clock,
-          // not a call: a preceding identifier that isn't a statement
-          // keyword means a return type.
-          const std::size_t before = prev_nonspace(s, p);
-          if (before != std::string::npos && ident_char(s[before])) {
-            const std::string prev = read_ident_before(s, before + 1);
-            if (prev != "return" && prev != "else" && prev != "case" && prev != "co_return")
-              continue;
-          }
-        }
-        emit(ctx, ctx.line_of(p), Rule::kNoWallclock,
-             "call to '" + std::string(w) +
+      } else {
+        emit(ctx, ctx.line_of(h.pos), Rule::kNoWallclock,
+             "call to '" + h.name +
                  "()' reads the wall clock; banned outside src/util/time and bench/");
       }
     }
@@ -437,59 +624,23 @@ class Linter {
   void rule_ambient_rng(const FileCtx& ctx) {
     const std::string& path = ctx.src->path;
     if (starts_with(path, "src/util/rng.")) return;
-    const std::string& s = ctx.code;
-    for (std::string_view w : {std::string_view("rand"), std::string_view("srand")}) {
-      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
-           p = find_word(s, w, p + 1)) {
-        const std::size_t after = next_nonspace(s, p + w.size());
-        if (after >= s.size() || s[after] != '(') continue;
-        if (qualifier_before(s, p) == Qual::kOther) continue;
-        emit(ctx, ctx.line_of(p), Rule::kNoAmbientRng,
-             "'" + std::string(w) +
-                 "()' draws from ambient global state; use an explicitly seeded util::Rng");
-      }
-    }
-    for (std::string_view w :
-         {std::string_view("random_device"), std::string_view("default_random_engine")}) {
-      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
-           p = find_word(s, w, p + 1)) {
-        emit(ctx, ctx.line_of(p), Rule::kNoAmbientRng,
-             "'" + std::string(w) +
-                 "' is nondeterministic (or implementation-defined); use util::Rng with an "
-                 "explicit seed");
-      }
-    }
-    static constexpr std::string_view kEngines[] = {
-        "mt19937",       "mt19937_64",    "minstd_rand", "minstd_rand0", "ranlux24_base",
-        "ranlux48_base", "ranlux24",      "ranlux48",    "knuth_b"};
-    for (std::string_view w : kEngines) {
-      for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
-           p = find_word(s, w, p + 1)) {
-        std::size_t after = next_nonspace(s, p + w.size());
-        if (after >= s.size()) continue;
-        bool default_seeded = false;
-        if (s[after] == '(' || s[after] == '{') {
-          const std::size_t close = match_bracket(s, after);
-          default_seeded =
-              close != std::string::npos && trim(s.substr(after + 1, close - after - 1)).empty();
-        } else if (ident_char(s[after])) {
-          const std::string var = read_ident(s, after);
-          std::size_t q = next_nonspace(s, after + var.size());
-          if (q < s.size()) {
-            if (s[q] == ';' || s[q] == ',' || s[q] == ')') {
-              default_seeded = true;  // declaration with no seed argument
-            } else if (s[q] == '(' || s[q] == '{') {
-              const std::size_t close = match_bracket(s, q);
-              default_seeded =
-                  close != std::string::npos && trim(s.substr(q + 1, close - q - 1)).empty();
-            }
-          }
-        }
-        if (default_seeded) {
-          emit(ctx, ctx.line_of(p), Rule::kNoAmbientRng,
-               "default-seeded '" + std::string(w) +
+    for (const TaintHit& h : rng_hits(ctx.code)) {
+      switch (h.kind) {
+        case SourceKind::kRandCall:
+          emit(ctx, ctx.line_of(h.pos), Rule::kNoAmbientRng,
+               "'" + h.name +
+                   "()' draws from ambient global state; use an explicitly seeded util::Rng");
+          break;
+        case SourceKind::kRngDevice:
+          emit(ctx, ctx.line_of(h.pos), Rule::kNoAmbientRng,
+               "'" + h.name +
+                   "' is nondeterministic (or implementation-defined); use util::Rng with an "
+                   "explicit seed");
+          break;
+        default:
+          emit(ctx, ctx.line_of(h.pos), Rule::kNoAmbientRng,
+               "default-seeded '" + h.name +
                    "' produces an unpinned stream; seed it explicitly (prefer util::Rng)");
-        }
       }
     }
   }
@@ -504,15 +655,14 @@ class Linter {
     return path.substr(0, dot);
   }
 
-  void rule_unordered_iteration() {
-    // Pass 1: variables/members declared with an unordered container type,
-    // grouped by file stem.
-    std::map<std::string, std::set<std::string>> tracked_by_stem;
+  /// Pass 1 of R3 (shared with R10): variables/members declared with an
+  /// unordered container type, grouped by file stem.
+  void compute_tracked_unordered() {
     static constexpr std::string_view kUnordered[] = {
         "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
     for (const FileCtx& ctx : ctxs_) {
       const std::string& s = ctx.code;
-      std::set<std::string>& tracked = tracked_by_stem[stem_of(ctx.src->path)];
+      std::set<std::string>& tracked = tracked_by_stem_[stem_of(ctx.src->path)];
       for (std::string_view w : kUnordered) {
         for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
              p = find_word(s, w, p + 1)) {
@@ -530,66 +680,20 @@ class Linter {
         }
       }
     }
-    // Pass 2: iteration over a tracked name.
+  }
+
+  void rule_unordered_iteration() {
     for (const FileCtx& ctx : ctxs_) {
-      const std::string& s = ctx.code;
-      const std::set<std::string>& tracked = tracked_by_stem[stem_of(ctx.src->path)];
-      if (tracked.empty()) continue;
-      // Range-for: for (decl : expr)
-      for (std::size_t p = find_word(s, "for", 0); p != std::string::npos;
-           p = find_word(s, "for", p + 1)) {
-        const std::size_t open = next_nonspace(s, p + 3);
-        if (open >= s.size() || s[open] != '(') continue;
-        const std::size_t close = match_bracket(s, open);
-        if (close == std::string::npos) continue;
-        // find ':' at paren depth 1 that is not part of '::'
-        std::size_t colon = std::string::npos;
-        int depth = 0;
-        for (std::size_t i = open; i <= close; ++i) {
-          if (s[i] == '(' || s[i] == '[' || s[i] == '{') ++depth;
-          else if (s[i] == ')' || s[i] == ']' || s[i] == '}') --depth;
-          else if (s[i] == ':' && depth == 1) {
-            const bool dbl = (i > 0 && s[i - 1] == ':') || (i + 1 < s.size() && s[i + 1] == ':');
-            if (!dbl) {
-              colon = i;
-              break;
-            }
-          }
-        }
-        if (colon == std::string::npos) continue;
-        const std::string expr = trim(s.substr(colon + 1, close - colon - 1));
-        if (expr.empty() || !ident_char(expr.back())) continue;  // call result etc.
-        const std::string name = read_ident_before(expr, expr.size());
-        if (!tracked.count(name)) continue;
-        emit(ctx, ctx.line_of(p), Rule::kNoUnorderedIteration,
-             "range-for over unordered container '" + name +
-                 "': iteration order is hash/pointer dependent; use util::FlatMap / std::map "
-                 "or iterate a sorted snapshot");
-      }
-      // Explicit iterator walks. Only the begin() family: iteration always
-      // needs a begin, while a lone end() is the idiomatic find() != end()
-      // lookup — which the rule explicitly allows.
-      static constexpr std::string_view kIters[] = {"begin", "cbegin", "rbegin"};
-      for (std::string_view w : kIters) {
-        for (std::size_t p = find_word(s, w, 0); p != std::string::npos;
-             p = find_word(s, w, p + 1)) {
-          const std::size_t after = next_nonspace(s, p + w.size());
-          if (after >= s.size() || s[after] != '(') continue;
-          std::size_t q = prev_nonspace(s, p);
-          if (q == std::string::npos) continue;
-          if (s[q] == '.') {
-            // fallthrough
-          } else if (s[q] == '>' && q > 0 && s[q - 1] == '-') {
-            --q;
-          } else {
-            continue;
-          }
-          const std::size_t recv_end = prev_nonspace(s, q);
-          if (recv_end == std::string::npos || !ident_char(s[recv_end])) continue;
-          const std::string name = read_ident_before(s, recv_end + 1);
-          if (!tracked.count(name)) continue;
-          emit(ctx, ctx.line_of(p), Rule::kNoUnorderedIteration,
-               "'" + name + "." + std::string(w) +
+      const std::set<std::string>& tracked = tracked_by_stem_[stem_of(ctx.src->path)];
+      for (const IterHit& h : unordered_iter_hits(ctx.code, tracked)) {
+        if (h.iter_word.empty()) {
+          emit(ctx, ctx.line_of(h.pos), Rule::kNoUnorderedIteration,
+               "range-for over unordered container '" + h.name +
+                   "': iteration order is hash/pointer dependent; use util::FlatMap / std::map "
+                   "or iterate a sorted snapshot");
+        } else {
+          emit(ctx, ctx.line_of(h.pos), Rule::kNoUnorderedIteration,
+               "'" + h.name + "." + h.iter_word +
                    "()' iterates an unordered container: order is hash/pointer dependent; use "
                    "util::FlatMap / std::map or a sorted snapshot");
         }
@@ -1041,9 +1145,355 @@ class Linter {
     }
   }
 
+  // ----------------------------------------------- interprocedural (R10–R12)
+
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+  void build_symbols() {
+    if (!opts_.cache_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(opts_.cache_dir, ec);
+    }
+    std::vector<symgraph::FileSyms> syms;
+    syms.reserve(ctxs_.size());
+    for (const FileCtx& ctx : ctxs_) {
+      if (!opts_.cache_dir.empty()) {
+        syms.push_back(symgraph::extract_symbols_cached(ctx.src->path, ctx.src->content,
+                                                        ctx.code, opts_.cache_dir));
+      } else {
+        syms.push_back(symgraph::extract_symbols(ctx.src->path, ctx.code));
+      }
+    }
+    graph_ = symgraph::build_graph(syms);
+    for (std::uint32_t i = 0; i < graph_.nodes.size(); ++i)
+      nodes_by_file_[graph_.nodes[i].file].push_back(i);
+    for (auto& [file, nodes] : nodes_by_file_)
+      std::sort(nodes.begin(), nodes.end(), [this](std::uint32_t a, std::uint32_t b) {
+        return graph_.nodes[a].fn.body_begin < graph_.nodes[b].fn.body_begin;
+      });
+  }
+
+  /// Graph node whose body span contains `pos` in `path`, or kNoNode.
+  [[nodiscard]] std::uint32_t node_at(const std::string& path, std::size_t pos) const {
+    const auto it = nodes_by_file_.find(path);
+    if (it == nodes_by_file_.end()) return kNoNode;
+    for (const std::uint32_t idx : it->second) {
+      const symgraph::SymFunction& fn = graph_.nodes[idx].fn;
+      if (pos > fn.body_begin && pos < fn.body_end) return idx;
+    }
+    return kNoNode;
+  }
+
+  /// Transitive-callee closure with BFS-tree parents: everything the seed
+  /// functions execute, plus enough bookkeeping to reconstruct one
+  /// deterministic seed→node call chain per member.
+  struct Closure {
+    std::vector<char> in;
+    std::vector<std::uint32_t> parent;       ///< BFS-tree caller, kNoNode at seeds
+    std::vector<std::uint32_t> parent_line;  ///< call-site line in the parent's file
+  };
+
+  [[nodiscard]] Closure reach_callees(const std::vector<std::uint32_t>& seeds) const {
+    Closure c;
+    c.in.assign(graph_.nodes.size(), 0);
+    c.parent.assign(graph_.nodes.size(), kNoNode);
+    c.parent_line.assign(graph_.nodes.size(), 0);
+    std::vector<std::uint32_t> queue;
+    for (const std::uint32_t s : seeds) {
+      if (!c.in[s]) {
+        c.in[s] = 1;
+        queue.push_back(s);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t u = queue[head];
+      for (const auto& [v, line] : graph_.nodes[u].callees) {
+        if (c.in[v]) continue;
+        c.in[v] = 1;
+        c.parent[v] = u;
+        c.parent_line[v] = line;
+        queue.push_back(v);
+      }
+    }
+    return c;
+  }
+
+  /// chain[0] = the flagged node at its source/allocation line; each later
+  /// hop is the BFS-tree caller with its call-site line; the last hop is
+  /// the seed (digest sink or hot-path root).
+  [[nodiscard]] std::vector<ChainHop> chain_for(const Closure& c, std::uint32_t node,
+                                                std::size_t site_line) const {
+    std::vector<ChainHop> chain;
+    chain.push_back({graph_.nodes[node].fn.qualified, graph_.nodes[node].file, site_line});
+    std::uint32_t u = node;
+    while (c.parent[u] != kNoNode) {
+      const std::uint32_t p = c.parent[u];
+      chain.push_back({graph_.nodes[p].fn.qualified, graph_.nodes[p].file,
+                       static_cast<std::size_t>(c.parent_line[u])});
+      u = p;
+    }
+    return chain;
+  }
+
+  /// Digest / wire-codec sink functions. Everything these call is "what a
+  /// digest can see". `include_output` adds the serialized-artifact sinks
+  /// (to_json/to_jsonl) — R10 guards those too, R11 does not (deterministic
+  /// decimal formatting of doubles in output artifacts is allowed).
+  [[nodiscard]] bool is_digest_sink(const symgraph::Graph::Node& n, bool include_output) const {
+    if (!starts_with(n.file, "src/")) return false;
+    static const std::set<std::string> kNames = {
+        "state_fingerprint",  "pending_fingerprint", "state_hash",
+        "digest",             "make_digest",         "encode",
+        "decode",             "spec_hash",           "packet_fingerprint",
+        "hash_batch",         "rng_fingerprint",     "detector_fingerprint"};
+    if (kNames.count(n.fn.name)) return true;
+    if (include_output && (n.fn.name == "to_json" || n.fn.name == "to_jsonl")) return true;
+    const std::size_t cc = n.fn.qualified.rfind("::");
+    return cc != std::string::npos && ends_with(n.fn.qualified.substr(0, cc), "Digest");
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> digest_seeds(bool include_output) const {
+    std::vector<std::uint32_t> seeds;
+    for (std::uint32_t i = 0; i < graph_.nodes.size(); ++i)
+      if (is_digest_sink(graph_.nodes[i], include_output)) seeds.push_back(i);
+    return seeds;
+  }
+
+  /// Forwarding/dispatch hot-path roots (R12): the per-packet code the
+  /// PR 2 / PR 7 allocation-free wins measured.
+  [[nodiscard]] std::vector<std::uint32_t> hot_path_roots() const {
+    struct RootPat {
+      std::string_view cls_suffix;
+      std::string_view name_prefix;
+    };
+    static constexpr RootPat kRoots[] = {
+        {"Simulator", "run"},
+        {"Node", "forward"},
+        {"Node", "receive"},
+        {"Router", "receive"},
+        {"Host", "receive"},
+        {"Interface", "send"},
+        {"Interface", "try_transmit"},
+        {"Interface", "start_transmit"},
+        {"Interface", "complete_propagation"},
+        {"Queue", "enqueue"},
+        {"Queue", "dequeue"},
+        {"SummaryGenerator", "flush"},
+        {"FingerprintHasher", "hash_batch"}};
+    std::vector<std::uint32_t> seeds;
+    for (std::uint32_t i = 0; i < graph_.nodes.size(); ++i) {
+      const symgraph::Graph::Node& n = graph_.nodes[i];
+      if (!starts_with(n.file, "src/")) continue;
+      const std::size_t cc = n.fn.qualified.rfind("::");
+      if (cc == std::string::npos) continue;
+      const std::string cls = n.fn.qualified.substr(0, cc);
+      for (const RootPat& r : kRoots) {
+        if (ends_with(cls, r.cls_suffix) && starts_with(n.fn.name, r.name_prefix)) {
+          seeds.push_back(i);
+          break;
+        }
+      }
+    }
+    return seeds;
+  }
+
+  // R10 ---------------------------------------------------------------------
+  void rule_determinism_taint() {
+    const Closure cls = reach_callees(digest_seeds(/*include_output=*/true));
+    for (const FileCtx& ctx : ctxs_) {
+      const std::string& path = ctx.src->path;
+      if (!starts_with(path, "src/")) continue;
+      const std::string& s = ctx.code;
+      struct SrcHit {
+        std::size_t pos;
+        std::string desc;
+      };
+      std::vector<SrcHit> hits;
+      for (const TaintHit& h : wallclock_hits(s))
+        hits.push_back({h.pos, "wall-clock read '" + h.name + "'"});
+      for (const TaintHit& h : rng_hits(s)) {
+        switch (h.kind) {
+          case SourceKind::kRandCall:
+            hits.push_back({h.pos, "ambient RNG call '" + h.name + "()'"});
+            break;
+          case SourceKind::kRngDevice:
+            hits.push_back({h.pos, "nondeterministic engine '" + h.name + "'"});
+            break;
+          default:
+            hits.push_back({h.pos, "default-seeded engine '" + h.name + "'"});
+        }
+      }
+      for (const IterHit& h : unordered_iter_hits(s, tracked_by_stem_[stem_of(path)]))
+        hits.push_back({h.pos, "unordered-container iteration over '" + h.name + "'"});
+      for (const SrcHit& h : hits) {
+        const std::uint32_t node = node_at(path, h.pos);
+        if (node == kNoNode || !cls.in[node]) continue;
+        std::vector<ChainHop> chain = chain_for(cls, node, ctx.line_of(h.pos));
+        const std::string sink = chain.back().function;
+        const std::size_t hops = chain.size() - 1;
+        emit_chain(ctx, ctx.line_of(h.pos), Rule::kDeterminismTaint,
+                   h.desc + " in '" + graph_.nodes[node].fn.qualified +
+                       "' taints digest/codec sink '" + sink + "' (" + std::to_string(hops) +
+                       "-hop call chain); every digest input must derive from seeded, "
+                       "ordered state",
+                   std::move(chain));
+      }
+    }
+  }
+
+  // R11 ---------------------------------------------------------------------
+  void rule_float_free_digest() {
+    const Closure cls = reach_callees(digest_seeds(/*include_output=*/false));
+    for (const FileCtx& ctx : ctxs_) {
+      const std::string& path = ctx.src->path;
+      if (!starts_with(path, "src/")) continue;
+      const std::string& s = ctx.code;
+      const auto nit = nodes_by_file_.find(path);
+      if (nit != nodes_by_file_.end()) {
+        for (const std::uint32_t idx : nit->second) {
+          if (!cls.in[idx]) continue;
+          const symgraph::SymFunction& fn = graph_.nodes[idx].fn;
+          // Scan from the signature line through the body end, so FP
+          // parameter and return types count, not just local declarations.
+          const std::size_t begin = ctx.line_start[fn.line - 1];
+          for (std::string_view w : {std::string_view("float"), std::string_view("double")}) {
+            for (std::size_t p = find_word(s, w, begin);
+                 p != std::string::npos && p < fn.body_end; p = find_word(s, w, p + 1)) {
+              std::vector<ChainHop> chain = chain_for(cls, idx, ctx.line_of(p));
+              const std::string sink = chain.back().function;
+              std::string msg = "'";
+              msg += w;
+              msg += "' in '" + fn.qualified + "', which digest/codec sink '" + sink +
+                     "' reaches: FP rounding is ISA- and flag-dependent; keep "
+                     "everything a digest can see in integer or fixed-point math";
+              emit_chain(ctx, ctx.line_of(p), Rule::kFloatFreeDigest, std::move(msg),
+                         std::move(chain));
+            }
+          }
+        }
+      }
+      // Serialized event structs must be FP-free regardless of reachability:
+      // their fields go straight through codecs and golden artifacts.
+      for (std::size_t p = find_word(s, "struct", 0); p != std::string::npos;
+           p = find_word(s, "struct", p + 1)) {
+        const std::size_t np = next_nonspace(s, p + 6);
+        if (np >= s.size() || !ident_char(s[np])) continue;
+        const std::string name = read_ident(s, np);
+        if (!event_like(name)) continue;
+        std::size_t q = next_nonspace(s, np + name.size());
+        if (q < s.size() && s[q] == ':') {  // base clause
+          while (q < s.size() && s[q] != '{' && s[q] != ';') ++q;
+        }
+        if (q >= s.size() || s[q] != '{') continue;  // forward declaration
+        const std::size_t body_end = match_bracket(s, q);
+        if (body_end == std::string::npos) continue;
+        for (std::string_view w : {std::string_view("float"), std::string_view("double")}) {
+          for (std::size_t fp = find_word(s, w, q); fp != std::string::npos && fp < body_end;
+               fp = find_word(s, w, fp + 1)) {
+            const std::size_t after = next_nonspace(s, fp + w.size());
+            std::string field;
+            if (after < s.size() && ident_char(s[after])) field = read_ident(s, after);
+            emit(ctx, ctx.line_of(fp), Rule::kFloatFreeDigest,
+                 "serialized event struct '" + name + "' uses '" + std::string(w) + "'" +
+                     (field.empty() ? std::string() : " ('" + field + "')") +
+                     ": FP bytes are ISA- and flag-dependent; store a fixed-point or "
+                     "integer encoding");
+          }
+        }
+      }
+    }
+  }
+
+  // R12 ---------------------------------------------------------------------
+  [[nodiscard]] static std::vector<std::pair<std::size_t, std::string>> alloc_hits(
+      const std::string& s, std::size_t begin, std::size_t end) {
+    std::vector<std::pair<std::size_t, std::string>> out;
+    for (std::size_t p = find_word(s, "new", begin); p != std::string::npos && p < end;
+         p = find_word(s, "new", p + 1)) {
+      const std::size_t before = prev_nonspace(s, p);
+      if (before != std::string::npos && ident_char(s[before]) &&
+          read_ident_before(s, before + 1) == "operator")
+        continue;  // operator-new declaration, not an allocation
+      std::size_t after = next_nonspace(s, p + 3);
+      if (after >= end || (!ident_char(s[after]) && s[after] != '(' && s[after] != '['))
+        continue;
+      if (s[after] == '(') {
+        // `new (buf) T` is placement new — construction into existing
+        // storage, not a heap allocation. `new (std::nothrow) T` is the
+        // one parenthesized form that still allocates.
+        const std::size_t close = match_bracket(s, after);
+        if (close == std::string::npos) continue;
+        if (s.substr(after, close - after + 1).find("nothrow") == std::string::npos) continue;
+        after = next_nonspace(s, close + 1);
+        if (after >= end || !ident_char(s[after])) continue;
+      }
+      const std::string type = ident_char(s[after]) ? read_ident(s, after) : std::string();
+      out.emplace_back(p, type.empty() ? std::string("'new'") : "'new " + type + "'");
+    }
+    for (std::string_view w :
+         {std::string_view("make_unique"), std::string_view("make_shared")}) {
+      for (std::size_t p = find_word(s, w, begin); p != std::string::npos && p < end;
+           p = find_word(s, w, p + 1)) {
+        const std::size_t after = next_nonspace(s, p + w.size());
+        if (after >= end || (s[after] != '<' && s[after] != '(')) continue;
+        out.emplace_back(p, "'std::" + std::string(w) + "'");
+      }
+    }
+    // Owning std::string/std::vector value construction. References,
+    // pointers and function declarators do not allocate; push_back/reserve
+    // on a preallocated container is deliberately not flagged.
+    for (std::string_view w : {std::string_view("string"), std::string_view("vector")}) {
+      for (std::size_t p = find_word(s, w, begin); p != std::string::npos && p < end;
+           p = find_word(s, w, p + 1)) {
+        if (qualifier_before(s, p) != Qual::kStd) continue;
+        std::size_t q = next_nonspace(s, p + w.size());
+        if (q < end && s[q] == '<') {
+          q = skip_template_args(s, q);
+          if (q == std::string::npos || q > end) continue;
+          q = next_nonspace(s, q);
+        }
+        if (q >= end || !ident_char(s[q])) continue;
+        const std::string var = read_ident(s, q);
+        const std::size_t after = next_nonspace(s, q + var.size());
+        if (after < end && s[after] == '(') continue;  // function declarator
+        out.emplace_back(p, "owning std::" + std::string(w) + " '" + var + "'");
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void rule_hot_path_allocation() {
+    const Closure cls = reach_callees(hot_path_roots());
+    for (const FileCtx& ctx : ctxs_) {
+      const std::string& path = ctx.src->path;
+      if (!starts_with(path, "src/")) continue;
+      const auto nit = nodes_by_file_.find(path);
+      if (nit == nodes_by_file_.end()) continue;
+      for (const std::uint32_t idx : nit->second) {
+        if (!cls.in[idx]) continue;
+        const symgraph::SymFunction& fn = graph_.nodes[idx].fn;
+        for (const auto& [pos, desc] : alloc_hits(ctx.code, fn.body_begin + 1, fn.body_end)) {
+          std::vector<ChainHop> chain = chain_for(cls, idx, ctx.line_of(pos));
+          const std::string root = chain.back().function;
+          emit_chain(ctx, ctx.line_of(pos), Rule::kHotPathAllocation,
+                     "heap allocation (" + desc + ") in '" + fn.qualified +
+                         "', reachable from hot-path root '" + root +
+                         "': the forwarding/dispatch path is allocation-free in steady "
+                         "state; preallocate or use the pooled slabs",
+                     std::move(chain));
+        }
+      }
+    }
+  }
+
+  AnalyzeOptions opts_;
   const Config& cfg_;
   std::vector<FileCtx> ctxs_;
   Report report_;
+  symgraph::Graph graph_;
+  std::map<std::string, std::vector<std::uint32_t>> nodes_by_file_;
+  std::map<std::string, std::set<std::string>> tracked_by_stem_;
 };
 
 std::string json_escape(std::string_view s) {
@@ -1082,6 +1532,9 @@ const char* rule_name(Rule r) {
     case Rule::kNoIncludeCycles: return "no-include-cycles";
     case Rule::kSimdContainment: return "simd-containment";
     case Rule::kThreadContainment: return "thread-containment";
+    case Rule::kDeterminismTaint: return "determinism-taint";
+    case Rule::kFloatFreeDigest: return "float-free-digest";
+    case Rule::kHotPathAllocation: return "hot-path-allocation";
     case Rule::kBareSuppression: return "bare-suppression";
   }
   return "?";
@@ -1098,6 +1551,9 @@ const char* rule_id(Rule r) {
     case Rule::kNoIncludeCycles: return "R7";
     case Rule::kSimdContainment: return "R8";
     case Rule::kThreadContainment: return "R9";
+    case Rule::kDeterminismTaint: return "R10";
+    case Rule::kFloatFreeDigest: return "R11";
+    case Rule::kHotPathAllocation: return "R12";
     case Rule::kBareSuppression: return "R0";
   }
   return "?";
@@ -1116,14 +1572,29 @@ bool parse_rule(std::string_view s, Rule& out) {
 }
 
 Report lint_files(const std::vector<SourceFile>& files, const Config& cfg) {
-  return Linter(files, cfg).run();
+  AnalyzeOptions opts;
+  opts.cfg = cfg;
+  return Linter(files, std::move(opts)).run();
+}
+
+AnalyzeResult analyze(const std::vector<SourceFile>& files, const AnalyzeOptions& opts) {
+  Linter linter(files, opts);
+  AnalyzeResult res;
+  res.report = linter.run();
+  res.graph = linter.take_graph();
+  return res;
+}
+
+std::string strip_to_code(const std::string& content) {
+  const SourceFile tmp{std::string(), content};
+  return preprocess(tmp).code;
 }
 
 std::string to_json(const Report& r) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"tool\": \"fatih-lint\",\n";
-  os << "  \"schema_version\": 1,\n";
+  os << "  \"schema_version\": 2,\n";
   os << "  \"files_scanned\": " << r.files_scanned << ",\n";
   os << "  \"violation_count\": " << r.diagnostics.size() << ",\n";
   os << "  \"suppressed_count\": " << r.suppressed << ",\n";
@@ -1133,7 +1604,19 @@ std::string to_json(const Report& r) {
     os << (i == 0 ? "\n" : ",\n");
     os << "    {\"file\": \"" << json_escape(d.file) << "\", \"line\": " << d.line
        << ", \"rule\": \"" << rule_name(d.rule) << "\", \"id\": \"" << rule_id(d.rule)
-       << "\", \"message\": \"" << json_escape(d.message) << "\"}";
+       << "\", \"message\": \"" << json_escape(d.message) << "\"";
+    if (!d.chain.empty()) {
+      // Evidence chain: hop 0 is the flagged site, each later hop the
+      // caller one level up, the last hop the sink/root.
+      os << ", \"chain\": [";
+      for (std::size_t j = 0; j < d.chain.size(); ++j) {
+        const ChainHop& h = d.chain[j];
+        os << (j == 0 ? "" : ", ") << "{\"function\": \"" << json_escape(h.function)
+           << "\", \"file\": \"" << json_escape(h.file) << "\", \"line\": " << h.line << "}";
+      }
+      os << "]";
+    }
+    os << "}";
   }
   os << (r.diagnostics.empty() ? "]\n" : "\n  ]\n");
   os << "}\n";
@@ -1144,6 +1627,10 @@ std::string to_text(const Report& r) {
   std::ostringstream os;
   for (const Diagnostic& d : r.diagnostics) {
     os << d.file << ":" << d.line << ": [" << rule_name(d.rule) << "] " << d.message << "\n";
+    for (std::size_t j = 0; j < d.chain.size(); ++j) {
+      const ChainHop& h = d.chain[j];
+      os << "    #" << j << " " << h.function << " (" << h.file << ":" << h.line << ")\n";
+    }
   }
   os << "fatih-lint: " << r.diagnostics.size() << " violation(s), " << r.suppressed
      << " suppressed, " << r.files_scanned << " file(s) scanned\n";

@@ -5,7 +5,7 @@
 // regeneration) rests on the codebase never smuggling in a nondeterminism
 // source. This tool makes those invariants machine-checked: it tokenizes
 // the C++ sources (comments and string literals blanked, line structure
-// preserved) and applies nine rules, each individually toggleable:
+// preserved) and applies twelve rules, each individually toggleable:
 //
 //   R1 no-wallclock          wall-clock time sources outside util/time
 //   R2 no-ambient-rng        ambient / default-seeded randomness
@@ -30,13 +30,44 @@
 //                              lives in the shard runtime, whose barrier
 //                              discipline keeps digests worker-invariant
 //
+// R10–R12 are *interprocedural*: they run over the cross-TU call graph
+// extracted by tools/fatih-lint/symgraph (same token stream, no compiler),
+// and their diagnostics carry a machine-readable source→sink call chain:
+//
+//   R10 determinism-taint    a wall-clock / ambient-RNG / unordered-
+//                              iteration source (the R1–R3 patterns, with
+//                              *no* path exemptions — laundering through
+//                              util/time counts) inside a function from
+//                              which a digest/codec sink is reachable:
+//                              state_fingerprint, pending_fingerprint,
+//                              StateDigest construction, summary/
+//                              fingerprint hashing, wire encode/decode,
+//                              to_json/to_jsonl
+//   R11 float-free-digest    float/double declarations or casts in any
+//                              function reachable into a digest/wire-codec
+//                              sink, or float/double fields in serialized
+//                              event structs — FP rounding is ISA- and
+//                              flag-dependent, which would silently break
+//                              the shard and SIMD differential suites
+//   R12 hot-path-allocation  heap allocation (new, make_unique/shared,
+//                              owning std::string/std::vector
+//                              construction) in any function reachable
+//                              from the forwarding/dispatch hot-path
+//                              roots: Simulator::run*, Node::forward*/
+//                              receive*, Interface transmit, queue
+//                              admission, the SipHash batch flush
+//
 // Inline suppression:  // fatih-lint: allow(<rule>) <justification>
-// applies to its own line and the next line. A suppression without a
-// justification is itself a violation (bare-suppression).
+// The window is exactly two lines: the comment's own line and the next
+// line. A violation two lines below the comment is NOT covered — move the
+// comment onto (or directly above) the offending line. A suppression
+// without a justification is itself a violation (bare-suppression).
 //
 // The analysis is lexical by design: no compiler, no new dependencies,
 // deterministic output. Heuristics err toward silence (a named rule fires
-// only on patterns it can prove lexically); the suppression mechanism
+// only on patterns it can prove lexically, and a call edge exists only
+// when the callee identifier is visible at the call site — function
+// pointers and std::function taint nothing); the suppression mechanism
 // covers the rest.
 #pragma once
 
@@ -46,6 +77,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "symgraph.hpp"
 
 namespace fatih::lint {
 
@@ -59,9 +92,12 @@ enum class Rule : std::uint8_t {
   kNoIncludeCycles,       // R7
   kSimdContainment,       // R8
   kThreadContainment,     // R9
+  kDeterminismTaint,      // R10 (interprocedural)
+  kFloatFreeDigest,       // R11 (interprocedural)
+  kHotPathAllocation,     // R12 (interprocedural)
   kBareSuppression,       // meta-rule: allow() without a justification
 };
-inline constexpr std::size_t kRuleCount = 10;
+inline constexpr std::size_t kRuleCount = 13;
 
 /// Stable kebab-case rule name ("no-wallclock").
 [[nodiscard]] const char* rule_name(Rule r);
@@ -85,11 +121,22 @@ struct SourceFile {
   std::string content;
 };
 
+/// One hop of an interprocedural evidence chain. chain[0] is the flagged
+/// site (its line is the source/allocation line); each later hop is the
+/// caller one level up, with `line` the call site in that caller's file;
+/// the last hop is the digest sink (R10/R11) or hot-path root (R12).
+struct ChainHop {
+  std::string function;  ///< qualified name ("Simulator::run")
+  std::string file;
+  std::size_t line = 0;
+};
+
 struct Diagnostic {
   std::string file;
   std::size_t line = 0;
   Rule rule = Rule::kNoWallclock;
   std::string message;
+  std::vector<ChainHop> chain;  ///< non-empty only for R10–R12 function findings
 };
 
 struct Report {
@@ -101,6 +148,31 @@ struct Report {
 /// Runs every enabled rule over the file set. Deterministic: output
 /// depends only on (files, cfg), never on filesystem or iteration order.
 [[nodiscard]] Report lint_files(const std::vector<SourceFile>& files, const Config& cfg);
+
+/// Extended analysis entry point: lint_files plus symbol-graph control.
+struct AnalyzeOptions {
+  Config cfg{};
+  /// Non-empty: reuse/populate the per-file symbol extraction cache in
+  /// this directory (created if missing). Keyed by FNV-1a content hash,
+  /// so cached and uncached runs are byte-identical (pinned by test).
+  std::string cache_dir{};
+  /// Always build and return the call graph, even if no interprocedural
+  /// rule is enabled (for --graph-dot).
+  bool want_graph = false;
+};
+
+struct AnalyzeResult {
+  Report report;
+  symgraph::Graph graph;  ///< populated iff want_graph or R10–R12 ran
+};
+
+[[nodiscard]] AnalyzeResult analyze(const std::vector<SourceFile>& files,
+                                    const AnalyzeOptions& opts);
+
+/// The linter's lexical preprocessing, exported for the symbol-graph
+/// pipeline: comments and string/char literal contents blanked to spaces,
+/// line structure and code offsets preserved.
+[[nodiscard]] std::string strip_to_code(const std::string& content);
 
 /// Machine-readable report; shape pinned by tests/lint/lint_test.cpp.
 [[nodiscard]] std::string to_json(const Report& r);

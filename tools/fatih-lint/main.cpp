@@ -3,11 +3,17 @@
 // I/O error.
 //
 //   fatih-lint [--root DIR] [--json] [--disable RULE[,RULE...]]
-//              [--enable-only RULE[,RULE...]] [--list-rules] [paths...]
+//              [--enable-only RULE[,RULE...]] [--list-rules]
+//              [--graph-dot FILE] [--cache-dir DIR] [paths...]
 //
 // Paths default to `src bench tests` relative to --root (default: cwd).
 // tests/lint/fixtures/ is always excluded: it is the deliberately-broken
 // self-test corpus.
+//
+// --graph-dot FILE writes the extracted cross-TU call graph (the substrate
+// of rules R10–R12) as deterministically sorted Graphviz, for inspecting
+// evidence chains and layering by hand. --cache-dir DIR reuses per-file
+// symbol extraction across invocations, keyed by FNV-1a content hash.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -51,7 +57,8 @@ bool parse_rule_list(const std::string& list, std::vector<Rule>& out) {
 int usage() {
   std::fprintf(stderr,
                "usage: fatih-lint [--root DIR] [--json] [--disable RULES] "
-               "[--enable-only RULES] [--list-rules] [paths...]\n");
+               "[--enable-only RULES] [--list-rules] [--graph-dot FILE] "
+               "[--cache-dir DIR] [paths...]\n");
   return 2;
 }
 
@@ -62,6 +69,8 @@ int main(int argc, char** argv) {
   bool json = false;
   Config cfg;
   std::vector<std::string> roots;
+  std::string graph_dot;
+  std::string cache_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -70,6 +79,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--root") {
       if (++i >= argc) return usage();
       root = argv[i];
+    } else if (arg == "--graph-dot") {
+      if (++i >= argc) return usage();
+      graph_dot = argv[i];
+    } else if (arg == "--cache-dir") {
+      if (++i >= argc) return usage();
+      cache_dir = argv[i];
     } else if (arg == "--disable") {
       if (++i >= argc) return usage();
       std::vector<Rule> rules;
@@ -128,7 +143,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  const fatih::lint::Report report = fatih::lint::lint_files(files, cfg);
+  fatih::lint::AnalyzeOptions opts;
+  opts.cfg = cfg;
+  opts.cache_dir = cache_dir;
+  opts.want_graph = !graph_dot.empty();
+  const fatih::lint::AnalyzeResult result = fatih::lint::analyze(files, opts);
+  if (!graph_dot.empty()) {
+    std::ofstream dot(graph_dot, std::ios::binary | std::ios::trunc);
+    if (!dot) {
+      std::fprintf(stderr, "fatih-lint: cannot write %s\n", graph_dot.c_str());
+      return 2;
+    }
+    const std::string rendered = fatih::lint::symgraph::to_dot(result.graph);
+    dot.write(rendered.data(), static_cast<std::streamsize>(rendered.size()));
+  }
+  const fatih::lint::Report& report = result.report;
   const std::string out = json ? fatih::lint::to_json(report) : fatih::lint::to_text(report);
   std::fwrite(out.data(), 1, out.size(), stdout);
   return report.diagnostics.empty() ? 0 : 1;
